@@ -1,0 +1,25 @@
+# Convenience targets; everything works without make too.
+
+.PHONY: install test bench experiments examples lint clean
+
+install:
+	pip install -e . || python setup.py develop
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+bench-paper:           ## full paper protocol (20 CAFC-C trials per bench)
+	REPRO_BENCH_RUNS=20 pytest benchmarks/ --benchmark-only
+
+experiments:
+	python -m repro experiments --runs 20
+
+examples:
+	for script in examples/*.py; do echo "== $$script"; python $$script; done
+
+clean:
+	rm -rf build dist *.egg-info src/*.egg-info .pytest_cache .benchmarks
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,18 @@
+"""Benchmark: Section 4.1 — corpus generation and profile audit."""
+
+from repro.experiments import corpus_profile
+from repro.webgen import generate_benchmark
+
+
+def test_bench_corpus_generation(benchmark):
+    web = benchmark.pedantic(generate_benchmark, kwargs={"seed": 42},
+                             rounds=1, iterations=1)
+    assert web.profile()["form_pages"] == 454
+
+
+def test_bench_corpus_profile(benchmark, context):
+    result = benchmark(corpus_profile.run_corpus_profile, context)
+    print()
+    print(corpus_profile.format_corpus_profile(result))
+    violations = corpus_profile.check_shape(result)
+    assert violations == [], violations

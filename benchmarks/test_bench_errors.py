@@ -1,0 +1,11 @@
+"""Benchmark: Section 4.2 — mis-clustering analysis of the best run."""
+
+from repro.experiments import errors
+
+
+def test_bench_errors(benchmark, context):
+    result = benchmark(errors.run_errors, context)
+    print()
+    print(errors.format_errors(result))
+    violations = errors.check_shape(result)
+    assert violations == [], violations

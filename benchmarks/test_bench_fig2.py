@@ -1,0 +1,24 @@
+"""Benchmark: Figure 2 — CAFC-C vs CAFC-CH across FC / PC / FC+PC.
+
+Regenerates the paper's central comparison and asserts its shape claims
+(FC+PC best, FC worst, CAFC-CH beats CAFC-C everywhere).
+"""
+
+from benchmarks.conftest import BENCH_RUNS
+from repro.experiments import fig2
+
+
+def test_bench_fig2(benchmark, context):
+    result = benchmark.pedantic(
+        fig2.run_fig2, args=(context,), kwargs={"n_runs": BENCH_RUNS},
+        rounds=1, iterations=1,
+    )
+    print()
+    print(fig2.format_fig2(result))
+    violations = fig2.check_shape(result)
+    assert violations == [], violations
+
+    # Hub seeding must cut FC+PC entropy by a wide margin (paper: ~3.7x).
+    cafc_c = result.get("cafc-c", "fc+pc").entropy
+    cafc_ch = result.get("cafc-ch", "fc+pc").entropy
+    assert cafc_ch < 0.6 * cafc_c

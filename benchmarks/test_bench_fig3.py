@@ -1,0 +1,16 @@
+"""Benchmark: Figure 3 — entropy vs minimum hub-cluster cardinality."""
+
+from benchmarks.conftest import BENCH_RUNS
+from repro.experiments import fig3
+
+
+def test_bench_fig3(benchmark, context):
+    result = benchmark.pedantic(
+        fig3.run_fig3, args=(context,),
+        kwargs={"n_cafc_c_runs": BENCH_RUNS},
+        rounds=1, iterations=1,
+    )
+    print()
+    print(fig3.format_fig3(result))
+    violations = fig3.check_shape(result)
+    assert violations == [], violations

@@ -1,0 +1,11 @@
+"""Benchmark: Section 3.1 — backlink / hub-cluster statistics."""
+
+from repro.experiments import hubstats
+
+
+def test_bench_hubstats(benchmark, context):
+    result = benchmark(hubstats.run_hubstats, context)
+    print()
+    print(hubstats.format_hubstats(result))
+    violations = hubstats.check_shape(result)
+    assert violations == [], violations

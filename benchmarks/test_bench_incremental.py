@@ -1,0 +1,85 @@
+"""Benchmark: incremental maintenance vs full re-clustering.
+
+The intro's motivation quantified: when new sources trickle in,
+incremental classification + centroid update is orders of magnitude
+cheaper than re-running the full pipeline, at comparable quality.
+"""
+
+import time
+
+from repro.core.cafc_ch import cafc_ch
+from repro.core.config import CAFCConfig
+from repro.core.incremental import IncrementalOrganizer
+from repro.core.vectorizer import FormPageVectorizer
+from repro.experiments.reporting import render_table
+from repro.webgen.config import GeneratorConfig
+from repro.webgen.corpus import generate_benchmark
+
+
+def _fresh_sources(n: int):
+    config = GeneratorConfig(
+        pages_per_domain={
+            name: max(2, n // 8)
+            for name in ("airfare", "auto", "book", "hotel",
+                         "job", "movie", "music", "rental")
+        },
+        single_attribute_per_domain=1,
+        mixed_entertainment_pages=0,
+        small_hubs_per_domain=2,
+        medium_hubs_per_domain=1,
+        n_directories=4,
+        n_travel_portals=1,
+        seed=87,
+    )
+    return generate_benchmark(config=config).raw_pages()[:n]
+
+
+def test_bench_incremental_vs_recluster(benchmark, context):
+    vectorizer = FormPageVectorizer()
+    pages = vectorizer.fit_transform(context.raw_pages)
+    initial_result = cafc_ch(pages, CAFCConfig(k=8),
+                             hub_clusters=context.hub_clusters(8))
+    initial = [
+        [pages[i] for i in members]
+        for members in initial_result.clustering.compact().clusters
+    ]
+    arrivals = _fresh_sources(24)
+
+    def incremental():
+        organizer = IncrementalOrganizer(
+            [list(cluster) for cluster in initial], vectorizer
+        )
+        correct = 0
+        for raw in arrivals:
+            index = organizer.add(raw)
+            labels = [p.label for p in organizer.clusters[index].pages if p.label]
+            majority = max(set(labels), key=labels.count)
+            correct += majority == raw.label
+        return organizer, correct
+
+    (organizer, correct) = benchmark.pedantic(incremental, rounds=1, iterations=1)
+
+    # The comparison point: a full pipeline re-run over old + new pages.
+    started = time.perf_counter()
+    merged_raw = list(context.raw_pages) + list(arrivals)
+    full_vectorizer = FormPageVectorizer()
+    merged_pages = full_vectorizer.fit_transform(merged_raw)
+    from repro.core.hubs import build_hub_clusters
+
+    hub_clusters = build_hub_clusters(merged_pages, min_cardinality=8)
+    cafc_ch(merged_pages, CAFCConfig(k=8), hub_clusters=hub_clusters)
+    full_time = time.perf_counter() - started
+
+    print()
+    print(render_table(
+        ["strategy", "wall time", "arrival accuracy"],
+        [
+            ["incremental add (24 sources)", "(benchmarked above)",
+             f"{correct}/{len(arrivals)}"],
+            ["full pipeline re-run", f"{full_time:.2f}s", "—"],
+        ],
+        title="Incremental maintenance vs full re-clustering",
+    ))
+
+    assert correct / len(arrivals) > 0.6
+    assert not organizer.needs_reclustering

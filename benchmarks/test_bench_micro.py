@@ -1,0 +1,101 @@
+"""Micro-benchmarks: per-stage costs of the CAFC pipeline.
+
+Not from the paper — these document where the time goes (parsing,
+vectorization, similarity, k-means, HAC, hub harvesting) and guard
+against pathological regressions.
+"""
+
+import random
+
+import pytest
+
+from repro.clustering.hac import Linkage, hac
+from repro.core.cafc_c import cafc_c
+from repro.core.cafc_ch import cafc_ch
+from repro.core.config import CAFCConfig
+from repro.core.hubs import build_hub_clusters
+from repro.core.vectorizer import FormPageVectorizer
+from repro.html.parser import parse_html
+from repro.text.analyzer import TextAnalyzer
+
+
+@pytest.fixture(scope="module")
+def sample_html(context):
+    return context.raw_pages[0].html
+
+
+def test_bench_html_parse(benchmark, sample_html):
+    root = benchmark(parse_html, sample_html)
+    assert root.find("form") is not None
+
+
+def test_bench_text_analysis(benchmark, context):
+    analyzer = TextAnalyzer()
+    text = " ".join(raw.html for raw in context.raw_pages[:5])
+    terms = benchmark(analyzer.analyze, text)
+    assert terms
+
+
+def test_bench_vectorize_corpus(benchmark, context):
+    def vectorize():
+        return FormPageVectorizer().fit_transform(context.raw_pages)
+
+    pages = benchmark.pedantic(vectorize, rounds=1, iterations=1)
+    assert len(pages) == 454
+
+
+def test_bench_pairwise_similarity(benchmark, context):
+    pages = context.pages[:100]
+    similarity = context.similarity
+
+    def all_pairs():
+        total = 0.0
+        for i in range(len(pages)):
+            for j in range(i + 1, len(pages)):
+                total += similarity(pages[i], pages[j])
+        return total
+
+    total = benchmark.pedantic(all_pairs, rounds=1, iterations=1)
+    assert total > 0.0
+
+
+def test_bench_kmeans_run(benchmark, context):
+    def run():
+        return cafc_c(context.pages, CAFCConfig(k=8, seed=0))
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert result.clustering.n_points == 454
+
+
+def test_bench_cafc_ch_run(benchmark, context):
+    hub_clusters = context.hub_clusters(8)
+
+    def run():
+        return cafc_ch(context.pages, CAFCConfig(k=8), hub_clusters=hub_clusters)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert result.clustering.n_points == 454
+
+
+def test_bench_hub_harvest(benchmark, context):
+    clusters = benchmark(build_hub_clusters, context.pages, 1)
+    assert clusters
+
+
+def test_bench_hac_cut(benchmark, sim_matrix):
+    def run():
+        return hac(sim_matrix, 8, Linkage.AVERAGE)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert result.clustering.n_clusters == 8
+
+
+def test_bench_kmeans_scaling(benchmark, context):
+    """k-means cost on a 200-page subsample (scaling reference point)."""
+    pages = context.pages[:200]
+
+    def run():
+        return cafc_c(pages, CAFCConfig(k=8, seed=0))
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert result.clustering.n_points == 200

@@ -1,0 +1,87 @@
+"""Benchmark: pre-query (CAFC) vs post-query (probing) organization.
+
+The paper's Section-1 taxonomy, quantified on one corpus:
+
+* the probing baseline classifies keyword-accessible databases with
+  high accuracy — post-query techniques ARE "effective for simple,
+  keyword-based interfaces";
+* but most hidden databases sit behind multi-attribute forms the prober
+  cannot fill, so its *coverage* collapses, while CAFC (pre-query)
+  organizes every source from visible context alone.
+"""
+
+from repro.baselines.probing import ProbingClassifier, train_probes
+from repro.core.cafc_ch import cafc_ch
+from repro.core.config import CAFCConfig
+from repro.eval.extra import purity
+from repro.experiments.reporting import render_table
+from repro.hiddendb import build_hidden_databases
+
+
+def test_bench_probing_vs_cafc(benchmark, context):
+    registry = build_hidden_databases(context.web, records_per_database=80)
+
+    by_domain = {}
+    for entry in registry.entries():
+        by_domain.setdefault(entry.site.domain_name, []).append(entry)
+    training = [
+        (domain, entry.database)
+        for domain, entries in by_domain.items()
+        for entry in entries[:3]
+    ]
+    training_urls = {
+        entry.site.form_page_url
+        for entries in by_domain.values()
+        for entry in entries[:3]
+    }
+
+    def run():
+        probe_set = train_probes(training, n_terms=6)
+        classifier = ProbingClassifier(probe_set)
+        outcomes = [
+            classifier.probe(
+                entry.site.form_page_url, entry.database, entry.keyword_accessible
+            )
+            for entry in registry.entries()
+            if entry.site.form_page_url not in training_urls
+        ]
+        return outcomes
+
+    outcomes = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    label_of = {
+        entry.site.form_page_url: entry.site.domain_name
+        for entry in registry.entries()
+    }
+    classified = [o for o in outcomes if o.accessible and o.category]
+    correct = sum(1 for o in classified if o.category == label_of[o.url])
+    probe_accuracy = correct / len(classified) if classified else 0.0
+    probe_coverage = len(classified) / len(outcomes)
+    total_queries = sum(o.n_queries for o in outcomes)
+
+    ch = cafc_ch(context.pages, CAFCConfig(k=8),
+                 hub_clusters=context.hub_clusters(8))
+    cafc_purity = purity(ch.clustering, context.gold_labels)
+
+    print()
+    print(render_table(
+        ["approach", "coverage", "quality", "interface queries"],
+        [
+            ["post-query probing (QProber style)",
+             f"{probe_coverage:.0%}",
+             f"accuracy {probe_accuracy:.3f} (on covered)",
+             total_queries],
+            ["pre-query CAFC-CH",
+             "100%",
+             f"cluster purity {cafc_purity:.3f}",
+             0],
+        ],
+        title="Pre-query vs post-query organization (Section 1 taxonomy)",
+    ))
+
+    # The paper's claims: probing accurate where applicable ...
+    assert probe_accuracy >= 0.8
+    # ... but structurally unable to cover most sources ...
+    assert probe_coverage < 0.5
+    # ... while CAFC organizes everything with high quality, silently.
+    assert cafc_purity > 0.9

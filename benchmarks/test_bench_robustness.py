@@ -1,0 +1,16 @@
+"""Benchmark: robustness of CAFC-CH to backlink incompleteness."""
+
+from repro.experiments import robustness
+
+
+def test_bench_robustness(benchmark, context):
+    result = benchmark.pedantic(
+        robustness.run_robustness,
+        args=(context,),
+        kwargs={"coverages": (1.0, 0.8, 0.5, 0.2, 0.0)},
+        rounds=1, iterations=1,
+    )
+    print()
+    print(robustness.format_robustness(result))
+    violations = robustness.check_shape(result)
+    assert violations == [], violations

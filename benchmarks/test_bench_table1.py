@@ -1,0 +1,14 @@
+"""Benchmark: Table 1 — page terms outside the form per form-size bucket."""
+
+from repro.experiments import table1
+
+
+def test_bench_table1(benchmark, context):
+    result = benchmark(table1.run_table1, context)
+    print()
+    print(table1.format_table1(result))
+    violations = table1.check_shape(result)
+    assert violations == [], violations
+
+    # All five of the paper's buckets must be populated.
+    assert all(row.n_pages > 0 for row in result.rows)

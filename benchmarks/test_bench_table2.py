@@ -1,0 +1,16 @@
+"""Benchmark: Table 2 — HAC vs k-means as the base strategy."""
+
+from benchmarks.conftest import BENCH_RUNS
+from repro.experiments import table2
+
+
+def test_bench_table2(benchmark, context, sim_matrix):
+    result = benchmark.pedantic(
+        table2.run_table2, args=(context,),
+        kwargs={"n_kmeans_runs": BENCH_RUNS, "matrix": sim_matrix},
+        rounds=1, iterations=1,
+    )
+    print()
+    print(table2.format_table2(result))
+    violations = table2.check_shape(result)
+    assert violations == [], violations

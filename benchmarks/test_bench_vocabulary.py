@@ -1,0 +1,13 @@
+"""Benchmark: Section 2.1's vocabulary study (generic vs anchor terms)."""
+
+from repro.experiments import vocabulary
+
+
+def test_bench_vocabulary(benchmark, context):
+    result = benchmark.pedantic(
+        vocabulary.run_vocabulary, args=(context,), rounds=1, iterations=1
+    )
+    print()
+    print(vocabulary.format_vocabulary(result))
+    violations = vocabulary.check_shape(result)
+    assert violations == [], violations

@@ -1,0 +1,13 @@
+"""Benchmark: C1/C2 weight-ratio ablation (Equation 3)."""
+
+from repro.experiments import weight_ratio
+
+
+def test_bench_weight_ratio(benchmark, context):
+    result = benchmark.pedantic(
+        weight_ratio.run_weight_ratio, args=(context,), rounds=1, iterations=1
+    )
+    print()
+    print(weight_ratio.format_weight_ratio(result))
+    violations = weight_ratio.check_shape(result)
+    assert violations == [], violations

@@ -1,0 +1,16 @@
+"""Benchmark: Section 4.4 — differentiated vs uniform LOC weights."""
+
+from benchmarks.conftest import BENCH_RUNS
+from repro.experiments import weights
+
+
+def test_bench_weights(benchmark, context):
+    result = benchmark.pedantic(
+        weights.run_weights, args=(context,),
+        kwargs={"n_cafc_c_runs": BENCH_RUNS},
+        rounds=1, iterations=1,
+    )
+    print()
+    print(weights.format_weights(result))
+    violations = weights.check_shape(result)
+    assert violations == [], violations

@@ -1,0 +1,113 @@
+"""Low-level API tour: what CAFC sees in a form page.
+
+Feeds hand-written HTML — a multi-attribute job-search form, a
+keyword-box form with its label outside the FORM tags (the paper's
+Figure 1(c)), and a login form — through the extraction stack:
+
+* form structure (fields, options, hidden attributes);
+* searchable vs non-searchable classification;
+* located text (title / body / option, inside vs outside the form);
+* the FC and PC term vectors of Equation 1.
+
+Run:  python examples/inspect_form_pages.py
+"""
+
+from repro.core import RawFormPage
+from repro.core.vectorizer import FormPageVectorizer
+from repro.html import extract_forms, extract_located_text
+from repro.webgraph import classify_form
+
+JOB_PAGE = """
+<html>
+<head><title>TalentTrove Job Search</title></head>
+<body>
+<h1>Find your next career move</h1>
+<p>Search thousands of job postings from top employers nationwide.</p>
+<form action="/search" method="get">
+  <b>Job Search</b>
+  <label for="ind">Industry</label>
+  <select name="ind" id="ind">
+    <option>Engineering</option><option>Healthcare</option>
+    <option>Finance</option><option>Education</option>
+  </select>
+  <label for="loc">Location</label>
+  <select name="loc" id="loc">
+    <option>California</option><option>Texas</option><option>New York</option>
+  </select>
+  <input type="text" name="keywords">
+  <input type="hidden" name="session" value="x1">
+  <input type="submit" value="Find Jobs">
+</form>
+<p>Employers: post your openings and reach qualified candidates.</p>
+</body>
+</html>
+"""
+
+KEYWORD_PAGE = """
+<html>
+<head><title>FlickFinder</title></head>
+<body>
+<p>The movie database: films, DVDs, actors, directors, trailers.</p>
+<b>Search Movies</b>
+<form action="/find"><input type="text" name="q">
+<input type="submit" value="Go"></form>
+</body>
+</html>
+"""
+
+LOGIN_PAGE = """
+<html><body>
+<form action="/login" method="post">
+  <input type="text" name="user">
+  <input type="password" name="pass">
+  <input type="submit" value="Sign In">
+</form>
+</body></html>
+"""
+
+
+def inspect(name: str, html: str) -> None:
+    print("=" * 60)
+    print(name)
+    print("=" * 60)
+    for form in extract_forms(html):
+        print(f"form action={form.action!r} method={form.method}")
+        print(f"  visible attributes: {form.attribute_count} "
+              f"({'single' if form.is_single_attribute else 'multi'}-attribute)")
+        for field in form.visible_fields:
+            detail = f"label={field.label!r}" if field.label else f"name={field.name!r}"
+            options = f", {len(field.options)} options" if field.options else ""
+            print(f"    <{field.tag}> {detail}{options}")
+        print(f"  searchable? {classify_form(form)}")
+
+    print("\nlocated text fragments:")
+    for fragment in extract_located_text(html):
+        where = "FORM" if fragment.inside_form else "page"
+        print(f"  [{fragment.location.value:<6} | {where}] {fragment.text[:60]}")
+    print()
+
+
+def main() -> None:
+    inspect("multi-attribute job form", JOB_PAGE)
+    inspect("keyword form (hint outside FORM tags)", KEYWORD_PAGE)
+    inspect("login form (non-searchable)", LOGIN_PAGE)
+
+    # Vectorize the two searchable pages against each other.
+    print("=" * 60)
+    print("Equation-1 vectors (corpus of two pages)")
+    print("=" * 60)
+    vectorizer = FormPageVectorizer()
+    pages = vectorizer.fit_transform([
+        RawFormPage("http://jobs.example.com/search", JOB_PAGE),
+        RawFormPage("http://movies.example.com/", KEYWORD_PAGE),
+    ])
+    for page in pages:
+        print(f"\n{page.url}")
+        print(f"  FC top terms: {page.fc.top_terms(5)}")
+        print(f"  PC top terms: {page.pc.top_terms(5)}")
+        print(f"  page terms: {page.page_term_count}, "
+              f"form terms: {page.form_term_count}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,22 @@
+"""Baselines the paper compares against (conceptually).
+
+The paper's closest competitor is the pre-query, schema-based clustering
+of He, Tao & Chang (CIKM'04, reference [17]): model each form by its
+extracted *attribute labels* and cluster the label schemas.  The paper
+argues this approach (a) depends on fragile label extraction and (b)
+cannot handle single-attribute keyword forms at all.
+
+This package implements that baseline so the claim is testable:
+
+* :mod:`repro.baselines.label_extraction` — heuristic attribute-label
+  extraction (the hard-to-automate step the paper calls out);
+* :mod:`repro.baselines.schema_cluster` — k-means/HAC over label-schema
+  vectors.
+
+``benchmarks/test_bench_baseline.py`` runs it head-to-head with CAFC.
+"""
+
+from repro.baselines.label_extraction import extract_attribute_labels
+from repro.baselines.schema_cluster import SchemaClusterer, SchemaVector
+
+__all__ = ["extract_attribute_labels", "SchemaClusterer", "SchemaVector"]

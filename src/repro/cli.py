@@ -1,0 +1,212 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``experiments``
+    Run the full paper-experiment battery and print paper-vs-measured
+    tables (takes a couple of minutes).
+``corpus``
+    Generate the benchmark corpus and print its profile; ``--save PATH``
+    writes it as a JSON dataset.
+``organize``
+    Load a JSON dataset (or generate the benchmark) and run the CAFC
+    pipeline, printing the resulting database-domain clusters.
+``explore``
+    Organize a dataset and answer a keyword query against the clusters
+    (Section 6's query-based cluster exploration).
+``unify``
+    Organize a dataset, then match attributes across one cluster's forms
+    and print the unified query interface (Section 5's downstream use).
+"""
+
+import argparse
+import sys
+from typing import List, Optional
+
+
+def _cmd_experiments(args: argparse.Namespace) -> int:
+    from repro.experiments.run_all import experiment_names, run_all
+
+    if args.list:
+        for name in experiment_names():
+            print(name)
+        return 0
+    try:
+        print(run_all(seed=args.seed, n_runs=args.runs, only=args.only))
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_corpus(args: argparse.Namespace) -> int:
+    from repro.webgen import generate_benchmark
+
+    web = generate_benchmark(seed=args.seed)
+    for key, value in web.profile().items():
+        print(f"{key}: {value}")
+    if args.save:
+        from repro.datasets import save_dataset
+
+        save_dataset(web.raw_pages(), args.save)
+        print(f"saved dataset to {args.save}")
+    return 0
+
+
+def _cmd_organize(args: argparse.Namespace) -> int:
+    from repro.core import CAFCConfig, CAFCPipeline
+
+    if args.dataset:
+        from repro.datasets import load_dataset
+
+        raw_pages = load_dataset(args.dataset)
+    else:
+        from repro.webgen import generate_benchmark
+
+        raw_pages = generate_benchmark(seed=args.seed).raw_pages()
+
+    pipeline = CAFCPipeline(CAFCConfig(k=args.k))
+    result = pipeline.organize(raw_pages, algorithm=args.algorithm)
+    if args.save_result:
+        from repro.datasets import save_result
+
+        save_result(result, args.save_result)
+        print(f"saved organized directory to {args.save_result}")
+    print(f"algorithm: {result.algorithm}; iterations: {result.iterations}")
+    for index, cluster in enumerate(result.clusters):
+        print(f"\ncluster {index} ({cluster.size} databases)")
+        print(f"  terms: {', '.join(cluster.top_terms)}")
+        for url in cluster.urls[:5]:
+            print(f"  {url}")
+        if cluster.size > 5:
+            print(f"  ... and {cluster.size - 5} more")
+    return 0
+
+
+def _load_or_generate(args: argparse.Namespace):
+    if getattr(args, "dataset", None):
+        from repro.datasets import load_dataset
+
+        return load_dataset(args.dataset)
+    from repro.webgen import generate_benchmark
+
+    return generate_benchmark(seed=args.seed).raw_pages()
+
+
+def _cmd_explore(args: argparse.Namespace) -> int:
+    from repro.core import CAFCConfig, CAFCPipeline
+    from repro.explore import ClusterExplorer
+
+    raw_pages = _load_or_generate(args)
+    pipeline = CAFCPipeline(CAFCConfig(k=args.k))
+    result = pipeline.organize(raw_pages)
+    explorer = ClusterExplorer(result)
+    print(explorer.summary())
+    if args.query:
+        print(f"\nquery: {args.query!r}")
+        hits = explorer.search(args.query, n=args.n)
+        if not hits:
+            print("no matching clusters")
+        for hit in hits:
+            print(f"\nscore {hit.score:.3f} "
+                  f"(matched: {', '.join(hit.matched_terms)})")
+            print(explorer.describe(hit.cluster_index, max_urls=5))
+    return 0
+
+
+def _cmd_unify(args: argparse.Namespace) -> int:
+    from repro.core import CAFCConfig, CAFCPipeline
+    from repro.integration import build_unified_interface
+
+    raw_pages = _load_or_generate(args)
+    raw_by_url = {page.url: page for page in raw_pages}
+    pipeline = CAFCPipeline(CAFCConfig(k=args.k))
+    result = pipeline.organize(raw_pages)
+    if not 0 <= args.cluster < result.n_clusters:
+        print(f"cluster must be in [0, {result.n_clusters})", file=sys.stderr)
+        return 1
+    cluster = result.clusters[args.cluster]
+    members = [raw_by_url[url] for url in cluster.urls]
+    unified = build_unified_interface(members, min_coverage=args.min_coverage)
+    print(f"cluster {args.cluster}: {cluster.size} forms — "
+          f"{', '.join(cluster.top_terms[:4])}")
+    print(f"concepts discovered: {unified.n_concepts_discovered}; "
+          f"unified fields (coverage >= {args.min_coverage:.0%}):\n")
+    for unified_field in unified.fields:
+        kind = (
+            f"select, {len(unified_field.options)} options"
+            if unified_field.is_select else "text"
+        )
+        print(f"  {unified_field.label:<24} [{kind}] "
+              f"coverage {unified_field.coverage:.0%} "
+              f"as {', '.join(unified_field.example_labels[:4])}")
+    if args.html:
+        print("\n" + unified.to_html())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="CAFC: cluster hidden-web databases by form-page context",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    p_exp = subparsers.add_parser("experiments", help="run the paper's experiments")
+    p_exp.add_argument("--seed", type=int, default=42, help="corpus seed")
+    p_exp.add_argument("--runs", type=int, default=20, help="CAFC-C trials")
+    p_exp.add_argument("--only", default="", help="run one experiment id")
+    p_exp.add_argument("--list", action="store_true",
+                       help="list experiment ids and exit")
+    p_exp.set_defaults(func=_cmd_experiments)
+
+    p_corpus = subparsers.add_parser("corpus", help="generate the benchmark corpus")
+    p_corpus.add_argument("--seed", type=int, default=42)
+    p_corpus.add_argument("--save", help="write the dataset to this JSON path")
+    p_corpus.set_defaults(func=_cmd_corpus)
+
+    p_org = subparsers.add_parser("organize", help="cluster a form-page dataset")
+    p_org.add_argument("--dataset", help="JSON dataset path (default: benchmark)")
+    p_org.add_argument("--seed", type=int, default=42)
+    p_org.add_argument("--k", type=int, default=8, help="number of clusters")
+    p_org.add_argument(
+        "--algorithm", choices=["cafc-ch", "cafc-c", "hac"], default="cafc-ch"
+    )
+    p_org.add_argument(
+        "--save-result", help="write the organized directory to this JSON path"
+    )
+    p_org.set_defaults(func=_cmd_organize)
+
+    p_explore = subparsers.add_parser(
+        "explore", help="keyword search over organized clusters"
+    )
+    p_explore.add_argument("--dataset", help="JSON dataset path (default: benchmark)")
+    p_explore.add_argument("--seed", type=int, default=42)
+    p_explore.add_argument("--k", type=int, default=8)
+    p_explore.add_argument("--query", help="keyword query to answer")
+    p_explore.add_argument("-n", type=int, default=3, help="max hits to show")
+    p_explore.set_defaults(func=_cmd_explore)
+
+    p_unify = subparsers.add_parser(
+        "unify", help="build a unified query interface over one cluster"
+    )
+    p_unify.add_argument("--dataset", help="JSON dataset path (default: benchmark)")
+    p_unify.add_argument("--seed", type=int, default=42)
+    p_unify.add_argument("--k", type=int, default=8)
+    p_unify.add_argument("--cluster", type=int, default=0, help="cluster index")
+    p_unify.add_argument("--min-coverage", type=float, default=0.3)
+    p_unify.add_argument("--html", action="store_true",
+                         help="also print the unified interface as HTML")
+    p_unify.set_defaults(func=_cmd_unify)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

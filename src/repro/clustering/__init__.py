@@ -1,0 +1,29 @@
+"""Generic clustering substrate.
+
+The paper builds on two classic strategies (Section 2.2 and Section 4.3):
+
+* :func:`repro.clustering.kmeans.kmeans` — a partition centroid-based
+  k-means engine, parameterized over the point type via pluggable
+  similarity and centroid functions, with the paper's stopping criterion
+  (stop when fewer than a fraction of points move between clusters).
+* :func:`repro.clustering.hac.hac` — hierarchical agglomerative clustering
+  with single / complete / average linkage (Lance-Williams updates over a
+  numpy similarity matrix), cut at ``k`` clusters.
+* :mod:`repro.clustering.seeding` — random seed selection and the
+  "HAC-over-a-sample" seeding scheme the paper evaluates in Section 4.3.
+"""
+
+from repro.clustering.hac import Linkage, hac
+from repro.clustering.kmeans import KMeansResult, kmeans
+from repro.clustering.seeding import hac_seed_groups, random_seed_indices
+from repro.clustering.types import Clustering
+
+__all__ = [
+    "Linkage",
+    "hac",
+    "KMeansResult",
+    "kmeans",
+    "hac_seed_groups",
+    "random_seed_indices",
+    "Clustering",
+]

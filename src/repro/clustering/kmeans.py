@@ -1,0 +1,138 @@
+"""A generic k-means engine (Algorithm 1's clustering core).
+
+The engine is parameterized over the point type:
+
+* ``similarity(point, centroid) -> float`` — higher is closer;
+* ``make_centroid(points) -> centroid`` — Equation 4 for form pages.
+
+The paper's stopping criterion is unusual and matters for reproducing its
+numbers: iteration stops "until fewer than 10% of the form pages move
+across clusters" (Section 2.2), not on exact convergence.
+"""
+
+from dataclasses import dataclass
+from typing import Callable, Generic, List, Optional, Sequence, TypeVar
+
+from repro.clustering.types import Clustering
+
+Point = TypeVar("Point")
+Centroid = TypeVar("Centroid")
+
+SimilarityFn = Callable[[Point, Centroid], float]
+CentroidFn = Callable[[Sequence[Point]], Centroid]
+
+
+@dataclass
+class KMeansResult(Generic[Centroid]):
+    """Outcome of a k-means run."""
+
+    clustering: Clustering
+    centroids: List[Centroid]
+    iterations: int
+    converged: bool
+
+
+def _assign(
+    points: Sequence[Point],
+    centroids: Sequence[Centroid],
+    similarity: SimilarityFn,
+    previous: Optional[List[int]],
+) -> List[int]:
+    """Assign each point to its most similar centroid.
+
+    Ties are broken toward the point's previous cluster (stability), then
+    toward the lowest centroid index (determinism).
+    """
+    assignment: List[int] = []
+    for index, point in enumerate(points):
+        best_cluster = 0
+        best_similarity = float("-inf")
+        prev_cluster = previous[index] if previous is not None else -1
+        for cluster_index, centroid in enumerate(centroids):
+            score = similarity(point, centroid)
+            if score > best_similarity:
+                best_similarity = score
+                best_cluster = cluster_index
+            elif score == best_similarity and cluster_index == prev_cluster:
+                best_cluster = cluster_index
+        assignment.append(best_cluster)
+    return assignment
+
+
+def kmeans(
+    points: Sequence[Point],
+    initial_centroids: Sequence[Centroid],
+    similarity: SimilarityFn,
+    make_centroid: CentroidFn,
+    stop_fraction: float = 0.1,
+    max_iterations: int = 50,
+) -> KMeansResult:
+    """Run k-means from the given initial centroids.
+
+    Parameters
+    ----------
+    points:
+        The objects to cluster.
+    initial_centroids:
+        Seed centroids; their count fixes ``k``.  (Seeding strategies live
+        in :mod:`repro.clustering.seeding` and :mod:`repro.core.seeds`.)
+    similarity:
+        Point-to-centroid similarity; **higher is more similar**.
+    make_centroid:
+        Rebuilds a centroid from a cluster's member points.  Called only on
+        non-empty clusters; an emptied cluster keeps its previous centroid
+        so it can re-acquire points on the next pass.
+    stop_fraction:
+        Stop when the fraction of points that changed cluster in an
+        iteration falls below this (paper: 10%).  Use 0 for exact
+        convergence.
+    max_iterations:
+        Hard cap as a safety net against oscillation.
+
+    Returns
+    -------
+    KMeansResult
+        Final clustering (indices into ``points``), final centroids, number
+        of iterations run, and whether the stop criterion was reached
+        (as opposed to hitting ``max_iterations``).
+    """
+    if not initial_centroids:
+        raise ValueError("kmeans requires at least one initial centroid")
+    if not points:
+        return KMeansResult(
+            Clustering([[] for _ in initial_centroids]),
+            list(initial_centroids),
+            iterations=0,
+            converged=True,
+        )
+
+    k = len(initial_centroids)
+    centroids = list(initial_centroids)
+    assignment = _assign(points, centroids, similarity, previous=None)
+    n = len(points)
+    converged = False
+    iterations = 0
+
+    for iterations in range(1, max_iterations + 1):
+        # Recompute centroids from current membership.
+        members_of: List[List[int]] = [[] for _ in range(k)]
+        for point_index, cluster_index in enumerate(assignment):
+            members_of[cluster_index].append(point_index)
+        for cluster_index in range(k):
+            member_indices = members_of[cluster_index]
+            if member_indices:
+                centroids[cluster_index] = make_centroid(
+                    [points[i] for i in member_indices]
+                )
+
+        new_assignment = _assign(points, centroids, similarity, previous=assignment)
+        moved = sum(1 for old, new in zip(assignment, new_assignment) if old != new)
+        assignment = new_assignment
+        if moved <= stop_fraction * n and (stop_fraction > 0 or moved == 0):
+            converged = True
+            break
+
+    clusters: List[List[int]] = [[] for _ in range(k)]
+    for point_index, cluster_index in enumerate(assignment):
+        clusters[cluster_index].append(point_index)
+    return KMeansResult(Clustering(clusters), centroids, iterations, converged)

@@ -1,0 +1,118 @@
+"""Seed-selection strategies for k-means.
+
+Three schemes appear in the paper:
+
+* **random seeds** (Algorithm 1, line 2) — CAFC-C's default;
+* **HAC seeding** (Section 4.3) — run HAC over the points (the paper ran it
+  over the entire dataset) and use the resulting groups as seed clusters;
+* **hub-cluster seeding** (Algorithm 3) — lives in :mod:`repro.core.seeds`
+  because it needs form-page/backlink semantics.
+"""
+
+import random
+from typing import Callable, List, Sequence
+
+import numpy as np
+
+from repro.clustering.hac import Linkage, hac
+
+
+def random_seed_indices(
+    n_points: int, k: int, rng: random.Random
+) -> List[int]:
+    """Pick ``k`` distinct point indices uniformly at random.
+
+    Raises ValueError when there are fewer points than requested seeds.
+    """
+    if k > n_points:
+        raise ValueError(f"cannot pick {k} seeds from {n_points} points")
+    return rng.sample(range(n_points), k)
+
+
+def kmeans_plus_plus_indices(
+    points: Sequence,
+    k: int,
+    similarity: Callable[[object, object], float],
+    rng: random.Random,
+) -> List[int]:
+    """k-means++ seeding (Arthur & Vassilvitskii, 2007).
+
+    Not in the paper (it was published the same year), but the modern
+    default for random-ish seeding — included so hub seeding can be
+    compared against a stronger random baseline.  Works on similarities:
+    the sampling weight is the squared *distance* (1 - similarity) to
+    the nearest already-chosen seed.
+    """
+    if k > len(points):
+        raise ValueError(f"cannot pick {k} seeds from {len(points)} points")
+    first = rng.randrange(len(points))
+    chosen = [first]
+    # Squared distance to the nearest chosen seed, maintained per point.
+    nearest_sq = [
+        (1.0 - similarity(point, points[first])) ** 2 for point in points
+    ]
+    while len(chosen) < k:
+        total = sum(nearest_sq)
+        if total <= 0.0:
+            # All remaining points coincide with seeds; fall back to
+            # uniform choice among the unchosen.
+            remaining = [i for i in range(len(points)) if i not in chosen]
+            chosen.append(rng.choice(remaining))
+        else:
+            threshold = rng.random() * total
+            cumulative = 0.0
+            pick = len(points) - 1
+            for index, weight in enumerate(nearest_sq):
+                cumulative += weight
+                if cumulative >= threshold:
+                    pick = index
+                    break
+            if pick in chosen:
+                # Zero-distance duplicate; choose any unchosen point.
+                remaining = [i for i in range(len(points)) if i not in chosen]
+                pick = rng.choice(remaining)
+            chosen.append(pick)
+        new_seed = points[chosen[-1]]
+        for index, point in enumerate(points):
+            distance_sq = (1.0 - similarity(point, new_seed)) ** 2
+            if distance_sq < nearest_sq[index]:
+                nearest_sq[index] = distance_sq
+    return chosen
+
+
+def hac_seed_groups(
+    matrix: np.ndarray,
+    k: int,
+    linkage: Linkage = Linkage.AVERAGE,
+) -> List[List[int]]:
+    """Derive ``k`` seed groups by cutting a HAC dendrogram at ``k``.
+
+    Returns the member-index lists of the HAC clusters; the caller builds
+    centroids from them (the "widely-used technique to derive seeds for
+    k-means" of Section 4.3).
+    """
+    result = hac(matrix, n_clusters=k, linkage=linkage)
+    return [list(members) for members in result.clustering.clusters]
+
+
+def sample_then_hac_seed_groups(
+    points: Sequence,
+    k: int,
+    sample_size: int,
+    similarity: Callable[[object, object], float],
+    rng: random.Random,
+    linkage: Linkage = Linkage.AVERAGE,
+) -> List[List[int]]:
+    """The textbook variant: HAC over a random *sample*, groups as seeds.
+
+    Returns member indices **into the original point sequence**.
+    """
+    if sample_size < k:
+        raise ValueError("sample_size must be at least k")
+    sample_size = min(sample_size, len(points))
+    sample_indices = rng.sample(range(len(points)), sample_size)
+    from repro.clustering.hac import similarity_matrix  # local: avoid cycle
+
+    matrix = similarity_matrix([points[i] for i in sample_indices], similarity)
+    groups = hac_seed_groups(matrix, k, linkage)
+    return [[sample_indices[i] for i in group] for group in groups]

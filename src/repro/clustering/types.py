@@ -1,0 +1,63 @@
+"""Clustering result types.
+
+A clustering over ``n`` points is represented by a list of clusters, each a
+list of point indices.  Indices refer to whatever sequence of points the
+caller clustered; labels and metadata stay on the caller's side.
+"""
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+
+@dataclass
+class Clustering:
+    """A partition (or partial partition) of point indices into clusters.
+
+    Empty clusters are permitted while iterating (k-means can empty one)
+    but :meth:`compact` drops them for final reporting.
+    """
+
+    clusters: List[List[int]] = field(default_factory=list)
+
+    @property
+    def n_clusters(self) -> int:
+        return len(self.clusters)
+
+    @property
+    def n_points(self) -> int:
+        return sum(len(members) for members in self.clusters)
+
+    def assignment(self) -> Dict[int, int]:
+        """Map point index -> cluster index."""
+        mapping: Dict[int, int] = {}
+        for cluster_index, members in enumerate(self.clusters):
+            for point in members:
+                mapping[point] = cluster_index
+        return mapping
+
+    def labels(self, n_points: int) -> List[int]:
+        """Dense label array: ``labels[i]`` is the cluster of point ``i``.
+
+        Points not assigned to any cluster get label ``-1``.
+        """
+        labels = [-1] * n_points
+        for cluster_index, members in enumerate(self.clusters):
+            for point in members:
+                labels[point] = cluster_index
+        return labels
+
+    def compact(self) -> "Clustering":
+        """Return a copy without empty clusters."""
+        return Clustering([list(members) for members in self.clusters if members])
+
+    def sizes(self) -> List[int]:
+        return [len(members) for members in self.clusters]
+
+    @staticmethod
+    def from_labels(labels: Sequence[int]) -> "Clustering":
+        """Build a clustering from a dense label array (labels >= 0)."""
+        by_label: Dict[int, List[int]] = {}
+        for point, label in enumerate(labels):
+            if label >= 0:
+                by_label.setdefault(label, []).append(point)
+        return Clustering([by_label[label] for label in sorted(by_label)])

@@ -1,0 +1,84 @@
+"""CAFC-C — Algorithm 1: k-means over form pages.
+
+``cafc_c(pages, config)`` runs the paper's content-based clustering:
+
+* seeds: ``k`` randomly selected form pages (their own vectors serve as
+  the initial centroids), or caller-provided seed centroids (this is the
+  hook CAFC-CH and the HAC-seeding experiment use — Algorithm 2 line 3
+  literally calls "CAFC-C(..., hubClusters)");
+* assignment: Equation-3 similarity between a page and each centroid;
+* update: Equation-4 per-space mean;
+* stop: fewer than ``stop_fraction`` of pages moved (paper: 10%).
+"""
+
+import random
+from typing import List, Optional, Sequence
+
+from repro.clustering.kmeans import KMeansResult, kmeans
+from repro.core.config import CAFCConfig
+from repro.core.form_page import FormPage, VectorPair, centroid_of
+from repro.core.similarity import FormPageSimilarity
+
+
+def similarity_for(config: CAFCConfig) -> FormPageSimilarity:
+    """The Equation-3 similarity implied by a config."""
+    return FormPageSimilarity(
+        content_mode=config.content_mode,
+        page_weight=config.page_weight,
+        form_weight=config.form_weight,
+    )
+
+
+def random_seed_centroids(
+    pages: Sequence[FormPage], k: int, rng: random.Random
+) -> List[VectorPair]:
+    """Algorithm 1 line 2: centroids of ``k`` randomly chosen form pages.
+
+    A seed cluster of size one has the page's own vectors as its centroid.
+    """
+    if k > len(pages):
+        raise ValueError(f"cannot seed {k} clusters from {len(pages)} pages")
+    indices = rng.sample(range(len(pages)), k)
+    return [VectorPair.of(pages[i]) for i in indices]
+
+
+def cafc_c(
+    pages: Sequence[FormPage],
+    config: Optional[CAFCConfig] = None,
+    seed_centroids: Optional[Sequence[VectorPair]] = None,
+) -> KMeansResult:
+    """Run CAFC-C (Algorithm 1).
+
+    Parameters
+    ----------
+    pages:
+        Vectorized form pages.
+    config:
+        Run configuration; defaults to the paper's setup.
+    seed_centroids:
+        Optional externally computed seeds (hub clusters for CAFC-CH,
+        HAC groups for the Section 4.3 experiment).  When omitted, ``k``
+        random pages seed the run, drawn from ``config.seed``'s RNG.
+
+    Returns
+    -------
+    KMeansResult whose clustering indexes into ``pages``.
+    """
+    config = config or CAFCConfig()
+    similarity = similarity_for(config)
+    if seed_centroids is None:
+        rng = random.Random(config.seed)
+        seed_centroids = random_seed_centroids(pages, config.k, rng)
+    elif len(seed_centroids) != config.k:
+        raise ValueError(
+            f"got {len(seed_centroids)} seed centroids for k={config.k}"
+        )
+
+    return kmeans(
+        points=list(pages),
+        initial_centroids=list(seed_centroids),
+        similarity=similarity,
+        make_centroid=centroid_of,
+        stop_fraction=config.stop_fraction,
+        max_iterations=config.max_iterations,
+    )

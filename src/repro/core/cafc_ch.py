@@ -1,0 +1,76 @@
+"""CAFC-CH — Algorithm 2: hub-seeded content clustering.
+
+The two-phase composition that is the paper's key idea (Section 3):
+
+1. **Hub phase** — build hub clusters from backlinks, prune small ones,
+   and greedily select the ``k`` most mutually distant (Algorithm 3).
+2. **Content phase** — run CAFC-C's k-means *from those hub-cluster
+   centroids* instead of random seeds; content similarity then reinforces
+   or negates the hub-induced similarity.
+
+Hub evidence is used only for seeding — after the first assignment pass
+every page (including the hub-cluster members) is free to move, which is
+how content "negates" a bad hub grouping.
+"""
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.clustering.kmeans import KMeansResult
+from repro.core.cafc_c import cafc_c, similarity_for
+from repro.core.config import CAFCConfig
+from repro.core.form_page import FormPage
+from repro.core.hubs import HubCluster, build_hub_clusters
+from repro.core.seeds import select_hub_clusters
+
+
+@dataclass
+class CAFCCHResult:
+    """CAFC-CH output: the k-means result plus the hub phase's artifacts
+    (useful for analysis and the hub-statistics experiments)."""
+
+    kmeans: KMeansResult
+    hub_clusters: List[HubCluster]
+    selected_seeds: List[HubCluster]
+
+    @property
+    def clustering(self):
+        return self.kmeans.clustering
+
+
+def cafc_ch(
+    pages: Sequence[FormPage],
+    config: Optional[CAFCConfig] = None,
+    hub_clusters: Optional[List[HubCluster]] = None,
+) -> CAFCCHResult:
+    """Run CAFC-CH (Algorithm 2).
+
+    Parameters
+    ----------
+    pages:
+        Vectorized form pages, backlinks included.
+    config:
+        Run configuration (notably ``min_hub_cardinality``, Figure 3's
+        sweep variable).
+    hub_clusters:
+        Pre-built hub clusters (already pruned); built from ``pages`` when
+        omitted.  Passing them in lets experiments reuse one hub harvest
+        across many configurations.
+
+    Raises
+    ------
+    ValueError
+        When fewer than ``k`` hub clusters survive pruning.  Callers that
+        want graceful degradation should catch this and fall back to
+        :func:`repro.core.cafc_c.cafc_c`.
+    """
+    config = config or CAFCConfig()
+    if hub_clusters is None:
+        hub_clusters = build_hub_clusters(
+            pages, min_cardinality=config.min_hub_cardinality
+        )
+    similarity = similarity_for(config)
+    selected = select_hub_clusters(hub_clusters, config.k, similarity)
+    seed_centroids = [cluster.centroid for cluster in selected]
+    result = cafc_c(pages, config, seed_centroids=seed_centroids)
+    return CAFCCHResult(kmeans=result, hub_clusters=hub_clusters, selected_seeds=selected)

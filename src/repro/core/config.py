@@ -1,0 +1,87 @@
+"""Configuration for CAFC runs.
+
+Defaults follow the paper's experimental setup (Section 4): k = 8 domains,
+FC and PC weighted equally (C1 = C2 = 1), k-means stopping when fewer than
+10% of pages move, hub clusters below cardinality 8 pruned, at most 100
+backlinks per page.
+"""
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.vsm.weights import LocationWeights
+
+
+class ContentMode(enum.Enum):
+    """Which feature space(s) drive similarity — the Figure 2 axis."""
+
+    FC = "fc"            # form contents only
+    PC = "pc"            # page contents only
+    FC_PC = "fc+pc"      # both, combined per Equation 3
+
+    @property
+    def uses_fc(self) -> bool:
+        return self in (ContentMode.FC, ContentMode.FC_PC)
+
+    @property
+    def uses_pc(self) -> bool:
+        return self in (ContentMode.PC, ContentMode.FC_PC)
+
+
+@dataclass
+class CAFCConfig:
+    """All CAFC tunables.
+
+    Attributes
+    ----------
+    k:
+        Number of clusters (the paper uses the number of domains, 8).
+    content_mode:
+        FC, PC, or FC+PC (Figure 2 configurations).
+    page_weight / form_weight:
+        C1 and C2 in Equation 3; the paper sets both to 1.
+    location_weights:
+        LOC factors for Equation 1; ``LocationWeights.uniform()``
+        reproduces the Section 4.4 ablation.
+    min_hub_cardinality:
+        Hub clusters with fewer form pages are pruned before seed
+        selection (Figure 3; the headline configuration uses 8).
+    max_backlinks:
+        Cap on backlinks retrieved per page (the paper extracted at most
+        100 per page from AltaVista).
+    use_root_page_backlinks:
+        When a form page has no backlinks, also ask for backlinks of the
+        site root page (Section 3.1's mitigation for missing data).
+    stop_fraction:
+        k-means stopping criterion: stop when fewer than this fraction of
+        pages move across clusters in one iteration (paper: 10%).
+    max_iterations:
+        Hard iteration cap for k-means.
+    seed:
+        RNG seed for random-seed selection; runs are reproducible given
+        the same seed.
+    """
+
+    k: int = 8
+    content_mode: ContentMode = ContentMode.FC_PC
+    page_weight: float = 1.0
+    form_weight: float = 1.0
+    location_weights: LocationWeights = field(default_factory=LocationWeights)
+    min_hub_cardinality: int = 8
+    max_backlinks: int = 100
+    use_root_page_backlinks: bool = True
+    stop_fraction: float = 0.1
+    max_iterations: int = 50
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.k < 1:
+            raise ValueError("k must be positive")
+        if self.page_weight < 0 or self.form_weight < 0:
+            raise ValueError("feature-space weights must be non-negative")
+        if self.page_weight == 0 and self.form_weight == 0:
+            raise ValueError("at least one feature-space weight must be positive")
+        if not 0 <= self.stop_fraction < 1:
+            raise ValueError("stop_fraction must be in [0, 1)")
+        if self.min_hub_cardinality < 1:
+            raise ValueError("min_hub_cardinality must be at least 1")

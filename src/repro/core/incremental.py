@@ -1,0 +1,158 @@
+"""Incremental cluster maintenance.
+
+The paper's opening motivation: "the Web is so vast and dynamic — with
+new sources constantly being added and old sources removed and modified
+— [that] a scalable solution ... must automatically discover" and keep
+organizing sources.  Re-running CAFC from scratch on every discovery is
+wasteful; this module maintains an organized collection incrementally:
+
+* **add** — a new form page is vectorized against the frozen corpus
+  statistics, assigned to its most similar cluster (Section 5's
+  classification step), and the cluster centroid is updated;
+* **remove** — a page leaves its cluster; the centroid is rebuilt;
+* **drift detection** — incremental updates slowly degrade the
+  partition (the corpus IDF ages, centroids absorb borderline pages).
+  The organizer tracks the mean assignment similarity; when it falls
+  below a factor of its initial level, ``needs_reclustering`` turns on
+  and the caller should run the full pipeline again.
+"""
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.cafc_c import similarity_for
+from repro.core.config import CAFCConfig
+from repro.core.form_page import FormPage, RawFormPage, VectorPair, centroid_of
+from repro.core.similarity import FormPageSimilarity
+from repro.core.vectorizer import FormPageVectorizer
+
+
+@dataclass
+class IncrementalCluster:
+    """One maintained cluster."""
+
+    pages: List[FormPage] = field(default_factory=list)
+    centroid: VectorPair = field(
+        default_factory=lambda: VectorPair(
+            pc=centroid_of([]).pc, fc=centroid_of([]).fc
+        )
+    )
+
+    @property
+    def size(self) -> int:
+        return len(self.pages)
+
+    def rebuild_centroid(self) -> None:
+        self.centroid = centroid_of(self.pages)
+
+
+class IncrementalOrganizer:
+    """Maintains a CAFC clustering as sources come and go.
+
+    Build it from an initial full clustering (lists of vectorized pages
+    per cluster) plus the fitted vectorizer, then feed it additions and
+    removals.  Watch :attr:`needs_reclustering`.
+    """
+
+    def __init__(
+        self,
+        initial_clusters: List[List[FormPage]],
+        vectorizer: FormPageVectorizer,
+        config: Optional[CAFCConfig] = None,
+        drift_threshold: float = 0.7,
+    ) -> None:
+        if not initial_clusters:
+            raise ValueError("need at least one initial cluster")
+        if not 0.0 < drift_threshold <= 1.0:
+            raise ValueError("drift_threshold must be in (0, 1]")
+        self.config = config or CAFCConfig()
+        self.vectorizer = vectorizer
+        self.similarity: FormPageSimilarity = similarity_for(self.config)
+        self.drift_threshold = drift_threshold
+        self.clusters: List[IncrementalCluster] = []
+        self._by_url: Dict[str, int] = {}
+        for members in initial_clusters:
+            cluster = IncrementalCluster(pages=list(members))
+            cluster.rebuild_centroid()
+            self.clusters.append(cluster)
+            for page in members:
+                self._by_url[page.url] = len(self.clusters) - 1
+
+        self._baseline_cohesion = self._mean_cohesion()
+        self.n_added = 0
+        self.n_removed = 0
+
+    # ----------------------------------------------------------------
+    # Cohesion / drift.
+    # ----------------------------------------------------------------
+
+    def _mean_cohesion(self) -> float:
+        """Mean page-to-own-centroid similarity over the collection."""
+        total = 0.0
+        count = 0
+        for cluster in self.clusters:
+            for page in cluster.pages:
+                total += self.similarity(page, cluster.centroid)
+                count += 1
+        return total / count if count else 0.0
+
+    @property
+    def cohesion(self) -> float:
+        return self._mean_cohesion()
+
+    @property
+    def needs_reclustering(self) -> bool:
+        """True when cohesion fell below ``drift_threshold`` x initial."""
+        if self._baseline_cohesion == 0.0:
+            return False
+        return self._mean_cohesion() < self.drift_threshold * self._baseline_cohesion
+
+    # ----------------------------------------------------------------
+    # Updates.
+    # ----------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._by_url)
+
+    def __contains__(self, url: str) -> bool:
+        return url in self._by_url
+
+    def cluster_of(self, url: str) -> int:
+        """Cluster index of a managed page (KeyError when unknown)."""
+        return self._by_url[url]
+
+    def add(self, raw: RawFormPage) -> int:
+        """Insert a newly discovered source; returns its cluster index.
+
+        The page is vectorized against the frozen corpus statistics and
+        joins its most similar cluster (classification, Section 5).
+        Re-adding a managed URL replaces the old page first.
+        """
+        if raw.url in self._by_url:
+            self.remove(raw.url)
+        page = self.vectorizer.transform_new(raw)
+        best_index = max(
+            range(len(self.clusters)),
+            key=lambda i: self.similarity(page, self.clusters[i].centroid),
+        )
+        cluster = self.clusters[best_index]
+        cluster.pages.append(page)
+        cluster.rebuild_centroid()
+        self._by_url[raw.url] = best_index
+        self.n_added += 1
+        return best_index
+
+    def remove(self, url: str) -> bool:
+        """Drop a source (a database went offline).  Returns False when
+        the URL is not managed."""
+        cluster_index = self._by_url.pop(url, None)
+        if cluster_index is None:
+            return False
+        cluster = self.clusters[cluster_index]
+        cluster.pages = [page for page in cluster.pages if page.url != url]
+        cluster.rebuild_centroid()
+        self.n_removed += 1
+        return True
+
+    def sizes(self) -> List[int]:
+        return [cluster.size for cluster in self.clusters]

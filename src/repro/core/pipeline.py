@@ -1,0 +1,210 @@
+"""High-level CAFC pipeline: raw HTML pages in, organized clusters out.
+
+:class:`CAFCPipeline` wires the whole stack together:
+
+    raw form pages (URL + HTML + backlinks)
+      -> FormPageVectorizer      (Equation 1 vectors)
+      -> CAFC-CH or CAFC-C       (Algorithms 1-3)
+      -> CAFCResult              (clusters + descriptive labels)
+
+plus the Section-5 extension: classifying *new* form pages against the
+built clusters ("once the clusters are built and properly labeled ...
+they can be used as the basis to automatically classify new sources").
+"""
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.core.cafc_c import cafc_c, similarity_for
+from repro.core.cafc_ch import cafc_ch
+from repro.core.config import CAFCConfig
+from repro.core.form_page import FormPage, RawFormPage, VectorPair, centroid_of
+from repro.core.vectorizer import FormPageVectorizer
+
+
+@dataclass
+class OrganizedCluster:
+    """One output cluster: its member pages, centroid, and a descriptive
+    label derived from the centroid's heaviest terms."""
+
+    pages: List[FormPage]
+    centroid: VectorPair
+    top_terms: List[str]
+
+    @property
+    def size(self) -> int:
+        return len(self.pages)
+
+    @property
+    def urls(self) -> List[str]:
+        return [page.url for page in self.pages]
+
+
+@dataclass
+class CAFCResult:
+    """Pipeline output: the organized clusters plus bookkeeping."""
+
+    clusters: List[OrganizedCluster]
+    algorithm: str
+    iterations: int
+    used_hub_seeding: bool
+    # Only populated by CAFC-CH runs:
+    n_hub_clusters: int = 0
+    seed_hub_urls: List[str] = field(default_factory=list)
+
+    @property
+    def n_clusters(self) -> int:
+        return len(self.clusters)
+
+    @property
+    def n_pages(self) -> int:
+        return sum(cluster.size for cluster in self.clusters)
+
+
+def _label_terms(centroid: VectorPair, n_terms: int) -> List[str]:
+    """Descriptive terms for a cluster: heaviest centroid terms, with the
+    two spaces interleaved (PC first — page vocabulary reads better)."""
+    pc_terms = [term for term, _ in centroid.pc.top_terms(n_terms)]
+    fc_terms = [term for term, _ in centroid.fc.top_terms(n_terms)]
+    merged: List[str] = []
+    for pc_term, fc_term in zip(pc_terms, fc_terms):
+        for term in (pc_term, fc_term):
+            if term not in merged:
+                merged.append(term)
+    return merged[:n_terms] if merged else pc_terms[:n_terms]
+
+
+class CAFCPipeline:
+    """One-call interface to CAFC.
+
+    Usage::
+
+        pipeline = CAFCPipeline(CAFCConfig(k=8))
+        result = pipeline.organize(raw_pages)           # CAFC-CH, with
+                                                        # CAFC-C fallback
+        for cluster in result.clusters:
+            print(cluster.top_terms, cluster.size)
+
+        domain = pipeline.classify(new_raw_page, result)
+    """
+
+    def __init__(self, config: Optional[CAFCConfig] = None) -> None:
+        self.config = config or CAFCConfig()
+        self.vectorizer = FormPageVectorizer(
+            location_weights=self.config.location_weights,
+            max_backlinks=self.config.max_backlinks,
+        )
+        self._similarity = similarity_for(self.config)
+
+    # ----------------------------------------------------------------
+    # Organizing.
+    # ----------------------------------------------------------------
+
+    def vectorize(self, raw_pages: Sequence[RawFormPage]) -> List[FormPage]:
+        """Vectorize a collection (fits corpus IDF statistics)."""
+        return self.vectorizer.fit_transform(raw_pages)
+
+    def organize(
+        self,
+        raw_pages: Sequence[RawFormPage],
+        algorithm: str = "cafc-ch",
+        n_label_terms: int = 6,
+    ) -> CAFCResult:
+        """Cluster raw form pages into database-domain groups.
+
+        ``algorithm`` is ``"cafc-ch"`` (default; falls back to CAFC-C when
+        too few hub clusters survive pruning), ``"cafc-c"``, or ``"hac"``
+        (content-only agglomerative clustering, the Table-2 alternative).
+        """
+        if algorithm not in ("cafc-ch", "cafc-c", "hac"):
+            raise ValueError(f"unknown algorithm: {algorithm!r}")
+        pages = self.vectorize(raw_pages)
+        return self.organize_vectorized(pages, algorithm, n_label_terms)
+
+    def organize_vectorized(
+        self,
+        pages: Sequence[FormPage],
+        algorithm: str = "cafc-ch",
+        n_label_terms: int = 6,
+    ) -> CAFCResult:
+        """Cluster already-vectorized form pages."""
+        used_hubs = False
+        n_hub_clusters = 0
+        seed_hub_urls: List[str] = []
+        iterations = 0
+
+        if algorithm == "cafc-ch":
+            try:
+                ch_result = cafc_ch(pages, self.config)
+            except ValueError:
+                # Too few hub clusters: degrade to content-only CAFC-C.
+                km_result = cafc_c(pages, self.config)
+                algorithm = "cafc-c (hub fallback)"
+            else:
+                km_result = ch_result.kmeans
+                used_hubs = True
+                n_hub_clusters = len(ch_result.hub_clusters)
+                seed_hub_urls = [seed.hub_url for seed in ch_result.selected_seeds]
+            clustering = km_result.clustering
+            iterations = km_result.iterations
+        elif algorithm == "hac":
+            from repro.clustering.hac import Linkage, hac
+            from repro.vsm.batch import form_page_similarity_matrix
+
+            matrix = form_page_similarity_matrix(
+                pages,
+                page_weight=self.config.page_weight,
+                form_weight=self.config.form_weight,
+                use_pc=self.config.content_mode.uses_pc,
+                use_fc=self.config.content_mode.uses_fc,
+            )
+            hac_result = hac(
+                matrix, n_clusters=min(self.config.k, len(pages)),
+                linkage=Linkage.AVERAGE,
+            )
+            clustering = hac_result.clustering
+            iterations = len(hac_result.merges)
+        else:
+            km_result = cafc_c(pages, self.config)
+            clustering = km_result.clustering
+            iterations = km_result.iterations
+
+        clusters = []
+        for members in clustering.compact().clusters:
+            member_pages = [pages[i] for i in members]
+            centroid = centroid_of(member_pages)
+            clusters.append(
+                OrganizedCluster(
+                    pages=member_pages,
+                    centroid=centroid,
+                    top_terms=_label_terms(centroid, n_label_terms),
+                )
+            )
+        clusters.sort(key=lambda c: -c.size)
+        return CAFCResult(
+            clusters=clusters,
+            algorithm=algorithm,
+            iterations=iterations,
+            used_hub_seeding=used_hubs,
+            n_hub_clusters=n_hub_clusters,
+            seed_hub_urls=seed_hub_urls,
+        )
+
+    # ----------------------------------------------------------------
+    # Classifying new pages (Section 5 extension).
+    # ----------------------------------------------------------------
+
+    def classify(self, raw_page: RawFormPage, result: CAFCResult) -> int:
+        """Assign a new page to the most similar existing cluster.
+
+        Returns the index of the winning cluster in ``result.clusters``.
+        The page is vectorized against the frozen corpus statistics, so
+        the pipeline must have organized a collection first.
+        """
+        if not result.clusters:
+            raise ValueError("cannot classify against an empty result")
+        page = self.vectorizer.transform_new(raw_page)
+        scores = [
+            self._similarity(page, cluster.centroid) for cluster in result.clusters
+        ]
+        return max(range(len(scores)), key=scores.__getitem__)

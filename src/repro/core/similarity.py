@@ -1,0 +1,68 @@
+"""Form-page similarity — Equation 3.
+
+``sim(FP1, FP2) = (C1 * cos(PC1, PC2) + C2 * cos(FC1, FC2)) / (C1 + C2)``
+
+The similarity object works over anything exposing ``.pc`` and ``.fc``
+sparse vectors (both :class:`~repro.core.form_page.FormPage` points and
+:class:`~repro.core.form_page.VectorPair` centroids), so the same instance
+drives k-means assignment, HAC matrices and hub-cluster distances.
+
+The *content mode* restricts which spaces contribute — the FC / PC / FC+PC
+configurations of Figure 2.
+"""
+
+from typing import Protocol
+
+from repro.core.config import ContentMode
+from repro.vsm.vector import SparseVector, cosine_similarity
+
+
+class HasVectorPair(Protocol):
+    """Anything carrying the two feature-space vectors."""
+
+    pc: SparseVector
+    fc: SparseVector
+
+
+class FormPageSimilarity:
+    """Equation 3 with configurable feature spaces and weights.
+
+    Parameters
+    ----------
+    content_mode:
+        Which spaces to use.  In single-space modes the other space's
+        weight is ignored entirely (the paper's FC and PC configurations).
+    page_weight / form_weight:
+        C1 and C2.  The paper uses C1 = C2 = 1.
+    """
+
+    def __init__(
+        self,
+        content_mode: ContentMode = ContentMode.FC_PC,
+        page_weight: float = 1.0,
+        form_weight: float = 1.0,
+    ) -> None:
+        if content_mode.uses_pc and content_mode.uses_fc:
+            if page_weight <= 0 and form_weight <= 0:
+                raise ValueError("combined mode needs a positive weight")
+        self.content_mode = content_mode
+        self.page_weight = page_weight
+        self.form_weight = form_weight
+
+    def __call__(self, a: HasVectorPair, b: HasVectorPair) -> float:
+        """Similarity in [0, 1] (cosines of non-negative vectors)."""
+        mode = self.content_mode
+        if mode is ContentMode.PC:
+            return cosine_similarity(a.pc, b.pc)
+        if mode is ContentMode.FC:
+            return cosine_similarity(a.fc, b.fc)
+        weighted = (
+            self.page_weight * cosine_similarity(a.pc, b.pc)
+            + self.form_weight * cosine_similarity(a.fc, b.fc)
+        )
+        return weighted / (self.page_weight + self.form_weight)
+
+    def distance(self, a: HasVectorPair, b: HasVectorPair) -> float:
+        """1 - similarity; used where the paper speaks of distance
+        (Algorithm 3 picks the most *distant* hub clusters)."""
+        return 1.0 - self(a, b)

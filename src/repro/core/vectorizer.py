@@ -1,0 +1,138 @@
+"""Vectorizing raw form pages — Equation 1 over the FC and PC spaces.
+
+The vectorizer performs the Section 2.1 construction:
+
+1. parse the HTML and pull out every visible text fragment with its
+   location (title / option / anchor / body) and whether it lies inside a
+   ``<form>`` element;
+2. analyze the text (tokenize, drop stopwords, Porter-stem);
+3. build per-feature-space corpus statistics (document frequencies) over
+   the whole collection;
+4. emit, for every page, the LOC-weighted TF-IDF vectors for FC (terms
+   inside the form) and PC (all page terms).
+
+IDF is corpus-relative, so the vectorizer must see the full collection
+before any vector exists: call :meth:`FormPageVectorizer.fit_transform`
+once over the corpus, then (optionally) :meth:`transform_new` for pages
+that arrive later (Section 5: classifying new sources against built
+clusters).
+"""
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.form_page import FormPage, LocatedTerm, RawFormPage
+from repro.html.forms import extract_forms
+from repro.html.parser import parse_html
+from repro.html.text_extract import TextLocation, extract_located_text
+from repro.text.analyzer import TextAnalyzer
+from repro.vsm.corpus import CorpusStats
+from repro.vsm.weights import LocationWeights, located_term_frequencies, tf_idf_vector
+
+
+class FormPageVectorizer:
+    """Builds FC/PC vectors for a collection of raw form pages."""
+
+    def __init__(
+        self,
+        location_weights: Optional[LocationWeights] = None,
+        analyzer: Optional[TextAnalyzer] = None,
+        max_backlinks: int = 100,
+    ) -> None:
+        self.location_weights = location_weights or LocationWeights()
+        self.analyzer = analyzer or TextAnalyzer()
+        self.max_backlinks = max_backlinks
+        self.fc_corpus = CorpusStats()
+        self.pc_corpus = CorpusStats()
+        self._fitted = False
+
+    # ----------------------------------------------------------------
+    # Per-page text analysis.
+    # ----------------------------------------------------------------
+
+    def _analyze_page(
+        self, raw: RawFormPage
+    ) -> Tuple[List[LocatedTerm], List[LocatedTerm], int, int]:
+        """Return (pc_terms, fc_terms, attribute_count, on_page_terms).
+
+        ``on_page_terms`` counts only the page's own visible terms —
+        harvested anchor text (appended at the end of ``pc_terms``) is
+        excluded, since Table 1 reasons about on-page text.
+        """
+        root = parse_html(raw.html)
+        pc_terms: List[LocatedTerm] = []
+        fc_terms: List[LocatedTerm] = []
+        for fragment in extract_located_text(root):
+            terms = self.analyzer.analyze(fragment.text)
+            located = [(term, fragment.location) for term in terms]
+            pc_terms.extend(located)
+            if fragment.inside_form:
+                fc_terms.extend(located)
+        # Incoming anchor text (when harvested) joins the page context
+        # with the ANCHOR location weight — it describes the page the
+        # way the linking site sees it.
+        on_page_terms = len(pc_terms)
+        for anchor in raw.anchor_texts:
+            pc_terms.extend(
+                (term, TextLocation.ANCHOR) for term in self.analyzer.analyze(anchor)
+            )
+        attribute_count = 0
+        forms = extract_forms(root)
+        if forms:
+            # A page can embed several forms (nav search + the database
+            # form); the database form is normally the largest.
+            attribute_count = max(form.attribute_count for form in forms)
+        return pc_terms, fc_terms, attribute_count, on_page_terms
+
+    # ----------------------------------------------------------------
+    # Fitting and transforming.
+    # ----------------------------------------------------------------
+
+    def fit_transform(self, raw_pages: Sequence[RawFormPage]) -> List[FormPage]:
+        """Vectorize a full collection (computes corpus IDF, then vectors)."""
+        analyzed = [self._analyze_page(raw) for raw in raw_pages]
+
+        # Pass 1 — document frequencies per feature space.
+        for pc_terms, fc_terms, _, _ in analyzed:
+            self.pc_corpus.add_document(term for term, _ in pc_terms)
+            self.fc_corpus.add_document(term for term, _ in fc_terms)
+        self._fitted = True
+
+        # Pass 2 — Equation 1 vectors.
+        return [
+            self._build_form_page(raw, pc_terms, fc_terms, attribute_count, on_page)
+            for raw, (pc_terms, fc_terms, attribute_count, on_page) in zip(
+                raw_pages, analyzed
+            )
+        ]
+
+    def transform_new(self, raw: RawFormPage) -> FormPage:
+        """Vectorize a page against the already-fitted corpus statistics.
+
+        Terms unseen during fitting get IDF 0 and drop out; this is the
+        standard frozen-vocabulary treatment for scoring new documents.
+        """
+        if not self._fitted:
+            raise RuntimeError("vectorizer must be fitted before transform_new")
+        pc_terms, fc_terms, attribute_count, on_page = self._analyze_page(raw)
+        return self._build_form_page(raw, pc_terms, fc_terms, attribute_count, on_page)
+
+    def _build_form_page(
+        self,
+        raw: RawFormPage,
+        pc_terms: List[LocatedTerm],
+        fc_terms: List[LocatedTerm],
+        attribute_count: int,
+        on_page_terms: int,
+    ) -> FormPage:
+        pc_tf = located_term_frequencies(pc_terms, self.location_weights)
+        fc_tf = located_term_frequencies(fc_terms, self.location_weights)
+        return FormPage(
+            url=raw.url,
+            pc=tf_idf_vector(pc_tf, self.pc_corpus),
+            fc=tf_idf_vector(fc_tf, self.fc_corpus),
+            backlinks=frozenset(raw.backlinks[: self.max_backlinks]),
+            label=raw.label,
+            form_term_count=len(fc_terms),
+            page_term_count=on_page_terms,
+            attribute_count=attribute_count,
+        )

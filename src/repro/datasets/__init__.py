@@ -1,0 +1,18 @@
+"""Dataset (de)serialization.
+
+A dataset is the clustering input the paper assembled in Section 4.1: a
+list of form pages, each with URL, HTML, harvested backlinks and (for
+evaluation) a gold domain label.  The JSON format keeps datasets
+regenerable, diffable and shareable without the generator.
+"""
+
+from repro.datasets.results import load_result, save_result
+from repro.datasets.store import dataset_info, load_dataset, save_dataset
+
+__all__ = [
+    "dataset_info",
+    "load_dataset",
+    "save_dataset",
+    "load_result",
+    "save_result",
+]

@@ -1,0 +1,88 @@
+"""JSON storage for form-page datasets."""
+
+import json
+from pathlib import Path
+from typing import Dict, List, Union
+
+from repro.core.form_page import RawFormPage
+
+# Format marker so future layout changes can stay loadable.
+_FORMAT_VERSION = 1
+
+
+def save_dataset(pages: List[RawFormPage], path: Union[str, Path]) -> None:
+    """Write ``pages`` to ``path`` as JSON.
+
+    The file is written atomically-ish (tmp file + replace) so a crashed
+    run never leaves a truncated dataset behind.
+    """
+    payload = {
+        "format_version": _FORMAT_VERSION,
+        "n_pages": len(pages),
+        "pages": [
+            {
+                "url": page.url,
+                "html": page.html,
+                "backlinks": list(page.backlinks),
+                "label": page.label,
+            }
+            for page in pages
+        ],
+    }
+    path = Path(path)
+    tmp_path = path.with_suffix(path.suffix + ".tmp")
+    with open(tmp_path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle)
+    tmp_path.replace(path)
+
+
+def load_dataset(path: Union[str, Path]) -> List[RawFormPage]:
+    """Load a dataset written by :func:`save_dataset`.
+
+    Raises ValueError on format mismatch or structural problems, with a
+    message naming what is wrong.
+    """
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    if not isinstance(payload, dict):
+        raise ValueError(f"{path}: expected a JSON object at top level")
+    version = payload.get("format_version")
+    if version != _FORMAT_VERSION:
+        raise ValueError(
+            f"{path}: unsupported format_version {version!r} "
+            f"(expected {_FORMAT_VERSION})"
+        )
+    pages_field = payload.get("pages")
+    if not isinstance(pages_field, list):
+        raise ValueError(f"{path}: 'pages' must be a list")
+    pages: List[RawFormPage] = []
+    for index, entry in enumerate(pages_field):
+        try:
+            pages.append(
+                RawFormPage(
+                    url=entry["url"],
+                    html=entry["html"],
+                    backlinks=list(entry.get("backlinks", [])),
+                    label=entry.get("label"),
+                )
+            )
+        except (KeyError, TypeError) as exc:
+            raise ValueError(f"{path}: malformed page entry {index}: {exc}") from exc
+    return pages
+
+
+def dataset_info(path: Union[str, Path]) -> Dict[str, object]:
+    """Summary of a stored dataset without materializing RawFormPage
+    objects (cheap sanity check for CLIs and tests)."""
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    pages = payload.get("pages", [])
+    labels: Dict[str, int] = {}
+    for entry in pages:
+        label = entry.get("label") or "?"
+        labels[label] = labels.get(label, 0) + 1
+    return {
+        "format_version": payload.get("format_version"),
+        "n_pages": len(pages),
+        "labels": labels,
+    }

@@ -1,0 +1,29 @@
+"""Cluster-quality evaluation (Section 4.1, "Evaluation Metrics").
+
+* :func:`repro.eval.entropy.total_entropy` — Equation 5, size-weighted.
+* :func:`repro.eval.fmeasure.overall_f_measure` — Equation 6, the
+  Larsen-Aone overall F-measure.
+* :mod:`repro.eval.extra` — purity, NMI and adjusted Rand index (not in
+  the paper; useful cross-checks).
+* :mod:`repro.eval.confusion` — confusion matrices and mis-clustering
+  analysis (the Section 4.2 error discussion).
+"""
+
+from repro.eval.confusion import ConfusionAnalysis, confusion_matrix, majority_label
+from repro.eval.entropy import cluster_entropy, total_entropy
+from repro.eval.extra import adjusted_rand_index, normalized_mutual_information, purity
+from repro.eval.fmeasure import f_measure, overall_f_measure, precision_recall
+
+__all__ = [
+    "ConfusionAnalysis",
+    "confusion_matrix",
+    "majority_label",
+    "cluster_entropy",
+    "total_entropy",
+    "adjusted_rand_index",
+    "normalized_mutual_information",
+    "purity",
+    "f_measure",
+    "overall_f_measure",
+    "precision_recall",
+]

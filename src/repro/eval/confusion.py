@@ -1,0 +1,104 @@
+"""Confusion analysis — the Section 4.2 error discussion, made runnable.
+
+The paper inspects which pages were mis-clustered and finds that most
+errors sit on the Music/Movie vocabulary overlap, and that at most one
+single-attribute form is among them.  This module computes the machinery
+for that analysis: majority labels per cluster, the confusion matrix, and
+the list of mis-clustered pages with their properties.
+"""
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.clustering.types import Clustering
+from repro.core.form_page import FormPage
+
+
+def majority_label(member_labels: Sequence[str]) -> str:
+    """The most frequent label (ties broken alphabetically for
+    determinism)."""
+    if not member_labels:
+        return ""
+    counts = Counter(member_labels)
+    best_count = max(counts.values())
+    return min(label for label, count in counts.items() if count == best_count)
+
+
+def confusion_matrix(
+    clustering: Clustering, gold_labels: Sequence[str]
+) -> Dict[Tuple[str, str], int]:
+    """(gold label, cluster majority label) -> count.
+
+    Diagonal entries are correctly clustered pages; off-diagonal entries
+    show which domains leak into which.
+    """
+    matrix: Dict[Tuple[str, str], int] = {}
+    for members in clustering.clusters:
+        if not members:
+            continue
+        labels = [gold_labels[i] for i in members]
+        cluster_label = majority_label(labels)
+        for label in labels:
+            key = (label, cluster_label)
+            matrix[key] = matrix.get(key, 0) + 1
+    return matrix
+
+
+@dataclass
+class MisclusteredPage:
+    """One page assigned to a cluster dominated by another domain."""
+
+    index: int
+    url: str
+    gold_label: str
+    assigned_label: str
+    is_single_attribute: bool
+
+
+@dataclass
+class ConfusionAnalysis:
+    """Full error analysis for one clustering of a page collection."""
+
+    matrix: Dict[Tuple[str, str], int]
+    misclustered: List[MisclusteredPage]
+
+    @property
+    def n_misclustered(self) -> int:
+        return len(self.misclustered)
+
+    @property
+    def n_single_attribute_errors(self) -> int:
+        return sum(1 for page in self.misclustered if page.is_single_attribute)
+
+    def error_pairs(self) -> Counter:
+        """(gold, assigned) pairs among errors, most common first."""
+        return Counter(
+            (page.gold_label, page.assigned_label) for page in self.misclustered
+        )
+
+    @staticmethod
+    def analyze(
+        clustering: Clustering, pages: Sequence[FormPage]
+    ) -> "ConfusionAnalysis":
+        gold_labels = [page.label or "?" for page in pages]
+        matrix = confusion_matrix(clustering, gold_labels)
+        misclustered: List[MisclusteredPage] = []
+        for members in clustering.clusters:
+            if not members:
+                continue
+            labels = [gold_labels[i] for i in members]
+            cluster_label = majority_label(labels)
+            for index in members:
+                if gold_labels[index] != cluster_label:
+                    page = pages[index]
+                    misclustered.append(
+                        MisclusteredPage(
+                            index=index,
+                            url=page.url,
+                            gold_label=gold_labels[index],
+                            assigned_label=cluster_label,
+                            is_single_attribute=page.is_single_attribute,
+                        )
+                    )
+        return ConfusionAnalysis(matrix=matrix, misclustered=misclustered)

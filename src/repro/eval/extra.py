@@ -1,0 +1,103 @@
+"""Extra cluster-quality metrics: purity, NMI, adjusted Rand index.
+
+Not reported in the paper, but standard cross-checks; the experiment
+harness prints them alongside entropy and F-measure so shape claims can be
+verified against more than one lens.
+"""
+
+import math
+from collections import Counter
+from typing import Dict, Sequence, Tuple
+
+from repro.clustering.types import Clustering
+
+
+def purity(clustering: Clustering, gold_labels: Sequence[str]) -> float:
+    """Fraction of points assigned to their cluster's majority class."""
+    n_points = clustering.n_points
+    if n_points == 0:
+        return 0.0
+    correct = 0
+    for members in clustering.clusters:
+        if members:
+            counts = Counter(gold_labels[i] for i in members)
+            correct += counts.most_common(1)[0][1]
+    return correct / n_points
+
+
+def _entropy_of_counts(counts: Sequence[int], total: int) -> float:
+    return -sum(
+        (c / total) * math.log(c / total) for c in counts if c > 0
+    )
+
+
+def normalized_mutual_information(
+    clustering: Clustering, gold_labels: Sequence[str]
+) -> float:
+    """NMI with arithmetic-mean normalization, in [0, 1]."""
+    n = clustering.n_points
+    if n == 0:
+        return 0.0
+    cluster_counts = [len(m) for m in clustering.clusters if m]
+    class_counter: Counter = Counter()
+    joint: Dict[Tuple[int, str], int] = {}
+    for cluster_index, members in enumerate(clustering.clusters):
+        for point in members:
+            label = gold_labels[point]
+            class_counter[label] += 1
+            key = (cluster_index, label)
+            joint[key] = joint.get(key, 0) + 1
+
+    h_clusters = _entropy_of_counts(cluster_counts, n)
+    h_classes = _entropy_of_counts(list(class_counter.values()), n)
+    if h_clusters == 0.0 and h_classes == 0.0:
+        return 1.0  # both partitions trivial and identical
+
+    mutual_information = 0.0
+    cluster_sizes = {
+        i: len(m) for i, m in enumerate(clustering.clusters) if m
+    }
+    for (cluster_index, label), n_ij in joint.items():
+        p_ij = n_ij / n
+        p_i = cluster_sizes[cluster_index] / n
+        p_j = class_counter[label] / n
+        mutual_information += p_ij * math.log(p_ij / (p_i * p_j))
+
+    denominator = (h_clusters + h_classes) / 2.0
+    if denominator == 0.0:
+        return 0.0
+    return mutual_information / denominator
+
+
+def _comb2(n: int) -> int:
+    return n * (n - 1) // 2
+
+
+def adjusted_rand_index(
+    clustering: Clustering, gold_labels: Sequence[str]
+) -> float:
+    """Adjusted Rand index (chance-corrected pair-counting agreement)."""
+    n = clustering.n_points
+    if n == 0:
+        return 0.0
+    class_counter: Counter = Counter()
+    joint: Dict[Tuple[int, str], int] = {}
+    for cluster_index, members in enumerate(clustering.clusters):
+        for point in members:
+            label = gold_labels[point]
+            class_counter[label] += 1
+            key = (cluster_index, label)
+            joint[key] = joint.get(key, 0) + 1
+
+    sum_joint = sum(_comb2(count) for count in joint.values())
+    sum_clusters = sum(_comb2(len(m)) for m in clustering.clusters)
+    sum_classes = sum(_comb2(count) for count in class_counter.values())
+    total_pairs = _comb2(n)
+    if total_pairs == 0:
+        return 1.0
+
+    expected = sum_clusters * sum_classes / total_pairs
+    maximum = (sum_clusters + sum_classes) / 2.0
+    if maximum == expected:
+        return 1.0 if sum_joint == maximum else 0.0
+    return (sum_joint - expected) / (maximum - expected)

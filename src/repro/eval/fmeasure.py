@@ -1,0 +1,78 @@
+"""F-measure for clusterings — Equation 6 (Larsen & Aone, KDD'99).
+
+Per (class i, cluster j):
+
+    Recall(i,j)    = n_ij / n_i
+    Precision(i,j) = n_ij / n_j
+    F(i,j)         = 2 * R * P / (R + P)
+
+The overall score follows Larsen & Aone, whom the paper cites for the
+measure: each *class* contributes the best F it achieves over all
+clusters, weighted by class size:
+
+    F = sum_i (n_i / n) * max_j F(i, j)
+
+A perfect clustering scores 1.
+"""
+
+from collections import Counter
+from typing import Dict, Sequence, Tuple
+
+from repro.clustering.types import Clustering
+
+
+def precision_recall(
+    n_ij: int, n_i: int, n_j: int
+) -> Tuple[float, float]:
+    """Precision and recall of cluster j for class i (zero-safe)."""
+    precision = n_ij / n_j if n_j else 0.0
+    recall = n_ij / n_i if n_i else 0.0
+    return precision, recall
+
+
+def f_measure(n_ij: int, n_i: int, n_j: int) -> float:
+    """Equation 6 for one (class, cluster) pair (zero-safe)."""
+    precision, recall = precision_recall(n_ij, n_i, n_j)
+    if precision + recall == 0.0:
+        return 0.0
+    return 2.0 * recall * precision / (recall + precision)
+
+
+def _contingency(
+    clustering: Clustering, gold_labels: Sequence[str]
+) -> Tuple[Dict[Tuple[str, int], int], Counter, Dict[int, int]]:
+    """n_ij, n_i and n_j tables for the clustering."""
+    n_ij: Dict[Tuple[str, int], int] = {}
+    class_sizes: Counter = Counter()
+    cluster_sizes: Dict[int, int] = {}
+    for cluster_index, members in enumerate(clustering.clusters):
+        cluster_sizes[cluster_index] = len(members)
+        for point in members:
+            label = gold_labels[point]
+            class_sizes[label] += 1
+            key = (label, cluster_index)
+            n_ij[key] = n_ij.get(key, 0) + 1
+    return n_ij, class_sizes, cluster_sizes
+
+
+def overall_f_measure(
+    clustering: Clustering, gold_labels: Sequence[str]
+) -> float:
+    """Class-size-weighted best-match F over the whole clustering.
+
+    Returns 0.0 for an empty clustering.
+    """
+    n_points = clustering.n_points
+    if n_points == 0:
+        return 0.0
+    n_ij, class_sizes, cluster_sizes = _contingency(clustering, gold_labels)
+
+    best_f: Dict[str, float] = {label: 0.0 for label in class_sizes}
+    for (label, cluster_index), count in n_ij.items():
+        score = f_measure(count, class_sizes[label], cluster_sizes[cluster_index])
+        if score > best_f[label]:
+            best_f[label] = score
+
+    return sum(
+        (class_sizes[label] / n_points) * best_f[label] for label in class_sizes
+    )

@@ -1,0 +1,25 @@
+"""The paper's experimental harness — one module per table / figure.
+
+Every experiment module exposes ``run_*`` (compute, return a result
+dataclass) and ``format_*`` (render the result next to the paper's
+published numbers).  The benchmark suite under ``benchmarks/`` drives
+these; ``python -m repro experiments`` runs them all.
+
+Index (see DESIGN.md for the full mapping):
+
+========  =====================================================
+fig2      Entropy/F-measure, CAFC-C vs CAFC-CH x FC/PC/FC+PC
+fig3      CAFC-CH entropy vs minimum hub-cluster cardinality
+table1    Page terms outside the form, per form-size bucket
+table2    HAC vs k-means as the base clustering strategy
+hac_seeding  HAC-derived seeds vs hub-cluster seeds (Section 4.3)
+weights   Differentiated vs uniform LOC weights (Section 4.4)
+hubstats  Backlink / hub-cluster statistics (Section 3.1)
+errors    Mis-clustering analysis (Section 4.2)
+corpus_profile  Corpus composition audit (Section 4.1)
+========  =====================================================
+"""
+
+from repro.experiments.context import ExperimentContext, get_context
+
+__all__ = ["ExperimentContext", "get_context"]

@@ -1,0 +1,99 @@
+"""Section 4.2 — error analysis of the best configuration.
+
+"Most of the incorrectly clustered form pages belong to the Music and
+Movie domains ... there are forms which actually search databases that
+have information from both domains. ... among the 17 form pages that were
+incorrectly clustered, only one is a single-attribute form."
+
+Shape claims:
+
+1. the error count is small relative to the corpus (paper: 17 / 454);
+2. Music/Movie confusions dominate the errors;
+3. at most a sliver of errors are single-attribute forms (paper: 1).
+"""
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.core.cafc_ch import cafc_ch
+from repro.core.config import CAFCConfig
+from repro.eval.confusion import ConfusionAnalysis
+from repro.experiments.context import ExperimentContext
+from repro.experiments.reporting import render_table
+
+
+@dataclass
+class ErrorsResult:
+    n_pages: int
+    n_misclustered: int
+    n_single_attribute_errors: int
+    n_entertainment_errors: int           # music<->movie confusions
+    error_pairs: List[Tuple[str, str, int]]  # (gold, assigned, count)
+    analysis: ConfusionAnalysis
+
+    @property
+    def entertainment_fraction(self) -> float:
+        if self.n_misclustered == 0:
+            return 1.0
+        return self.n_entertainment_errors / self.n_misclustered
+
+
+def run_errors(context: ExperimentContext) -> ErrorsResult:
+    """Analyze the errors of the best configuration (CAFC-CH, FC+PC)."""
+    hub_clusters = context.hub_clusters(context.config.min_hub_cardinality)
+    result = cafc_ch(context.pages, CAFCConfig(k=8), hub_clusters=hub_clusters)
+    analysis = ConfusionAnalysis.analyze(result.clustering, context.pages)
+
+    entertainment = {"music", "movie"}
+    n_entertainment = sum(
+        1
+        for page in analysis.misclustered
+        if {page.gold_label, page.assigned_label} <= entertainment
+    )
+    pairs = [
+        (gold, assigned, count)
+        for (gold, assigned), count in analysis.error_pairs().most_common()
+    ]
+    return ErrorsResult(
+        n_pages=len(context.pages),
+        n_misclustered=analysis.n_misclustered,
+        n_single_attribute_errors=analysis.n_single_attribute_errors,
+        n_entertainment_errors=n_entertainment,
+        error_pairs=pairs,
+        analysis=analysis,
+    )
+
+
+def check_shape(result: ErrorsResult) -> List[str]:
+    """Violated Section 4.2 claims (empty = all hold)."""
+    violations: List[str] = []
+    if result.n_misclustered > 0.10 * result.n_pages:
+        violations.append(
+            f"too many errors ({result.n_misclustered}); paper has 17/454"
+        )
+    if result.n_misclustered > 0 and result.entertainment_fraction < 0.5:
+        violations.append("Music/Movie confusions do not dominate the errors")
+    if result.n_single_attribute_errors > max(2, result.n_misclustered // 4):
+        violations.append(
+            "too many single-attribute errors "
+            f"({result.n_single_attribute_errors}); paper has 1"
+        )
+    return violations
+
+
+def format_errors(result: ErrorsResult) -> str:
+    rows = [
+        [gold, assigned, count] for gold, assigned, count in result.error_pairs
+    ]
+    table = render_table(
+        ["gold domain", "assigned to", "pages"],
+        rows or [["(none)", "", 0]],
+        title="Section 4.2: mis-clustered pages (best configuration)",
+    )
+    summary = (
+        f"\ntotal errors: {result.n_misclustered} / {result.n_pages} "
+        f"(paper: 17 / 454); single-attribute errors: "
+        f"{result.n_single_attribute_errors} (paper: 1); "
+        f"music/movie confusions: {result.n_entertainment_errors}"
+    )
+    return table + summary

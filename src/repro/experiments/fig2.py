@@ -1,0 +1,154 @@
+"""Figure 2 — entropy and F-measure of CAFC-C and CAFC-CH under the
+FC / PC / FC+PC configurations.
+
+Paper values (read from Figure 2 and Section 4.2 text):
+
+* CAFC-C  FC+PC: entropy 0.56, F-measure 0.74 (average of 20 runs)
+* CAFC-C  FC:    entropy 1.1,  F-measure 0.61
+* CAFC-CH FC+PC: entropy 0.15, F-measure 0.96 (min hub cardinality 8)
+* CAFC-CH improves F by 29.7% over CAFC-C in the FC+PC configuration and
+  cuts entropy to roughly a quarter.
+
+Shape claims this experiment must reproduce:
+
+1. combining FC and PC beats either space alone, for both algorithms;
+2. FC alone is the weakest configuration;
+3. CAFC-CH beats CAFC-C in every configuration, by a large factor for
+   FC+PC.
+"""
+
+import statistics
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.cafc_c import cafc_c
+from repro.core.cafc_ch import cafc_ch
+from repro.core.config import CAFCConfig, ContentMode
+from repro.eval.entropy import total_entropy
+from repro.eval.fmeasure import overall_f_measure
+from repro.experiments.context import ExperimentContext
+from repro.experiments.reporting import render_bar_chart, render_table
+
+# The paper's published numbers; None where the figure gives no exact value.
+PAPER_VALUES: Dict[Tuple[str, str], Tuple[Optional[float], Optional[float]]] = {
+    ("cafc-c", "fc"): (1.10, 0.61),
+    ("cafc-c", "pc"): (None, None),
+    ("cafc-c", "fc+pc"): (0.56, 0.74),
+    ("cafc-ch", "fc"): (None, None),
+    ("cafc-ch", "pc"): (None, None),
+    ("cafc-ch", "fc+pc"): (0.15, 0.96),
+}
+
+
+@dataclass
+class Fig2Row:
+    """One bar pair of Figure 2."""
+
+    algorithm: str            # 'cafc-c' | 'cafc-ch'
+    mode: str                 # 'fc' | 'pc' | 'fc+pc'
+    entropy: float
+    f_measure: float
+    entropy_std: float = 0.0
+    f_measure_std: float = 0.0
+
+
+@dataclass
+class Fig2Result:
+    rows: List[Fig2Row]
+
+    def get(self, algorithm: str, mode: str) -> Fig2Row:
+        for row in self.rows:
+            if row.algorithm == algorithm and row.mode == mode:
+                return row
+        raise KeyError((algorithm, mode))
+
+
+def run_fig2(context: ExperimentContext, n_runs: int = 20) -> Fig2Result:
+    """Reproduce Figure 2.
+
+    CAFC-C rows average ``n_runs`` random-seed runs (the paper uses 20);
+    CAFC-CH is deterministic given the corpus, so one run per mode.
+    """
+    pages, gold = context.pages, context.gold_labels
+    rows: List[Fig2Row] = []
+
+    for mode in (ContentMode.FC, ContentMode.PC, ContentMode.FC_PC):
+        entropies: List[float] = []
+        f_measures: List[float] = []
+        for run_seed in range(n_runs):
+            config = CAFCConfig(k=8, content_mode=mode, seed=run_seed)
+            result = cafc_c(pages, config)
+            entropies.append(total_entropy(result.clustering, gold))
+            f_measures.append(overall_f_measure(result.clustering, gold))
+        rows.append(
+            Fig2Row(
+                algorithm="cafc-c",
+                mode=mode.value,
+                entropy=statistics.mean(entropies),
+                f_measure=statistics.mean(f_measures),
+                entropy_std=statistics.stdev(entropies) if n_runs > 1 else 0.0,
+                f_measure_std=statistics.stdev(f_measures) if n_runs > 1 else 0.0,
+            )
+        )
+
+    hub_clusters = context.hub_clusters(context.config.min_hub_cardinality)
+    for mode in (ContentMode.FC, ContentMode.PC, ContentMode.FC_PC):
+        config = CAFCConfig(k=8, content_mode=mode)
+        result = cafc_ch(pages, config, hub_clusters=hub_clusters)
+        rows.append(
+            Fig2Row(
+                algorithm="cafc-ch",
+                mode=mode.value,
+                entropy=total_entropy(result.clustering, gold),
+                f_measure=overall_f_measure(result.clustering, gold),
+            )
+        )
+    return Fig2Result(rows)
+
+
+def check_shape(result: Fig2Result) -> List[str]:
+    """Return the list of VIOLATED shape claims (empty = all hold)."""
+    violations: List[str] = []
+    for algorithm in ("cafc-c", "cafc-ch"):
+        fc = result.get(algorithm, "fc")
+        pc = result.get(algorithm, "pc")
+        combined = result.get(algorithm, "fc+pc")
+        if not combined.entropy <= min(fc.entropy, pc.entropy) + 1e-9:
+            violations.append(f"{algorithm}: FC+PC entropy not the lowest")
+        # F differences between PC and FC+PC are small even in the paper's
+        # figure; entropy is the strict criterion, F tolerates run noise.
+        if not combined.f_measure >= max(fc.f_measure, pc.f_measure) - 0.03:
+            violations.append(f"{algorithm}: FC+PC F-measure not the highest")
+        if not fc.entropy >= max(pc.entropy, combined.entropy) - 1e-9:
+            violations.append(f"{algorithm}: FC not the weakest configuration")
+    for mode in ("fc", "pc", "fc+pc"):
+        if result.get("cafc-ch", mode).entropy > result.get("cafc-c", mode).entropy:
+            violations.append(f"CAFC-CH worse than CAFC-C under {mode}")
+    return violations
+
+
+def format_fig2(result: Fig2Result) -> str:
+    table_rows = []
+    for row in result.rows:
+        paper_e, paper_f = PAPER_VALUES.get((row.algorithm, row.mode), (None, None))
+        table_rows.append(
+            [
+                row.algorithm.upper(),
+                row.mode.upper(),
+                f"{paper_e:.2f}" if paper_e is not None else "—",
+                f"{row.entropy:.3f}",
+                f"{paper_f:.2f}" if paper_f is not None else "—",
+                f"{row.f_measure:.3f}",
+            ]
+        )
+    table = render_table(
+        ["algorithm", "content", "E(paper)", "E(ours)", "F(paper)", "F(ours)"],
+        table_rows,
+        title="Figure 2: entropy / F-measure by algorithm and content configuration",
+    )
+    chart = render_bar_chart(
+        [f"{row.algorithm.upper()} {row.mode.upper()}" for row in result.rows],
+        [row.entropy for row in result.rows],
+        title="entropy (lower is better)",
+    )
+    return f"{table}\n\n{chart}"

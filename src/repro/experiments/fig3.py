@@ -1,0 +1,133 @@
+"""Figure 3 — CAFC-CH entropy vs minimum hub-cluster cardinality.
+
+The paper sweeps the minimum cardinality from >2 to >11 (i.e. thresholds
+3..12) and finds:
+
+1. the best entropies occur when small hub clusters (cardinality < 7)
+   are eliminated — a sweet spot in the middle of the sweep;
+2. very high thresholds hurt: the surviving clusters may miss domains
+   (in the paper, clusters of >= 14 pages only contain Air and Hotel);
+3. CAFC-CH beats CAFC-C at *every* threshold;
+4. pruning also shrinks the search space dramatically (3,450 -> 164 hub
+   clusters at the paper's threshold).
+"""
+
+import statistics
+from dataclasses import dataclass
+from typing import List
+
+from repro.core.cafc_c import cafc_c
+from repro.core.cafc_ch import cafc_ch
+from repro.core.config import CAFCConfig
+from repro.eval.entropy import total_entropy
+from repro.eval.fmeasure import overall_f_measure
+from repro.experiments.context import ExperimentContext
+from repro.experiments.reporting import render_bar_chart, render_table
+
+
+@dataclass
+class Fig3Point:
+    min_cardinality: int
+    n_hub_clusters: int
+    entropy: float
+    f_measure: float
+    failed: bool = False   # fewer than k hub clusters survived pruning
+
+
+@dataclass
+class Fig3Result:
+    points: List[Fig3Point]
+    cafc_c_entropy: float       # the flat comparison line of Figure 3
+    cafc_c_f_measure: float
+
+
+def run_fig3(
+    context: ExperimentContext,
+    thresholds: range = range(3, 13),
+    n_cafc_c_runs: int = 20,
+) -> Fig3Result:
+    """Sweep the hub-cluster cardinality threshold."""
+    pages, gold = context.pages, context.gold_labels
+
+    points: List[Fig3Point] = []
+    for threshold in thresholds:
+        hub_clusters = context.hub_clusters(threshold)
+        config = CAFCConfig(k=8, min_hub_cardinality=threshold)
+        try:
+            result = cafc_ch(pages, config, hub_clusters=hub_clusters)
+        except ValueError:
+            points.append(
+                Fig3Point(threshold, len(hub_clusters), float("nan"), 0.0, failed=True)
+            )
+            continue
+        points.append(
+            Fig3Point(
+                min_cardinality=threshold,
+                n_hub_clusters=len(hub_clusters),
+                entropy=total_entropy(result.clustering, gold),
+                f_measure=overall_f_measure(result.clustering, gold),
+            )
+        )
+
+    entropies, f_measures = [], []
+    for run_seed in range(n_cafc_c_runs):
+        result = cafc_c(pages, CAFCConfig(k=8, seed=run_seed))
+        entropies.append(total_entropy(result.clustering, gold))
+        f_measures.append(overall_f_measure(result.clustering, gold))
+    return Fig3Result(
+        points=points,
+        cafc_c_entropy=statistics.mean(entropies),
+        cafc_c_f_measure=statistics.mean(f_measures),
+    )
+
+
+def check_shape(result: Fig3Result) -> List[str]:
+    """Violated Figure 3 shape claims (empty = all hold)."""
+    violations: List[str] = []
+    usable = [p for p in result.points if not p.failed]
+    if not usable:
+        return ["no usable sweep points"]
+    mid = [p for p in usable if 5 <= p.min_cardinality <= 9]
+    high = [p for p in usable if p.min_cardinality >= 10]
+    if mid and high:
+        if min(p.entropy for p in mid) > min(p.entropy for p in high):
+            violations.append("no mid-sweep sweet spot: high thresholds beat mid")
+    for point in usable:
+        if point.entropy > result.cafc_c_entropy:
+            violations.append(
+                f"CAFC-CH at threshold {point.min_cardinality} worse than CAFC-C"
+            )
+    counts = [p.n_hub_clusters for p in result.points]
+    if counts and counts[0] <= counts[-1]:
+        violations.append("pruning did not shrink the hub-cluster search space")
+    return violations
+
+
+def format_fig3(result: Fig3Result) -> str:
+    rows = []
+    for point in result.points:
+        rows.append(
+            [
+                f">{point.min_cardinality - 1}",
+                point.n_hub_clusters,
+                "failed" if point.failed else f"{point.entropy:.3f}",
+                "—" if point.failed else f"{point.f_measure:.3f}",
+            ]
+        )
+    table = render_table(
+        ["min card", "hub clusters", "entropy", "F-measure"],
+        rows,
+        title="Figure 3: CAFC-CH vs minimum hub-cluster cardinality",
+    )
+    usable = [p for p in result.points if not p.failed]
+    chart = render_bar_chart(
+        [f">{p.min_cardinality - 1}" for p in usable],
+        [p.entropy for p in usable],
+        title="entropy by minimum hub cardinality (lower is better)",
+    )
+    footer = (
+        f"\nCAFC-C baseline: entropy {result.cafc_c_entropy:.3f}, "
+        f"F-measure {result.cafc_c_f_measure:.3f} "
+        "(paper: CAFC-CH always below the CAFC-C line)"
+    )
+    return f"{table}\n\n{chart}" + footer

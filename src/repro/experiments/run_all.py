@@ -1,0 +1,123 @@
+"""Run every paper experiment and print the paper-vs-measured report.
+
+Used by ``python -m repro experiments`` and by the EXPERIMENTS.md
+regeneration workflow.  Each experiment also reports its shape-claim
+check: the list of paper claims the measured numbers violate (expected to
+be empty on the default corpus).
+"""
+
+from typing import List, Tuple
+
+from repro.experiments import corpus_profile, errors, fig2, fig3, hac_seeding
+from repro.experiments import hubstats, robustness, table1, table2, vocabulary
+from repro.experiments import weights
+from repro.experiments.context import get_context
+
+
+def experiment_names() -> List[str]:
+    """The runnable experiment ids, in report order."""
+    return [
+        "corpus_profile", "table1", "hubstats", "vocabulary",
+        "fig2", "fig3", "table2", "seeding", "weights", "errors",
+        "robustness",
+    ]
+
+
+def run_all(
+    seed: int = 42,
+    n_runs: int = 20,
+    include_extensions: bool = True,
+    only: str = "",
+) -> str:
+    """Run the full experiment battery; returns the combined report.
+
+    ``include_extensions`` appends the non-paper ablations (robustness
+    sweep) after the paper's tables and figures.  ``only`` restricts the
+    run to one experiment id (see :func:`experiment_names`).
+    """
+    from repro.vsm.batch import form_page_similarity_matrix
+
+    if only and only not in experiment_names():
+        raise ValueError(
+            f"unknown experiment {only!r}; known: {experiment_names()}"
+        )
+
+    context = get_context(seed=seed)
+    needs_matrix = only in ("", "table2", "seeding")
+    # The pairwise similarity matrix is the dominant shared cost of the
+    # HAC experiments; compute it once, on the vectorized path.
+    matrix = form_page_similarity_matrix(context.pages) if needs_matrix else None
+
+    sections: List[str] = []
+
+    def wanted(name: str) -> bool:
+        return not only or only == name
+
+    def add(title_result: Tuple[str, List[str]]) -> None:
+        text, violations = title_result
+        sections.append(text)
+        if violations:
+            sections.append("SHAPE VIOLATIONS: " + "; ".join(violations))
+        else:
+            sections.append("shape check: all paper claims hold")
+        sections.append("")
+
+    if wanted("corpus_profile"):
+        profile = corpus_profile.run_corpus_profile(context)
+        add((corpus_profile.format_corpus_profile(profile),
+             corpus_profile.check_shape(profile)))
+
+    if wanted("table1"):
+        t1 = table1.run_table1(context)
+        add((table1.format_table1(t1), table1.check_shape(t1)))
+
+    if wanted("hubstats"):
+        hs = hubstats.run_hubstats(context)
+        add((hubstats.format_hubstats(hs), hubstats.check_shape(hs)))
+
+    if wanted("vocabulary"):
+        vocab = vocabulary.run_vocabulary(context)
+        add((vocabulary.format_vocabulary(vocab), vocabulary.check_shape(vocab)))
+
+    if wanted("fig2"):
+        f2 = fig2.run_fig2(context, n_runs=n_runs)
+        add((fig2.format_fig2(f2), fig2.check_shape(f2)))
+
+    if wanted("fig3"):
+        f3 = fig3.run_fig3(context, n_cafc_c_runs=n_runs)
+        add((fig3.format_fig3(f3), fig3.check_shape(f3)))
+
+    if wanted("table2"):
+        t2 = table2.run_table2(context, n_kmeans_runs=n_runs, matrix=matrix)
+        add((table2.format_table2(t2), table2.check_shape(t2)))
+
+    if wanted("seeding"):
+        seeding = hac_seeding.run_hac_seeding(
+            context, n_random_runs=n_runs, matrix=matrix
+        )
+        add((hac_seeding.format_hac_seeding(seeding),
+             hac_seeding.check_shape(seeding)))
+
+    if wanted("weights"):
+        w = weights.run_weights(context, n_cafc_c_runs=n_runs)
+        add((weights.format_weights(w), weights.check_shape(w)))
+
+    if wanted("errors"):
+        err = errors.run_errors(context)
+        add((errors.format_errors(err), errors.check_shape(err)))
+
+    if wanted("robustness") and (include_extensions or only == "robustness"):
+        rob = robustness.run_robustness(
+            context, coverages=(1.0, 0.8, 0.5, 0.2, 0.0)
+        )
+        add((robustness.format_robustness(rob), robustness.check_shape(rob)))
+
+    return "\n".join(sections)
+
+
+def main() -> None:
+    print(run_all())
+
+
+if __name__ == "__main__":
+    main()

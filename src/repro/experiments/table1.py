@@ -1,0 +1,115 @@
+"""Table 1 — relationship between form size and page content.
+
+The paper's table (average number of page terms located outside the form,
+per form-size interval):
+
+    form size   terms outside form
+    < 10        181
+    [10, 50)    131
+    [50, 100)    76
+    [100, 200)   83
+    >= 200       20
+
+Shape claim: pages with small forms are content-rich; pages with very
+large forms carry little text beyond the form.  (The [50,100) / [100,200)
+inversion in the paper is noise — the claim is the overall
+anticorrelation between the extremes.)
+"""
+
+import statistics
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.experiments.context import ExperimentContext
+from repro.experiments.reporting import render_table
+
+# (lower bound, upper bound or None, paper's average).
+PAPER_BUCKETS = [
+    (0, 10, 181),
+    (10, 50, 131),
+    (50, 100, 76),
+    (100, 200, 83),
+    (200, None, 20),
+]
+
+
+@dataclass
+class Table1Row:
+    lower: int
+    upper: Optional[int]
+    n_pages: int
+    mean_outside_terms: float
+    paper_value: int
+
+    @property
+    def interval_label(self) -> str:
+        if self.lower == 0:
+            return f"< {self.upper}"
+        if self.upper is None:
+            return f">= {self.lower}"
+        return f"[{self.lower}, {self.upper})"
+
+
+@dataclass
+class Table1Result:
+    rows: List[Table1Row]
+
+
+def run_table1(context: ExperimentContext) -> Table1Result:
+    """Bucket the corpus by form-term count and average the outside terms."""
+    grouped: Dict[int, List[int]] = {lower: [] for lower, _, _ in PAPER_BUCKETS}
+    for page in context.pages:
+        for lower, upper, _ in PAPER_BUCKETS:
+            if page.form_term_count >= lower and (
+                upper is None or page.form_term_count < upper
+            ):
+                grouped[lower].append(page.terms_outside_form)
+                break
+    rows = [
+        Table1Row(
+            lower=lower,
+            upper=upper,
+            n_pages=len(grouped[lower]),
+            mean_outside_terms=(
+                statistics.mean(grouped[lower]) if grouped[lower] else 0.0
+            ),
+            paper_value=paper_value,
+        )
+        for lower, upper, paper_value in PAPER_BUCKETS
+    ]
+    return Table1Result(rows)
+
+
+def check_shape(result: Table1Result) -> List[str]:
+    """Violated shape claims (empty = all hold)."""
+    violations: List[str] = []
+    populated = [row for row in result.rows if row.n_pages > 0]
+    if len(populated) < 4:
+        violations.append("fewer than 4 form-size buckets populated")
+        return violations
+    smallest = populated[0]
+    largest = populated[-1]
+    if smallest.mean_outside_terms <= largest.mean_outside_terms:
+        violations.append(
+            "small-form pages are not more content-rich than large-form pages"
+        )
+    if largest.mean_outside_terms > 0.4 * smallest.mean_outside_terms:
+        violations.append("large-form pages not sufficiently sparse (paper: ~9x gap)")
+    return violations
+
+
+def format_table1(result: Table1Result) -> str:
+    rows = [
+        [
+            row.interval_label,
+            row.n_pages,
+            row.paper_value,
+            f"{row.mean_outside_terms:.1f}",
+        ]
+        for row in result.rows
+    ]
+    return render_table(
+        ["form size", "n (ours)", "outside terms (paper)", "outside terms (ours)"],
+        rows,
+        title="Table 1: page terms outside the form, by form size",
+    )

@@ -1,0 +1,100 @@
+"""C1/C2 ratio sweep — probing the paper's "for simplicity" choice.
+
+Equation 3 weights the page-content and form-content similarities with
+C1 and C2; the paper sets both to 1 without ablation ("For simplicity,
+in our implementation, we assign the same weights").  This sweep runs
+CAFC-CH across C1:C2 ratios and checks that the balanced choice is
+within noise of the best — i.e. that the paper's simplification does
+not leave quality on the table.
+"""
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.core.cafc_ch import cafc_ch
+from repro.core.config import CAFCConfig
+from repro.eval.entropy import total_entropy
+from repro.eval.fmeasure import overall_f_measure
+from repro.experiments.context import ExperimentContext
+from repro.experiments.reporting import render_table
+
+# (C1, C2) grid: PC-heavy through balanced to FC-heavy.
+DEFAULT_RATIOS: Tuple[Tuple[float, float], ...] = (
+    (4.0, 1.0), (2.0, 1.0), (1.0, 1.0), (1.0, 2.0), (1.0, 4.0),
+)
+
+
+@dataclass
+class RatioPoint:
+    page_weight: float
+    form_weight: float
+    entropy: float
+    f_measure: float
+
+    @property
+    def label(self) -> str:
+        return f"{self.page_weight:g}:{self.form_weight:g}"
+
+
+@dataclass
+class WeightRatioResult:
+    points: List[RatioPoint]
+
+    def balanced(self) -> RatioPoint:
+        for point in self.points:
+            if point.page_weight == point.form_weight:
+                return point
+        raise ValueError("sweep does not include the balanced ratio")
+
+    def best(self) -> RatioPoint:
+        return min(self.points, key=lambda p: p.entropy)
+
+
+def run_weight_ratio(
+    context: ExperimentContext,
+    ratios: Sequence[Tuple[float, float]] = DEFAULT_RATIOS,
+) -> WeightRatioResult:
+    """CAFC-CH across the C1:C2 grid (one deterministic run each)."""
+    pages, gold = context.pages, context.gold_labels
+    hub_clusters = context.hub_clusters(context.config.min_hub_cardinality)
+    points: List[RatioPoint] = []
+    for page_weight, form_weight in ratios:
+        config = CAFCConfig(
+            k=8, page_weight=page_weight, form_weight=form_weight
+        )
+        result = cafc_ch(pages, config, hub_clusters=hub_clusters)
+        points.append(
+            RatioPoint(
+                page_weight=page_weight,
+                form_weight=form_weight,
+                entropy=total_entropy(result.clustering, gold),
+                f_measure=overall_f_measure(result.clustering, gold),
+            )
+        )
+    return WeightRatioResult(points=points)
+
+
+def check_shape(result: WeightRatioResult, tolerance: float = 0.1) -> List[str]:
+    """The balanced ratio must sit within ``tolerance`` entropy of the
+    best ratio (empty list = claim holds)."""
+    violations: List[str] = []
+    balanced = result.balanced()
+    best = result.best()
+    if balanced.entropy > best.entropy + tolerance:
+        violations.append(
+            f"C1=C2 entropy {balanced.entropy:.3f} trails the best ratio "
+            f"{best.label} ({best.entropy:.3f}) by more than {tolerance}"
+        )
+    return violations
+
+
+def format_weight_ratio(result: WeightRatioResult) -> str:
+    rows = [
+        [point.label, f"{point.entropy:.3f}", f"{point.f_measure:.3f}"]
+        for point in result.points
+    ]
+    return render_table(
+        ["C1:C2 (PC:FC)", "entropy", "F-measure"],
+        rows,
+        title="Ablation: Equation-3 feature-space weights (paper uses 1:1)",
+    )

@@ -1,0 +1,28 @@
+"""The hidden databases behind the forms.
+
+The paper's taxonomy (Section 1) splits source-organization approaches
+into *pre-query* (visible form context — CAFC's side) and *post-query*
+(probe the database through its interface and use the returned contents
+— QProber's side).  Evaluating the post-query baseline requires actual
+databases behind the generated forms, so this package provides them:
+
+* :mod:`repro.hiddendb.records` — synthetic record generation per domain
+  (job postings, flight fares, albums, ...), deterministic per site;
+* :mod:`repro.hiddendb.database` — an in-memory document database with
+  an inverted keyword index and fielded filtering, plus the
+  keyword-query entry point a probing client uses;
+* :mod:`repro.hiddendb.registry` — building one database per generated
+  site and routing a form's keyword field to it.
+"""
+
+from repro.hiddendb.database import HiddenDatabase, Record
+from repro.hiddendb.records import generate_records
+from repro.hiddendb.registry import DatabaseRegistry, build_hidden_databases
+
+__all__ = [
+    "HiddenDatabase",
+    "Record",
+    "generate_records",
+    "DatabaseRegistry",
+    "build_hidden_databases",
+]

@@ -1,0 +1,112 @@
+"""An in-memory hidden database with keyword and fielded access.
+
+This is the thing behind a searchable form: a collection of fielded
+records, reachable only through queries.  Two access paths mirror the
+two interface species:
+
+* :meth:`HiddenDatabase.keyword_search` — what a single-attribute
+  keyword box exposes (and what a post-query prober can use);
+* :meth:`HiddenDatabase.fielded_search` — what a multi-attribute form
+  exposes (exact-match filters per field).
+
+The keyword index is a standard inverted index over analyzed record
+text (same analyzer as the rest of the library, so probe terms and page
+terms live in one stem space).
+"""
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Set
+
+from repro.text.analyzer import TextAnalyzer
+
+
+@dataclass(frozen=True)
+class Record:
+    """One database record: fielded values plus derived search text."""
+
+    fields: Mapping[str, str]
+
+    def text(self) -> str:
+        return " ".join(str(value) for value in self.fields.values())
+
+    def get(self, name: str, default: str = "") -> str:
+        return self.fields.get(name, default)
+
+
+@dataclass
+class QueryResult:
+    """What a search interface returns."""
+
+    records: List[Record]
+
+    @property
+    def count(self) -> int:
+        return len(self.records)
+
+
+class HiddenDatabase:
+    """A queryable record collection behind one form."""
+
+    def __init__(
+        self,
+        records: List[Dict[str, str]],
+        analyzer: Optional[TextAnalyzer] = None,
+    ) -> None:
+        self.analyzer = analyzer or TextAnalyzer()
+        self.records: List[Record] = [Record(fields=dict(r)) for r in records]
+        # Inverted index: stem -> record indices.
+        self._index: Dict[str, Set[int]] = {}
+        for index, record in enumerate(self.records):
+            for term in set(self.analyzer.analyze(record.text())):
+                self._index.setdefault(term, set()).add(index)
+
+    # ----------------------------------------------------------------
+    # Interfaces.
+    # ----------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def keyword_search(self, query: str, mode: str = "and") -> QueryResult:
+        """Full-text search, AND (default) or OR semantics over stems.
+
+        This is the access path a keyword form exposes; a prober calls
+        it with single-term probes and reads the match counts.
+        """
+        if mode not in ("and", "or"):
+            raise ValueError(f"unknown mode {mode!r} (use 'and' or 'or')")
+        terms = self.analyzer.analyze(query)
+        if not terms:
+            return QueryResult(records=[])
+        postings = [self._index.get(term, set()) for term in terms]
+        if mode == "and":
+            matched: Set[int] = set.intersection(*postings)
+        else:
+            matched = set.union(*postings)
+        return QueryResult(records=[self.records[i] for i in sorted(matched)])
+
+    def count(self, term: str) -> int:
+        """Match count of a single-term probe (the QProber primitive)."""
+        return self.keyword_search(term).count
+
+    def fielded_search(self, filters: Mapping[str, str]) -> QueryResult:
+        """Multi-attribute search: case-insensitive exact field matches.
+
+        Empty filter values are ignored (an untouched form field).
+        """
+        matched = []
+        active = {
+            name: value.strip().lower()
+            for name, value in filters.items()
+            if value and value.strip()
+        }
+        for record in self.records:
+            if all(
+                record.get(name).strip().lower() == value
+                for name, value in active.items()
+            ):
+                matched.append(record)
+        return QueryResult(records=matched)
+
+    def vocabulary_size(self) -> int:
+        return len(self._index)

@@ -1,0 +1,109 @@
+"""Building and routing the hidden databases of a synthetic web.
+
+``build_hidden_databases`` instantiates one :class:`HiddenDatabase` per
+generated site (deterministically — the contents are a pure function of
+the site's brand and domain), and records which access paths each site's
+form exposes:
+
+* a **keyword path** when the form carries a free-text box that searches
+  record text (a single-attribute keyword form, or a multi-attribute
+  form with a ``keyword``-style field);
+* always a **fielded path** for multi-attribute forms.
+
+The paper's post-query discussion turns exactly on this split: probing
+"is effective for simple, keyword-based interfaces ... [but] cannot be
+easily adapted to (structured) multi-attribute interfaces."
+"""
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.hiddendb.database import HiddenDatabase
+from repro.hiddendb.records import generate_mixed_records, generate_records
+from repro.webgen.corpus import SyntheticWeb
+from repro.webgen.domains import domain_by_name
+from repro.webgen.sites import Site
+
+# Schema concepts that expose full-text search over record text when
+# rendered as text inputs.
+_KEYWORD_CONCEPTS = frozenset({"keyword", "q"})
+
+
+@dataclass
+class SourceEntry:
+    """One hidden-web source: its database and access paths."""
+
+    site: Site
+    database: HiddenDatabase
+    keyword_accessible: bool
+
+
+class DatabaseRegistry:
+    """form-page URL -> hidden database + interface metadata."""
+
+    def __init__(self) -> None:
+        self._entries: Dict[str, SourceEntry] = {}
+
+    def add(self, entry: SourceEntry) -> None:
+        self._entries[entry.site.form_page_url] = entry
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, url: str) -> bool:
+        return url in self._entries
+
+    def get(self, url: str) -> Optional[SourceEntry]:
+        return self._entries.get(url)
+
+    def entries(self) -> List[SourceEntry]:
+        return [self._entries[url] for url in sorted(self._entries)]
+
+    def keyword_accessible(self) -> List[SourceEntry]:
+        return [e for e in self.entries() if e.keyword_accessible]
+
+
+def _form_has_keyword_field(site: Site) -> bool:
+    """Whether the site's form exposes a full-text keyword path."""
+    if site.is_single_attribute:
+        return True
+    from repro.html.forms import extract_forms
+
+    page = site.pages[1] if len(site.pages) > 1 else None
+    html = page.html if page is not None and page.kind == "form" else None
+    if html is None:
+        html = next(p.html for p in site.pages if p.kind == "form")
+    for form in extract_forms(html):
+        for form_field in form.text_inputs:
+            if form_field.name in _KEYWORD_CONCEPTS:
+                return True
+    return False
+
+
+def build_hidden_databases(
+    web: SyntheticWeb,
+    records_per_database: int = 150,
+) -> DatabaseRegistry:
+    """One deterministic database per site of ``web``."""
+    registry = DatabaseRegistry()
+    music = domain_by_name("music")
+    movie = domain_by_name("movie")
+    for site in web.sites:
+        domain = domain_by_name(site.domain_name)
+        if site.is_mixed_entertainment:
+            other = movie if domain.name == "music" else music
+            records = generate_mixed_records(
+                domain, other, records_per_database, seed=site.brand
+            )
+        else:
+            records = generate_records(
+                domain, records_per_database, seed=site.brand
+            )
+        registry.add(
+            SourceEntry(
+                site=site,
+                database=HiddenDatabase(records),
+                keyword_accessible=_form_has_keyword_field(site),
+            )
+        )
+    return registry

@@ -1,0 +1,136 @@
+"""A minimal DOM for parsed HTML.
+
+Only what the form-page model needs: an element tree with tag names,
+attributes, text nodes, and simple traversal/search helpers.
+"""
+
+from typing import Dict, Iterator, List, Optional
+
+
+class Node:
+    """Base class for DOM nodes."""
+
+    parent: Optional["Element"]
+
+    def __init__(self) -> None:
+        self.parent = None
+
+    def text_content(self) -> str:
+        """All descendant text, concatenated with spaces."""
+        raise NotImplementedError
+
+
+class Text(Node):
+    """A text node."""
+
+    def __init__(self, data: str) -> None:
+        super().__init__()
+        self.data = data
+
+    def text_content(self) -> str:
+        return self.data
+
+    def __repr__(self) -> str:
+        preview = self.data.strip()[:30]
+        return f"Text({preview!r})"
+
+
+class Element(Node):
+    """An element node with a tag, attributes and children."""
+
+    def __init__(self, tag: str, attrs: Optional[Dict[str, str]] = None) -> None:
+        super().__init__()
+        self.tag = tag.lower()
+        self.attrs: Dict[str, str] = dict(attrs or {})
+        self.children: List[Node] = []
+
+    # ----------------------------------------------------------------
+    # Construction.
+    # ----------------------------------------------------------------
+
+    def append(self, node: Node) -> None:
+        """Append ``node`` as the last child."""
+        node.parent = self
+        self.children.append(node)
+
+    # ----------------------------------------------------------------
+    # Attributes.
+    # ----------------------------------------------------------------
+
+    def get(self, name: str, default: str = "") -> str:
+        """Return attribute ``name`` (case-insensitive), or ``default``."""
+        return self.attrs.get(name.lower(), default)
+
+    def has_attr(self, name: str) -> bool:
+        return name.lower() in self.attrs
+
+    # ----------------------------------------------------------------
+    # Traversal.
+    # ----------------------------------------------------------------
+
+    def iter(self) -> Iterator["Element"]:
+        """Yield this element and every descendant element, pre-order."""
+        yield self
+        for child in self.children:
+            if isinstance(child, Element):
+                yield from child.iter()
+
+    def iter_text_nodes(self) -> Iterator[Text]:
+        """Yield every descendant text node, document order."""
+        for child in self.children:
+            if isinstance(child, Text):
+                yield child
+            elif isinstance(child, Element):
+                yield from child.iter_text_nodes()
+
+    def find_all(self, tag: str) -> List["Element"]:
+        """All descendant elements (including self) with tag ``tag``."""
+        tag = tag.lower()
+        return [el for el in self.iter() if el.tag == tag]
+
+    def find(self, tag: str) -> Optional["Element"]:
+        """First descendant element (including self) with tag ``tag``."""
+        tag = tag.lower()
+        for el in self.iter():
+            if el.tag == tag:
+                return el
+        return None
+
+    def ancestors(self) -> Iterator["Element"]:
+        """Yield ancestor elements, nearest first."""
+        node = self.parent
+        while node is not None:
+            yield node
+            node = node.parent
+
+    def has_ancestor(self, tag: str) -> bool:
+        """True if any ancestor has tag ``tag``."""
+        tag = tag.lower()
+        return any(anc.tag == tag for anc in self.ancestors())
+
+    # ----------------------------------------------------------------
+    # Text.
+    # ----------------------------------------------------------------
+
+    def text_content(self) -> str:
+        parts = [child.text_content() for child in self.children]
+        return " ".join(part for part in parts if part)
+
+    def __repr__(self) -> str:
+        return f"Element(<{self.tag}> children={len(self.children)})"
+
+
+# Tags whose content is never visible text.
+NON_VISIBLE_TAGS = frozenset({"script", "style", "noscript", "template", "head"})
+
+# Void (self-closing) HTML tags; the parser never pushes these on the stack.
+VOID_TAGS = frozenset(
+    {
+        "area", "base", "br", "col", "embed", "hr", "img", "input",
+        "link", "meta", "param", "source", "track", "wbr",
+    }
+)
+
+# Elements that implicitly close an open element of the same tag.  Real web
+# pages (especially 2000s-era ones the paper crawled) rarely close these.
+SELF_NESTING_CLOSERS = frozenset({"p", "li", "option", "tr", "td", "th", "dt", "dd"})

@@ -1,0 +1,115 @@
+"""Located text extraction: every visible term, tagged with where it sits.
+
+Equation 1 multiplies term frequency by a location factor ``LOC_i``: terms
+in the page ``<title>`` get a boost, terms inside form ``<option>`` tags
+get a discount (they reflect database *contents*, which vary per site,
+rather than the schema).  This module walks the DOM once and emits each
+visible text fragment together with its :class:`TextLocation`, and whether
+it is inside a ``<form>`` — the split that defines the FC vs PC feature
+spaces.
+"""
+
+import enum
+from dataclasses import dataclass
+from typing import List
+
+from repro.html.dom import Element, NON_VISIBLE_TAGS, Text
+from repro.html.parser import parse_html
+
+
+class TextLocation(enum.Enum):
+    """Where a text fragment appears, for LOC weighting (Equation 1)."""
+
+    TITLE = "title"       # inside <title>: boosted in PC
+    OPTION = "option"     # inside <option>: discounted in FC
+    ANCHOR = "anchor"     # inside <a>: informative link text
+    BODY = "body"         # everything else
+
+
+@dataclass
+class LocatedText:
+    """A visible text fragment with its location metadata."""
+
+    text: str
+    location: TextLocation
+    inside_form: bool
+
+
+def _location_of(element: Element) -> TextLocation:
+    """Classify an element by its own tag and ancestry."""
+    if element.tag == "title" or element.has_ancestor("title"):
+        return TextLocation.TITLE
+    if element.tag == "option" or element.has_ancestor("option"):
+        return TextLocation.OPTION
+    if element.tag == "a" or element.has_ancestor("a"):
+        return TextLocation.ANCHOR
+    return TextLocation.BODY
+
+
+def _walk(element: Element, inside_form: bool, out: List[LocatedText]) -> None:
+    if element.tag in NON_VISIBLE_TAGS and element.tag != "head":
+        return
+    if element.tag == "head":
+        # The title inside <head> is visible (browser chrome + search
+        # snippets); everything else in head is not.
+        title = element.find("title")
+        if title is not None:
+            text = title.text_content().strip()
+            if text:
+                out.append(LocatedText(text, TextLocation.TITLE, inside_form))
+        return
+    if element.tag == "input":
+        input_type = element.get("type").lower()
+        if input_type in ("submit", "button", "image", "reset"):
+            value = element.get("value") or element.get("alt")
+            if value:
+                out.append(LocatedText(value, TextLocation.BODY, inside_form))
+        elif input_type != "hidden":
+            placeholder = element.get("placeholder")
+            if placeholder:
+                out.append(LocatedText(placeholder, TextLocation.BODY, inside_form))
+        return
+    if element.tag == "img":
+        alt = element.get("alt")
+        if alt:
+            out.append(LocatedText(alt, _location_of(element), inside_form))
+        return
+
+    now_inside_form = inside_form or element.tag == "form"
+    for child in element.children:
+        if isinstance(child, Text):
+            fragment = child.data.strip()
+            if fragment:
+                out.append(
+                    LocatedText(fragment, _location_of(element), now_inside_form)
+                )
+        elif isinstance(child, Element):
+            _walk(child, now_inside_form, out)
+
+
+def extract_located_text(root_or_html) -> List[LocatedText]:
+    """Extract all visible text fragments with location + form membership.
+
+    Accepts either a parsed DOM root or a raw HTML string.
+
+    >>> frags = extract_located_text(
+    ...     "<title>Jobs</title><form><option>Engineer</option></form>")
+    >>> [(f.text, f.location.value, f.inside_form) for f in frags]
+    [('Jobs', 'title', False), ('Engineer', 'option', True)]
+    """
+    root = parse_html(root_or_html) if isinstance(root_or_html, str) else root_or_html
+    fragments: List[LocatedText] = []
+    _walk(root, inside_form=False, out=fragments)
+    return fragments
+
+
+def page_text(root_or_html) -> str:
+    """All visible page text (the PC source), markup removed."""
+    return " ".join(frag.text for frag in extract_located_text(root_or_html))
+
+
+def form_text(root_or_html) -> str:
+    """All visible text inside forms (the FC source)."""
+    return " ".join(
+        frag.text for frag in extract_located_text(root_or_html) if frag.inside_form
+    )

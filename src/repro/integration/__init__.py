@@ -1,0 +1,32 @@
+"""Query-interface integration over CAFC clusters (Section 5).
+
+The paper positions CAFC as the missing first stage of deep-web
+integration: interface matching and merging systems "require as inputs
+groups of similar forms such as the ones derived by our approach."
+This package supplies that second stage:
+
+* :mod:`repro.integration.matching` — attribute-correspondence discovery
+  across the forms of one cluster (label-token and option-value
+  evidence, greedy agglomeration into concept groups);
+* :mod:`repro.integration.unified` — building a unified query interface
+  from the correspondences (canonical labels, merged option lists,
+  coverage statistics).
+"""
+
+from repro.integration.matching import (
+    AttributeInstance,
+    ConceptGroup,
+    collect_attributes,
+    match_attributes,
+)
+from repro.integration.unified import UnifiedField, UnifiedInterface, build_unified_interface
+
+__all__ = [
+    "AttributeInstance",
+    "ConceptGroup",
+    "collect_attributes",
+    "match_attributes",
+    "UnifiedField",
+    "UnifiedInterface",
+    "build_unified_interface",
+]

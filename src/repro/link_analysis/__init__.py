@@ -1,0 +1,31 @@
+"""Link-analysis extensions (the paper's Section 6 future work).
+
+"To further improve the quality of the resulting clusters, we plan to
+exploit a richer set of features provided by: the hyperlink structure,
+e.g., anchor text and the quality of hub pages."
+
+* :mod:`repro.link_analysis.hits` — Kleinberg's HITS (hubs &
+  authorities) implemented from scratch over a :class:`WebGraph`.
+* :mod:`repro.link_analysis.hub_quality` — hub-cluster quality scores
+  (content tightness + structural hub score) and a quality-aware
+  variant of Algorithm 3's seed selection.
+* :mod:`repro.link_analysis.anchor_text` — harvesting the anchor text
+  of backlinks and folding it into the form-page model.
+"""
+
+from repro.link_analysis.anchor_text import harvest_anchor_texts
+from repro.link_analysis.hits import HitsScores, hits
+from repro.link_analysis.hub_quality import (
+    HubQuality,
+    score_hub_clusters,
+    select_hub_clusters_quality_aware,
+)
+
+__all__ = [
+    "harvest_anchor_texts",
+    "HitsScores",
+    "hits",
+    "HubQuality",
+    "score_hub_clusters",
+    "select_hub_clusters_quality_aware",
+]

@@ -1,0 +1,28 @@
+"""Text-processing substrate: tokenization, stopwords, stemming.
+
+The paper builds term vectors by "stemming all the distinct words" found in
+form pages (Section 2.1).  This package provides the pieces of that pipeline:
+
+* :func:`repro.text.tokenize.tokenize` — split raw text into word tokens.
+* :data:`repro.text.stopwords.STOPWORDS` — the English stopword list.
+* :class:`repro.text.stemmer.PorterStemmer` — the classic Porter (1980)
+  suffix-stripping algorithm, implemented from scratch.
+* :class:`repro.text.analyzer.TextAnalyzer` — the composed pipeline
+  (tokenize -> drop stopwords -> stem) used everywhere a bag of terms is
+  needed.
+"""
+
+from repro.text.analyzer import TextAnalyzer, default_analyzer
+from repro.text.stemmer import PorterStemmer, stem
+from repro.text.stopwords import STOPWORDS, is_stopword
+from repro.text.tokenize import tokenize
+
+__all__ = [
+    "TextAnalyzer",
+    "default_analyzer",
+    "PorterStemmer",
+    "stem",
+    "STOPWORDS",
+    "is_stopword",
+    "tokenize",
+]

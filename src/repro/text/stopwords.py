@@ -1,0 +1,64 @@
+"""English stopword list for form-page text.
+
+Stopwords are function words that carry no domain signal.  Beyond the usual
+English closed-class words, the list includes a handful of web-boilerplate
+terms (``click``, ``www``) that appear on virtually every page and would
+otherwise survive into the vector space with a non-trivial IDF on small
+corpora.  Genuinely *generic but content-bearing* web terms (``privacy``,
+``copyright``, ``help`` ...) are deliberately NOT stopworded: the paper
+relies on TF-IDF to down-weight them (Section 2.1), and several tests
+verify that behaviour.
+"""
+
+from typing import FrozenSet
+
+STOPWORDS: FrozenSet[str] = frozenset(
+    """
+    a about above after again against all am an and any are arent as at
+    be because been before being below between both but by
+    cannot cant could couldnt
+    did didnt do does doesnt doing dont down during
+    each
+    few for from further
+    had hadnt has hasnt have havent having he hed hell hes her here heres
+    hers herself him himself his how hows
+    i id ill im ive if in into is isnt it its itself
+    lets
+    me more most mustnt my myself
+    no nor not
+    of off on once only or other ought our ours ourselves out over own
+    same shant she shed shell shes should shouldnt so some such
+    than that thats the their theirs them themselves then there theres
+    these they theyd theyll theyre theyve this those through to too
+    under until up upon
+    very via
+    was wasnt we wed well were werent weve what whats when whens where
+    wheres which while who whos whom why whys will with wont would wouldnt
+    you youd youll youre youve your yours yourself yourselves
+    also among amongst anyhow anyway anywhere
+    became become becomes becoming beforehand behind beside besides beyond
+    eg etc else elsewhere ever every everyone everything everywhere
+    however
+    ie indeed instead
+    latter latterly least less
+    many may maybe meanwhile might moreover mostly much must
+    namely neither never nevertheless next nobody none nonetheless noone
+    nothing now nowhere
+    often otherwise
+    per perhaps please
+    quite
+    rather
+    seem seemed seeming seems several since somehow someone something
+    sometime sometimes somewhere still
+    therefore therein thereupon thus together toward towards
+    unless unlike unlikely us use used using usually
+    whatever whenever whereas wherever whether within without
+    yet
+    click here www http https com org net html htm page pages site web
+    """.split()
+)
+
+
+def is_stopword(token: str) -> bool:
+    """Return True when ``token`` (already lowercased) is a stopword."""
+    return token in STOPWORDS

@@ -1,0 +1,62 @@
+"""Word tokenization for web text.
+
+Form pages contain a mix of prose, labels, navigation text and markup
+residue.  The tokenizer extracts lowercase alphabetic word tokens, which is
+what the paper's vector-space representation operates on: stemmed *words*,
+with punctuation, numbers and markup discarded.
+"""
+
+import re
+from typing import Iterator, List
+
+# A token is a run of ASCII letters, optionally with internal apostrophes
+# (``don't`` -> ``don't``) which are stripped afterwards.  Numbers carry
+# little domain signal in form pages (prices, years vary per site) and are
+# dropped, mirroring the paper's word-oriented model.
+_WORD_RE = re.compile(r"[A-Za-z]+(?:'[A-Za-z]+)?")
+
+# Minimum/maximum token length.  One-letter tokens are almost always markup
+# residue or initials; extremely long tokens are typically URLs or
+# concatenated identifiers.
+MIN_TOKEN_LEN = 2
+MAX_TOKEN_LEN = 30
+
+
+def iter_tokens(text: str) -> Iterator[str]:
+    """Yield lowercase word tokens from ``text`` in document order.
+
+    >>> list(iter_tokens("Find Cheap Flights & Hotels!"))
+    ['find', 'cheap', 'flights', 'hotels']
+    """
+    for match in _WORD_RE.finditer(text):
+        token = match.group(0).replace("'", "").lower()
+        if MIN_TOKEN_LEN <= len(token) <= MAX_TOKEN_LEN:
+            yield token
+
+
+def tokenize(text: str) -> List[str]:
+    """Return the list of lowercase word tokens in ``text``.
+
+    Tokens shorter than :data:`MIN_TOKEN_LEN` or longer than
+    :data:`MAX_TOKEN_LEN` characters are discarded, as are numbers and
+    punctuation.
+    """
+    return list(iter_tokens(text))
+
+
+def split_identifier(name: str) -> List[str]:
+    """Split an HTML identifier-like name into word tokens.
+
+    Form field names are often identifiers such as ``jobCategory``,
+    ``job_category`` or ``job-category``.  These carry domain vocabulary
+    once split on case and separator boundaries.
+
+    >>> split_identifier("jobCategory")
+    ['job', 'category']
+    >>> split_identifier("pick_up_location")
+    ['pick', 'up', 'location']
+    """
+    # Break camelCase boundaries, then defer to the standard tokenizer
+    # (which also splits on ``_``/``-`` since they are non-letters).
+    spaced = re.sub(r"(?<=[a-z])(?=[A-Z])", " ", name)
+    return tokenize(spaced)

@@ -1,0 +1,24 @@
+"""Vector-space model substrate.
+
+Implements the pieces of Section 2.1:
+
+* :class:`repro.vsm.vector.SparseVector` — dictionary-backed sparse term
+  vectors with dot product, norm, scaling and cosine similarity (Eq. 2).
+* :class:`repro.vsm.corpus.CorpusStats` — document frequencies and corpus
+  size for IDF estimation.
+* :class:`repro.vsm.weights.LocationWeights` and
+  :func:`repro.vsm.weights.tf_idf_vector` — Equation 1:
+  ``w_i = LOC_i * TF_i * log(N / n_i)``.
+"""
+
+from repro.vsm.corpus import CorpusStats
+from repro.vsm.vector import SparseVector, cosine_similarity
+from repro.vsm.weights import LocationWeights, tf_idf_vector
+
+__all__ = [
+    "CorpusStats",
+    "SparseVector",
+    "cosine_similarity",
+    "LocationWeights",
+    "tf_idf_vector",
+]

@@ -1,0 +1,73 @@
+"""Corpus-level statistics for IDF estimation.
+
+``CorpusStats`` tracks the total number of documents ``N`` and the document
+frequency ``n_i`` of every term, exactly the quantities Equation 1 needs:
+``idf_i = log(N / n_i)``.
+"""
+
+import math
+from collections import Counter
+from typing import Dict, Iterable, Set
+
+
+class CorpusStats:
+    """Document frequencies over a collection.
+
+    A "document" here is whatever unit IDF is computed over.  The paper
+    computes one IDF per feature space over the whole collection of form
+    pages; :class:`repro.core.vectorizer.FormPageVectorizer` builds one
+    ``CorpusStats`` for FC and one for PC.
+    """
+
+    def __init__(self) -> None:
+        self._document_count = 0
+        self._document_frequency: Counter = Counter()
+
+    # ----------------------------------------------------------------
+    # Building.
+    # ----------------------------------------------------------------
+
+    def add_document(self, terms: Iterable[str]) -> None:
+        """Register one document given its (possibly repeating) terms."""
+        self._document_count += 1
+        distinct: Set[str] = set(terms)
+        self._document_frequency.update(distinct)
+
+    # ----------------------------------------------------------------
+    # Queries.
+    # ----------------------------------------------------------------
+
+    @property
+    def document_count(self) -> int:
+        """N — the number of documents registered."""
+        return self._document_count
+
+    @property
+    def vocabulary_size(self) -> int:
+        return len(self._document_frequency)
+
+    def document_frequency(self, term: str) -> int:
+        """n_i — how many documents contain ``term``."""
+        return self._document_frequency.get(term, 0)
+
+    def idf(self, term: str) -> float:
+        """log(N / n_i), per Equation 1.
+
+        Unknown terms (n_i == 0) get IDF 0 — they cannot contribute to any
+        similarity anyway, and this keeps the vectorizer total when scoring
+        out-of-corpus pages against a frozen corpus.
+        """
+        n_i = self.document_frequency(term)
+        if n_i == 0 or self._document_count == 0:
+            return 0.0
+        return math.log(self._document_count / n_i)
+
+    def idf_map(self) -> Dict[str, float]:
+        """IDF for every known term (materialized once for tight loops)."""
+        n = self._document_count
+        if n == 0:
+            return {}
+        return {
+            term: math.log(n / df)
+            for term, df in self._document_frequency.items()
+        }

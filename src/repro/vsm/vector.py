@@ -1,0 +1,137 @@
+"""Dictionary-backed sparse term vectors.
+
+Form-page vocabularies run to tens of thousands of terms while individual
+pages contain a few hundred, so sparse dictionaries beat dense arrays both
+in memory and in dot-product time (the dot product iterates the smaller
+vector only).
+"""
+
+import math
+from typing import Dict, Iterable, Iterator, Mapping, Tuple
+
+
+class SparseVector:
+    """An immutable-by-convention sparse vector over string terms.
+
+    Supports the operations the clustering algorithms need: dot product,
+    Euclidean norm, cosine similarity, scalar scaling, and accumulation
+    (for centroid computation, Equation 4).
+    """
+
+    __slots__ = ("_weights", "_norm")
+
+    def __init__(self, weights: Mapping[str, float] = ()) -> None:
+        # Zero entries are dropped so that sparsity invariants hold
+        # (len() == number of non-zero coordinates).
+        self._weights: Dict[str, float] = {
+            term: weight for term, weight in dict(weights).items() if weight != 0.0
+        }
+        self._norm: float = -1.0  # computed lazily
+
+    # ----------------------------------------------------------------
+    # Container protocol.
+    # ----------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._weights)
+
+    def __bool__(self) -> bool:
+        return bool(self._weights)
+
+    def __contains__(self, term: str) -> bool:
+        return term in self._weights
+
+    def __getitem__(self, term: str) -> float:
+        return self._weights.get(term, 0.0)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._weights)
+
+    def items(self) -> Iterable[Tuple[str, float]]:
+        return self._weights.items()
+
+    def terms(self) -> Iterable[str]:
+        return self._weights.keys()
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SparseVector):
+            return NotImplemented
+        return self._weights == other._weights
+
+    def __repr__(self) -> str:
+        preview = sorted(self._weights.items(), key=lambda kv: -kv[1])[:3]
+        return f"SparseVector(nnz={len(self)}, top={preview})"
+
+    # ----------------------------------------------------------------
+    # Algebra.
+    # ----------------------------------------------------------------
+
+    def norm(self) -> float:
+        """Euclidean length; cached after first computation."""
+        if self._norm < 0.0:
+            self._norm = math.sqrt(sum(w * w for w in self._weights.values()))
+        return self._norm
+
+    def dot(self, other: "SparseVector") -> float:
+        """Dot product; iterates the sparser operand."""
+        a, b = self._weights, other._weights
+        if len(a) > len(b):
+            a, b = b, a
+        return sum(weight * b[term] for term, weight in a.items() if term in b)
+
+    def scale(self, factor: float) -> "SparseVector":
+        """Return a new vector scaled by ``factor``."""
+        return SparseVector(
+            {term: weight * factor for term, weight in self._weights.items()}
+        )
+
+    def add(self, other: "SparseVector") -> "SparseVector":
+        """Return the element-wise sum as a new vector."""
+        summed = dict(self._weights)
+        for term, weight in other.items():
+            summed[term] = summed.get(term, 0.0) + weight
+        return SparseVector(summed)
+
+    def normalized(self) -> "SparseVector":
+        """Return a unit-length copy (or an empty vector if zero)."""
+        length = self.norm()
+        if length == 0.0:
+            return SparseVector()
+        return self.scale(1.0 / length)
+
+    def top_terms(self, n: int = 10) -> Iterable[Tuple[str, float]]:
+        """The ``n`` heaviest terms, descending by weight (ties by term)."""
+        return sorted(self._weights.items(), key=lambda kv: (-kv[1], kv[0]))[:n]
+
+
+def cosine_similarity(a: SparseVector, b: SparseVector) -> float:
+    """Cosine similarity (Equation 2): ``a . b / (|a| |b|)``.
+
+    Two empty vectors — or any vector against an empty one — have
+    similarity 0, the conventional choice for missing feature spaces
+    (e.g. a form page whose form carries no visible text at all).
+    """
+    denominator = a.norm() * b.norm()
+    if denominator == 0.0:
+        return 0.0
+    return a.dot(b) / denominator
+
+
+def accumulate(vectors: Iterable[SparseVector]) -> SparseVector:
+    """Sum many vectors efficiently (single mutable accumulator)."""
+    total: Dict[str, float] = {}
+    for vector in vectors:
+        for term, weight in vector.items():
+            total[term] = total.get(term, 0.0) + weight
+    return SparseVector(total)
+
+
+def mean_vector(vectors: Iterable[SparseVector]) -> SparseVector:
+    """The arithmetic mean of ``vectors`` (Equation 4 per feature space).
+
+    Returns an empty vector for an empty input.
+    """
+    materialized = list(vectors)
+    if not materialized:
+        return SparseVector()
+    return accumulate(materialized).scale(1.0 / len(materialized))

@@ -1,0 +1,34 @@
+"""Synthetic hidden-web generator.
+
+The paper evaluates on 454 real form pages (UIUC repository + focused
+crawler) spanning eight database domains, plus AltaVista backlinks.
+Neither resource is reachable here, so this package generates a
+deterministic synthetic web with the same statistical profile:
+
+* eight domains — Airfare, Auto, Book, Hotel, Job, Movie, Music,
+  Rental-car — with distinctive vocabularies, heterogeneous attribute
+  labels per site, and a deliberate Music/Movie vocabulary overlap;
+* 454 form pages: 56 single-attribute keyword forms, 398 multi-attribute
+  forms, with the Table-1 anticorrelation between form size and page
+  content;
+* realistic noise: generic web boilerplate on every page, site-specific
+  brand vocabulary, non-searchable forms (login boxes) on some sites;
+* a hyperlink neighbourhood: site root pages, homogeneous domain hubs,
+  heterogeneous directories, intra-site links, and an incomplete
+  simulated search-engine index over it all.
+
+Entry point: :func:`repro.webgen.corpus.generate_benchmark`.
+"""
+
+from repro.webgen.config import GeneratorConfig
+from repro.webgen.corpus import SyntheticWeb, generate_benchmark
+from repro.webgen.domains import DOMAINS, DomainSpec, domain_by_name
+
+__all__ = [
+    "GeneratorConfig",
+    "SyntheticWeb",
+    "generate_benchmark",
+    "DOMAINS",
+    "DomainSpec",
+    "domain_by_name",
+]

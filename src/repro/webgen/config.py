@@ -1,0 +1,117 @@
+"""Generator configuration.
+
+Defaults reproduce the paper's corpus profile (Section 4.1): 454 form
+pages over eight domains, 56 single-attribute / 398 multi-attribute, the
+Table-1 page-content profile, and a hub neighbourhood whose raw clusters
+are ~69% homogeneous with the large (>=14) clusters drawn only from the
+Airfare and Hotel domains.
+"""
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+
+def _default_pages_per_domain() -> Dict[str, int]:
+    # Sums to 454, the paper's corpus size.
+    return {
+        "airfare": 62,
+        "auto": 58,
+        "book": 60,
+        "hotel": 60,
+        "job": 55,
+        "movie": 56,
+        "music": 53,
+        "rental": 50,
+    }
+
+
+@dataclass
+class GeneratorConfig:
+    """All knobs of the synthetic-web generator.
+
+    Attributes
+    ----------
+    pages_per_domain:
+        Form pages generated per domain (default sums to 454).
+    single_attribute_per_domain:
+        How many of each domain's pages carry a single-attribute keyword
+        form (default 7 -> 56 total, the paper's count).
+    mixed_entertainment_pages:
+        Pages whose database genuinely spans Music and Movie (Figure 4's
+        ambiguous forms); half are labelled music, half movie.  Drawn from
+        those domains' page budgets.
+    prose_mix:
+        (topic, shared, generic-noise) sampling weights for page prose.
+    form_text_mix:
+        Same weights for the free text around form controls.
+    table1_targets:
+        Form-size-bucket -> mean number of prose terms outside the form
+        (the Table 1 profile).  Buckets are lower bounds of the paper's
+        intervals.
+    crosstalk_fraction:
+        Fraction of each domain's multi-attribute pages whose *prose*
+        blends in a sibling domain's vocabulary (cross-selling sites:
+        hotel pages advertising flights, movie stores selling CDs) while
+        the form stays single-domain.  These are the pages where page
+        contents mislead and form contents must compensate — the
+        mechanism behind Figure 2's FC+PC > PC result.
+    orphan_fraction:
+        Fraction of form pages that receive no hub inlinks at all (the
+        paper's "no backlinks for over 15% of forms").
+    small_hubs_per_domain / medium_hubs_per_domain:
+        Homogeneous hub counts per domain.  Small hubs co-cite 2-6 pages
+        (mostly pure but uninformative); medium hubs co-cite 7-10 pages
+        (the good seeds).
+    n_directories:
+        Heterogeneous directory hubs (mixed domains, sizes 5-13).
+    n_travel_portals:
+        Large hubs (>= 14 pages) mixing only Airfare and Hotel pages —
+        the paper's observation about large hub clusters.
+    hub_links_root_probability:
+        Probability a hub links to the site root instead of the deep form
+        page (why the paper also harvests root-page backlinks).
+    login_page_probability:
+        Probability a site carries a login page with a non-searchable
+        form (crawler-filter workload).
+    engine_coverage / engine_seed:
+        Simulated search-engine index coverage and sampling seed.
+    seed:
+        Master RNG seed; the whole web is a pure function of the config.
+    """
+
+    pages_per_domain: Dict[str, int] = field(default_factory=_default_pages_per_domain)
+    single_attribute_per_domain: int = 7
+    mixed_entertainment_pages: int = 12
+    prose_mix: Tuple[float, float, float] = (0.38, 0.22, 0.40)
+    form_text_mix: Tuple[float, float, float] = (0.6, 0.15, 0.25)
+    table1_targets: Dict[int, int] = field(
+        default_factory=lambda: {0: 181, 10: 131, 50: 76, 100: 83, 200: 20}
+    )
+    crosstalk_fraction: float = 0.44
+    orphan_fraction: float = 0.15
+    small_hubs_per_domain: int = 28
+    medium_hubs_per_domain: int = 6
+    n_directories: int = 110
+    n_travel_portals: int = 8
+    hub_links_root_probability: float = 0.3
+    login_page_probability: float = 0.3
+    engine_coverage: float = 0.9
+    engine_seed: int = 7
+    max_backlinks: int = 100
+    seed: int = 42
+
+    @property
+    def total_pages(self) -> int:
+        return sum(self.pages_per_domain.values())
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.orphan_fraction < 1.0:
+            raise ValueError("orphan_fraction must be in [0, 1)")
+        for name, count in self.pages_per_domain.items():
+            if count < self.single_attribute_per_domain:
+                raise ValueError(
+                    f"domain {name!r} has fewer pages ({count}) than "
+                    f"single-attribute forms ({self.single_attribute_per_domain})"
+                )
+        if self.mixed_entertainment_pages % 2 != 0:
+            raise ValueError("mixed_entertainment_pages must be even")

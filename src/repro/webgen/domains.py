@@ -1,0 +1,642 @@
+"""The eight database domains of the paper's corpus (Section 4.1).
+
+Each :class:`DomainSpec` captures what real sites in the domain share and
+where they differ:
+
+* ``attributes`` — the domain schema.  Every attribute carries several
+  *label variants* ("the first form uses Job Category and State, whereas
+  the second uses Industry and Location to represent the same concepts"),
+  and each generated site picks its own variant, so no two sites present
+  the same field names.
+* ``topic_words`` — head-first prose vocabulary (Zipf-sampled).
+* ``shared_words`` — vocabulary deliberately shared with sibling domains:
+  Music and Movie share an entertainment-retail pool (the paper's main
+  error source), the travel trio shares booking vocabulary, and Auto and
+  Rental-car share vehicle words.
+* value pools for ``<select>`` options; travel domains share the CITIES
+  pool, which is precisely why the paper discounts option text (LOC) —
+  options reflect database contents, not the schema.
+"""
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+# ---------------------------------------------------------------------
+# Shared value pools (database contents — surfaces in <option> tags).
+# ---------------------------------------------------------------------
+
+CITIES: Tuple[str, ...] = (
+    "New York", "Los Angeles", "Chicago", "Houston", "Phoenix",
+    "Philadelphia", "San Antonio", "San Diego", "Dallas", "San Jose",
+    "Austin", "Jacksonville", "Columbus", "Charlotte", "Indianapolis",
+    "Seattle", "Denver", "Boston", "Nashville", "Detroit", "Portland",
+    "Memphis", "Las Vegas", "Baltimore", "Milwaukee", "Albuquerque",
+    "Tucson", "Sacramento", "Kansas City", "Atlanta", "Miami", "Omaha",
+    "Oakland", "Minneapolis", "Cleveland", "Tampa", "Orlando", "Honolulu",
+    "Pittsburgh", "Cincinnati", "Anchorage", "Buffalo", "Newark",
+    "London", "Paris", "Tokyo", "Sydney", "Toronto", "Vancouver", "Rome",
+    "Madrid", "Berlin", "Amsterdam", "Dublin", "Frankfurt", "Zurich",
+    "Saint Louis", "New Orleans", "Salt Lake City", "San Francisco",
+    "Fort Worth", "El Paso", "Raleigh", "Richmond", "Hartford",
+    "Providence", "Louisville", "Oklahoma City", "Tulsa", "Boise",
+    "Des Moines", "Spokane", "Fresno", "Tucson West", "Mexico City",
+    "Montreal", "Hong Kong", "Singapore", "Bangkok", "Istanbul",
+)
+
+STATES: Tuple[str, ...] = (
+    "Alabama", "Alaska", "Arizona", "Arkansas", "California", "Colorado",
+    "Connecticut", "Delaware", "Florida", "Georgia", "Hawaii", "Idaho",
+    "Illinois", "Indiana", "Iowa", "Kansas", "Kentucky", "Louisiana",
+    "Maine", "Maryland", "Massachusetts", "Michigan", "Minnesota",
+    "Mississippi", "Missouri", "Montana", "Nebraska", "Nevada",
+    "New Hampshire", "New Jersey", "New Mexico", "New York",
+    "North Carolina", "North Dakota", "Ohio", "Oklahoma", "Oregon",
+    "Pennsylvania", "Rhode Island", "South Carolina", "South Dakota",
+    "Tennessee", "Texas", "Utah", "Vermont", "Virginia", "Washington",
+    "West Virginia", "Wisconsin", "Wyoming",
+)
+
+MONTHS: Tuple[str, ...] = (
+    "January", "February", "March", "April", "May", "June", "July",
+    "August", "September", "October", "November", "December",
+)
+
+# ---------------------------------------------------------------------
+# Shared prose pools (vocabulary overlap between sibling domains).
+# ---------------------------------------------------------------------
+
+ENTERTAINMENT_SHARED: Tuple[str, ...] = (
+    "title", "titles", "genre", "release", "releases", "entertainment",
+    "media", "store", "collection", "review", "reviews", "chart",
+    "soundtrack", "disc", "bestselling", "catalog",
+)
+
+TRAVEL_SHARED: Tuple[str, ...] = (
+    "travel", "trip", "reservation", "booking", "destination", "airport",
+    "vacation", "itinerary", "traveler",
+)
+
+VEHICLE_SHARED: Tuple[str, ...] = (
+    "car", "cars", "vehicle", "vehicles", "driver", "driving",
+)
+
+
+@dataclass(frozen=True)
+class AttributeSpec:
+    """One schema attribute of a domain.
+
+    ``kind`` is ``select`` (options from ``value_pool``), ``text`` (free
+    input) or ``month`` (a month dropdown, shared travel furniture).
+    ``option_range`` bounds how many options a generated site shows;
+    sites with long option lists produce the paper's large (>=100-term)
+    forms.
+    """
+
+    concept: str
+    label_variants: Tuple[str, ...]
+    kind: str = "select"
+    value_pool: Tuple[str, ...] = ()
+    option_range: Tuple[int, int] = (4, 10)
+    required: bool = False
+
+
+@dataclass(frozen=True)
+class DomainSpec:
+    """One database domain: schema, vocabulary, naming."""
+
+    name: str
+    display_name: str
+    attributes: Tuple[AttributeSpec, ...]
+    topic_words: Tuple[str, ...]
+    shared_words: Tuple[str, ...] = ()
+    site_words: Tuple[str, ...] = ()      # hostname ingredients
+    title_nouns: Tuple[str, ...] = ()     # "<Brand> Flight Search" etc.
+    keyword_hint: str = "Search"          # caption near keyword boxes
+
+
+AIRFARE = DomainSpec(
+    name="airfare",
+    display_name="Airfare",
+    attributes=(
+        AttributeSpec(
+            "origin",
+            ("From", "Departure City", "Leaving From", "Depart From", "Origin"),
+            kind="select", value_pool=CITIES, option_range=(10, 40), required=True,
+        ),
+        AttributeSpec(
+            "destination",
+            ("To", "Destination City", "Going To", "Arrive In", "Destination"),
+            kind="select", value_pool=CITIES, option_range=(10, 40), required=True,
+        ),
+        AttributeSpec(
+            "depart_month", ("Departure Date", "Depart", "Leaving On"),
+            kind="month", required=True,
+        ),
+        AttributeSpec(
+            "return_month", ("Return Date", "Return", "Coming Back"),
+            kind="month",
+        ),
+        AttributeSpec(
+            "cabin",
+            ("Class", "Cabin", "Service Class", "Seating"),
+            kind="select",
+            value_pool=("Economy", "Premium Economy", "Business", "First"),
+            option_range=(3, 4),
+        ),
+        AttributeSpec(
+            "airline",
+            ("Airline", "Preferred Airline", "Carrier"),
+            kind="select",
+            value_pool=(
+                "American Airlines", "United Airlines", "Delta", "Continental",
+                "Northwest", "Southwest", "US Airways", "JetBlue", "Alaska Airlines",
+                "Air Canada", "British Airways", "Lufthansa", "Air France",
+            ),
+            option_range=(5, 13),
+        ),
+        AttributeSpec(
+            "trip_type", ("Trip Type", "Flight Type"),
+            kind="select",
+            value_pool=("Round Trip", "One Way", "Multi City"),
+            option_range=(2, 3),
+        ),
+    ),
+    topic_words=(
+        "flight", "flights", "airfare", "airfares", "airline", "airlines",
+        "fare", "fares", "ticket", "tickets", "fly", "flying", "departure",
+        "arrival", "nonstop", "roundtrip", "cheap", "lowest", "deals",
+        "domestic", "international", "seat", "seats", "cabin", "airways",
+        "departing", "arriving", "layover", "connecting", "aviation",
+        "mileage", "miles", "frequent", "flyer", "boarding",
+    ),
+    shared_words=TRAVEL_SHARED,
+    site_words=("fly", "air", "flight", "fare", "wings", "sky", "jet"),
+    title_nouns=("Cheap Flights", "Airfare Search", "Flight Deals", "Low Fares"),
+    keyword_hint="Search Flights",
+)
+
+AUTO = DomainSpec(
+    name="auto",
+    display_name="Auto",
+    attributes=(
+        AttributeSpec(
+            "make",
+            ("Make", "Manufacturer", "Brand", "Car Make"),
+            kind="select",
+            value_pool=(
+                "Acura", "Audi", "BMW", "Buick", "Cadillac", "Chevrolet",
+                "Chrysler", "Dodge", "Ford", "GMC", "Honda", "Hyundai",
+                "Infiniti", "Jaguar", "Jeep", "Kia", "Lexus", "Lincoln",
+                "Mazda", "Mercedes Benz", "Mercury", "Mitsubishi", "Nissan",
+                "Pontiac", "Porsche", "Saab", "Saturn", "Subaru", "Suzuki",
+                "Toyota", "Volkswagen", "Volvo",
+            ),
+            option_range=(10, 32), required=True,
+        ),
+        AttributeSpec("model", ("Model", "Car Model"), kind="text"),
+        AttributeSpec(
+            "body_style",
+            ("Body Style", "Vehicle Type", "Style"),
+            kind="select",
+            value_pool=(
+                "Sedan", "Coupe", "Convertible", "Hatchback", "Wagon",
+                "SUV", "Truck", "Van", "Minivan", "Roadster",
+            ),
+            option_range=(5, 10),
+        ),
+        AttributeSpec(
+            "price_range",
+            ("Price Range", "Price", "Maximum Price"),
+            kind="select",
+            value_pool=(
+                "Under 5000", "5000 to 10000", "10000 to 15000",
+                "15000 to 20000", "20000 to 30000", "30000 to 40000",
+                "Over 40000",
+            ),
+            option_range=(4, 7),
+        ),
+        AttributeSpec(
+            "condition",
+            ("Condition", "New or Used"),
+            kind="select",
+            value_pool=("New", "Used", "Certified Pre Owned"),
+            option_range=(2, 3), required=True,
+        ),
+        AttributeSpec(
+            "state",
+            ("State", "Location", "Search Within"),
+            kind="select", value_pool=STATES, option_range=(10, 50),
+        ),
+        AttributeSpec("zip", ("Zip Code", "Zip", "Near Zip"), kind="text"),
+        AttributeSpec(
+            "color",
+            ("Exterior Color", "Color", "Paint Color"),
+            kind="select",
+            value_pool=(
+                "Black", "White", "Silver", "Gray", "Red", "Blue", "Green",
+                "Gold", "Beige", "Brown", "Orange", "Yellow", "Purple",
+                "Maroon", "Champagne", "Pewter",
+            ),
+            option_range=(6, 16),
+        ),
+    ),
+    topic_words=(
+        "auto", "autos", "automobile", "automotive", "dealer", "dealers",
+        "dealership", "used", "mileage", "engine", "transmission",
+        "automatic", "sedan", "truck", "suv", "warranty", "financing",
+        "lease", "leasing", "trade", "inventory", "listings", "motor",
+        "motors", "odometer", "horsepower", "cylinder", "wheel", "tire",
+        "certified", "preowned", "invoice", "msrp", "test", "drive",
+    ),
+    shared_words=VEHICLE_SHARED,
+    site_words=("auto", "car", "motor", "wheel", "drive", "dealer"),
+    title_nouns=("Used Cars", "Auto Classifieds", "Car Search", "New and Used Autos"),
+    keyword_hint="Find Cars",
+)
+
+BOOK = DomainSpec(
+    name="book",
+    display_name="Book",
+    attributes=(
+        AttributeSpec("title", ("Title", "Book Title"), kind="text", required=True),
+        AttributeSpec("author", ("Author", "Written By", "Author Name"), kind="text", required=True),
+        AttributeSpec("isbn", ("ISBN", "ISBN Number"), kind="text"),
+        AttributeSpec(
+            "category",
+            ("Category", "Subject", "Genre", "Section"),
+            kind="select",
+            value_pool=(
+                "Fiction", "Mystery", "Romance", "Science Fiction", "Fantasy",
+                "Biography", "History", "Business", "Computers", "Cooking",
+                "Travel", "Children", "Poetry", "Reference", "Religion",
+                "Self Help", "Health", "Art", "Sports", "Textbooks",
+                "Thriller", "Western", "Horror", "Philosophy", "Psychology",
+                "Politics", "Science", "Nature", "Crafts", "Humor",
+            ),
+            option_range=(8, 30),
+        ),
+        AttributeSpec(
+            "format",
+            ("Format", "Binding", "Book Format"),
+            kind="select",
+            value_pool=("Hardcover", "Paperback", "Audio Book", "Large Print"),
+            option_range=(2, 4),
+        ),
+        AttributeSpec("publisher", ("Publisher", "Publishing House"), kind="text"),
+        AttributeSpec("keyword", ("Keyword", "Keywords"), kind="text"),
+        AttributeSpec(
+            "language",
+            ("Language", "Book Language"),
+            kind="select",
+            value_pool=(
+                "English", "Spanish", "French", "German", "Italian",
+                "Portuguese", "Chinese", "Japanese", "Russian", "Arabic",
+                "Hindi", "Korean", "Dutch", "Swedish",
+            ),
+            option_range=(4, 14),
+        ),
+    ),
+    topic_words=(
+        "book", "books", "author", "authors", "publisher", "publishing",
+        "isbn", "paperback", "hardcover", "edition", "editions", "novel",
+        "novels", "fiction", "nonfiction", "bestseller", "bestsellers",
+        "bookstore", "bookseller", "textbook", "textbooks", "literature",
+        "literary", "read", "reading", "reader", "chapter", "library",
+        "print", "copy", "copies", "volume", "bibliography", "writer",
+    ),
+    site_words=("book", "read", "page", "novel", "text", "press"),
+    title_nouns=("Book Search", "Online Bookstore", "New and Used Books", "Book Finder"),
+    keyword_hint="Search Books",
+)
+
+HOTEL = DomainSpec(
+    name="hotel",
+    display_name="Hotel",
+    attributes=(
+        AttributeSpec(
+            "city",
+            ("City", "Destination", "Where", "Location"),
+            kind="select", value_pool=CITIES, option_range=(10, 40), required=True,
+        ),
+        AttributeSpec(
+            "checkin_month", ("Check In", "Arrival Date", "Check In Date"),
+            kind="month", required=True,
+        ),
+        AttributeSpec(
+            "checkout_month", ("Check Out", "Departure Date", "Check Out Date"),
+            kind="month",
+        ),
+        AttributeSpec(
+            "rooms",
+            ("Rooms", "Number of Rooms"),
+            kind="select",
+            value_pool=("One Room", "Two Rooms", "Three Rooms", "Four Rooms"),
+            option_range=(2, 4),
+        ),
+        AttributeSpec(
+            "guests",
+            ("Guests", "Adults", "Number of Guests"),
+            kind="select",
+            value_pool=("One Adult", "Two Adults", "Three Adults", "Four Adults"),
+            option_range=(2, 4),
+        ),
+        AttributeSpec(
+            "rating",
+            ("Star Rating", "Hotel Class", "Rating"),
+            kind="select",
+            value_pool=(
+                "One Star", "Two Stars", "Three Stars", "Four Stars", "Five Stars",
+            ),
+            option_range=(3, 5),
+        ),
+        AttributeSpec(
+            "chain",
+            ("Hotel Chain", "Chain", "Brand"),
+            kind="select",
+            value_pool=(
+                "Hilton", "Marriott", "Hyatt", "Sheraton", "Westin",
+                "Holiday Inn", "Best Western", "Radisson", "Ramada",
+                "Comfort Inn", "Days Inn", "Embassy Suites", "Four Seasons",
+            ),
+            option_range=(5, 13),
+        ),
+    ),
+    topic_words=(
+        "hotel", "hotels", "room", "rooms", "lodging", "accommodation",
+        "accommodations", "stay", "night", "nights", "guest", "guests",
+        "resort", "resorts", "inn", "suite", "suites", "amenities",
+        "rate", "rates", "availability", "motel", "motels", "breakfast",
+        "pool", "spa", "concierge", "lobby", "checkin", "checkout",
+        "hospitality", "bed", "beds", "smoking", "nonsmoking",
+    ),
+    shared_words=TRAVEL_SHARED,
+    site_words=("hotel", "stay", "room", "inn", "lodge", "suite"),
+    title_nouns=("Hotel Reservations", "Hotel Deals", "Find Hotels", "Hotel Rooms"),
+    keyword_hint="Find Hotels",
+)
+
+JOB = DomainSpec(
+    name="job",
+    display_name="Job",
+    attributes=(
+        AttributeSpec(
+            "category",
+            ("Job Category", "Industry", "Field", "Job Function", "Sector"),
+            kind="select",
+            value_pool=(
+                "Accounting", "Administrative", "Advertising", "Banking",
+                "Biotech", "Construction", "Consulting", "Customer Service",
+                "Education", "Engineering", "Finance", "Government",
+                "Healthcare", "Hospitality", "Human Resources", "Insurance",
+                "Legal", "Manufacturing", "Marketing", "Nonprofit",
+                "Pharmaceutical", "Real Estate", "Restaurant", "Retail",
+                "Sales", "Technology", "Telecommunications", "Transportation",
+            ),
+            option_range=(8, 28), required=True,
+        ),
+        AttributeSpec(
+            "state",
+            ("State", "Location", "Region", "Where"),
+            kind="select", value_pool=STATES, option_range=(10, 50), required=True,
+        ),
+        AttributeSpec("keyword", ("Keywords", "Keyword", "Job Title"), kind="text"),
+        AttributeSpec(
+            "job_type",
+            ("Job Type", "Employment Type", "Position Type"),
+            kind="select",
+            value_pool=(
+                "Full Time", "Part Time", "Contract", "Temporary",
+                "Internship", "Seasonal",
+            ),
+            option_range=(3, 6),
+        ),
+        AttributeSpec(
+            "salary",
+            ("Salary Range", "Salary", "Minimum Salary"),
+            kind="select",
+            value_pool=(
+                "Under 30000", "30000 to 50000", "50000 to 75000",
+                "75000 to 100000", "Over 100000",
+            ),
+            option_range=(3, 5),
+        ),
+        AttributeSpec(
+            "experience",
+            ("Experience Level", "Experience", "Career Level"),
+            kind="select",
+            value_pool=("Entry Level", "Mid Level", "Senior Level", "Executive"),
+            option_range=(2, 4),
+        ),
+        AttributeSpec(
+            "city",
+            ("City", "Metro Area", "Near City"),
+            kind="select", value_pool=CITIES, option_range=(8, 30),
+        ),
+    ),
+    topic_words=(
+        "job", "jobs", "career", "careers", "employment", "employer",
+        "employers", "resume", "resumes", "salary", "salaries", "position",
+        "positions", "hire", "hiring", "recruiter", "recruiters",
+        "recruiting", "recruitment", "candidate", "candidates",
+        "opportunity", "opportunities", "staffing", "posting", "postings",
+        "seeker", "seekers", "workplace", "interview", "apply",
+        "applicant", "openings", "vacancies", "professional",
+    ),
+    site_words=("job", "career", "work", "hire", "talent", "staff"),
+    title_nouns=("Job Search", "Career Center", "Find Jobs", "Employment Listings"),
+    keyword_hint="Search Jobs",
+)
+
+MOVIE = DomainSpec(
+    name="movie",
+    display_name="Movie",
+    attributes=(
+        AttributeSpec("title", ("Title", "Movie Title", "Film Title"), kind="text", required=True),
+        AttributeSpec(
+            "genre",
+            ("Genre", "Category", "Film Genre"),
+            kind="select",
+            value_pool=(
+                "Action", "Adventure", "Animation", "Comedy", "Crime",
+                "Documentary", "Drama", "Family", "Fantasy", "Horror",
+                "Musical", "Mystery", "Romance", "Science Fiction",
+                "Thriller", "War", "Western", "Foreign", "Independent",
+            ),
+            option_range=(6, 19),
+        ),
+        AttributeSpec(
+            "format",
+            ("Format", "Media Format"),
+            kind="select",
+            value_pool=("DVD", "VHS", "Blu Ray", "UMD"),
+            option_range=(2, 4),
+        ),
+        AttributeSpec("actor", ("Actor", "Starring", "Cast Member"), kind="text"),
+        AttributeSpec("director", ("Director", "Directed By"), kind="text"),
+        AttributeSpec(
+            "rating",
+            ("Rating", "MPAA Rating"),
+            kind="select",
+            value_pool=("Rated G", "Rated PG", "Rated PG13", "Rated R", "Unrated"),
+            option_range=(3, 5),
+        ),
+        AttributeSpec(
+            "studio",
+            ("Studio", "Movie Studio", "Distributor"),
+            kind="select",
+            value_pool=(
+                "Warner Brothers", "Paramount", "Universal", "Columbia",
+                "Disney", "Twentieth Century Fox", "Miramax", "Dreamworks",
+                "MGM", "Lionsgate", "New Line", "Tristar",
+            ),
+            option_range=(5, 12),
+        ),
+        AttributeSpec(
+            "decade",
+            ("Decade", "Release Decade", "Era"),
+            kind="select",
+            value_pool=(
+                "Fifties", "Sixties", "Seventies", "Eighties",
+                "Nineties", "Two Thousands",
+            ),
+            option_range=(3, 6),
+        ),
+    ),
+    topic_words=(
+        "movie", "movies", "film", "films", "dvd", "dvds", "video",
+        "videos", "actor", "actors", "actress", "director", "directors",
+        "cinema", "theater", "screen", "trailer", "trailers", "drama",
+        "comedy", "thriller", "horror", "widescreen", "hollywood",
+        "starring", "cast", "scene", "scenes", "feature", "festival",
+        "oscar", "screenplay", "studio", "boxoffice",
+    ),
+    shared_words=ENTERTAINMENT_SHARED,
+    site_words=("movie", "film", "dvd", "cinema", "reel", "screen"),
+    title_nouns=("Movie Search", "DVD Store", "Film Database", "Movies and DVDs"),
+    keyword_hint="Search Movies",
+)
+
+MUSIC = DomainSpec(
+    name="music",
+    display_name="Music",
+    attributes=(
+        AttributeSpec("artist", ("Artist", "Artist Name", "Band"), kind="text", required=True),
+        AttributeSpec("album", ("Album", "Album Title"), kind="text"),
+        AttributeSpec("song", ("Song", "Track", "Song Title"), kind="text"),
+        AttributeSpec(
+            "genre",
+            ("Genre", "Music Style", "Category"),
+            kind="select",
+            value_pool=(
+                "Rock", "Pop", "Jazz", "Classical", "Country", "Rap",
+                "Hip Hop", "Blues", "Metal", "Folk", "Electronic", "Dance",
+                "Reggae", "Latin", "Gospel", "Soul", "Punk", "Alternative",
+                "World", "Soundtrack",
+            ),
+            option_range=(6, 20),
+        ),
+        AttributeSpec(
+            "format",
+            ("Format", "Media"),
+            kind="select",
+            value_pool=("CD", "Cassette", "Vinyl", "MP3", "DVD Audio"),
+            option_range=(2, 5),
+        ),
+        AttributeSpec("label", ("Record Label", "Label"), kind="text"),
+    ),
+    topic_words=(
+        "music", "album", "albums", "artist", "artists", "song", "songs",
+        "band", "bands", "audio", "track", "tracks", "lyrics", "concert",
+        "concerts", "tour", "record", "recording", "recordings", "label",
+        "single", "singles", "vinyl", "cassette", "stereo", "listen",
+        "listening", "radio", "studio", "acoustic", "instrumental",
+        "musician", "musicians", "discography", "remix",
+    ),
+    shared_words=ENTERTAINMENT_SHARED,
+    site_words=("music", "cd", "sound", "tune", "record", "audio"),
+    title_nouns=("Music Store", "CD Search", "Music Downloads", "Albums and CDs"),
+    keyword_hint="Search Music",
+)
+
+RENTAL = DomainSpec(
+    name="rental",
+    display_name="Rental Car",
+    attributes=(
+        AttributeSpec(
+            "pickup_location",
+            ("Pickup Location", "Pick Up City", "Renting In", "Pickup City"),
+            kind="select", value_pool=CITIES, option_range=(10, 40), required=True,
+        ),
+        AttributeSpec(
+            "pickup_month", ("Pickup Date", "Pick Up", "Rental Date"),
+            kind="month", required=True,
+        ),
+        AttributeSpec(
+            "return_month", ("Return Date", "Drop Off Date", "Return"),
+            kind="month",
+        ),
+        AttributeSpec(
+            "car_class",
+            ("Car Class", "Car Type", "Vehicle Class", "Size"),
+            kind="select",
+            value_pool=(
+                "Economy", "Compact", "Midsize", "Standard", "Fullsize",
+                "Premium", "Luxury", "Convertible", "Minivan", "SUV",
+            ),
+            option_range=(5, 10), required=True,
+        ),
+        AttributeSpec(
+            "company",
+            ("Rental Company", "Company", "Agency"),
+            kind="select",
+            value_pool=(
+                "Hertz", "Avis", "Budget", "National", "Alamo",
+                "Enterprise", "Thrifty", "Dollar", "Payless",
+            ),
+            option_range=(4, 9),
+        ),
+        AttributeSpec(
+            "driver_age",
+            ("Driver Age", "Age of Driver"),
+            kind="select",
+            value_pool=("Under 25", "25 and Over", "Over 65"),
+            option_range=(2, 3),
+        ),
+    ),
+    topic_words=(
+        "rental", "rentals", "rent", "pickup", "dropoff", "location",
+        "locations", "rate", "rates", "daily", "weekly", "weekend",
+        "unlimited", "insurance", "counter", "fleet", "compact",
+        "economy", "midsize", "fullsize", "luxury", "minivan",
+        "surcharge", "deposit", "renter", "agency", "agencies",
+    ),
+    shared_words=VEHICLE_SHARED + TRAVEL_SHARED,
+    site_words=("rent", "rental", "car", "drive", "auto", "wheels"),
+    title_nouns=("Car Rental", "Rental Cars", "Rent a Car", "Car Hire"),
+    keyword_hint="Find Rental Cars",
+)
+
+# The canonical ordering used throughout the library and experiments.
+DOMAINS: Tuple[DomainSpec, ...] = (
+    AIRFARE, AUTO, BOOK, HOTEL, JOB, MOVIE, MUSIC, RENTAL,
+)
+
+_BY_NAME: Dict[str, DomainSpec] = {spec.name: spec for spec in DOMAINS}
+
+
+def domain_by_name(name: str) -> DomainSpec:
+    """Look up a domain spec by its short name.
+
+    >>> domain_by_name("job").display_name
+    'Job'
+    """
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown domain {name!r}; known: {sorted(_BY_NAME)}"
+        ) from None
+
+
+def domain_names() -> Tuple[str, ...]:
+    return tuple(spec.name for spec in DOMAINS)

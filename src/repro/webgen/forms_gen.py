@@ -1,0 +1,263 @@
+"""Generating the HTML of searchable and non-searchable forms.
+
+Three form species appear in the paper's corpus, and all three are
+generated here:
+
+* **multi-attribute forms** — a site-specific subset of the domain schema
+  with site-specific label variants and option lists (the Figure 1(a)/(b)
+  heterogeneity);
+* **single-attribute keyword forms** — one unlabeled text box plus a
+  generic submit caption; the descriptive string ("Search Jobs") sits
+  *outside* the FORM tags (Figure 1(c));
+* **non-searchable forms** — login boxes, newsletter signups — the noise
+  a crawler drags in, filtered by the generic form classifier.
+"""
+
+import random
+from dataclasses import dataclass
+from html import escape
+from typing import List, Tuple
+
+from repro.webgen.domains import AttributeSpec, DomainSpec, MONTHS
+from repro.webgen.vocab import SUBMIT_CAPTIONS
+
+
+@dataclass
+class GeneratedForm:
+    """A form's HTML plus generator-side bookkeeping."""
+
+    html: str
+    n_attributes: int
+    approx_term_count: int  # rough count of visible word tokens in the form
+
+
+def _select_html(name: str, label: str, options: List[str]) -> Tuple[str, int]:
+    """A labelled <select>; returns (html, approximate term count)."""
+    option_html = "".join(
+        f"<option value=\"{escape(value.lower().replace(' ', '_'))}\">{escape(value)}</option>"
+        for value in options
+    )
+    html = (
+        f"<tr><td>{escape(label)}</td>"
+        f"<td><select name=\"{escape(name)}\">{option_html}</select></td></tr>"
+    )
+    term_count = len(label.split()) + sum(len(value.split()) for value in options)
+    return html, term_count
+
+
+def _text_input_html(name: str, label: str) -> Tuple[str, int]:
+    html = (
+        f"<tr><td>{escape(label)}</td>"
+        f"<td><input type=\"text\" name=\"{escape(name)}\" size=\"20\"></td></tr>"
+    )
+    return html, len(label.split())
+
+
+def _month_select_html(name: str, label: str, rng: random.Random) -> Tuple[str, int]:
+    """A travel-style date control: month dropdown (+ day dropdown whose
+    numeric options contribute no terms)."""
+    months = list(MONTHS)
+    option_html = "".join(
+        f"<option value=\"{index + 1}\">{month}</option>"
+        for index, month in enumerate(months)
+    )
+    day_html = "".join(f"<option>{day}</option>" for day in range(1, 29))
+    html = (
+        f"<tr><td>{escape(label)}</td>"
+        f"<td><select name=\"{escape(name)}_month\">{option_html}</select>"
+        f"<select name=\"{escape(name)}_day\">{day_html}</select></td></tr>"
+    )
+    return html, len(label.split()) + len(months)
+
+
+def _attribute_html(
+    attribute: AttributeSpec, rng: random.Random, full_options: bool = False
+) -> Tuple[str, int]:
+    """Render one schema attribute with a site-chosen label variant.
+
+    ``full_options`` makes selects show their entire value pool — how the
+    biggest real-world forms (50-state dropdowns, full city lists) reach
+    hundreds of terms.
+    """
+    label = rng.choice(attribute.label_variants)
+    field_name = attribute.concept
+    if attribute.kind == "text":
+        return _text_input_html(field_name, label)
+    if attribute.kind == "month":
+        return _month_select_html(field_name, label, rng)
+    low, high = attribute.option_range
+    if full_options:
+        n_options = len(attribute.value_pool)
+    else:
+        n_options = rng.randint(low, min(high, len(attribute.value_pool)))
+    # Option lists keep pool order (sites sort their dropdowns) from a
+    # random contiguous-ish sample.
+    options = sorted(
+        rng.sample(list(attribute.value_pool), n_options),
+        key=attribute.value_pool.index,
+    )
+    return _select_html(field_name, label, options)
+
+
+def multi_attribute_form(
+    domain: DomainSpec,
+    rng: random.Random,
+    size_class: str = "medium",
+) -> GeneratedForm:
+    """A multi-attribute search form for ``domain``.
+
+    ``size_class`` steers the form-term budget (the Table 1 buckets):
+
+    * ``small``  — required attributes only, option lists clamped short;
+    * ``medium`` — required plus some optional attributes;
+    * ``large``  — most of the schema, full-length option lists.
+    """
+    required = [a for a in domain.attributes if a.required]
+    optional = [a for a in domain.attributes if not a.required]
+    rng.shuffle(optional)
+    if size_class == "small":
+        chosen = required[: max(2, len(required))]
+        if len(chosen) < 2 and optional:
+            chosen = chosen + optional[: 2 - len(chosen)]
+    elif size_class == "large":
+        chosen = required + optional
+    else:
+        n_optional = rng.randint(1, max(1, len(optional) // 2))
+        chosen = required + optional[:n_optional]
+
+    rows: List[str] = []
+    term_count = 0
+    for attribute in chosen:
+        if size_class == "small" and attribute.kind == "select":
+            # Clamp option lists so the whole form stays in the small
+            # buckets.
+            attribute = AttributeSpec(
+                concept=attribute.concept,
+                label_variants=attribute.label_variants,
+                kind=attribute.kind,
+                value_pool=attribute.value_pool,
+                option_range=(
+                    attribute.option_range[0],
+                    min(attribute.option_range[1], attribute.option_range[0] + 2),
+                ),
+                required=attribute.required,
+            )
+        html, terms = _attribute_html(
+            attribute, rng, full_options=(size_class == "large")
+        )
+        rows.append(html)
+        term_count += terms
+
+    caption = rng.choice(SUBMIT_CAPTIONS)
+    # Most real multi-attribute forms carry a heading INSIDE the form
+    # ("Flight Search") — part of what makes FC informative about the
+    # schema even when option contents are generic.
+    legend = ""
+    if domain.title_nouns and rng.random() < 0.7:
+        legend_text = rng.choice(domain.title_nouns)
+        legend = f"<b>{escape(legend_text)}</b>"
+        term_count += len(legend_text.split())
+    html = (
+        "<form action=\"/search\" method=\"get\">"
+        + legend
+        + "<table>"
+        + "".join(rows)
+        + f"<tr><td></td><td><input type=\"submit\" value=\"{escape(caption)}\"></td></tr>"
+        "</table>"
+        "<input type=\"hidden\" name=\"sid\" value=\"x81\">"
+        "</form>"
+    )
+    return GeneratedForm(
+        html=html,
+        n_attributes=len(chosen),
+        approx_term_count=term_count + len(caption.split()),
+    )
+
+
+def keyword_form(domain: DomainSpec, rng: random.Random) -> GeneratedForm:
+    """A single-attribute keyword form (Figure 1(c)).
+
+    The descriptive hint ("Search Jobs") is emitted by the *page*
+    generator, outside the FORM tags — the form itself carries almost no
+    text, which is exactly what makes these forms hard for FC-only
+    clustering.
+    """
+    caption = rng.choice(["Search", "Go", "Find"])
+    html = (
+        "<form action=\"/find\" method=\"get\">"
+        "<input type=\"text\" name=\"q\" size=\"30\">"
+        f"<input type=\"submit\" value=\"{caption}\">"
+        "</form>"
+    )
+    return GeneratedForm(html=html, n_attributes=1, approx_term_count=1)
+
+
+def login_form(rng: random.Random) -> GeneratedForm:
+    """A non-searchable login form (crawler noise)."""
+    caption = rng.choice(["Login", "Sign In", "Log In"])
+    html = (
+        "<form action=\"/login\" method=\"post\">"
+        "<table>"
+        "<tr><td>Username</td><td><input type=\"text\" name=\"username\"></td></tr>"
+        "<tr><td>Password</td><td><input type=\"password\" name=\"password\"></td></tr>"
+        f"<tr><td></td><td><input type=\"submit\" value=\"{caption}\"></td></tr>"
+        "</table>"
+        "</form>"
+    )
+    return GeneratedForm(html=html, n_attributes=2, approx_term_count=3)
+
+
+def newsletter_form(rng: random.Random) -> GeneratedForm:
+    """A non-searchable newsletter-signup form (in-page noise)."""
+    html = (
+        "<form action=\"/subscribe\" method=\"post\">"
+        "Subscribe to our newsletter"
+        "<input type=\"text\" name=\"email\" size=\"20\">"
+        "<input type=\"submit\" value=\"Subscribe\">"
+        "</form>"
+    )
+    return GeneratedForm(html=html, n_attributes=1, approx_term_count=5)
+
+
+def mixed_entertainment_form(
+    music: DomainSpec, movie: DomainSpec, rng: random.Random
+) -> GeneratedForm:
+    """A form over a database spanning Music *and* Movie (Figure 4).
+
+    Searches CDs and DVDs alike: artist + title text boxes, a genre select
+    mixing both domains' genre pools, and a CD/DVD format select.
+    """
+    music_genres = next(
+        a for a in music.attributes if a.concept == "genre"
+    ).value_pool
+    movie_genres = next(
+        a for a in movie.attributes if a.concept == "genre"
+    ).value_pool
+    genres = sorted(
+        set(rng.sample(list(music_genres), 6) + rng.sample(list(movie_genres), 6))
+    )
+
+    rows: List[str] = []
+    term_count = 0
+    html, terms = _text_input_html("artist", rng.choice(("Artist", "Artist or Band")))
+    rows.append(html)
+    term_count += terms
+    html, terms = _text_input_html("title", rng.choice(("Title", "Album or Movie Title")))
+    rows.append(html)
+    term_count += terms
+    html, terms = _select_html("genre", "Genre", genres)
+    rows.append(html)
+    term_count += terms
+    html, terms = _select_html(
+        "format", "Format", ["CD", "DVD", "VHS", "Cassette", "Blu Ray"]
+    )
+    rows.append(html)
+    term_count += terms
+
+    html = (
+        "<form action=\"/search\" method=\"get\">"
+        "<table>" + "".join(rows) +
+        "<tr><td></td><td><input type=\"submit\" value=\"Search\"></td></tr>"
+        "</table></form>"
+    )
+    return GeneratedForm(html=html, n_attributes=4, approx_term_count=term_count + 1)

@@ -1,0 +1,170 @@
+"""Hub-page generation: the link neighbourhood around form pages.
+
+Three hub species, matching the paper's observations (Sections 3.1, 4.2):
+
+* **homogeneous domain hubs** — "best job sites" pages co-citing 2-10
+  form pages of one domain.  Small ones (2-6) are pure but uninformative;
+  medium ones (7-10) are the good seeds.
+* **heterogeneous directories** — online directories co-citing 5-13 pages
+  across many domains (the paper's "clusters which are heterogeneous and
+  point to form pages in multiple domains, e.g., online directories").
+* **travel portals** — the corpus's only hubs with >= 14 members, mixing
+  Airfare and Hotel pages ("hub clusters with 14 or more form pages only
+  contain forms from Air and Hotel").
+
+Hubs link either to the deep form page or to the site root (which is why
+the paper also harvests root-page backlinks).
+"""
+
+import random
+from html import escape
+from typing import Dict, List, Sequence
+
+from repro.webgen.config import GeneratorConfig
+from repro.webgen.domains import domain_by_name
+from repro.webgen.sites import Site
+from repro.webgen.vocab import GENERIC_NOISE, brand_name, zipf_sample
+from repro.webgraph.graph import WebPage
+
+
+def _hub_html(
+    title: str,
+    intro_words: Sequence[str],
+    entries: Sequence[tuple],
+    rng: random.Random,
+) -> str:
+    """Render a hub page: intro prose plus a link list."""
+    intro = " ".join(intro_words)
+    items = "\n".join(
+        f"<li><a href=\"{escape(url)}\">{escape(anchor)}</a></li>"
+        for url, anchor in entries
+    )
+    noise = " ".join(zipf_sample(GENERIC_NOISE, 8, rng))
+    return f"""<html>
+<head><title>{escape(title)}</title></head>
+<body>
+<h1>{escape(title)}</h1>
+<p>{escape(intro.capitalize())}.</p>
+<ul>
+{items}
+</ul>
+<p>{escape(noise)}</p>
+</body>
+</html>"""
+
+
+def _link_target(site: Site, config: GeneratorConfig, rng: random.Random) -> str:
+    """Deep link or homepage link, per the config probability."""
+    if rng.random() < config.hub_links_root_probability:
+        return site.root_url
+    return site.form_page_url
+
+
+def _hub_page(
+    url: str,
+    title: str,
+    member_sites: Sequence[Site],
+    intro_pool: Sequence[str],
+    config: GeneratorConfig,
+    rng: random.Random,
+) -> WebPage:
+    entries = []
+    for site in member_sites:
+        anchor_noun = rng.choice(intro_pool) if intro_pool else "search"
+        entries.append(
+            (_link_target(site, config, rng), f"{site.brand.capitalize()} {anchor_noun}")
+        )
+    intro_words = zipf_sample(list(intro_pool) or GENERIC_NOISE, 12, rng)
+    html = _hub_html(title, intro_words, entries, rng)
+    return WebPage(
+        url=url,
+        html=html,
+        outlinks=[target for target, _ in entries],
+        kind="hub",
+    )
+
+
+def generate_hubs(
+    sites_by_domain: Dict[str, List[Site]],
+    hub_eligible: Dict[str, List[Site]],
+    config: GeneratorConfig,
+    rng: random.Random,
+) -> List[WebPage]:
+    """Generate every hub page over the (non-orphan) sites.
+
+    ``hub_eligible`` maps domain name -> sites that may receive hub
+    inlinks (orphans excluded).
+    """
+    hubs: List[WebPage] = []
+    hub_counter = 0
+
+    def next_url(slug: str) -> str:
+        nonlocal hub_counter
+        hub_counter += 1
+        return f"http://dir.{brand_name(rng)}{hub_counter}.org/{slug}.html"
+
+    # -- Homogeneous domain hubs ------------------------------------
+    for domain_name, eligible in sorted(hub_eligible.items()):
+        domain = domain_by_name(domain_name)
+        # Medium hubs run up to 13 members: the paper's corpus has
+        # homogeneous clusters below 14 in every domain (only >=14 are
+        # exclusively Air/Hotel).
+        sizes = (
+            [rng.randint(2, 6) for _ in range(config.small_hubs_per_domain)]
+            + [rng.randint(7, 13) for _ in range(config.medium_hubs_per_domain)]
+        )
+        for size in sizes:
+            if len(eligible) < 2:
+                break
+            members = rng.sample(eligible, min(size, len(eligible)))
+            title_noun = rng.choice(domain.title_nouns) if domain.title_nouns else "Links"
+            hubs.append(
+                _hub_page(
+                    next_url(f"{domain_name}-links"),
+                    f"Best {title_noun} Sites",
+                    members,
+                    domain.topic_words,
+                    config,
+                    rng,
+                )
+            )
+
+    # -- Heterogeneous directories ----------------------------------
+    all_eligible = [site for sites in hub_eligible.values() for site in sites]
+    for _ in range(config.n_directories):
+        if len(all_eligible) < 5:
+            break
+        size = rng.randint(5, 13)
+        members = rng.sample(all_eligible, min(size, len(all_eligible)))
+        hubs.append(
+            _hub_page(
+                next_url("directory"),
+                "Searchable Databases Directory",
+                members,
+                GENERIC_NOISE,
+                config,
+                rng,
+            )
+        )
+
+    # -- Large travel portals (Airfare + Hotel only) -----------------
+    travel_pool = list(hub_eligible.get("airfare", ())) + list(
+        hub_eligible.get("hotel", ())
+    )
+    for _ in range(config.n_travel_portals):
+        if len(travel_pool) < 14:
+            break
+        size = rng.randint(14, min(20, len(travel_pool)))
+        members = rng.sample(travel_pool, size)
+        hubs.append(
+            _hub_page(
+                next_url("travel-portal"),
+                "Travel Booking Portal",
+                members,
+                ("travel", "trip", "vacation", "booking", "destination"),
+                config,
+                rng,
+            )
+        )
+
+    return hubs

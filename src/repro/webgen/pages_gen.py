@@ -1,0 +1,279 @@
+"""Form-page HTML generation.
+
+Assembles complete form pages: title, navigation, prose, the form, and
+footer boilerplate.  The prose volume is driven by the Table-1 profile —
+pages around small forms are content-rich, pages around very large forms
+are nearly bare — and the prose vocabulary mixes domain topic words,
+sibling-shared words and generic web noise per the generator config.
+"""
+
+import random
+from dataclasses import dataclass
+from html import escape
+from typing import List, Optional, Sequence, Tuple
+
+from repro.webgen.config import GeneratorConfig
+from repro.webgen.domains import DomainSpec
+from repro.webgen.forms_gen import GeneratedForm
+from repro.webgen.vocab import GENERIC_NOISE, zipf_sample
+
+# Filler function words woven into prose for naturalness; the analyzer
+# strips them, so they do not perturb the Table-1 term accounting.
+_FILLERS = ("the", "and", "for", "with", "your", "our", "all", "from", "more")
+
+
+@dataclass
+class PageBlueprint:
+    """Everything the site builder needs to emit one form page."""
+
+    html: str
+    domain_name: str
+    n_attributes: int
+    form_terms: int
+    prose_terms: int
+
+
+def table1_bucket(form_terms: int) -> int:
+    """Map a form-term count to its Table-1 bucket lower bound."""
+    if form_terms < 10:
+        return 0
+    if form_terms < 50:
+        return 10
+    if form_terms < 100:
+        return 50
+    if form_terms < 200:
+        return 100
+    return 200
+
+
+def _prose_words(
+    domain: DomainSpec,
+    count: int,
+    mix: Tuple[float, float, float],
+    rng: random.Random,
+    extra_topic: Sequence[str] = (),
+    extra_rate: float = 0.5,
+    brand: str = "",
+    site_flavor: Sequence[str] = (),
+) -> List[str]:
+    """Sample ``count`` content words: topic / shared / generic noise.
+
+    ``extra_topic`` is a sibling domain's vocabulary: each topic draw
+    comes from it with probability ``extra_rate`` (0.5 = a genuinely
+    mixed database, ~0.3 = cross-selling prose around a single-domain
+    form).  ``site_flavor`` words replace part of the generic noise —
+    they are domain-neutral but *site-correlated*, producing the
+    within-domain vocabulary heterogeneity the paper calls out
+    (Section 2.3).  A sprinkle of the site brand is added on top without
+    counting against ``count``.
+    """
+    topic_weight, shared_weight, _noise_weight = mix
+    topic_pool = list(domain.topic_words)
+    shared_pool = list(domain.shared_words) or topic_pool
+    words: List[str] = []
+    for _ in range(count):
+        roll = rng.random()
+        if roll < topic_weight:
+            if extra_topic and rng.random() < extra_rate:
+                words.append(zipf_sample(list(extra_topic), 1, rng)[0])
+            else:
+                words.append(zipf_sample(topic_pool, 1, rng)[0])
+        elif roll < topic_weight + shared_weight:
+            words.append(zipf_sample(shared_pool, 1, rng)[0])
+        elif site_flavor and rng.random() < 0.4:
+            words.append(rng.choice(list(site_flavor)))
+        else:
+            words.append(zipf_sample(GENERIC_NOISE, 1, rng)[0])
+    if brand and words:
+        for _ in range(max(1, count // 20)):
+            words.insert(rng.randrange(len(words)), brand)
+    return words
+
+
+def _paragraphs(
+    words: Sequence[str], rng: random.Random, sloppy: bool = False
+) -> str:
+    """Wrap content words into <p> blocks with filler function words.
+
+    ``sloppy`` emits the hand-rolled markup real 2000s-era sites were
+    full of — unclosed paragraphs, uppercase tags, stray comments and
+    end tags — which the tolerant parser must absorb without changing
+    the visible text.
+    """
+    html_parts: List[str] = []
+    index = 0
+    while index < len(words):
+        sentence_len = rng.randint(8, 16)
+        chunk = list(words[index : index + sentence_len])
+        index += sentence_len
+        # Weave fillers between content words.
+        woven: List[str] = []
+        for word in chunk:
+            woven.append(word)
+            if rng.random() < 0.35:
+                woven.append(rng.choice(_FILLERS))
+        sentence = escape(" ".join(woven).capitalize()) + "."
+        if sloppy:
+            roll = rng.random()
+            if roll < 0.3:
+                html_parts.append(f"<P>{sentence}")       # unclosed, uppercase
+            elif roll < 0.4:
+                html_parts.append(f"<p>{sentence}</div>")  # stray end tag
+            elif roll < 0.5:
+                html_parts.append(f"<!-- block --><p>{sentence}</p>")
+            else:
+                html_parts.append(f"<p>{sentence}</p>")
+        else:
+            html_parts.append(f"<p>{sentence}</p>")
+    return "\n".join(html_parts)
+
+
+def _nav_html(brand: str) -> str:
+    links = ["Home", "About Us", "Contact", "Help", "My Account"]
+    anchors = " | ".join(
+        f"<a href=\"/{text.lower().replace(' ', '-')}.html\">{text}</a>"
+        for text in links
+    )
+    return f"<div class=\"nav\"><b>{escape(brand.capitalize())}</b> {anchors}</div>"
+
+
+def _footer_html(brand: str, rng: random.Random) -> str:
+    noise = " ".join(zipf_sample(GENERIC_NOISE, 6, rng))
+    return (
+        "<div class=\"footer\">"
+        f"<a href=\"/privacy.html\">Privacy Policy</a> "
+        f"<a href=\"/terms.html\">Terms of Service</a> "
+        f"Copyright {escape(brand.capitalize())} All Rights Reserved. {escape(noise)}"
+        "</div>"
+    )
+
+
+def build_form_page(
+    domain: DomainSpec,
+    brand: str,
+    form: GeneratedForm,
+    config: GeneratorConfig,
+    rng: random.Random,
+    extra_topic: Sequence[str] = (),
+    extra_rate: float = 0.5,
+    include_newsletter: bool = False,
+    keyword_hint: Optional[str] = None,
+    site_flavor: Sequence[str] = (),
+    force_domain_title: bool = False,
+) -> PageBlueprint:
+    """Assemble one complete form page.
+
+    ``extra_topic`` + ``extra_rate`` blend a sibling domain's vocabulary
+    into the prose (mixed databases and cross-selling pages).
+    ``keyword_hint`` places a descriptive string immediately *above* the
+    form, outside the FORM tags — the Figure 1(c) pattern that breaks
+    label-extraction approaches.
+    """
+    bucket = table1_bucket(form.approx_term_count)
+    target = config.table1_targets[bucket]
+    prose_budget = max(4, round(target * rng.uniform(0.8, 1.2)))
+
+    # Fixed furniture (title words, nav, headline, footer) uses part of
+    # the outside-form budget; prose takes the rest.
+    furniture_cost = 14
+    prose_count = max(0, prose_budget - furniture_cost)
+
+    # Many real sites title their pages generically ("Welcome to X");
+    # only some lead with the domain noun.  Cross-selling sites keep a
+    # domain-true title even when their prose wanders — which is exactly
+    # why the paper boosts title terms (LOC): the title is the one place
+    # the page still says what its database is.
+    if domain.title_nouns and (force_domain_title or rng.random() < 0.6):
+        title_noun = rng.choice(domain.title_nouns)
+    else:
+        title_noun = rng.choice(("Welcome", "Home Page", "Online", "Search"))
+    title = f"{brand.capitalize()} {title_noun}"
+    if rng.random() < 0.5:
+        headline_words = zipf_sample(list(domain.topic_words), 3, rng)
+    else:
+        headline_words = zipf_sample(GENERIC_NOISE, 3, rng)
+    headline = " ".join(headline_words).title()
+
+    # Sparse pages (around large forms) are navigation shells: what little
+    # text they have is mostly boilerplate, so their PC vector is weak and
+    # FC must carry them — the paper's compensation argument (Table 1).
+    mix = config.prose_mix
+    if prose_count < 40:
+        topic_weight, shared_weight, noise_weight = mix
+        mix = (topic_weight * 0.4, shared_weight * 0.6,
+               1.0 - topic_weight * 0.4 - shared_weight * 0.6)
+
+    words = _prose_words(
+        domain, prose_count, mix, rng,
+        extra_topic=extra_topic, extra_rate=extra_rate,
+        brand=brand, site_flavor=site_flavor,
+    )
+    # A quarter of real sites ship sloppy hand-rolled markup; the
+    # pipeline must digest it unchanged.
+    sloppy = rng.random() < 0.25
+    split = rng.randint(0, len(words)) if words else 0
+    prose_above = _paragraphs(words[:split], rng, sloppy=sloppy)
+    prose_below = _paragraphs(words[split:], rng, sloppy=sloppy)
+
+    hint_html = ""
+    if keyword_hint:
+        hint_html = f"<b>{escape(keyword_hint)}</b><br>"
+
+    newsletter_html = ""
+    if include_newsletter:
+        from repro.webgen.forms_gen import newsletter_form
+
+        newsletter_html = newsletter_form(rng).html
+
+    html = f"""<html>
+<head><title>{escape(title)}</title></head>
+<body>
+{_nav_html(brand)}
+<h1>{escape(headline)}</h1>
+{prose_above}
+{hint_html}{form.html}
+{prose_below}
+{newsletter_html}
+{_footer_html(brand, rng)}
+</body>
+</html>"""
+    return PageBlueprint(
+        html=html,
+        domain_name=domain.name,
+        n_attributes=form.n_attributes,
+        form_terms=form.approx_term_count,
+        prose_terms=prose_count,
+    )
+
+
+def build_content_page(
+    domain: DomainSpec,
+    brand: str,
+    title_suffix: str,
+    config: GeneratorConfig,
+    rng: random.Random,
+    links: Sequence[Tuple[str, str]] = (),
+    site_flavor: Sequence[str] = (),
+) -> str:
+    """A non-form page (site root, about page): prose plus links.
+
+    ``links`` is a sequence of (href, anchor text).
+    """
+    words = _prose_words(
+        domain, rng.randint(40, 90), config.prose_mix, rng,
+        brand=brand, site_flavor=site_flavor,
+    )
+    link_html = "<br>".join(
+        f"<a href=\"{escape(href)}\">{escape(text)}</a>" for href, text in links
+    )
+    title = f"{brand.capitalize()} {title_suffix}"
+    return f"""<html>
+<head><title>{escape(title)}</title></head>
+<body>
+{_nav_html(brand)}
+<h1>{escape(title_suffix)}</h1>
+{_paragraphs(words, rng)}
+{link_html}
+{_footer_html(brand, rng)}
+</body>
+</html>"""

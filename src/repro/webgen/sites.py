@@ -1,0 +1,167 @@
+"""Site generation: one hidden-web site per form page.
+
+Each site gets its own host, a root page linking to the searchable form
+page, an about page, and (with some probability) a login page carrying a
+non-searchable form — the page mix a focused crawler actually encounters.
+"""
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.webgen.config import GeneratorConfig
+from repro.webgen.domains import DomainSpec
+from repro.webgen.forms_gen import (
+    GeneratedForm,
+    keyword_form,
+    login_form,
+    mixed_entertainment_form,
+    multi_attribute_form,
+)
+from repro.webgen.pages_gen import PageBlueprint, build_content_page, build_form_page
+from repro.webgen.vocab import brand_name
+from repro.webgraph.graph import WebPage
+
+
+@dataclass
+class Site:
+    """One generated hidden-web site."""
+
+    domain_name: str          # gold label of its database
+    brand: str
+    host: str
+    root_url: str
+    form_page_url: str
+    form_blueprint: PageBlueprint
+    pages: List[WebPage] = field(default_factory=list)
+    is_single_attribute: bool = False
+    is_mixed_entertainment: bool = False
+
+
+def _make_host(domain: DomainSpec, rng: random.Random, used_hosts: set) -> str:
+    """A unique host name hinting at the domain ('www.flyzumiko.com')."""
+    while True:
+        prefix = rng.choice(domain.site_words) if domain.site_words else ""
+        host = f"www.{prefix}{brand_name(rng)}.com"
+        if host not in used_hosts:
+            used_hosts.add(host)
+            return host
+
+
+def build_site(
+    domain: DomainSpec,
+    config: GeneratorConfig,
+    rng: random.Random,
+    used_hosts: set,
+    form_kind: str = "multi",
+    size_class: str = "medium",
+    mixed_with: Optional[DomainSpec] = None,
+    label_override: Optional[str] = None,
+    crosstalk_with: Optional[DomainSpec] = None,
+) -> Site:
+    """Generate one site around one searchable form.
+
+    ``form_kind`` is ``multi`` / ``keyword`` / ``mixed``; ``size_class``
+    steers multi-attribute form size (Table-1 buckets);
+    ``mixed_with`` + ``label_override`` build the ambiguous
+    Music/Movie pages.  ``crosstalk_with`` blends ~30% of a sibling
+    domain's vocabulary into the *prose only* (cross-selling pages whose
+    form remains clearly single-domain) — the cases where PC misleads
+    and FC must compensate.
+    """
+    host = _make_host(domain, rng, used_hosts)
+    brand = host[4:-4]  # strip 'www.' and '.com'
+    # Site-specific flavour vocabulary, reused across the site's pages.
+    from repro.webgen.vocab import MISC_FLAVOR
+
+    site_flavor = rng.sample(MISC_FLAVOR, rng.randint(4, 8))
+    root_url = f"http://{host}/"
+    form_page_url = f"http://{host}/search.html"
+    about_url = f"http://{host}/about.html"
+
+    extra_topic: Sequence[str] = ()
+    extra_rate = 0.5
+    keyword_hint = None
+    if form_kind == "keyword":
+        form: GeneratedForm = keyword_form(domain, rng)
+        keyword_hint = domain.keyword_hint
+    elif form_kind == "mixed":
+        if mixed_with is None:
+            raise ValueError("mixed form needs mixed_with domain")
+        form = mixed_entertainment_form(domain, mixed_with, rng)
+        extra_topic = mixed_with.topic_words
+    else:
+        form = multi_attribute_form(domain, rng, size_class=size_class)
+        if crosstalk_with is not None:
+            # Cross-selling prose mixes the sibling vocabulary evenly;
+            # only the form (and the title lean) betrays the real domain.
+            extra_topic = crosstalk_with.topic_words
+            extra_rate = 0.5
+
+    blueprint = build_form_page(
+        domain,
+        brand,
+        form,
+        config,
+        rng,
+        extra_topic=extra_topic,
+        extra_rate=extra_rate,
+        include_newsletter=rng.random() < 0.12,
+        keyword_hint=keyword_hint,
+        site_flavor=site_flavor,
+        force_domain_title=crosstalk_with is not None,
+    )
+
+    pages: List[WebPage] = []
+    has_login = rng.random() < config.login_page_probability
+    login_url = f"http://{host}/login.html"
+
+    root_links = [(form_page_url, f"Search {domain.display_name}")]
+    root_links.append((about_url, "About Us"))
+    if has_login:
+        root_links.append((login_url, "Member Login"))
+    root_html = build_content_page(
+        domain, brand, "Welcome", config, rng, links=root_links,
+        site_flavor=site_flavor,
+    )
+    root_outlinks = [href for href, _ in root_links]
+    pages.append(WebPage(url=root_url, html=root_html, outlinks=root_outlinks, kind="root"))
+
+    pages.append(
+        WebPage(
+            url=form_page_url,
+            html=blueprint.html,
+            outlinks=[root_url, about_url],
+            kind="form",
+        )
+    )
+
+    about_html = build_content_page(
+        domain, brand, "About Us", config, rng, links=[(root_url, "Home")],
+        site_flavor=site_flavor,
+    )
+    pages.append(WebPage(url=about_url, html=about_html, outlinks=[root_url], kind="content"))
+
+    if has_login:
+        login_html = build_content_page(
+            domain, brand, "Member Login", config, rng, links=[(root_url, "Home")],
+            site_flavor=site_flavor,
+        )
+        # Inject the login form right before the closing body tag.
+        login_html = login_html.replace("</body>", login_form(rng).html + "\n</body>")
+        pages.append(
+            WebPage(url=login_url, html=login_html, outlinks=[root_url], kind="login")
+        )
+
+    label = label_override or domain.name
+    return Site(
+        domain_name=label,
+        brand=brand,
+        host=host,
+        root_url=root_url,
+        form_page_url=form_page_url,
+        form_blueprint=blueprint,
+        pages=pages,
+        is_single_attribute=(form_kind == "keyword"),
+        is_mixed_entertainment=(form_kind == "mixed"),
+    )

@@ -1,0 +1,114 @@
+"""Generic searchable-form classification.
+
+The paper assumes its input "consists of only searchable forms.
+Non-searchable forms can be filtered out using techniques such as the
+generic form classifier proposed in [3]" (Barbosa & Freire, WebDB'05).
+That classifier is decision-tree-based over structural form features; we
+implement the same feature set with a transparent scoring rule so the full
+crawl -> filter -> cluster pipeline is runnable.
+
+Signals (all visible in the form structure alone — domain-independent):
+
+* password fields, many hidden fields, and login/registration vocabulary
+  indicate *non-searchable* forms (login, signup, quote request, mailing
+  list);
+* search vocabulary, select boxes with many options, several visible
+  fields, and GET methods indicate *searchable* forms.
+"""
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.html.forms import Form
+from repro.text.tokenize import tokenize
+
+# Vocabulary markers.  These are generic web-interaction words, not
+# database-domain words — using them does not leak domain knowledge into
+# the clustering input.
+_NON_SEARCH_TERMS = frozenset(
+    """
+    login log sign signin signup register registration password passwd
+    username subscribe unsubscribe newsletter email contact feedback
+    comment comments quote checkout cart billing shipping payment
+    """.split()
+)
+_SEARCH_TERMS = frozenset(
+    """
+    search find browse lookup query keyword keywords advanced results
+    within show display sort
+    """.split()
+)
+
+
+@dataclass
+class FormFeatures:
+    """The structural feature vector of one form."""
+
+    n_visible_fields: int
+    n_text_inputs: int
+    n_selects: int
+    n_hidden: int
+    n_options: int
+    has_password: bool
+    method_get: bool
+    search_term_hits: int
+    non_search_term_hits: int
+
+
+def extract_features(form: Form) -> FormFeatures:
+    """Compute the classifier's features for ``form``."""
+    tokens = tokenize(form.visible_text)
+    field_name_tokens: List[str] = []
+    for form_field in form.fields:
+        field_name_tokens.extend(tokenize(form_field.name.replace("_", " ")))
+    all_tokens = tokens + field_name_tokens
+    return FormFeatures(
+        n_visible_fields=len(form.visible_fields),
+        n_text_inputs=len(form.text_inputs),
+        n_selects=len(form.selects),
+        n_hidden=sum(1 for f in form.fields if f.is_hidden),
+        n_options=sum(len(f.options) for f in form.fields),
+        has_password=form.has_password_field,
+        method_get=form.method == "get",
+        search_term_hits=sum(1 for t in all_tokens if t in _SEARCH_TERMS),
+        non_search_term_hits=sum(1 for t in all_tokens if t in _NON_SEARCH_TERMS),
+    )
+
+
+def searchable_score(features: FormFeatures) -> float:
+    """A transparent linear score; positive means searchable.
+
+    The weights encode the decision-tree splits of the original
+    classifier: a password field is near-conclusive evidence of a
+    non-searchable form; search vocabulary and option-rich selects are
+    strong searchable evidence.
+    """
+    score = 0.0
+    if features.has_password:
+        score -= 10.0
+    score += 1.5 * features.search_term_hits
+    score -= 1.5 * features.non_search_term_hits
+    score += 0.8 * features.n_selects
+    score += 0.05 * min(features.n_options, 40)
+    if features.method_get:
+        score += 0.5
+    if features.n_visible_fields == 0:
+        score -= 5.0  # nothing for a user to fill in
+    if features.n_text_inputs >= 4:
+        # Many free-text boxes pattern-match registration / contact forms
+        # (name, email, address, phone ...).  Three is still common for
+        # search (title / author / keyword).
+        score -= 0.7 * (features.n_text_inputs - 3)
+    return score
+
+
+def classify_form(form: Form) -> bool:
+    """True when ``form`` looks searchable (a database entry point)."""
+    return searchable_score(extract_features(form)) > 0.0
+
+
+def is_searchable(html: str) -> bool:
+    """Page-level test: does ``html`` contain at least one searchable form?"""
+    from repro.html.forms import extract_forms
+
+    return any(classify_form(form) for form in extract_forms(html))

@@ -1,0 +1,85 @@
+"""The web graph: pages and hyperlinks.
+
+A :class:`WebGraph` holds every page of a (synthetic or real) web snapshot
+together with its outgoing links, and maintains the reverse index that a
+search engine's ``link:`` facility would expose.
+"""
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Set
+
+from repro.webgraph.urls import host_of
+
+
+@dataclass
+class WebPage:
+    """One page: its URL, HTML, and outgoing link URLs.
+
+    ``kind`` is generator metadata ("form", "hub", "content", "root",
+    "directory"); algorithms never read it, but tests and corpus audits do.
+    """
+
+    url: str
+    html: str
+    outlinks: List[str] = field(default_factory=list)
+    kind: str = "content"
+
+
+class WebGraph:
+    """A hyperlinked page collection with forward and backward indexes."""
+
+    def __init__(self) -> None:
+        self._pages: Dict[str, WebPage] = {}
+        self._backlinks: Dict[str, Set[str]] = {}
+
+    # ----------------------------------------------------------------
+    # Construction.
+    # ----------------------------------------------------------------
+
+    def add_page(self, page: WebPage) -> None:
+        """Add (or replace) a page and index its outlinks."""
+        existing = self._pages.get(page.url)
+        if existing is not None:
+            # Re-adding: retract the old outlink contributions first.
+            for target in existing.outlinks:
+                backlinks = self._backlinks.get(target)
+                if backlinks is not None:
+                    backlinks.discard(page.url)
+        self._pages[page.url] = page
+        for target in page.outlinks:
+            self._backlinks.setdefault(target, set()).add(page.url)
+
+    # ----------------------------------------------------------------
+    # Queries.
+    # ----------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._pages)
+
+    def __contains__(self, url: str) -> bool:
+        return url in self._pages
+
+    def get(self, url: str) -> Optional[WebPage]:
+        return self._pages.get(url)
+
+    def pages(self) -> Iterator[WebPage]:
+        """All pages in deterministic (URL-sorted) order."""
+        for url in sorted(self._pages):
+            yield self._pages[url]
+
+    def urls(self) -> List[str]:
+        return sorted(self._pages)
+
+    def outlinks(self, url: str) -> List[str]:
+        page = self._pages.get(url)
+        return list(page.outlinks) if page else []
+
+    def backlinks(self, url: str) -> List[str]:
+        """URLs of pages in the graph that link to ``url`` (sorted)."""
+        return sorted(self._backlinks.get(url, ()))
+
+    def hosts(self) -> Set[str]:
+        return {host_of(url) for url in self._pages}
+
+    def pages_of_kind(self, kind: str) -> List[WebPage]:
+        return [page for page in self.pages() if page.kind == kind]

@@ -1,0 +1,73 @@
+"""Shared fixtures.
+
+Two corpora are available:
+
+* ``small_web`` / ``small_pages`` — a reduced synthetic web (~64 form
+  pages) for fast unit/integration tests;
+* ``benchmark_web`` / ``benchmark_pages`` — the full 454-page benchmark,
+  built once per session, for tests that audit the paper-profile
+  properties.
+"""
+
+import pytest
+
+from repro.core.vectorizer import FormPageVectorizer
+from repro.webgen.config import GeneratorConfig
+from repro.webgen.corpus import generate_benchmark
+
+
+def small_config(seed: int = 7) -> GeneratorConfig:
+    """A scaled-down generator config for fast tests."""
+    return GeneratorConfig(
+        pages_per_domain={
+            "airfare": 9, "auto": 8, "book": 8, "hotel": 9,
+            "job": 8, "movie": 8, "music": 8, "rental": 6,
+        },
+        single_attribute_per_domain=2,
+        mixed_entertainment_pages=2,
+        small_hubs_per_domain=6,
+        medium_hubs_per_domain=3,
+        n_directories=15,
+        n_travel_portals=2,
+        seed=seed,
+    )
+
+
+@pytest.fixture(scope="session")
+def small_web():
+    return generate_benchmark(config=small_config())
+
+
+@pytest.fixture(scope="session")
+def small_raw_pages(small_web):
+    return small_web.raw_pages()
+
+
+@pytest.fixture(scope="session")
+def small_pages(small_raw_pages):
+    return FormPageVectorizer().fit_transform(small_raw_pages)
+
+
+@pytest.fixture(scope="session")
+def small_gold(small_pages):
+    return [page.label for page in small_pages]
+
+
+@pytest.fixture(scope="session")
+def benchmark_web():
+    return generate_benchmark(seed=42)
+
+
+@pytest.fixture(scope="session")
+def benchmark_raw_pages(benchmark_web):
+    return benchmark_web.raw_pages()
+
+
+@pytest.fixture(scope="session")
+def benchmark_pages(benchmark_raw_pages):
+    return FormPageVectorizer().fit_transform(benchmark_raw_pages)
+
+
+@pytest.fixture(scope="session")
+def benchmark_gold(benchmark_pages):
+    return [page.label for page in benchmark_pages]

@@ -1,0 +1,152 @@
+"""Tests for the schema-based clustering baseline and label extraction."""
+
+import pytest
+
+from repro.baselines import SchemaClusterer, extract_attribute_labels
+from repro.core.form_page import RawFormPage
+
+
+LABELLED_FORM = """
+<form action="/s">
+  <label for="cat">Job Category</label>
+  <select id="cat" name="cat"><option>Engineering</option></select>
+  <td>Location</td><select name="loc"><option>Texas</option></select>
+</form>
+"""
+
+WRAPPED_FORM = """
+<form><label>Author <input type="text" name="a"></label></form>
+"""
+
+TABLE_FORM = """
+<form>
+<table>
+<tr><td>Departure City</td><td><select name="from"><option>Boston</option></select></td></tr>
+<tr><td>Arrival City</td><td><select name="to"><option>Denver</option></select></td></tr>
+</table>
+</form>
+"""
+
+KEYWORD_FORM = """
+<form action="/find"><input type="text" name="q"><input type="submit" value="Search"></form>
+"""
+
+NAME_ONLY_FORM = """
+<form><input type="text" name="bookTitle"></form>
+"""
+
+
+class TestLabelExtraction:
+    def test_explicit_for_association(self):
+        labels = extract_attribute_labels(LABELLED_FORM)[0]
+        first = labels[0]
+        assert first.label == "Job Category"
+        assert first.source == "for"
+
+    def test_wrapping_label(self):
+        labels = extract_attribute_labels(WRAPPED_FORM)[0]
+        assert labels[0].label.strip() == "Author"
+        assert labels[0].source == "wrap"
+
+    def test_preceding_text_heuristic(self):
+        labels = extract_attribute_labels(TABLE_FORM)[0]
+        assert labels[0].label == "Departure City"
+        assert labels[1].label == "Arrival City"
+        assert all(l.source == "preceding" for l in labels)
+
+    def test_option_text_never_used_as_label(self):
+        labels = extract_attribute_labels(TABLE_FORM)[0]
+        assert "Boston" not in labels[1].label
+
+    def test_keyword_form_has_no_label(self):
+        labels = extract_attribute_labels(KEYWORD_FORM)[0]
+        assert len(labels) == 1
+        assert not labels[0].has_label
+
+    def test_field_name_fallback(self):
+        labels = extract_attribute_labels(NAME_ONLY_FORM)[0]
+        assert labels[0].label == "book title"
+        assert labels[0].source == "name"
+
+    def test_hidden_and_submit_skipped(self):
+        html = (
+            '<form><input type="hidden" name="h">'
+            '<input type="submit" value="Go">'
+            '<input type="text" name="q"></form>'
+        )
+        labels = extract_attribute_labels(html)[0]
+        assert [l.field_name for l in labels] == ["q"]
+
+    def test_multiple_forms(self):
+        per_form = extract_attribute_labels(LABELLED_FORM + KEYWORD_FORM)
+        assert len(per_form) == 2
+
+    def test_no_forms(self):
+        assert extract_attribute_labels("<p>no form</p>") == []
+
+
+class TestSchemaClusterer:
+    def _pages(self):
+        job = RawFormPage("http://j.com/", f"<html><body>{LABELLED_FORM}</body></html>", label="job")
+        air = RawFormPage("http://a.com/", f"<html><body>{TABLE_FORM}</body></html>", label="airfare")
+        keyword = RawFormPage("http://k.com/", f"<html><body>{KEYWORD_FORM}</body></html>", label="job")
+        return [job, air, keyword]
+
+    def test_schema_vectors_built(self):
+        schemas = SchemaClusterer(k=2).build_schemas(self._pages())
+        assert len(schemas) == 3
+        assert schemas[0].has_schema_evidence
+        assert schemas[1].has_schema_evidence
+
+    def test_keyword_form_has_no_evidence(self):
+        schemas = SchemaClusterer(k=2).build_schemas(self._pages())
+        assert not schemas[2].has_schema_evidence
+
+    def test_field_counts_tracked(self):
+        schemas = SchemaClusterer(k=2).build_schemas(self._pages())
+        assert schemas[0].n_fields == 2
+        assert schemas[0].n_labelled_fields == 2
+        assert schemas[2].n_fields == 1
+
+    def test_cluster_pages_runs(self):
+        result = SchemaClusterer(k=2, seed=1).cluster_pages(self._pages())
+        assert result.clustering.n_points == 3
+
+    def test_k_validation(self):
+        with pytest.raises(ValueError):
+            SchemaClusterer(k=0)
+        with pytest.raises(ValueError):
+            SchemaClusterer(k=5).cluster_pages(self._pages())
+
+    def test_baseline_fails_on_single_attribute_forms(self, small_raw_pages):
+        """The paper's core claim against schema-based approaches."""
+        from repro.eval.confusion import majority_label
+
+        clusterer = SchemaClusterer(k=8, seed=0)
+        schemas = clusterer.build_schemas(small_raw_pages)
+        result = clusterer.cluster(schemas)
+        gold = [s.label for s in schemas]
+
+        single = {i for i, s in enumerate(schemas) if s.n_fields <= 1}
+        errors = 0
+        for members in result.clustering.clusters:
+            if not members:
+                continue
+            majority = majority_label([gold[i] for i in members])
+            errors += sum(
+                1 for i in members if i in single and gold[i] != majority
+            )
+        # Most single-attribute forms land in wrong clusters — they have
+        # no schema evidence to cluster on.
+        assert errors >= len(single) * 0.5
+
+    def test_cafc_beats_baseline(self, small_raw_pages, small_pages, small_gold):
+        from repro.core.cafc_ch import cafc_ch
+        from repro.core.config import CAFCConfig
+        from repro.eval.entropy import total_entropy
+
+        baseline = SchemaClusterer(k=8, seed=0).cluster_pages(small_raw_pages)
+        cafc = cafc_ch(small_pages, CAFCConfig(k=8, min_hub_cardinality=3))
+        assert total_entropy(cafc.clustering, small_gold) < total_entropy(
+            baseline.clustering, small_gold
+        )

@@ -1,0 +1,143 @@
+"""Tests for vectorized batch similarity (repro.vsm.batch) and result
+persistence (repro.datasets.results)."""
+
+import numpy as np
+import pytest
+
+from repro.clustering.hac import similarity_matrix
+from repro.core.config import CAFCConfig, ContentMode
+from repro.core.similarity import FormPageSimilarity
+from repro.datasets import load_result, save_result
+from repro.vsm.batch import (
+    build_term_index,
+    centroid_rows,
+    cosine_matrix,
+    form_page_similarity_matrix,
+    to_csr,
+)
+from repro.vsm.vector import SparseVector, cosine_similarity
+
+
+class TestCosineMatrix:
+    def _vectors(self):
+        return [
+            SparseVector({"a": 1.0, "b": 2.0}),
+            SparseVector({"b": 1.0, "c": 3.0}),
+            SparseVector({"d": 5.0}),
+            SparseVector({}),
+        ]
+
+    def test_matches_scalar_cosine(self):
+        vectors = self._vectors()
+        matrix = cosine_matrix(vectors)
+        for i in range(len(vectors)):
+            for j in range(len(vectors)):
+                expected = cosine_similarity(vectors[i], vectors[j])
+                assert matrix[i, j] == pytest.approx(expected, abs=1e-12)
+
+    def test_zero_vector_row_is_zero(self):
+        matrix = cosine_matrix(self._vectors())
+        assert np.all(matrix[3] == 0.0)
+
+    def test_empty_collection(self):
+        assert cosine_matrix([]).shape == (0, 0)
+
+    def test_term_index_stable(self):
+        vectors = self._vectors()
+        assert build_term_index(vectors) == {"a": 0, "b": 1, "c": 2, "d": 3}
+
+    def test_csr_round_trip(self):
+        vectors = self._vectors()
+        index = build_term_index(vectors)
+        matrix = to_csr(vectors, index)
+        assert matrix.shape == (4, 4)
+        assert matrix[0, index["b"]] == 2.0
+
+    def test_centroid_rows(self):
+        vectors = [
+            SparseVector({"a": 2.0}),
+            SparseVector({"a": 4.0}),
+            SparseVector({"b": 1.0}),
+        ]
+        index = build_term_index(vectors)
+        matrix = to_csr(vectors, index)
+        centroids = centroid_rows(matrix, [[0, 1], [2]])
+        assert centroids[0, index["a"]] == pytest.approx(3.0)
+        assert centroids[1, index["b"]] == pytest.approx(1.0)
+
+
+class TestFormPageSimilarityMatrix:
+    def test_matches_scalar_path_on_benchmark_sample(self, small_pages):
+        pages = small_pages[:40]
+        scalar = similarity_matrix(pages, FormPageSimilarity())
+        batch = form_page_similarity_matrix(pages)
+        assert np.allclose(scalar, batch, atol=1e-10)
+
+    @pytest.mark.parametrize("mode", [ContentMode.FC, ContentMode.PC])
+    def test_single_space_modes_match(self, small_pages, mode):
+        pages = small_pages[:30]
+        scalar = similarity_matrix(pages, FormPageSimilarity(content_mode=mode))
+        batch = form_page_similarity_matrix(
+            pages,
+            use_pc=mode is ContentMode.PC,
+            use_fc=mode is ContentMode.FC,
+        )
+        assert np.allclose(scalar, batch, atol=1e-10)
+
+    def test_weighted_combination_matches(self, small_pages):
+        pages = small_pages[:30]
+        scalar = similarity_matrix(
+            pages, FormPageSimilarity(page_weight=3.0, form_weight=1.0)
+        )
+        batch = form_page_similarity_matrix(pages, page_weight=3.0, form_weight=1.0)
+        assert np.allclose(scalar, batch, atol=1e-10)
+
+    def test_no_spaces_rejected(self, small_pages):
+        with pytest.raises(ValueError):
+            form_page_similarity_matrix(small_pages[:5], use_pc=False, use_fc=False)
+
+    def test_empty_pages(self):
+        assert form_page_similarity_matrix([]).shape == (0, 0)
+
+
+class TestResultPersistence:
+    @pytest.fixture(scope="class")
+    def organized(self, small_raw_pages):
+        from repro.core.pipeline import CAFCPipeline
+
+        pipeline = CAFCPipeline(CAFCConfig(k=8, min_hub_cardinality=3))
+        return pipeline.organize(small_raw_pages)
+
+    def test_round_trip(self, organized, tmp_path):
+        path = tmp_path / "directory.json"
+        save_result(organized, path)
+        loaded = load_result(path)
+        assert loaded.algorithm == organized.algorithm
+        assert loaded.n_clusters == organized.n_clusters
+        assert loaded.n_pages == organized.n_pages
+        for original, restored in zip(organized.clusters, loaded.clusters):
+            assert restored.top_terms == original.top_terms
+            assert restored.urls == original.urls
+            assert restored.centroid.pc == original.centroid.pc
+            assert restored.centroid.fc == original.centroid.fc
+
+    def test_loaded_result_supports_exploration(self, organized, tmp_path):
+        from repro.explore import ClusterExplorer
+
+        path = tmp_path / "directory.json"
+        save_result(organized, path)
+        loaded = load_result(path)
+        hits = ClusterExplorer(loaded).search("hotel rooms")
+        assert hits
+
+    def test_version_check(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"format_version": 99}')
+        with pytest.raises(ValueError, match="format_version"):
+            load_result(path)
+
+    def test_top_level_type_check(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("[1, 2]")
+        with pytest.raises(ValueError, match="JSON object"):
+            load_result(path)

@@ -1,0 +1,111 @@
+"""Tests for the CLI (repro.cli)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.datasets import save_dataset
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_experiments_defaults(self):
+        args = build_parser().parse_args(["experiments"])
+        assert args.seed == 42
+        assert args.runs == 20
+
+    def test_corpus_args(self):
+        args = build_parser().parse_args(["corpus", "--seed", "7", "--save", "x.json"])
+        assert args.seed == 7
+        assert args.save == "x.json"
+
+    def test_organize_args(self):
+        args = build_parser().parse_args(
+            ["organize", "--dataset", "d.json", "--k", "4", "--algorithm", "cafc-c"]
+        )
+        assert args.dataset == "d.json"
+        assert args.k == 4
+        assert args.algorithm == "cafc-c"
+
+    def test_bad_algorithm_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["organize", "--algorithm", "dbscan"])
+
+
+class TestCommands:
+    def test_organize_from_dataset(self, tmp_path, small_raw_pages, capsys):
+        path = tmp_path / "corpus.json"
+        save_dataset(small_raw_pages, path)
+        exit_code = main(
+            ["organize", "--dataset", str(path), "--k", "8"]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "cluster 0" in output
+        assert "terms:" in output
+
+    def test_organize_cafc_c(self, tmp_path, small_raw_pages, capsys):
+        path = tmp_path / "corpus.json"
+        save_dataset(small_raw_pages, path)
+        exit_code = main(
+            ["organize", "--dataset", str(path), "--k", "4", "--algorithm", "cafc-c"]
+        )
+        assert exit_code == 0
+        assert "cafc-c" in capsys.readouterr().out
+
+    def test_organize_save_result(self, tmp_path, small_raw_pages, capsys):
+        from repro.datasets import load_result
+
+        dataset = tmp_path / "corpus.json"
+        directory = tmp_path / "directory.json"
+        save_dataset(small_raw_pages, dataset)
+        exit_code = main(
+            ["organize", "--dataset", str(dataset),
+             "--save-result", str(directory)]
+        )
+        assert exit_code == 0
+        loaded = load_result(directory)
+        assert loaded.n_pages == len(small_raw_pages)
+
+    def test_explore_query(self, tmp_path, small_raw_pages, capsys):
+        dataset = tmp_path / "corpus.json"
+        save_dataset(small_raw_pages, dataset)
+        exit_code = main(
+            ["explore", "--dataset", str(dataset), "--query", "hotel rooms"]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "query:" in output
+        assert "score" in output
+
+    def test_unify_cluster(self, tmp_path, small_raw_pages, capsys):
+        dataset = tmp_path / "corpus.json"
+        save_dataset(small_raw_pages, dataset)
+        exit_code = main(
+            ["unify", "--dataset", str(dataset), "--cluster", "0"]
+        )
+        assert exit_code == 0
+        assert "concepts discovered" in capsys.readouterr().out
+
+    def test_unify_bad_cluster_index(self, tmp_path, small_raw_pages, capsys):
+        dataset = tmp_path / "corpus.json"
+        save_dataset(small_raw_pages, dataset)
+        exit_code = main(
+            ["unify", "--dataset", str(dataset), "--cluster", "99"]
+        )
+        assert exit_code == 1
+
+
+class TestExperimentsCli:
+    def test_list_experiments(self, capsys):
+        exit_code = main(["experiments", "--list"])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "fig2" in output and "robustness" in output
+
+    def test_unknown_only_fails_cleanly(self, capsys):
+        exit_code = main(["experiments", "--only", "nope"])
+        assert exit_code == 1
+        assert "unknown experiment" in capsys.readouterr().err

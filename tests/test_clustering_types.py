@@ -1,0 +1,167 @@
+"""Tests for Clustering and seeding helpers."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.clustering.seeding import (
+    hac_seed_groups,
+    random_seed_indices,
+    sample_then_hac_seed_groups,
+)
+from repro.clustering.types import Clustering
+
+
+class TestClustering:
+    def test_counts(self):
+        clustering = Clustering([[0, 1], [2], []])
+        assert clustering.n_clusters == 3
+        assert clustering.n_points == 3
+
+    def test_assignment(self):
+        clustering = Clustering([[0, 2], [1]])
+        assert clustering.assignment() == {0: 0, 2: 0, 1: 1}
+
+    def test_labels_dense(self):
+        clustering = Clustering([[0, 2], [1]])
+        assert clustering.labels(4) == [0, 1, 0, -1]
+
+    def test_compact_drops_empty(self):
+        clustering = Clustering([[0], [], [1]])
+        compact = clustering.compact()
+        assert compact.n_clusters == 2
+        assert compact.n_points == 2
+
+    def test_compact_is_a_copy(self):
+        clustering = Clustering([[0]])
+        compact = clustering.compact()
+        compact.clusters[0].append(99)
+        assert clustering.clusters[0] == [0]
+
+    def test_sizes(self):
+        assert Clustering([[0, 1], [2]]).sizes() == [2, 1]
+
+    def test_from_labels(self):
+        clustering = Clustering.from_labels([0, 1, 0, 2])
+        assert clustering.clusters == [[0, 2], [1], [3]]
+
+    def test_from_labels_ignores_negative(self):
+        clustering = Clustering.from_labels([0, -1, 0])
+        assert clustering.n_points == 2
+
+    def test_round_trip(self):
+        original = Clustering([[0, 3], [1, 2]])
+        labels = original.labels(4)
+        rebuilt = Clustering.from_labels(labels)
+        assert sorted(map(sorted, rebuilt.clusters)) == sorted(
+            map(sorted, original.clusters)
+        )
+
+
+class TestRandomSeeding:
+    def test_distinct_indices(self):
+        rng = random.Random(0)
+        seeds = random_seed_indices(10, 5, rng)
+        assert len(set(seeds)) == 5
+        assert all(0 <= s < 10 for s in seeds)
+
+    def test_too_many_seeds_rejected(self):
+        with pytest.raises(ValueError):
+            random_seed_indices(3, 4, random.Random(0))
+
+    def test_reproducible(self):
+        assert random_seed_indices(100, 5, random.Random(1)) == random_seed_indices(
+            100, 5, random.Random(1)
+        )
+
+
+class TestKMeansPlusPlus:
+    def _points(self):
+        return [0.0, 0.1, 0.2, 5.0, 5.1, 10.0, 10.1]
+
+    @staticmethod
+    def _similarity(a, b):
+        return 1.0 / (1.0 + abs(a - b))
+
+    def test_picks_k_distinct_indices(self):
+        from repro.clustering.seeding import kmeans_plus_plus_indices
+
+        chosen = kmeans_plus_plus_indices(
+            self._points(), 3, self._similarity, random.Random(0)
+        )
+        assert len(set(chosen)) == 3
+
+    def test_spreads_across_blobs(self):
+        from repro.clustering.seeding import kmeans_plus_plus_indices
+
+        points = self._points()
+        # Over several seeds, the three picks should usually cover the
+        # three separated blobs.
+        covered = 0
+        for seed in range(10):
+            chosen = kmeans_plus_plus_indices(
+                points, 3, self._similarity, random.Random(seed)
+            )
+            blobs = {round(points[i] / 5) for i in chosen}
+            covered += len(blobs) == 3
+        assert covered >= 7
+
+    def test_duplicate_points_handled(self):
+        from repro.clustering.seeding import kmeans_plus_plus_indices
+
+        points = [1.0] * 5
+        chosen = kmeans_plus_plus_indices(
+            points, 3, self._similarity, random.Random(0)
+        )
+        assert len(set(chosen)) == 3
+
+    def test_too_many_seeds_rejected(self):
+        from repro.clustering.seeding import kmeans_plus_plus_indices
+
+        with pytest.raises(ValueError):
+            kmeans_plus_plus_indices([1.0], 2, self._similarity, random.Random(0))
+
+    def test_deterministic_per_seed(self):
+        from repro.clustering.seeding import kmeans_plus_plus_indices
+
+        first = kmeans_plus_plus_indices(
+            self._points(), 3, self._similarity, random.Random(4)
+        )
+        second = kmeans_plus_plus_indices(
+            self._points(), 3, self._similarity, random.Random(4)
+        )
+        assert first == second
+
+
+class TestHacSeeding:
+    def _matrix(self):
+        matrix = np.full((6, 6), 0.05)
+        for group in ([0, 1, 2], [3, 4, 5]):
+            for i in group:
+                for j in group:
+                    matrix[i, j] = 0.9
+        np.fill_diagonal(matrix, 1.0)
+        return matrix
+
+    def test_groups_cover_all_points(self):
+        groups = hac_seed_groups(self._matrix(), 2)
+        assert sorted(i for g in groups for i in g) == list(range(6))
+        assert len(groups) == 2
+
+    def test_sample_then_hac(self):
+        points = [0.0, 0.1, 0.2, 10.0, 10.1, 10.2]
+        groups = sample_then_hac_seed_groups(
+            points, 2, sample_size=6,
+            similarity=lambda a, b: 1.0 / (1.0 + abs(a - b)),
+            rng=random.Random(0),
+        )
+        assert len(groups) == 2
+        assert sorted(i for g in groups for i in g) == list(range(6))
+
+    def test_sample_smaller_than_k_rejected(self):
+        with pytest.raises(ValueError):
+            sample_then_hac_seed_groups(
+                [1.0, 2.0], 3, sample_size=2,
+                similarity=lambda a, b: 0.0, rng=random.Random(0),
+            )

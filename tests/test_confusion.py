@@ -1,0 +1,89 @@
+"""Tests for confusion analysis (repro.eval.confusion)."""
+
+from repro.clustering.types import Clustering
+from repro.core.form_page import FormPage
+from repro.eval.confusion import (
+    ConfusionAnalysis,
+    confusion_matrix,
+    majority_label,
+)
+from repro.vsm.vector import SparseVector
+
+
+def page(url, label, attribute_count=3):
+    return FormPage(
+        url=url,
+        pc=SparseVector({"x": 1.0}),
+        fc=SparseVector({"y": 1.0}),
+        label=label,
+        attribute_count=attribute_count,
+    )
+
+
+class TestMajorityLabel:
+    def test_clear_majority(self):
+        assert majority_label(["a", "a", "b"]) == "a"
+
+    def test_tie_broken_alphabetically(self):
+        assert majority_label(["b", "a"]) == "a"
+
+    def test_empty(self):
+        assert majority_label([]) == ""
+
+
+class TestConfusionMatrix:
+    def test_diagonal_for_perfect_clustering(self):
+        clustering = Clustering([[0, 1], [2, 3]])
+        labels = ["a", "a", "b", "b"]
+        matrix = confusion_matrix(clustering, labels)
+        assert matrix == {("a", "a"): 2, ("b", "b"): 2}
+
+    def test_off_diagonal_errors(self):
+        clustering = Clustering([[0, 1, 2]])
+        labels = ["a", "a", "b"]
+        matrix = confusion_matrix(clustering, labels)
+        assert matrix[("b", "a")] == 1
+
+    def test_empty_clusters_skipped(self):
+        matrix = confusion_matrix(Clustering([[], [0]]), ["a"])
+        assert matrix == {("a", "a"): 1}
+
+
+class TestConfusionAnalysis:
+    def _pages(self):
+        return [
+            page("http://m1.com/", "music"),
+            page("http://m2.com/", "music"),
+            page("http://v1.com/", "movie"),
+            page("http://v2.com/", "movie"),
+            page("http://kw.com/", "music", attribute_count=1),
+        ]
+
+    def test_no_errors_for_perfect(self):
+        pages = self._pages()
+        clustering = Clustering([[0, 1, 4], [2, 3]])
+        analysis = ConfusionAnalysis.analyze(clustering, pages)
+        assert analysis.n_misclustered == 0
+        assert analysis.error_pairs() == {}
+
+    def test_errors_detected(self):
+        pages = self._pages()
+        clustering = Clustering([[0, 1], [2, 3, 4]])  # keyword music page in movie
+        analysis = ConfusionAnalysis.analyze(clustering, pages)
+        assert analysis.n_misclustered == 1
+        error = analysis.misclustered[0]
+        assert error.gold_label == "music"
+        assert error.assigned_label == "movie"
+        assert error.url == "http://kw.com/"
+
+    def test_single_attribute_errors_counted(self):
+        pages = self._pages()
+        clustering = Clustering([[0, 1], [2, 3, 4]])
+        analysis = ConfusionAnalysis.analyze(clustering, pages)
+        assert analysis.n_single_attribute_errors == 1
+
+    def test_error_pairs_counter(self):
+        pages = self._pages()
+        clustering = Clustering([[0, 1], [2, 3, 4]])
+        analysis = ConfusionAnalysis.analyze(clustering, pages)
+        assert analysis.error_pairs()[("music", "movie")] == 1

@@ -1,0 +1,135 @@
+"""Deep audit of the benchmark corpus structure.
+
+The generator is calibrated code, not frozen data; these tests are the
+regression net that keeps future generator edits faithful to the
+engineered profile (docs/CORPUS.md maps each property to its mechanism).
+"""
+
+from collections import Counter
+
+from repro.html.forms import extract_forms
+from repro.html.text_extract import page_text
+from repro.webgraph.form_classifier import classify_form
+from repro.webgraph.urls import host_of, same_site
+
+
+class TestSiteStructure:
+    def test_single_attribute_split_per_domain(self, benchmark_web):
+        per_domain = Counter(
+            site.domain_name
+            for site in benchmark_web.sites
+            if site.is_single_attribute
+        )
+        assert all(count == 7 for count in per_domain.values())
+        assert sum(per_domain.values()) == 56
+
+    def test_mixed_entertainment_pages(self, benchmark_web):
+        mixed = [s for s in benchmark_web.sites if s.is_mixed_entertainment]
+        assert len(mixed) == benchmark_web.config.mixed_entertainment_pages
+        labels = Counter(site.domain_name for site in mixed)
+        assert labels["music"] == labels["movie"]
+
+    def test_every_site_has_unique_host(self, benchmark_web):
+        hosts = [site.host for site in benchmark_web.sites]
+        assert len(set(hosts)) == len(hosts)
+
+    def test_site_pages_live_on_site_host(self, benchmark_web):
+        for site in benchmark_web.sites[:50]:
+            for page in site.pages:
+                assert host_of(page.url) == site.host
+
+
+class TestGraphIntegrity:
+    def test_all_outlinks_resolve(self, benchmark_web):
+        graph = benchmark_web.graph
+        dangling = 0
+        total = 0
+        for page in graph.pages():
+            for target in page.outlinks:
+                total += 1
+                if target not in graph:
+                    dangling += 1
+        assert dangling == 0, f"{dangling}/{total} dangling links"
+
+    def test_hub_pages_are_cross_site(self, benchmark_web):
+        graph = benchmark_web.graph
+        for hub in graph.pages_of_kind("hub"):
+            for target in hub.outlinks:
+                assert not same_site(hub.url, target)
+
+    def test_form_pages_link_back_to_root(self, benchmark_web):
+        graph = benchmark_web.graph
+        for site in benchmark_web.sites[:50]:
+            outlinks = graph.outlinks(site.form_page_url)
+            assert site.root_url in outlinks
+
+
+class TestPageContent:
+    def test_every_form_page_parses_with_searchable_form(self, benchmark_web):
+        misses = 0
+        for site in benchmark_web.sites:
+            page = benchmark_web.graph.get(site.form_page_url)
+            forms = extract_forms(page.html)
+            assert forms, site.form_page_url
+            if not any(classify_form(form) for form in forms):
+                misses += 1
+        # The heuristic classifier may miss a handful; never more.
+        assert misses <= len(benchmark_web.sites) * 0.05
+
+    def test_login_pages_never_searchable(self, benchmark_web):
+        graph = benchmark_web.graph
+        for page in graph.pages_of_kind("login"):
+            forms = extract_forms(page.html)
+            assert forms
+            assert not any(classify_form(form) for form in forms)
+
+    def test_form_pages_have_titles(self, benchmark_web):
+        for site in benchmark_web.sites[:50]:
+            page = benchmark_web.graph.get(site.form_page_url)
+            assert "<title>" in page.html
+
+    def test_keyword_pages_carry_hint_outside_form(self, benchmark_web):
+        keyword_sites = [
+            s for s in benchmark_web.sites if s.is_single_attribute
+        ][:10]
+        for site in keyword_sites:
+            page = benchmark_web.graph.get(site.form_page_url)
+            before_form = page.html.split("<form")[0]
+            # The domain's keyword hint lives before the FORM tag.
+            assert "<b>" in before_form
+
+    def test_pages_contain_visible_text(self, benchmark_web):
+        for site in benchmark_web.sites[:30]:
+            page = benchmark_web.graph.get(site.form_page_url)
+            assert len(page_text(page.html).split()) > 5
+
+
+class TestBacklinkLayer:
+    def test_orphans_are_never_hub_targets(self, benchmark_web):
+        graph = benchmark_web.graph
+        orphan_roots = set()
+        for site in benchmark_web.sites:
+            if site.form_page_url in benchmark_web.orphan_urls:
+                orphan_roots.add(site.root_url)
+        for hub in graph.pages_of_kind("hub"):
+            for target in hub.outlinks:
+                assert target not in benchmark_web.orphan_urls
+                assert target not in orphan_roots
+
+    def test_hub_cardinality_spectrum(self, benchmark_pages):
+        from repro.core.hubs import build_hub_clusters
+
+        clusters = build_hub_clusters(benchmark_pages, min_cardinality=1)
+        sizes = Counter(cluster.cardinality for cluster in clusters)
+        # Small, medium and large (>=14) clusters must all exist.
+        assert any(size <= 4 for size in sizes)
+        assert any(7 <= size <= 10 for size in sizes)
+        assert any(size >= 14 for size in sizes)
+
+    def test_large_clusters_are_travel_only(self, benchmark_pages):
+        from repro.core.hubs import build_hub_clusters
+
+        clusters = build_hub_clusters(benchmark_pages, min_cardinality=14)
+        for cluster in clusters:
+            labels = set(cluster.member_labels(benchmark_pages))
+            assert labels <= {"airfare", "hotel"}

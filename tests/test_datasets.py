@@ -1,0 +1,93 @@
+"""Tests for dataset (de)serialization."""
+
+import json
+
+import pytest
+
+from repro.core.form_page import RawFormPage
+from repro.datasets import dataset_info, load_dataset, save_dataset
+
+
+def sample_pages():
+    return [
+        RawFormPage(
+            url="http://a.com/search",
+            html="<form><input type=text name=q></form>",
+            backlinks=["http://hub.org/"],
+            label="job",
+        ),
+        RawFormPage(
+            url="http://b.com/search",
+            html="<form><select name=c><option>x</option></select></form>",
+            backlinks=[],
+            label=None,
+        ),
+    ]
+
+
+class TestRoundTrip:
+    def test_save_and_load(self, tmp_path):
+        path = tmp_path / "dataset.json"
+        pages = sample_pages()
+        save_dataset(pages, path)
+        loaded = load_dataset(path)
+        assert len(loaded) == 2
+        assert loaded[0].url == pages[0].url
+        assert loaded[0].html == pages[0].html
+        assert loaded[0].backlinks == pages[0].backlinks
+        assert loaded[0].label == "job"
+        assert loaded[1].label is None
+
+    def test_no_tmp_file_left_behind(self, tmp_path):
+        path = tmp_path / "dataset.json"
+        save_dataset(sample_pages(), path)
+        assert list(tmp_path.iterdir()) == [path]
+
+    def test_small_corpus_round_trip(self, tmp_path, small_raw_pages):
+        path = tmp_path / "corpus.json"
+        save_dataset(small_raw_pages, path)
+        loaded = load_dataset(path)
+        assert len(loaded) == len(small_raw_pages)
+        assert [p.url for p in loaded] == [p.url for p in small_raw_pages]
+
+
+class TestValidation:
+    def test_wrong_version_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"format_version": 99, "pages": []}))
+        with pytest.raises(ValueError, match="format_version"):
+            load_dataset(path)
+
+    def test_non_object_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("[]")
+        with pytest.raises(ValueError, match="JSON object"):
+            load_dataset(path)
+
+    def test_pages_not_list_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"format_version": 1, "pages": {}}))
+        with pytest.raises(ValueError, match="list"):
+            load_dataset(path)
+
+    def test_malformed_entry_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(
+            json.dumps({"format_version": 1, "pages": [{"url": "http://x.com/"}]})
+        )
+        with pytest.raises(ValueError, match="entry 0"):
+            load_dataset(path)
+
+    def test_missing_file_raises_oserror(self, tmp_path):
+        with pytest.raises(OSError):
+            load_dataset(tmp_path / "nope.json")
+
+
+class TestInfo:
+    def test_info_summary(self, tmp_path):
+        path = tmp_path / "dataset.json"
+        save_dataset(sample_pages(), path)
+        info = dataset_info(path)
+        assert info["n_pages"] == 2
+        assert info["format_version"] == 1
+        assert info["labels"] == {"job": 1, "?": 1}

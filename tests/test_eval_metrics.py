@@ -1,0 +1,172 @@
+"""Tests for evaluation metrics: entropy, F-measure, purity, NMI, ARI."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.clustering.types import Clustering
+from repro.eval.entropy import class_distribution, cluster_entropy, total_entropy
+from repro.eval.extra import (
+    adjusted_rand_index,
+    normalized_mutual_information,
+    purity,
+)
+from repro.eval.fmeasure import f_measure, overall_f_measure, precision_recall
+
+PERFECT = Clustering([[0, 1], [2, 3]])
+PERFECT_LABELS = ["a", "a", "b", "b"]
+
+MIXED = Clustering([[0, 2], [1, 3]])  # each cluster half a / half b
+
+ALL_IN_ONE = Clustering([[0, 1, 2, 3]])
+
+
+class TestEntropy:
+    def test_pure_cluster_zero(self):
+        assert cluster_entropy(["x", "x", "x"]) == 0.0
+
+    def test_uniform_two_class(self):
+        assert cluster_entropy(["a", "b"]) == pytest.approx(math.log(2))
+
+    def test_empty_cluster(self):
+        assert cluster_entropy([]) == 0.0
+
+    def test_class_distribution_sums_to_one(self):
+        distribution = class_distribution(["a", "a", "b"])
+        assert sum(distribution) == pytest.approx(1.0)
+
+    def test_perfect_clustering_zero_total(self):
+        assert total_entropy(PERFECT, PERFECT_LABELS) == 0.0
+
+    def test_mixed_clustering(self):
+        assert total_entropy(MIXED, PERFECT_LABELS) == pytest.approx(math.log(2))
+
+    def test_weighting_by_cluster_size(self):
+        clustering = Clustering([[0], [1, 2, 3]])
+        labels = ["a", "a", "b", "b"]
+        # Cluster 0 pure; cluster 1 has 1 a + 2 b.
+        expected = (3 / 4) * (-(1 / 3) * math.log(1 / 3) - (2 / 3) * math.log(2 / 3))
+        assert total_entropy(clustering, labels) == pytest.approx(expected)
+
+    def test_empty_clustering(self):
+        assert total_entropy(Clustering([]), []) == 0.0
+
+    def test_entropy_nonnegative_and_bounded(self):
+        value = total_entropy(ALL_IN_ONE, PERFECT_LABELS)
+        assert 0.0 <= value <= math.log(2) + 1e-9
+
+
+class TestFMeasure:
+    def test_precision_recall(self):
+        precision, recall = precision_recall(3, 6, 4)
+        assert precision == pytest.approx(0.75)
+        assert recall == pytest.approx(0.5)
+
+    def test_zero_safe(self):
+        assert precision_recall(0, 0, 0) == (0.0, 0.0)
+        assert f_measure(0, 0, 0) == 0.0
+
+    def test_equation_six(self):
+        # R = 1/2, P = 1/4 -> F = 2RP/(R+P) = 1/3.
+        assert f_measure(1, 2, 4) == pytest.approx(1 / 3)
+
+    def test_perfect_clustering_scores_one(self):
+        assert overall_f_measure(PERFECT, PERFECT_LABELS) == pytest.approx(1.0)
+
+    def test_all_in_one_cluster(self):
+        # Each class: recall 1, precision 1/2 -> F = 2/3.
+        assert overall_f_measure(ALL_IN_ONE, PERFECT_LABELS) == pytest.approx(2 / 3)
+
+    def test_empty_clustering(self):
+        assert overall_f_measure(Clustering([]), []) == 0.0
+
+    def test_better_clustering_scores_higher(self):
+        good = overall_f_measure(PERFECT, PERFECT_LABELS)
+        bad = overall_f_measure(MIXED, PERFECT_LABELS)
+        assert good > bad
+
+
+class TestPurity:
+    def test_perfect(self):
+        assert purity(PERFECT, PERFECT_LABELS) == 1.0
+
+    def test_mixed(self):
+        assert purity(MIXED, PERFECT_LABELS) == 0.5
+
+    def test_empty(self):
+        assert purity(Clustering([]), []) == 0.0
+
+
+class TestNmi:
+    def test_perfect(self):
+        assert normalized_mutual_information(PERFECT, PERFECT_LABELS) == pytest.approx(1.0)
+
+    def test_independent_partition_near_zero(self):
+        assert normalized_mutual_information(MIXED, PERFECT_LABELS) == pytest.approx(
+            0.0, abs=1e-9
+        )
+
+    def test_bounds(self):
+        value = normalized_mutual_information(ALL_IN_ONE, PERFECT_LABELS)
+        assert 0.0 <= value <= 1.0
+
+
+class TestAri:
+    def test_perfect(self):
+        assert adjusted_rand_index(PERFECT, PERFECT_LABELS) == pytest.approx(1.0)
+
+    def test_random_near_zero(self):
+        assert abs(adjusted_rand_index(MIXED, PERFECT_LABELS)) < 0.5
+
+    def test_empty(self):
+        assert adjusted_rand_index(Clustering([]), []) == 0.0
+
+
+label_lists = st.lists(st.sampled_from(["a", "b", "c"]), min_size=2, max_size=30)
+
+
+def random_partition(n, rng_seed):
+    import random as _random
+
+    rng = _random.Random(rng_seed)
+    k = rng.randint(1, n)
+    clusters = [[] for _ in range(k)]
+    for i in range(n):
+        clusters[rng.randrange(k)].append(i)
+    return Clustering([c for c in clusters if c])
+
+
+class TestMetricProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(label_lists, st.integers(min_value=0, max_value=100))
+    def test_entropy_bounds(self, labels, seed):
+        clustering = random_partition(len(labels), seed)
+        value = total_entropy(clustering, labels)
+        assert 0.0 <= value <= math.log(len(set(labels))) + 1e-9
+
+    @settings(max_examples=40, deadline=None)
+    @given(label_lists, st.integers(min_value=0, max_value=100))
+    def test_f_measure_bounds(self, labels, seed):
+        clustering = random_partition(len(labels), seed)
+        value = overall_f_measure(clustering, labels)
+        assert 0.0 <= value <= 1.0 + 1e-9
+
+    @settings(max_examples=40, deadline=None)
+    @given(label_lists)
+    def test_gold_partition_is_optimal(self, labels):
+        by_label = {}
+        for index, label in enumerate(labels):
+            by_label.setdefault(label, []).append(index)
+        gold = Clustering(list(by_label.values()))
+        assert total_entropy(gold, labels) == pytest.approx(0.0)
+        assert overall_f_measure(gold, labels) == pytest.approx(1.0)
+        assert purity(gold, labels) == pytest.approx(1.0)
+        assert adjusted_rand_index(gold, labels) == pytest.approx(1.0)
+
+    @settings(max_examples=40, deadline=None)
+    @given(label_lists, st.integers(min_value=0, max_value=100))
+    def test_purity_bounds(self, labels, seed):
+        clustering = random_partition(len(labels), seed)
+        assert 0.0 < purity(clustering, labels) <= 1.0

@@ -1,0 +1,226 @@
+"""Tests for the experiment harness.
+
+Most experiments run here against a small ExperimentContext built from
+the fast fixture corpus; a few session-cached checks exercise the real
+benchmark context.
+"""
+
+import math
+
+import pytest
+
+from repro.core.config import CAFCConfig
+from repro.core.hubs import build_hub_clusters
+from repro.experiments import corpus_profile, errors, fig2, fig3, hac_seeding
+from repro.experiments import hubstats, table1, table2, weights
+from repro.experiments.context import ExperimentContext, get_context
+from repro.experiments.reporting import paper_vs_measured, render_table
+
+
+@pytest.fixture(scope="module")
+def small_context(small_web, small_raw_pages, small_pages, small_gold):
+    return ExperimentContext(
+        web=small_web,
+        raw_pages=small_raw_pages,
+        pages=small_pages,
+        gold_labels=small_gold,
+        raw_hub_clusters=build_hub_clusters(small_pages, min_cardinality=1),
+        config=CAFCConfig(k=8, min_hub_cardinality=3),
+    )
+
+
+class TestReporting:
+    def test_render_table_alignment(self):
+        text = render_table(["col", "x"], [["a", 1.5], ["bb", 2]])
+        lines = text.splitlines()
+        assert lines[0].startswith("col")
+        assert "1.500" in text
+
+    def test_render_table_with_title(self):
+        text = render_table(["a"], [[1]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_paper_vs_measured(self):
+        assert paper_vs_measured(0.15, 0.043) == "0.150 / 0.043"
+        assert paper_vs_measured(None, 0.5) == "— / 0.500"
+
+    def test_render_bar_chart(self):
+        from repro.experiments.reporting import render_bar_chart
+
+        chart = render_bar_chart(["aa", "b"], [2.0, 1.0], width=4)
+        lines = chart.splitlines()
+        assert lines[0].startswith("aa  ████")
+        assert lines[1].startswith("b   ██ ")
+        assert "2.000" in lines[0]
+
+    def test_render_bar_chart_validation(self):
+        from repro.experiments.reporting import render_bar_chart
+
+        with pytest.raises(ValueError):
+            render_bar_chart(["a"], [1.0, 2.0])
+
+    def test_render_bar_chart_empty_and_zero(self):
+        from repro.experiments.reporting import render_bar_chart
+
+        assert render_bar_chart([], [], title="t").startswith("t")
+        chart = render_bar_chart(["a"], [0.0], width=4)
+        assert "█" not in chart
+
+
+class TestContext:
+    def test_get_context_cached(self):
+        first = get_context(seed=42)
+        second = get_context(seed=42)
+        assert first is second
+
+    def test_uniform_weights_context_distinct(self):
+        default = get_context(seed=42)
+        uniform = get_context(seed=42, uniform_weights=True)
+        assert default is not uniform
+
+    def test_hub_cluster_pruning(self, small_context):
+        all_clusters = small_context.hub_clusters(1)
+        pruned = small_context.hub_clusters(5)
+        assert len(pruned) <= len(all_clusters)
+        assert all(c.cardinality >= 5 for c in pruned)
+
+
+class TestFig2:
+    def test_rows_complete(self, small_context):
+        result = fig2.run_fig2(small_context, n_runs=2)
+        assert len(result.rows) == 6
+        for algorithm in ("cafc-c", "cafc-ch"):
+            for mode in ("fc", "pc", "fc+pc"):
+                row = result.get(algorithm, mode)
+                assert 0.0 <= row.entropy <= math.log(8) + 1e-9
+                assert 0.0 <= row.f_measure <= 1.0
+
+    def test_format(self, small_context):
+        result = fig2.run_fig2(small_context, n_runs=2)
+        text = fig2.format_fig2(result)
+        assert "CAFC-CH" in text and "FC+PC" in text
+
+    def test_get_unknown_raises(self, small_context):
+        result = fig2.run_fig2(small_context, n_runs=1)
+        with pytest.raises(KeyError):
+            result.get("cafc-c", "nonsense")
+
+
+class TestFig3:
+    def test_sweep_points(self, small_context):
+        result = fig3.run_fig3(small_context, thresholds=range(2, 6), n_cafc_c_runs=2)
+        assert len(result.points) == 4
+        assert result.cafc_c_entropy >= 0.0
+
+    def test_format(self, small_context):
+        result = fig3.run_fig3(small_context, thresholds=range(2, 5), n_cafc_c_runs=1)
+        assert "min card" in fig3.format_fig3(result)
+
+    def test_failed_points_flagged(self, small_context):
+        result = fig3.run_fig3(
+            small_context, thresholds=range(50, 52), n_cafc_c_runs=1
+        )
+        assert all(point.failed for point in result.points)
+
+
+class TestTable1:
+    def test_buckets_cover_all_pages(self, small_context):
+        result = table1.run_table1(small_context)
+        assert sum(row.n_pages for row in result.rows) == len(small_context.pages)
+
+    def test_interval_labels(self, small_context):
+        result = table1.run_table1(small_context)
+        labels = [row.interval_label for row in result.rows]
+        assert labels[0] == "< 10"
+        assert labels[-1] == ">= 200"
+
+    def test_format(self, small_context):
+        assert "form size" in table1.format_table1(table1.run_table1(small_context))
+
+
+class TestTable2:
+    def test_four_cells(self, small_context):
+        result = table2.run_table2(small_context, n_kmeans_runs=2)
+        assert len(result.cells) == 4
+        for cell in result.cells:
+            assert 0.0 <= cell.f_measure <= 1.0
+
+    def test_format(self, small_context):
+        result = table2.run_table2(small_context, n_kmeans_runs=1)
+        assert "kmeans" in table2.format_table2(result)
+
+
+class TestHacSeeding:
+    def test_four_rows(self, small_context):
+        result = hac_seeding.run_hac_seeding(small_context, n_random_runs=2)
+        assert {row.seeding for row in result.rows} == {
+            "random", "kmeans++", "hac", "hubs",
+        }
+
+    def test_format(self, small_context):
+        result = hac_seeding.run_hac_seeding(small_context, n_random_runs=1)
+        assert "seeding" in hac_seeding.format_hac_seeding(result)
+
+
+class TestHubStats:
+    def test_statistics_computed(self, small_context):
+        result = hubstats.run_hubstats(small_context)
+        assert result.n_form_pages == len(small_context.pages)
+        assert 0.0 <= result.raw_homogeneity <= 1.0
+        assert result.n_pruned_hub_clusters <= result.n_raw_hub_clusters
+
+    def test_format(self, small_context):
+        assert "homogeneous" in hubstats.format_hubstats(
+            hubstats.run_hubstats(small_context)
+        )
+
+
+class TestErrors:
+    def test_analysis_runs(self, small_context):
+        result = errors.run_errors(small_context)
+        assert result.n_pages == len(small_context.pages)
+        assert result.n_misclustered >= 0
+
+    def test_format(self, small_context):
+        assert "total errors" in errors.format_errors(errors.run_errors(small_context))
+
+
+class TestCorpusProfileExperiment:
+    def test_small_corpus_violates_454(self, small_context):
+        result = corpus_profile.run_corpus_profile(small_context)
+        # The small fixture is intentionally not the paper corpus.
+        assert corpus_profile.check_shape(result)
+
+    def test_benchmark_corpus_passes(self):
+        context = get_context(seed=42)
+        result = corpus_profile.run_corpus_profile(context)
+        assert corpus_profile.check_shape(result) == []
+
+    def test_format(self, small_context):
+        result = corpus_profile.run_corpus_profile(small_context)
+        assert "form pages" in corpus_profile.format_corpus_profile(result)
+
+
+class TestBenchmarkShapes:
+    """The paper's headline shape claims on the real benchmark corpus.
+
+    These are the load-bearing reproduction checks; they use the cached
+    context and modest run counts to stay fast.
+    """
+
+    def test_table1_shape(self):
+        context = get_context(seed=42)
+        assert table1.check_shape(table1.run_table1(context)) == []
+
+    def test_hubstats_shape(self):
+        context = get_context(seed=42)
+        assert hubstats.check_shape(hubstats.run_hubstats(context)) == []
+
+    def test_errors_shape(self):
+        context = get_context(seed=42)
+        assert errors.check_shape(errors.run_errors(context)) == []
+
+    def test_weights_shape(self):
+        context = get_context(seed=42)
+        result = weights.run_weights(context, n_cafc_c_runs=3)
+        assert weights.check_shape(result) == []

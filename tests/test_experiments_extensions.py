@@ -1,0 +1,95 @@
+"""Tests for the extension experiments (robustness, vocabulary)."""
+
+import pytest
+
+from repro.core.config import CAFCConfig
+from repro.core.hubs import build_hub_clusters
+from repro.experiments import robustness, vocabulary
+from repro.experiments.context import ExperimentContext
+
+
+@pytest.fixture(scope="module")
+def small_context(small_web, small_raw_pages, small_pages, small_gold):
+    return ExperimentContext(
+        web=small_web,
+        raw_pages=small_raw_pages,
+        pages=small_pages,
+        gold_labels=small_gold,
+        raw_hub_clusters=build_hub_clusters(small_pages, min_cardinality=1),
+        config=CAFCConfig(k=8, min_hub_cardinality=3),
+    )
+
+
+class TestRobustness:
+    def test_sweep_runs(self, small_context):
+        result = robustness.run_robustness(
+            small_context, coverages=(1.0, 0.5, 0.0), min_hub_cardinality=3
+        )
+        assert len(result.points) == 3
+
+    def test_zero_coverage_falls_back(self, small_context):
+        result = robustness.run_robustness(
+            small_context, coverages=(0.0,), min_hub_cardinality=3
+        )
+        point = result.points[0]
+        assert point.fell_back
+        assert point.n_hub_clusters == 0
+
+    def test_full_coverage_uses_hubs(self, small_context):
+        result = robustness.run_robustness(
+            small_context, coverages=(1.0,), min_hub_cardinality=3
+        )
+        assert not result.points[0].fell_back
+
+    def test_hub_count_monotone(self, small_context):
+        result = robustness.run_robustness(
+            small_context, coverages=(1.0, 0.6, 0.2), min_hub_cardinality=3
+        )
+        counts = [p.n_hub_clusters for p in result.points]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_format(self, small_context):
+        result = robustness.run_robustness(
+            small_context, coverages=(1.0, 0.0), min_hub_cardinality=3
+        )
+        assert "coverage" in robustness.format_robustness(result)
+
+    def test_check_shape_clean(self, small_context):
+        result = robustness.run_robustness(
+            small_context, coverages=(1.0, 0.5, 0.0), min_hub_cardinality=3
+        )
+        assert robustness.check_shape(result) == []
+
+
+class TestVocabulary:
+    def test_study_runs(self, small_context):
+        result = vocabulary.run_vocabulary(small_context, pages_per_domain=6)
+        assert result.n_domains == 8
+        assert result.anchors
+
+    def test_paper_generic_stems_have_low_idf(self, small_context):
+        result = vocabulary.run_vocabulary(small_context, pages_per_domain=6)
+        for stem, idf in result.generic_idf.items():
+            assert idf < 1.0, stem
+
+    def test_every_domain_has_anchors(self, small_context):
+        result = vocabulary.run_vocabulary(small_context, pages_per_domain=6)
+        for domain_anchors in result.anchors:
+            assert domain_anchors.anchors
+
+    def test_airfare_anchor_is_flighty(self, small_context):
+        result = vocabulary.run_vocabulary(small_context, pages_per_domain=6)
+        airfare = next(a for a in result.anchors if a.domain == "airfare")
+        top_terms = {term for term, _ in airfare.anchors}
+        assert top_terms & {"flight", "airfar", "airlin", "fare"}
+
+    def test_format(self, small_context):
+        result = vocabulary.run_vocabulary(small_context, pages_per_domain=6)
+        text = vocabulary.format_vocabulary(result)
+        assert "generic stem" in text
+        assert "anchor terms" in text
+
+    def test_deterministic(self, small_context):
+        first = vocabulary.run_vocabulary(small_context, pages_per_domain=6, seed=3)
+        second = vocabulary.run_vocabulary(small_context, pages_per_domain=6, seed=3)
+        assert first.generic_terms == second.generic_terms

@@ -1,0 +1,80 @@
+"""Tests for the cluster explorer."""
+
+import pytest
+
+from repro.core.config import CAFCConfig
+from repro.core.pipeline import CAFCPipeline
+from repro.explore import ClusterExplorer
+
+
+@pytest.fixture(scope="module")
+def organized(small_raw_pages):
+    pipeline = CAFCPipeline(CAFCConfig(k=8, min_hub_cardinality=3))
+    return pipeline.organize(small_raw_pages)
+
+
+@pytest.fixture(scope="module")
+def explorer(organized):
+    return ClusterExplorer(organized)
+
+
+def majority_label(cluster):
+    labels = [page.label for page in cluster.pages]
+    return max(set(labels), key=labels.count)
+
+
+class TestSearch:
+    def test_domain_query_finds_domain_cluster(self, explorer):
+        hits = explorer.search("cheap flights airline tickets")
+        assert hits
+        assert majority_label(hits[0].cluster) == "airfare"
+
+    def test_job_query(self, explorer):
+        hits = explorer.search("software engineering careers and salaries")
+        assert majority_label(hits[0].cluster) == "job"
+
+    def test_hotel_query(self, explorer):
+        hits = explorer.search("hotel rooms for two nights")
+        assert majority_label(hits[0].cluster) == "hotel"
+
+    def test_matched_terms_reported(self, explorer):
+        hits = explorer.search("hotel reservation")
+        assert "hotel" in hits[0].matched_terms
+
+    def test_scores_descending(self, explorer):
+        hits = explorer.search("music movie book", n=8)
+        scores = [hit.score for hit in hits]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_n_limits_results(self, explorer):
+        assert len(explorer.search("search find database", n=2)) <= 2
+
+    def test_stopword_only_query(self, explorer):
+        assert explorer.search("the of and") == []
+
+    def test_gibberish_query(self, explorer):
+        assert explorer.search("zzyzx qwfp") == []
+
+
+class TestSummaries:
+    def test_summary_lists_all_clusters(self, explorer, organized):
+        summary = explorer.summary()
+        for index in range(organized.n_clusters):
+            assert f"[{index}]" in summary
+
+    def test_describe_contains_urls(self, explorer, organized):
+        description = explorer.describe(0)
+        assert organized.clusters[0].urls[0] in description
+
+    def test_describe_bounds_checked(self, explorer, organized):
+        with pytest.raises(IndexError):
+            explorer.describe(organized.n_clusters)
+        with pytest.raises(IndexError):
+            explorer.describe(-1)
+
+    def test_describe_truncates_long_clusters(self, explorer, organized):
+        big = max(range(organized.n_clusters),
+                  key=lambda i: organized.clusters[i].size)
+        if organized.clusters[big].size > 2:
+            description = explorer.describe(big, max_urls=2)
+            assert "more" in description

@@ -1,0 +1,153 @@
+"""Tests for form extraction (repro.html.forms)."""
+
+from repro.html.forms import extract_forms
+from repro.html.parser import parse_html
+
+JOB_FORM = """
+<html><body>
+<form action="/search" method="GET">
+  <label for="cat">Job Category</label>
+  <select name="cat" id="cat">
+    <option value="eng">Engineering</option>
+    <option value="sales">Sales</option>
+  </select>
+  <input type="text" name="kw">
+  <input type="hidden" name="sid" value="abc">
+  <input type="submit" value="Search Jobs">
+</form>
+</body></html>
+"""
+
+LOGIN_FORM = """
+<form action="/login" method="post">
+  <input type="text" name="user">
+  <input type="password" name="pw">
+  <input type="submit" value="Sign In">
+</form>
+"""
+
+
+class TestExtraction:
+    def test_form_found(self):
+        forms = extract_forms(JOB_FORM)
+        assert len(forms) == 1
+
+    def test_action_and_method(self):
+        form = extract_forms(JOB_FORM)[0]
+        assert form.action == "/search"
+        assert form.method == "get"
+
+    def test_fields_enumerated(self):
+        form = extract_forms(JOB_FORM)[0]
+        tags = [f.tag for f in form.fields]
+        assert tags == ["select", "input", "input", "input"]
+
+    def test_select_options(self):
+        form = extract_forms(JOB_FORM)[0]
+        select = form.selects[0]
+        assert [o.text for o in select.options] == ["Engineering", "Sales"]
+        assert [o.value for o in select.options] == ["eng", "sales"]
+
+    def test_label_association_by_for(self):
+        form = extract_forms(JOB_FORM)[0]
+        assert form.selects[0].label == "Job Category"
+
+    def test_wrapping_label(self):
+        html = "<form><label>Title <input type=text name=t></label></form>"
+        form = extract_forms(html)[0]
+        assert form.text_inputs[0].label.startswith("Title")
+
+    def test_multiple_forms(self):
+        forms = extract_forms(JOB_FORM + LOGIN_FORM)
+        assert len(forms) == 2
+
+    def test_no_forms(self):
+        assert extract_forms("<p>nothing here</p>") == []
+
+    def test_accepts_parsed_root(self):
+        root = parse_html(JOB_FORM)
+        assert len(extract_forms(root)) == 1
+
+
+class TestFieldProperties:
+    def test_hidden_field_detection(self):
+        form = extract_forms(JOB_FORM)[0]
+        hidden = [f for f in form.fields if f.is_hidden]
+        assert len(hidden) == 1
+        assert hidden[0].name == "sid"
+
+    def test_visible_fields_exclude_hidden(self):
+        form = extract_forms(JOB_FORM)[0]
+        assert all(not f.is_hidden for f in form.visible_fields)
+
+    def test_text_input_detection(self):
+        form = extract_forms(JOB_FORM)[0]
+        assert [f.name for f in form.text_inputs] == ["kw"]
+
+    def test_textarea_is_text_input(self):
+        form = extract_forms("<form><textarea name=c></textarea></form>")[0]
+        assert form.text_inputs[0].tag == "textarea"
+
+    def test_password_detection(self):
+        form = extract_forms(LOGIN_FORM)[0]
+        assert form.has_password_field
+
+    def test_submit_detection(self):
+        form = extract_forms(JOB_FORM)[0]
+        submits = [f for f in form.fields if f.is_submit]
+        assert len(submits) == 1
+
+    def test_button_element_submit(self):
+        form = extract_forms("<form><button>Go</button></form>")[0]
+        assert form.fields[0].is_submit
+
+
+class TestAttributeCount:
+    def test_multi_attribute_count(self):
+        form = extract_forms(JOB_FORM)[0]
+        # select + text input; hidden and submit do not count.
+        assert form.attribute_count == 2
+        assert not form.is_single_attribute
+
+    def test_single_attribute_keyword_form(self):
+        html = '<form><input type=text name=q><input type=submit value=Go></form>'
+        form = extract_forms(html)[0]
+        assert form.attribute_count == 1
+        assert form.is_single_attribute
+
+    def test_hidden_fields_never_counted(self):
+        html = (
+            '<form><input type=text name=q>'
+            '<input type=hidden name=a><input type=hidden name=b></form>'
+        )
+        assert extract_forms(html)[0].attribute_count == 1
+
+
+class TestVisibleText:
+    def test_form_visible_text_includes_labels_and_options(self):
+        form = extract_forms(JOB_FORM)[0]
+        assert "Job Category" in form.visible_text
+        assert "Engineering" in form.visible_text
+
+    def test_submit_caption_included(self):
+        form = extract_forms(JOB_FORM)[0]
+        assert "Search Jobs" in form.visible_text
+
+    def test_hidden_value_excluded(self):
+        form = extract_forms(JOB_FORM)[0]
+        assert "abc" not in form.visible_text
+
+    def test_option_text_collected_separately(self):
+        form = extract_forms(JOB_FORM)[0]
+        assert "Engineering" in form.option_text
+        assert "Job Category" not in form.option_text
+
+    def test_script_content_excluded(self):
+        html = "<form><script>var x=1;</script><input type=text name=q></form>"
+        form = extract_forms(html)[0]
+        assert "var" not in form.visible_text
+
+    def test_image_alt_included(self):
+        html = '<form><img alt="search icon"><input type=text name=q></form>'
+        form = extract_forms(html)[0]
+        assert "search icon" in form.visible_text

@@ -1,0 +1,172 @@
+"""Tests for hierarchical agglomerative clustering."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.clustering.hac import (
+    Linkage,
+    hac,
+    hac_from_groups,
+    hac_points,
+    similarity_matrix,
+)
+
+
+def block_matrix():
+    """Two obvious blocks: {0,1,2} similar, {3,4} similar, cross ~0."""
+    matrix = np.full((5, 5), 0.05)
+    for group in ([0, 1, 2], [3, 4]):
+        for i in group:
+            for j in group:
+                matrix[i, j] = 0.9
+    np.fill_diagonal(matrix, 1.0)
+    return matrix
+
+
+class TestBasicAgglomeration:
+    @pytest.mark.parametrize("linkage", list(Linkage))
+    def test_two_blocks_found(self, linkage):
+        result = hac(block_matrix(), n_clusters=2, linkage=linkage)
+        clusters = sorted(sorted(m) for m in result.clustering.clusters)
+        assert clusters == [[0, 1, 2], [3, 4]]
+
+    def test_merge_history_length(self):
+        result = hac(block_matrix(), n_clusters=2)
+        assert len(result.merges) == 3  # 5 -> 2 clusters
+
+    def test_merges_monotone_similarity_average(self):
+        # With clean block structure, within-block merges precede the
+        # cross-block merge.
+        result = hac(block_matrix(), n_clusters=1)
+        assert result.merges[-1].similarity < result.merges[0].similarity
+
+    def test_cut_at_n(self):
+        result = hac(block_matrix(), n_clusters=5)
+        assert result.clustering.n_clusters == 5
+        assert not result.merges
+
+    def test_cut_at_one(self):
+        result = hac(block_matrix(), n_clusters=1)
+        assert result.clustering.n_clusters == 1
+        assert result.clustering.clusters[0] == [0, 1, 2, 3, 4]
+
+
+class TestValidation:
+    def test_non_square_matrix_rejected(self):
+        with pytest.raises(ValueError):
+            hac(np.zeros((2, 3)), 1)
+
+    def test_bad_n_clusters_rejected(self):
+        with pytest.raises(ValueError):
+            hac(block_matrix(), 0)
+        with pytest.raises(ValueError):
+            hac(block_matrix(), 6)
+
+    def test_empty_matrix(self):
+        result = hac(np.zeros((0, 0)), 1)
+        assert result.clustering.n_clusters == 0
+
+
+class TestLinkageSemantics:
+    def test_single_linkage_chains(self):
+        # A chain 0-1-2 with decreasing sims; single linkage merges the
+        # chain before the isolated point 3 joins.
+        matrix = np.array(
+            [
+                [1.0, 0.9, 0.1, 0.0],
+                [0.9, 1.0, 0.8, 0.0],
+                [0.1, 0.8, 1.0, 0.0],
+                [0.0, 0.0, 0.0, 1.0],
+            ]
+        )
+        result = hac(matrix, n_clusters=2, linkage=Linkage.SINGLE)
+        clusters = sorted(sorted(m) for m in result.clustering.clusters)
+        assert clusters == [[0, 1, 2], [3]]
+
+    def test_complete_linkage_resists_chaining(self):
+        matrix = np.array(
+            [
+                [1.0, 0.9, 0.1, 0.05],
+                [0.9, 1.0, 0.8, 0.05],
+                [0.1, 0.8, 1.0, 0.6],
+                [0.05, 0.05, 0.6, 1.0],
+            ]
+        )
+        result = hac(matrix, n_clusters=2, linkage=Linkage.COMPLETE)
+        clusters = sorted(sorted(m) for m in result.clustering.clusters)
+        assert [0, 1] in clusters
+
+    def test_average_is_exact_mean_pairwise(self):
+        # After merging {0,1}, average-linkage sim to 2 must equal the
+        # mean of sim(0,2) and sim(1,2); verify via the merge order it
+        # induces.
+        matrix = np.array(
+            [
+                [1.0, 0.9, 0.5, 0.0],
+                [0.9, 1.0, 0.1, 0.0],
+                [0.5, 0.1, 1.0, 0.35],
+                [0.0, 0.0, 0.35, 1.0],
+            ]
+        )
+        # mean({0,1},2) = 0.3 < sim(2,3)=0.35 so 2 joins 3 first.
+        result = hac(matrix, n_clusters=2, linkage=Linkage.AVERAGE)
+        clusters = sorted(sorted(m) for m in result.clustering.clusters)
+        assert clusters == [[0, 1], [2, 3]]
+
+
+class TestSimilarityMatrix:
+    def test_symmetric_with_unit_diagonal(self):
+        points = [1.0, 2.0, 5.0]
+        matrix = similarity_matrix(points, lambda a, b: -abs(a - b))
+        assert np.allclose(matrix, matrix.T)
+        assert np.allclose(np.diag(matrix), 1.0)
+
+    def test_hac_points_wrapper(self):
+        points = [0.0, 0.1, 10.0, 10.1]
+        result = hac_points(
+            points, 2, lambda a, b: 1.0 / (1.0 + abs(a - b))
+        )
+        clusters = sorted(sorted(m) for m in result.clustering.clusters)
+        assert clusters == [[0, 1], [2, 3]]
+
+
+class TestHacFromGroups:
+    def test_groups_respected(self):
+        result = hac_from_groups(block_matrix(), [[0, 1, 2], [3, 4]], 2)
+        clusters = sorted(sorted(m) for m in result.clustering.clusters)
+        assert clusters == [[0, 1, 2], [3, 4]]
+
+    def test_uncovered_points_become_singletons(self):
+        result = hac_from_groups(block_matrix(), [[0, 1]], 3)
+        sizes = sorted(result.clustering.sizes(), reverse=True)
+        assert sum(sizes) == 5
+
+    def test_groups_can_merge(self):
+        result = hac_from_groups(block_matrix(), [[0, 1], [2], [3, 4]], 2)
+        clusters = sorted(sorted(m) for m in result.clustering.clusters)
+        assert clusters == [[0, 1, 2], [3, 4]]
+
+    def test_overlapping_groups_rejected(self):
+        with pytest.raises(ValueError):
+            hac_from_groups(block_matrix(), [[0, 1], [1, 2]], 2)
+
+    def test_bad_cut_rejected(self):
+        with pytest.raises(ValueError):
+            hac_from_groups(block_matrix(), [[0, 1, 2, 3, 4]], 2)
+
+
+class TestProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(min_value=2, max_value=12), st.integers(min_value=0, max_value=1000))
+    def test_partition_invariant(self, n, seed):
+        rng = np.random.default_rng(seed)
+        raw = rng.random((n, n))
+        matrix = (raw + raw.T) / 2
+        np.fill_diagonal(matrix, 1.0)
+        k = int(rng.integers(1, n + 1))
+        result = hac(matrix, k)
+        members = sorted(i for cluster in result.clustering.clusters for i in cluster)
+        assert members == list(range(n))
+        assert result.clustering.n_clusters == k

@@ -1,0 +1,184 @@
+"""Tests for the hidden-database substrate and the probing baseline."""
+
+import pytest
+
+from repro.baselines.probing import ProbeSet, ProbingClassifier, train_probes
+from repro.hiddendb import (
+    HiddenDatabase,
+    build_hidden_databases,
+    generate_records,
+)
+from repro.hiddendb.records import generate_mixed_records
+from repro.webgen.domains import domain_by_name
+
+
+class TestRecordGeneration:
+    def test_count_and_fields(self):
+        records = generate_records(domain_by_name("job"), 20, seed="x")
+        assert len(records) == 20
+        assert all("description" in record for record in records)
+
+    def test_deterministic_per_seed(self):
+        first = generate_records(domain_by_name("job"), 5, seed="brand1")
+        second = generate_records(domain_by_name("job"), 5, seed="brand1")
+        assert first == second
+
+    def test_seed_changes_contents(self):
+        first = generate_records(domain_by_name("job"), 5, seed="brand1")
+        second = generate_records(domain_by_name("job"), 5, seed="brand2")
+        assert first != second
+
+    def test_select_attributes_draw_from_pools(self):
+        records = generate_records(domain_by_name("job"), 30, seed="x")
+        categories = {
+            record["category"] for record in records if "category" in record
+        }
+        pool = set(
+            next(
+                a for a in domain_by_name("job").attributes
+                if a.concept == "category"
+            ).value_pool
+        )
+        assert categories <= pool
+
+    def test_mixed_records_split(self):
+        records = generate_mixed_records(
+            domain_by_name("music"), domain_by_name("movie"), 20, seed="x"
+        )
+        assert len(records) == 20
+
+
+class TestHiddenDatabase:
+    def _db(self):
+        return HiddenDatabase(
+            [
+                {"title": "Senior Engineer", "description": "great salary and career"},
+                {"title": "Sales Manager", "description": "career opportunity"},
+                {"title": "Quiet Room", "description": "hotel amenities"},
+            ]
+        )
+
+    def test_keyword_search_and(self):
+        result = self._db().keyword_search("career salary")
+        assert result.count == 1
+
+    def test_keyword_search_or(self):
+        result = self._db().keyword_search("career salary", mode="or")
+        assert result.count == 2
+
+    def test_bad_mode_rejected(self):
+        with pytest.raises(ValueError):
+            self._db().keyword_search("x", mode="xor")
+
+    def test_count_primitive(self):
+        assert self._db().count("career") == 2
+        assert self._db().count("zzz") == 0
+
+    def test_stemming_in_index(self):
+        # 'salaries' stems to the same term as 'salary'.
+        assert self._db().count("salaries") == 1
+
+    def test_empty_query(self):
+        assert self._db().keyword_search("the of").count == 0
+
+    def test_fielded_search(self):
+        database = HiddenDatabase(
+            [
+                {"category": "Engineering", "state": "Texas"},
+                {"category": "Engineering", "state": "Ohio"},
+                {"category": "Sales", "state": "Texas"},
+            ]
+        )
+        assert database.fielded_search({"category": "engineering"}).count == 2
+        assert database.fielded_search(
+            {"category": "Engineering", "state": "Texas"}
+        ).count == 1
+
+    def test_fielded_search_ignores_empty_filters(self):
+        database = HiddenDatabase([{"category": "Sales"}])
+        assert database.fielded_search({"category": "", "x": "  "}).count == 1
+
+    def test_len_and_vocabulary(self):
+        database = self._db()
+        assert len(database) == 3
+        assert database.vocabulary_size() > 0
+
+
+class TestRegistry:
+    def test_one_database_per_site(self, small_web):
+        registry = build_hidden_databases(small_web, records_per_database=30)
+        assert len(registry) == len(small_web.sites)
+
+    def test_keyword_accessibility_split(self, small_web):
+        registry = build_hidden_databases(small_web, records_per_database=30)
+        accessible = registry.keyword_accessible()
+        # All single-attribute forms are accessible; most multi are not.
+        n_single = sum(1 for s in small_web.sites if s.is_single_attribute)
+        assert len(accessible) >= n_single
+        assert len(accessible) < len(registry)
+
+    def test_lookup(self, small_web):
+        registry = build_hidden_databases(small_web, records_per_database=30)
+        url = small_web.sites[0].form_page_url
+        assert url in registry
+        assert registry.get(url).site.form_page_url == url
+        assert registry.get("http://nowhere.example/") is None
+
+
+class TestProbing:
+    @pytest.fixture(scope="class")
+    def registry(self, small_web):
+        return build_hidden_databases(small_web, records_per_database=60)
+
+    @pytest.fixture(scope="class")
+    def probe_set(self, registry):
+        by_domain = {}
+        for entry in registry.entries():
+            by_domain.setdefault(entry.site.domain_name, []).append(entry)
+        training = [
+            (domain, entry.database)
+            for domain, entries in by_domain.items()
+            for entry in entries[:2]
+        ]
+        return train_probes(training, n_terms=6)
+
+    def test_probes_are_domain_flavoured(self, probe_set):
+        assert "job" in probe_set.probes["job"] or "career" in probe_set.probes["job"]
+        assert probe_set.n_probes > 0
+
+    def test_classification_accuracy_on_accessible(self, registry, probe_set):
+        classifier = ProbingClassifier(probe_set)
+        correct = accessible = 0
+        for entry in registry.entries():
+            outcome = classifier.probe(
+                entry.site.form_page_url, entry.database, entry.keyword_accessible
+            )
+            if not outcome.accessible:
+                continue
+            accessible += 1
+            correct += outcome.category == entry.site.domain_name
+        assert accessible > 0
+        assert correct / accessible >= 0.8
+
+    def test_structured_interfaces_unreachable(self, registry, probe_set):
+        classifier = ProbingClassifier(probe_set)
+        outcome = classifier.probe("http://x.com/", None, keyword_accessible=False)
+        assert not outcome.accessible
+        assert outcome.category is None
+        assert outcome.n_queries == 0
+
+    def test_query_budget_tracked(self, registry, probe_set):
+        classifier = ProbingClassifier(probe_set)
+        entry = registry.keyword_accessible()[0]
+        outcome = classifier.probe(
+            entry.site.form_page_url, entry.database, True
+        )
+        assert outcome.n_queries == probe_set.n_probes
+
+    def test_empty_probe_set_rejected(self):
+        with pytest.raises(ValueError):
+            ProbingClassifier(ProbeSet(probes={}))
+
+    def test_empty_training_rejected(self):
+        with pytest.raises(ValueError):
+            train_probes([])

@@ -1,0 +1,127 @@
+"""Tests for the DOM and the tolerant HTML parser."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.html.dom import Element, Text
+from repro.html.parser import parse_html
+
+
+class TestBasicParsing:
+    def test_single_element(self):
+        root = parse_html("<p>hello</p>")
+        paragraph = root.find("p")
+        assert paragraph is not None
+        assert paragraph.text_content() == "hello"
+
+    def test_nesting(self):
+        root = parse_html("<div><span>inner</span></div>")
+        assert root.find("div").find("span").text_content() == "inner"
+
+    def test_attributes_lowercased(self):
+        root = parse_html('<input TYPE="TEXT" Name="q">')
+        element = root.find("input")
+        assert element.get("type") == "TEXT"
+        assert element.get("name") == "q"
+
+    def test_missing_attribute_default(self):
+        root = parse_html("<input>")
+        assert root.find("input").get("missing") == ""
+        assert root.find("input").get("missing", "x") == "x"
+
+    def test_void_elements_do_not_nest(self):
+        root = parse_html("<input><p>after</p>")
+        # <p> must be a sibling of <input>, not its child.
+        assert root.find("input").children == []
+        assert root.find("p").text_content() == "after"
+
+    def test_self_closing_syntax(self):
+        root = parse_html("<br/><div>x</div>")
+        assert root.find("br") is not None
+        assert root.find("div").text_content() == "x"
+
+    def test_whitespace_only_text_skipped(self):
+        root = parse_html("<div>   \n   </div>")
+        assert root.find("div").children == []
+
+    def test_entity_decoding(self):
+        root = parse_html("<p>fish &amp; chips</p>")
+        assert root.find("p").text_content() == "fish & chips"
+
+
+class TestTolerance:
+    def test_unclosed_tags(self):
+        root = parse_html("<div><p>one<p>two")
+        paragraphs = root.find_all("p")
+        assert [p.text_content() for p in paragraphs] == ["one", "two"]
+
+    def test_stray_end_tag_ignored(self):
+        root = parse_html("</div><p>ok</p>")
+        assert root.find("p").text_content() == "ok"
+
+    def test_implicit_option_closing(self):
+        root = parse_html("<select><option>a<option>b<option>c</select>")
+        options = root.find("select").find_all("option")
+        assert [o.text_content() for o in options] == ["a", "b", "c"]
+
+    def test_implicit_li_closing(self):
+        root = parse_html("<ul><li>one<li>two</ul>")
+        assert len(root.find("ul").find_all("li")) == 2
+
+    def test_mismatched_close_pops_through(self):
+        root = parse_html("<div><b>bold</div>after")
+        # The </div> closes through the unclosed <b>.
+        assert root.find("b").text_content() == "bold"
+
+    def test_html_tag_merges_into_root(self):
+        root = parse_html('<html lang="en"><body>x</body></html>')
+        assert root.get("lang") == "en"
+        assert root.find("body").text_content() == "x"
+
+    @given(st.text(max_size=400))
+    def test_never_raises_on_arbitrary_input(self, text):
+        root = parse_html(text)
+        assert isinstance(root, Element)
+
+    @given(st.lists(
+        st.sampled_from(["<div>", "</div>", "<p>", "text", "<input>", "</span>", "<form>", "</form>"]),
+        max_size=40,
+    ))
+    def test_never_raises_on_tag_soup(self, chunks):
+        root = parse_html("".join(chunks))
+        # Traversal must also be safe.
+        assert sum(1 for _ in root.iter()) >= 1
+
+
+class TestDomNavigation:
+    def test_iter_preorder(self):
+        root = parse_html("<a><b></b><c></c></a>")
+        tags = [el.tag for el in root.iter()]
+        assert tags == ["html", "a", "b", "c"]
+
+    def test_ancestors(self):
+        root = parse_html("<form><table><tr><td><input></td></tr></table></form>")
+        element = root.find("input")
+        tags = [anc.tag for anc in element.ancestors()]
+        assert tags == ["td", "tr", "table", "form", "html"]
+
+    def test_has_ancestor(self):
+        root = parse_html("<form><input></form>")
+        assert root.find("input").has_ancestor("form")
+        assert not root.find("form").has_ancestor("form")
+
+    def test_find_all_includes_self(self):
+        root = parse_html("<div><div></div></div>")
+        outer = root.find("div")
+        assert len(outer.find_all("div")) == 2
+
+    def test_text_nodes_iteration(self):
+        root = parse_html("<p>one <b>two</b> three</p>")
+        texts = [t.data.strip() for t in root.iter_text_nodes()]
+        assert texts == ["one", "two", "three"]
+
+    def test_text_node_repr(self):
+        assert "hi" in repr(Text("hi"))
+
+    def test_element_repr(self):
+        assert "div" in repr(Element("div"))

@@ -1,0 +1,139 @@
+"""Tests for hub-cluster construction (repro.core.hubs)."""
+
+import pytest
+
+from repro.core.form_page import FormPage
+from repro.core.hubs import (
+    build_hub_clusters,
+    group_by_hub,
+    homogeneity_rate,
+)
+from repro.vsm.vector import SparseVector
+
+
+def page(url, backlinks, label="job", pc=None, fc=None):
+    return FormPage(
+        url=url,
+        pc=SparseVector(pc or {"t": 1.0}),
+        fc=SparseVector(fc or {"f": 1.0}),
+        backlinks=frozenset(backlinks),
+        label=label,
+    )
+
+
+HUB_A = "http://hub-a.org/list.html"
+HUB_B = "http://hub-b.org/list.html"
+
+
+class TestGroupByHub:
+    def test_co_citation_grouping(self):
+        pages = [
+            page("http://s1.com/f", [HUB_A]),
+            page("http://s2.com/f", [HUB_A, HUB_B]),
+            page("http://s3.com/f", [HUB_B]),
+        ]
+        grouped = group_by_hub(pages)
+        assert grouped[HUB_A] == frozenset({0, 1})
+        assert grouped[HUB_B] == frozenset({1, 2})
+
+    def test_intra_site_backlinks_dropped(self):
+        pages = [page("http://s1.com/f", ["http://www.s1.com/index.html", HUB_A])]
+        grouped = group_by_hub(pages)
+        assert list(grouped) == [HUB_A]
+
+    def test_intra_site_kept_when_disabled(self):
+        pages = [page("http://s1.com/f", ["http://s1.com/index.html"])]
+        grouped = group_by_hub(pages, drop_intra_site=False)
+        assert len(grouped) == 1
+
+    def test_no_backlinks(self):
+        assert group_by_hub([page("http://s1.com/f", [])]) == {}
+
+
+class TestBuildHubClusters:
+    def _pages(self):
+        return [
+            page("http://s1.com/f", [HUB_A], label="job"),
+            page("http://s2.com/f", [HUB_A], label="job"),
+            page("http://s3.com/f", [HUB_A, HUB_B], label="job"),
+            page("http://s4.com/f", [HUB_B], label="hotel"),
+        ]
+
+    def test_clusters_built(self):
+        clusters = build_hub_clusters(self._pages())
+        assert {c.hub_url for c in clusters} == {HUB_A, HUB_B}
+
+    def test_min_cardinality_prunes(self):
+        clusters = build_hub_clusters(self._pages(), min_cardinality=3)
+        assert [c.hub_url for c in clusters] == [HUB_A]
+
+    def test_sorted_largest_first(self):
+        clusters = build_hub_clusters(self._pages())
+        assert clusters[0].cardinality >= clusters[-1].cardinality
+
+    def test_centroid_is_member_mean(self):
+        pages = [
+            page("http://s1.com/f", [HUB_A], pc={"x": 2.0}),
+            page("http://s2.com/f", [HUB_A], pc={"x": 4.0}),
+        ]
+        cluster = build_hub_clusters(pages)[0]
+        assert cluster.centroid.pc["x"] == pytest.approx(3.0)
+
+    def test_deduplication_of_identical_member_sets(self):
+        hub_c = "http://hub-c.org/mirror.html"
+        pages = [
+            page("http://s1.com/f", [HUB_A, hub_c]),
+            page("http://s2.com/f", [HUB_A, hub_c]),
+        ]
+        clusters = build_hub_clusters(pages)
+        assert len(clusters) == 1  # same co-cited set -> one cluster
+
+    def test_deduplication_disabled(self):
+        hub_c = "http://hub-c.org/mirror.html"
+        pages = [
+            page("http://s1.com/f", [HUB_A, hub_c]),
+            page("http://s2.com/f", [HUB_A, hub_c]),
+        ]
+        clusters = build_hub_clusters(pages, deduplicate=False)
+        assert len(clusters) == 2
+
+    def test_deterministic_output(self):
+        first = build_hub_clusters(self._pages())
+        second = build_hub_clusters(self._pages())
+        assert [c.hub_url for c in first] == [c.hub_url for c in second]
+        assert [c.members for c in first] == [c.members for c in second]
+
+    def test_members_sorted(self):
+        for cluster in build_hub_clusters(self._pages()):
+            assert cluster.members == sorted(cluster.members)
+
+
+class TestHomogeneity:
+    def test_homogeneous_cluster(self):
+        pages = self_pages = [
+            page("http://s1.com/f", [HUB_A], label="job"),
+            page("http://s2.com/f", [HUB_A], label="job"),
+        ]
+        clusters = build_hub_clusters(pages)
+        assert clusters[0].is_homogeneous(pages)
+        assert homogeneity_rate(clusters, pages) == 1.0
+
+    def test_heterogeneous_cluster(self):
+        pages = [
+            page("http://s1.com/f", [HUB_A], label="job"),
+            page("http://s2.com/f", [HUB_A], label="hotel"),
+        ]
+        clusters = build_hub_clusters(pages)
+        assert not clusters[0].is_homogeneous(pages)
+        assert homogeneity_rate(clusters, pages) == 0.0
+
+    def test_empty_cluster_list(self):
+        assert homogeneity_rate([], []) == 0.0
+
+    def test_member_labels(self):
+        pages = [
+            page("http://s1.com/f", [HUB_A], label="job"),
+            page("http://s2.com/f", [HUB_A], label="hotel"),
+        ]
+        clusters = build_hub_clusters(pages)
+        assert sorted(clusters[0].member_labels(pages)) == ["hotel", "job"]

@@ -1,0 +1,114 @@
+"""Tests for incremental cluster maintenance."""
+
+import pytest
+
+from repro.core.cafc_ch import cafc_ch
+from repro.core.config import CAFCConfig
+from repro.core.incremental import IncrementalOrganizer
+from repro.core.vectorizer import FormPageVectorizer
+from repro.webgen.corpus import generate_benchmark
+
+from tests.conftest import small_config
+
+
+@pytest.fixture(scope="module")
+def organizer_setup(small_web, small_raw_pages):
+    vectorizer = FormPageVectorizer()
+    pages = vectorizer.fit_transform(small_raw_pages)
+    result = cafc_ch(pages, CAFCConfig(k=8, min_hub_cardinality=3))
+    initial = [
+        [pages[i] for i in members]
+        for members in result.clustering.compact().clusters
+    ]
+    return vectorizer, pages, initial
+
+
+def make_organizer(organizer_setup):
+    vectorizer, _, initial = organizer_setup
+    return IncrementalOrganizer(
+        [list(cluster) for cluster in initial], vectorizer
+    )
+
+
+class TestConstruction:
+    def test_initial_state(self, organizer_setup):
+        organizer = make_organizer(organizer_setup)
+        _, pages, _ = organizer_setup
+        assert len(organizer) == len(pages)
+        assert organizer.cohesion > 0.0
+        assert not organizer.needs_reclustering
+
+    def test_requires_clusters(self, organizer_setup):
+        vectorizer, _, _ = organizer_setup
+        with pytest.raises(ValueError):
+            IncrementalOrganizer([], vectorizer)
+
+    def test_drift_threshold_validated(self, organizer_setup):
+        vectorizer, _, initial = organizer_setup
+        with pytest.raises(ValueError):
+            IncrementalOrganizer(initial, vectorizer, drift_threshold=0.0)
+
+    def test_membership_lookup(self, organizer_setup):
+        organizer = make_organizer(organizer_setup)
+        _, pages, _ = organizer_setup
+        url = pages[0].url
+        assert url in organizer
+        assert 0 <= organizer.cluster_of(url) < len(organizer.clusters)
+
+
+class TestAddRemove:
+    def test_add_new_source_lands_in_right_domain(self, organizer_setup):
+        organizer = make_organizer(organizer_setup)
+        fresh = generate_benchmark(config=small_config(seed=55))
+        correct = 0
+        added = fresh.raw_pages()[:20]
+        for raw in added:
+            index = organizer.add(raw)
+            cluster = organizer.clusters[index]
+            labels = [p.label for p in cluster.pages if p.label]
+            majority = max(set(labels), key=labels.count)
+            correct += majority == raw.label
+        assert correct / len(added) > 0.6
+        assert organizer.n_added == len(added)
+
+    def test_add_updates_centroid_and_size(self, organizer_setup):
+        organizer = make_organizer(organizer_setup)
+        fresh = generate_benchmark(config=small_config(seed=56))
+        raw = fresh.raw_pages()[0]
+        before = organizer.sizes()
+        index = organizer.add(raw)
+        after = organizer.sizes()
+        assert after[index] == before[index] + 1
+        assert raw.url in organizer
+
+    def test_remove_managed_page(self, organizer_setup):
+        organizer = make_organizer(organizer_setup)
+        _, pages, _ = organizer_setup
+        url = pages[0].url
+        index = organizer.cluster_of(url)
+        before = organizer.clusters[index].size
+        assert organizer.remove(url)
+        assert organizer.clusters[index].size == before - 1
+        assert url not in organizer
+
+    def test_remove_unknown_returns_false(self, organizer_setup):
+        organizer = make_organizer(organizer_setup)
+        assert not organizer.remove("http://nowhere.example/")
+
+    def test_re_add_replaces(self, organizer_setup):
+        organizer = make_organizer(organizer_setup)
+        fresh = generate_benchmark(config=small_config(seed=57))
+        raw = fresh.raw_pages()[0]
+        organizer.add(raw)
+        total_before = len(organizer)
+        organizer.add(raw)
+        assert len(organizer) == total_before  # replaced, not duplicated
+
+    def test_cohesion_tracks_quality(self, organizer_setup):
+        organizer = make_organizer(organizer_setup)
+        initial_cohesion = organizer.cohesion
+        # Adding well-matching pages keeps cohesion in the same regime.
+        fresh = generate_benchmark(config=small_config(seed=58))
+        for raw in fresh.raw_pages()[:10]:
+            organizer.add(raw)
+        assert organizer.cohesion > 0.5 * initial_cohesion

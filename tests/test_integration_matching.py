@@ -1,0 +1,199 @@
+"""Tests for attribute matching and unified-interface construction."""
+
+import pytest
+
+from repro.core.form_page import RawFormPage
+from repro.integration import (
+    AttributeInstance,
+    build_unified_interface,
+    collect_attributes,
+    match_attributes,
+)
+from repro.integration.matching import attribute_similarity
+
+
+def instance(form_index, field_name, label, label_terms, options=()):
+    return AttributeInstance(
+        form_index=form_index,
+        field_name=field_name,
+        label=label,
+        label_terms=frozenset(label_terms),
+        options=frozenset(options),
+    )
+
+
+JOB_FORM_A = """
+<html><body><form action="/s">
+<table>
+<tr><td>Job Category</td><td><select name="category">
+<option>Engineering</option><option>Sales</option><option>Finance</option>
+</select></td></tr>
+<tr><td>State</td><td><select name="state">
+<option>Texas</option><option>Ohio</option></select></td></tr>
+</table></form></body></html>
+"""
+
+JOB_FORM_B = """
+<html><body><form action="/find">
+<table>
+<tr><td>Industry</td><td><select name="category">
+<option>Engineering</option><option>Sales</option><option>Marketing</option>
+</select></td></tr>
+<tr><td>Location</td><td><select name="state">
+<option>Texas</option><option>Maine</option></select></td></tr>
+</table></form></body></html>
+"""
+
+
+class TestAttributeSimilarity:
+    def test_identical_labels(self):
+        a = instance(0, "x", "Job Category", ["job", "categori"])
+        b = instance(1, "y", "Job Category", ["job", "categori"])
+        assert attribute_similarity(a, b) == pytest.approx(1.0)
+
+    def test_partial_label_overlap(self):
+        a = instance(0, "x", "Job Category", ["job", "categori"])
+        b = instance(1, "y", "Category", ["categori"])
+        assert 0.0 < attribute_similarity(a, b) < 1.0
+
+    def test_option_overlap_rescues_disjoint_labels(self):
+        options = ["texas", "ohio", "maine"]
+        a = instance(0, "x", "State", ["state"], options)
+        b = instance(1, "y", "Where", ["where"], options)
+        assert attribute_similarity(a, b) >= 0.4
+
+    def test_same_field_name_bonus(self):
+        a = instance(0, "state", "", [])
+        b = instance(1, "state", "", [])
+        assert attribute_similarity(a, b) == pytest.approx(0.3)
+
+    def test_no_evidence_scores_zero(self):
+        a = instance(0, "x", "", [])
+        b = instance(1, "y", "", [])
+        assert attribute_similarity(a, b) == 0.0
+
+    def test_capped_at_one(self):
+        options = ["a", "b"]
+        a = instance(0, "same", "State", ["state"], options)
+        b = instance(1, "same", "State", ["state"], options)
+        assert attribute_similarity(a, b) == 1.0
+
+
+class TestCollectAttributes:
+    def test_attributes_collected_with_labels_and_options(self):
+        pages = [RawFormPage("http://a.com/", JOB_FORM_A)]
+        instances = collect_attributes(pages)
+        assert len(instances) == 2
+        by_label = {i.label: i for i in instances}
+        assert "engineering" in by_label["Job Category"].options
+
+    def test_form_index_tracked(self):
+        pages = [
+            RawFormPage("http://a.com/", JOB_FORM_A),
+            RawFormPage("http://b.com/", JOB_FORM_B),
+        ]
+        instances = collect_attributes(pages)
+        assert {i.form_index for i in instances} == {0, 1}
+
+    def test_page_without_form_skipped(self):
+        pages = [RawFormPage("http://a.com/", "<p>no form</p>")]
+        assert collect_attributes(pages) == []
+
+
+class TestMatchAttributes:
+    def test_cross_site_correspondences_found(self):
+        pages = [
+            RawFormPage("http://a.com/", JOB_FORM_A),
+            RawFormPage("http://b.com/", JOB_FORM_B),
+        ]
+        groups = match_attributes(collect_attributes(pages))
+        # 'Job Category'~'Industry' (options) and 'State'~'Location'.
+        assert len(groups) == 2
+        assert all(group.size == 2 for group in groups)
+
+    def test_same_form_attributes_never_merge(self):
+        instances = [
+            instance(0, "a", "Category", ["categori"]),
+            instance(0, "b", "Category", ["categori"]),
+        ]
+        groups = match_attributes(instances)
+        assert len(groups) == 2
+
+    def test_below_threshold_stays_apart(self):
+        instances = [
+            instance(0, "a", "Author", ["author"]),
+            instance(1, "b", "Destination", ["destin"]),
+        ]
+        groups = match_attributes(instances)
+        assert len(groups) == 2
+
+    def test_empty_input(self):
+        assert match_attributes([]) == []
+
+    def test_canonical_label_majority(self):
+        instances = [
+            instance(0, "c", "Industry", ["industri"]),
+            instance(1, "c", "Industry", ["industri"]),
+            instance(2, "c", "Job Category", ["job", "categori"]),
+        ]
+        groups = match_attributes(instances, threshold=0.2)
+        assert groups[0].canonical_label() == "Industry"
+
+    def test_generator_ground_truth_precision(self, small_raw_pages):
+        """Matched pairs should share the generator's concept name."""
+        job_pages = [p for p in small_raw_pages if p.label == "job"][:6]
+        groups = match_attributes(collect_attributes(job_pages))
+        correct = total = 0
+        for group in groups:
+            names = [m.field_name for m in group.members]
+            for i in range(len(names)):
+                for j in range(i + 1, len(names)):
+                    total += 1
+                    correct += names[i] == names[j]
+        if total:
+            assert correct / total >= 0.9
+
+
+class TestUnifiedInterface:
+    def _pages(self):
+        return [
+            RawFormPage("http://a.com/", JOB_FORM_A),
+            RawFormPage("http://b.com/", JOB_FORM_B),
+        ]
+
+    def test_fields_built_with_coverage(self):
+        unified = build_unified_interface(self._pages(), min_coverage=0.5)
+        assert len(unified.fields) == 2
+        assert all(field.coverage == 1.0 for field in unified.fields)
+
+    def test_options_merged_across_sources(self):
+        unified = build_unified_interface(self._pages())
+        state_field = next(f for f in unified.fields if "texas" in f.options)
+        assert set(state_field.options) == {"texas", "ohio", "maine"}
+
+    def test_coverage_filter(self):
+        pages = self._pages() + [
+            RawFormPage(
+                "http://c.com/",
+                "<form><td>Salary</td><select name='sal'><option>High</option></select></form>",
+            )
+        ]
+        strict = build_unified_interface(pages, min_coverage=0.5)
+        labels = {field.label for field in strict.fields}
+        assert "Salary" not in labels
+
+    def test_to_html_renders_a_form(self):
+        unified = build_unified_interface(self._pages())
+        html = unified.to_html()
+        from repro.html.forms import extract_forms
+
+        form = extract_forms(html)[0]
+        assert form.attribute_count == len(unified.fields)
+
+    def test_bad_coverage_rejected(self):
+        with pytest.raises(ValueError):
+            build_unified_interface(self._pages(), min_coverage=1.5)
+
+    def test_source_count_recorded(self):
+        unified = build_unified_interface(self._pages())
+        assert unified.n_source_forms == 2

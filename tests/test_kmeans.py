@@ -1,0 +1,132 @@
+"""Tests for the generic k-means engine."""
+
+import math
+from typing import List
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.clustering.kmeans import kmeans
+
+# A 1-D playground: points are floats, centroids are floats, similarity is
+# negative distance, centroid is the mean.
+
+
+def neg_distance(point: float, centroid: float) -> float:
+    return -abs(point - centroid)
+
+
+def mean(points: List[float]) -> float:
+    return sum(points) / len(points)
+
+
+class TestConvergence:
+    def test_two_obvious_clusters(self):
+        points = [0.0, 0.1, 0.2, 10.0, 10.1, 10.2]
+        result = kmeans(points, [0.0, 10.0], neg_distance, mean, stop_fraction=0.0)
+        clusters = sorted(
+            sorted(members) for members in result.clustering.clusters
+        )
+        assert clusters == [[0, 1, 2], [3, 4, 5]]
+        assert result.converged
+
+    def test_centroids_are_means(self):
+        points = [0.0, 2.0, 10.0, 12.0]
+        result = kmeans(points, [0.0, 12.0], neg_distance, mean, stop_fraction=0.0)
+        assert sorted(result.centroids) == pytest.approx([1.0, 11.0])
+
+    def test_all_points_assigned_exactly_once(self):
+        points = [float(i) for i in range(20)]
+        result = kmeans(points, [2.0, 9.0, 16.0], neg_distance, mean)
+        labels = result.clustering.labels(len(points))
+        assert all(label >= 0 for label in labels)
+        assert result.clustering.n_points == len(points)
+
+    def test_k_clusters_returned(self):
+        points = [1.0, 2.0, 3.0]
+        result = kmeans(points, [1.0, 3.0], neg_distance, mean)
+        assert result.clustering.n_clusters == 2
+
+    def test_single_cluster(self):
+        points = [1.0, 5.0, 9.0]
+        result = kmeans(points, [0.0], neg_distance, mean, stop_fraction=0.0)
+        assert result.clustering.clusters[0] == [0, 1, 2]
+
+
+class TestStoppingCriterion:
+    def test_stop_fraction_limits_iterations(self):
+        # With a very lenient stop fraction the first recompute already
+        # qualifies.
+        points = [float(i) for i in range(10)]
+        result = kmeans(points, [0.0, 9.0], neg_distance, mean, stop_fraction=0.99)
+        assert result.iterations == 1
+        assert result.converged
+
+    def test_max_iterations_cap(self):
+        points = [0.0, 1.0]
+        result = kmeans(
+            points, [0.4, 0.6], neg_distance, mean,
+            stop_fraction=0.0, max_iterations=1,
+        )
+        assert result.iterations <= 1
+
+    def test_exact_convergence_with_zero_fraction(self):
+        points = [0.0, 0.1, 5.0, 5.1]
+        result = kmeans(points, [0.0, 5.0], neg_distance, mean, stop_fraction=0.0)
+        assert result.converged
+
+
+class TestEdgeCases:
+    def test_no_centroids_raises(self):
+        with pytest.raises(ValueError):
+            kmeans([1.0], [], neg_distance, mean)
+
+    def test_empty_points(self):
+        result = kmeans([], [1.0, 2.0], neg_distance, mean)
+        assert result.clustering.n_points == 0
+        assert result.converged
+
+    def test_emptied_cluster_keeps_centroid(self):
+        # Both points sit at 0; the far centroid empties but survives.
+        points = [0.0, 0.0]
+        result = kmeans(points, [0.0, 100.0], neg_distance, mean, stop_fraction=0.0)
+        assert len(result.centroids) == 2
+        assert result.clustering.compact().n_clusters == 1
+
+    def test_duplicate_points(self):
+        points = [1.0] * 6
+        result = kmeans(points, [1.0, 2.0], neg_distance, mean, stop_fraction=0.0)
+        assert result.clustering.n_points == 6
+
+    def test_deterministic(self):
+        points = [0.0, 1.0, 2.0, 8.0, 9.0, 10.0]
+        first = kmeans(points, [1.0, 9.0], neg_distance, mean, stop_fraction=0.0)
+        second = kmeans(points, [1.0, 9.0], neg_distance, mean, stop_fraction=0.0)
+        assert first.clustering.clusters == second.clustering.clusters
+
+
+class TestProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(st.floats(min_value=-100, max_value=100), min_size=3, max_size=30),
+        st.integers(min_value=1, max_value=3),
+    )
+    def test_partition_invariant(self, points, k):
+        seeds = points[:k]
+        result = kmeans(points, seeds, neg_distance, mean, max_iterations=10)
+        # Every point in exactly one cluster.
+        seen = sorted(
+            index for members in result.clustering.clusters for index in members
+        )
+        assert seen == list(range(len(points)))
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(
+            st.floats(min_value=-100, max_value=100), min_size=4, max_size=30
+        )
+    )
+    def test_iterations_bounded(self, points):
+        result = kmeans(points, points[:2], neg_distance, mean, max_iterations=7)
+        assert result.iterations <= 7

@@ -1,0 +1,154 @@
+"""Cross-cutting property-based tests over the full stack.
+
+These generate random page content / corpora with hypothesis and check
+invariants that must hold regardless of input: extraction containment,
+vectorizer consistency, similarity bounds, clustering partition
+properties, metric agreement.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.cafc_c import cafc_c
+from repro.core.config import CAFCConfig
+from repro.core.form_page import RawFormPage
+from repro.core.similarity import FormPageSimilarity
+from repro.core.vectorizer import FormPageVectorizer
+from repro.eval.entropy import total_entropy
+from repro.eval.extra import purity
+from repro.eval.fmeasure import overall_f_measure
+from repro.html.text_extract import form_text, page_text
+
+# Vocabulary pools for random page synthesis.
+_WORDS = [
+    "flight", "hotel", "job", "book", "music", "movie", "car", "rental",
+    "search", "find", "cheap", "online", "best", "category", "location",
+    "privacy", "copyright", "contact", "help", "home",
+]
+
+words = st.lists(st.sampled_from(_WORDS), min_size=1, max_size=25)
+
+
+def build_page_html(prose, form_terms, title):
+    options = "".join(f"<option>{term}</option>" for term in form_terms)
+    return (
+        f"<html><head><title>{title}</title></head><body>"
+        f"<p>{' '.join(prose)}</p>"
+        f"<form action='/s'><select name='f'>{options}</select>"
+        "<input type='submit' value='Search'></form>"
+        "</body></html>"
+    )
+
+
+page_strategy = st.builds(
+    build_page_html,
+    prose=words,
+    form_terms=st.lists(st.sampled_from(_WORDS), min_size=0, max_size=8),
+    title=st.sampled_from(_WORDS),
+)
+
+
+class TestExtractionProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(page_strategy)
+    def test_form_text_contained_in_page_text(self, html):
+        inside = form_text(html).split()
+        everything = page_text(html)
+        for token in inside:
+            assert token in everything
+
+    @settings(max_examples=40, deadline=None)
+    @given(page_strategy)
+    def test_vectorizer_fc_terms_subset_of_pc(self, html):
+        pages = FormPageVectorizer().fit_transform(
+            [
+                RawFormPage("http://a.com/", html),
+                # A second page so IDF is not degenerate.
+                RawFormPage("http://b.com/", "<p>pad filler</p><form>"
+                                             "<input type=text name=q></form>"),
+            ]
+        )
+        page = pages[0]
+        for term in page.fc.terms():
+            assert term in page.pc
+
+    @settings(max_examples=40, deadline=None)
+    @given(page_strategy)
+    def test_term_counts_consistent(self, html):
+        pages = FormPageVectorizer().fit_transform(
+            [RawFormPage("http://a.com/", html)]
+        )
+        page = pages[0]
+        assert 0 <= page.form_term_count <= page.page_term_count
+        assert page.terms_outside_form == (
+            page.page_term_count - page.form_term_count
+        )
+
+
+corpus_strategy = st.lists(
+    st.tuples(page_strategy, st.sampled_from(["a", "b", "c"])),
+    min_size=4,
+    max_size=12,
+)
+
+
+class TestPipelineProperties:
+    @settings(max_examples=15, deadline=None)
+    @given(corpus_strategy, st.integers(min_value=0, max_value=5))
+    def test_cafc_c_partitions_any_corpus(self, corpus, seed):
+        raw = [
+            RawFormPage(f"http://site{i}.com/", html, label=label)
+            for i, (html, label) in enumerate(corpus)
+        ]
+        pages = FormPageVectorizer().fit_transform(raw)
+        k = min(3, len(pages))
+        result = cafc_c(pages, CAFCConfig(k=k, seed=seed))
+        assigned = sorted(
+            i for members in result.clustering.clusters for i in members
+        )
+        assert assigned == list(range(len(pages)))
+
+    @settings(max_examples=15, deadline=None)
+    @given(corpus_strategy)
+    def test_similarity_bounds_on_real_vectors(self, corpus):
+        raw = [
+            RawFormPage(f"http://site{i}.com/", html)
+            for i, (html, _) in enumerate(corpus)
+        ]
+        pages = FormPageVectorizer().fit_transform(raw)
+        similarity = FormPageSimilarity()
+        rng = random.Random(0)
+        for _ in range(10):
+            a = rng.choice(pages)
+            b = rng.choice(pages)
+            score = similarity(a, b)
+            assert -1e-9 <= score <= 1.0 + 1e-9
+            assert abs(score - similarity(b, a)) < 1e-12
+
+    @settings(max_examples=15, deadline=None)
+    @given(corpus_strategy, st.integers(min_value=0, max_value=3))
+    def test_metrics_agree_on_ordering_extremes(self, corpus, seed):
+        """A gold-perfect partition dominates any other partition on all
+        three quality metrics simultaneously."""
+        raw = [
+            RawFormPage(f"http://site{i}.com/", html, label=label)
+            for i, (html, label) in enumerate(corpus)
+        ]
+        pages = FormPageVectorizer().fit_transform(raw)
+        gold = [page.label for page in pages]
+
+        from repro.clustering.types import Clustering
+
+        by_label = {}
+        for index, label in enumerate(gold):
+            by_label.setdefault(label, []).append(index)
+        perfect = Clustering(list(by_label.values()))
+
+        result = cafc_c(pages, CAFCConfig(k=min(3, len(pages)), seed=seed))
+        candidate = result.clustering
+
+        assert total_entropy(perfect, gold) <= total_entropy(candidate, gold) + 1e-9
+        assert overall_f_measure(perfect, gold) >= overall_f_measure(candidate, gold) - 1e-9
+        assert purity(perfect, gold) >= purity(candidate, gold) - 1e-9

@@ -1,0 +1,65 @@
+"""Tests for the keyword siphoner."""
+
+import pytest
+
+from repro.hiddendb import HiddenDatabase, generate_records
+from repro.hiddendb.siphon import KeywordSiphoner
+from repro.webgen.domains import domain_by_name
+
+
+@pytest.fixture(scope="module")
+def job_db():
+    return HiddenDatabase(generate_records(domain_by_name("job"), 80, seed="s"))
+
+
+class TestSiphoner:
+    def test_retrieves_most_of_the_database(self, job_db):
+        siphoner = KeywordSiphoner(max_queries=60)
+        result = siphoner.siphon(job_db, seed_terms=["job", "career"])
+        assert result.coverage > 0.8
+
+    def test_respects_query_budget(self, job_db):
+        siphoner = KeywordSiphoner(max_queries=3)
+        result = siphoner.siphon(job_db, seed_terms=["job"])
+        assert result.queries_issued <= 3
+
+    def test_no_duplicate_records(self, job_db):
+        result = KeywordSiphoner(max_queries=40).siphon(job_db, ["job"])
+        ids = [id(record) for record in result.retrieved]
+        assert len(ids) == len(set(ids))
+
+    def test_terms_mined_beyond_seeds(self, job_db):
+        # A mid-frequency seed term cannot cover the database alone, so
+        # the siphoner must mine further query terms from the results.
+        result = KeywordSiphoner(max_queries=30).siphon(job_db, ["staffing"])
+        assert len(result.terms_used) > 1
+        assert result.coverage > 0.5
+
+    def test_bad_seed_still_terminates(self, job_db):
+        siphoner = KeywordSiphoner(max_queries=10, stop_after_barren=2)
+        result = siphoner.siphon(job_db, seed_terms=["zzzqqq"])
+        assert result.queries_issued <= 10
+        assert result.coverage == 0.0
+
+    def test_empty_database(self):
+        empty = HiddenDatabase([])
+        result = KeywordSiphoner().siphon(empty, ["anything"])
+        assert result.coverage == 1.0
+        assert result.retrieved == []
+
+    def test_validation(self, job_db):
+        with pytest.raises(ValueError):
+            KeywordSiphoner(max_queries=0)
+        with pytest.raises(ValueError):
+            KeywordSiphoner().siphon(job_db, [])
+
+    def test_domain_seed_terms_beat_random_seeds(self, job_db):
+        """The CAFC workflow rationale: domain-appropriate seeds (cluster
+        centroid terms) siphon more efficiently than off-domain seeds."""
+        good = KeywordSiphoner(max_queries=10, stop_after_barren=10).siphon(
+            job_db, ["job", "career", "salary"]
+        )
+        bad = KeywordSiphoner(max_queries=10, stop_after_barren=10).siphon(
+            job_db, ["hotel", "flight", "album"]
+        )
+        assert good.coverage >= bad.coverage

@@ -1,0 +1,154 @@
+"""Tests for the Porter stemmer."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.text.stemmer import PorterStemmer, stem
+
+# Classic vocabulary from Porter's paper and the CAFC paper's own examples.
+KNOWN_PAIRS = [
+    # The CAFC paper's Section 2.1 examples.
+    ("privacy", "privaci"),
+    ("shopping", "shop"),
+    ("copyright", "copyright"),
+    # Step 1a.
+    ("caresses", "caress"),
+    ("ponies", "poni"),
+    ("caress", "caress"),
+    ("cats", "cat"),
+    # Step 1b.
+    ("feed", "feed"),
+    ("agreed", "agre"),
+    ("plastered", "plaster"),
+    ("bled", "bled"),
+    ("motoring", "motor"),
+    ("sing", "sing"),
+    ("conflated", "conflat"),
+    ("troubled", "troubl"),
+    ("sized", "size"),
+    ("hopping", "hop"),
+    ("tanned", "tan"),
+    ("falling", "fall"),
+    ("hissing", "hiss"),
+    ("fizzed", "fizz"),
+    ("failing", "fail"),
+    ("filing", "file"),
+    # Step 1c.
+    ("happy", "happi"),
+    ("sky", "sky"),
+    # Step 2.
+    ("relational", "relat"),
+    ("conditional", "condit"),
+    ("rational", "ration"),
+    ("valency", "valenc"),
+    ("hesitancy", "hesit"),
+    ("digitizer", "digit"),
+    ("conformably", "conform"),
+    ("radically", "radic"),
+    ("differently", "differ"),
+    ("vileness", "vile"),
+    ("analogously", "analog"),
+    ("vietnamization", "vietnam"),
+    ("predication", "predic"),
+    ("operator", "oper"),
+    ("feudalism", "feudal"),
+    ("decisiveness", "decis"),
+    ("hopefulness", "hope"),
+    ("callousness", "callous"),
+    ("formality", "formal"),
+    ("sensitivity", "sensit"),
+    ("sensibility", "sensibl"),
+    # Step 3.
+    ("triplicate", "triplic"),
+    ("formative", "form"),
+    ("formalize", "formal"),
+    ("electricity", "electr"),
+    ("electrical", "electr"),
+    ("hopeful", "hope"),
+    ("goodness", "good"),
+    # Step 4.
+    ("revival", "reviv"),
+    ("allowance", "allow"),
+    ("inference", "infer"),
+    ("airliner", "airlin"),
+    ("gyroscopic", "gyroscop"),
+    ("adjustable", "adjust"),
+    ("defensible", "defens"),
+    ("irritant", "irrit"),
+    ("replacement", "replac"),
+    ("adjustment", "adjust"),
+    ("dependent", "depend"),
+    ("adoption", "adopt"),
+    ("homologou", "homolog"),
+    ("communism", "commun"),
+    ("activate", "activ"),
+    ("angularity", "angular"),
+    ("homologous", "homolog"),
+    ("effective", "effect"),
+    ("bowdlerize", "bowdler"),
+    # Step 5.
+    ("probate", "probat"),
+    ("rate", "rate"),
+    ("cease", "ceas"),
+    ("controll", "control"),
+    ("roll", "roll"),
+    # Domain-relevant words.
+    ("flights", "flight"),
+    ("hotels", "hotel"),
+    ("booking", "book"),
+    ("reservations", "reserv"),
+    ("categories", "categori"),
+    ("searching", "search"),
+]
+
+
+class TestKnownStems:
+    @pytest.mark.parametrize("word,expected", KNOWN_PAIRS)
+    def test_known_pair(self, word, expected):
+        assert stem(word) == expected
+
+
+class TestEdgeCases:
+    def test_short_words_untouched(self):
+        assert stem("a") == "a"
+        assert stem("is") == "is"
+        assert stem("go") == "go"
+
+    def test_three_letter_words(self):
+        assert stem("sky") == "sky"
+        assert stem("die") == "die"
+
+    def test_module_wrapper_matches_instance(self):
+        stemmer = PorterStemmer()
+        for word in ("running", "happiness", "computers"):
+            assert stem(word) == stemmer.stem(word)
+
+    def test_stem_all_preserves_order(self):
+        stemmer = PorterStemmer()
+        words = ["flights", "hotels", "jobs"]
+        assert stemmer.stem_all(words) == ["flight", "hotel", "job"]
+
+
+class TestStemmerProperties:
+    @given(st.text(alphabet=st.sampled_from("abcdefghijklmnopqrstuvwxyz"), min_size=1, max_size=20))
+    def test_never_raises_and_never_grows(self, word):
+        result = stem(word)
+        assert isinstance(result, str)
+        assert len(result) <= len(word)
+
+    @given(st.text(alphabet=st.sampled_from("abcdefghijklmnopqrstuvwxyz"), min_size=1, max_size=20))
+    def test_idempotent_on_most_words(self, word):
+        # Porter is not strictly idempotent in theory, but the second
+        # application must never raise and must stay within the word.
+        once = stem(word)
+        twice = stem(once)
+        assert len(twice) <= len(once)
+
+    @given(st.text(alphabet=st.sampled_from("abcdefghijklmnopqrstuvwxyz"), min_size=3, max_size=20))
+    def test_output_nonempty_for_nonempty_input(self, word):
+        assert stem(word)
+
+    @given(st.text(alphabet=st.sampled_from("abcdefghijklmnopqrstuvwxyz"), min_size=1, max_size=20))
+    def test_deterministic(self, word):
+        assert stem(word) == stem(word)

@@ -1,0 +1,75 @@
+"""Fuzz tests for the JSON loaders: arbitrary structured garbage must
+raise a clean ValueError (or json error), never crash oddly or return
+corrupt objects."""
+
+import json
+import os
+import tempfile
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets import load_dataset, load_result
+
+json_scalars = st.one_of(
+    st.none(), st.booleans(),
+    st.integers(min_value=-10**6, max_value=10**6),
+    st.floats(allow_nan=False, allow_infinity=False),
+    st.text(max_size=20),
+)
+json_values = st.recursive(
+    json_scalars,
+    lambda inner: st.one_of(
+        st.lists(inner, max_size=4),
+        st.dictionaries(st.text(max_size=10), inner, max_size=4),
+    ),
+    max_leaves=12,
+)
+
+
+def _write_payload(payload) -> str:
+    handle = tempfile.NamedTemporaryFile(
+        "w", suffix=".json", delete=False, encoding="utf-8"
+    )
+    with handle:
+        json.dump(payload, handle)
+    return handle.name
+
+
+class TestLoaderFuzz:
+    @settings(max_examples=40, deadline=None)
+    @given(json_values)
+    def test_load_dataset_rejects_garbage_cleanly(self, payload):
+        path = _write_payload(payload)
+        try:
+            try:
+                pages = load_dataset(path)
+            except ValueError:
+                return  # clean rejection
+            # Acceptance is only possible for a well-formed payload.
+            assert isinstance(pages, list)
+            for page in pages:
+                assert isinstance(page.url, str)
+                assert isinstance(page.html, str)
+        finally:
+            os.unlink(path)
+
+    @settings(max_examples=40, deadline=None)
+    @given(json_values)
+    def test_load_result_rejects_garbage_cleanly(self, payload):
+        path = _write_payload(payload)
+        try:
+            try:
+                result = load_result(path)
+            except ValueError:
+                return
+            assert result.n_clusters >= 0
+        finally:
+            os.unlink(path)
+
+    def test_non_json_file(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json")
+        with pytest.raises(json.JSONDecodeError):
+            load_dataset(path)

@@ -1,0 +1,117 @@
+"""Tests for located-text extraction (repro.html.text_extract)."""
+
+from repro.html.text_extract import (
+    TextLocation,
+    extract_located_text,
+    form_text,
+    page_text,
+)
+
+PAGE = """
+<html>
+<head><title>Acme Job Search</title><script>junk()</script></head>
+<body>
+<h1>Find jobs</h1>
+<a href="/x">job listings</a>
+<b>Search Jobs</b>
+<form action="/s">
+  <select name="cat"><option>Engineering</option></select>
+  <input type="submit" value="Go">
+</form>
+<p>Browse employers.</p>
+</body>
+</html>
+"""
+
+
+def fragments_by_location(html):
+    grouped = {}
+    for fragment in extract_located_text(html):
+        grouped.setdefault(fragment.location, []).append(fragment)
+    return grouped
+
+
+class TestLocations:
+    def test_title_detected(self):
+        grouped = fragments_by_location(PAGE)
+        assert [f.text for f in grouped[TextLocation.TITLE]] == ["Acme Job Search"]
+
+    def test_option_detected(self):
+        grouped = fragments_by_location(PAGE)
+        assert [f.text for f in grouped[TextLocation.OPTION]] == ["Engineering"]
+
+    def test_anchor_detected(self):
+        grouped = fragments_by_location(PAGE)
+        assert [f.text for f in grouped[TextLocation.ANCHOR]] == ["job listings"]
+
+    def test_body_fragments(self):
+        grouped = fragments_by_location(PAGE)
+        body_texts = [f.text for f in grouped[TextLocation.BODY]]
+        assert "Find jobs" in body_texts
+        assert "Browse employers." in body_texts
+
+    def test_script_excluded(self):
+        assert "junk" not in page_text(PAGE)
+
+    def test_title_outside_head_still_title(self):
+        html = "<title>Raw Title</title><p>body</p>"
+        grouped = fragments_by_location(html)
+        assert [f.text for f in grouped[TextLocation.TITLE]] == ["Raw Title"]
+
+
+class TestFormMembership:
+    def test_option_inside_form(self):
+        fragments = extract_located_text(PAGE)
+        option = next(f for f in fragments if f.location is TextLocation.OPTION)
+        assert option.inside_form
+
+    def test_hint_outside_form(self):
+        # The "Search Jobs" string sits outside the FORM tags (the paper's
+        # Figure 1(c) pattern).
+        fragments = extract_located_text(PAGE)
+        hint = next(f for f in fragments if f.text == "Search Jobs")
+        assert not hint.inside_form
+
+    def test_submit_caption_inside_form(self):
+        fragments = extract_located_text(PAGE)
+        caption = next(f for f in fragments if f.text == "Go")
+        assert caption.inside_form
+
+    def test_form_text_subset_of_page_text(self):
+        inside = form_text(PAGE)
+        everything = page_text(PAGE)
+        for word in inside.split():
+            assert word in everything
+
+    def test_nested_forms_content(self):
+        html = "<form><div><span>deep text</span></div></form>"
+        assert "deep text" in form_text(html)
+
+
+class TestInputHandling:
+    def test_hidden_input_invisible(self):
+        html = '<form><input type="hidden" value="secret123"></form>'
+        assert "secret123" not in page_text(html)
+
+    def test_placeholder_visible(self):
+        html = '<form><input type="text" placeholder="enter city"></form>'
+        assert "enter city" in form_text(html)
+
+    def test_image_submit_alt(self):
+        html = '<form><input type="image" alt="search button"></form>'
+        assert "search button" in form_text(html)
+
+    def test_img_alt_text(self):
+        html = '<p><img alt="company logo"></p>'
+        assert "company logo" in page_text(html)
+
+
+class TestEmptyAndDegenerate:
+    def test_empty_page(self):
+        assert extract_located_text("") == []
+
+    def test_no_visible_text(self):
+        assert page_text("<div><input type=hidden></div>") == ""
+
+    def test_form_text_empty_without_form(self):
+        assert form_text("<p>text</p>") == ""

@@ -1,0 +1,91 @@
+"""Tests for repro.text.tokenize."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.text.tokenize import (
+    MAX_TOKEN_LEN,
+    MIN_TOKEN_LEN,
+    iter_tokens,
+    split_identifier,
+    tokenize,
+)
+
+
+class TestTokenize:
+    def test_simple_sentence(self):
+        assert tokenize("Find Cheap Flights") == ["find", "cheap", "flights"]
+
+    def test_punctuation_is_dropped(self):
+        assert tokenize("Hello, world! (really)") == ["hello", "world", "really"]
+
+    def test_numbers_are_dropped(self):
+        assert tokenize("Under $5,000 in 2006") == ["under", "in"]
+
+    def test_apostrophes_are_collapsed(self):
+        assert tokenize("don't") == ["dont"]
+
+    def test_single_letters_are_dropped(self):
+        assert tokenize("a b c word") == ["word"]
+
+    def test_overlong_tokens_are_dropped(self):
+        giant = "x" * (MAX_TOKEN_LEN + 1)
+        assert tokenize(f"{giant} ok") == ["ok"]
+
+    def test_boundary_lengths_kept(self):
+        lower = "a" * MIN_TOKEN_LEN
+        upper = "b" * MAX_TOKEN_LEN
+        assert tokenize(f"{lower} {upper}") == [lower, upper]
+
+    def test_empty_string(self):
+        assert tokenize("") == []
+
+    def test_whitespace_only(self):
+        assert tokenize("  \n\t ") == []
+
+    def test_mixed_case_lowercased(self):
+        assert tokenize("JoB CaTegory") == ["job", "category"]
+
+    def test_iter_tokens_matches_tokenize(self):
+        text = "Search for hotels in New York"
+        assert list(iter_tokens(text)) == tokenize(text)
+
+    def test_html_entity_residue(self):
+        # Tokenizer operates on already-unescaped text; raw fragments
+        # still produce reasonable words.
+        assert "amp" in tokenize("fish &amp; chips")
+
+
+class TestSplitIdentifier:
+    def test_camel_case(self):
+        assert split_identifier("jobCategory") == ["job", "category"]
+
+    def test_snake_case(self):
+        assert split_identifier("pick_up_location") == ["pick", "up", "location"]
+
+    def test_kebab_case(self):
+        assert split_identifier("car-make") == ["car", "make"]
+
+    def test_plain_word(self):
+        assert split_identifier("keyword") == ["keyword"]
+
+    def test_numbers_stripped(self):
+        assert split_identifier("field2name") == ["field", "name"]
+
+
+class TestTokenizeProperties:
+    @given(st.text(max_size=300))
+    def test_tokens_are_lowercase_alpha(self, text):
+        for token in tokenize(text):
+            assert token.isalpha()
+            assert token == token.lower()
+
+    @given(st.text(max_size=300))
+    def test_token_lengths_bounded(self, text):
+        for token in tokenize(text):
+            assert MIN_TOKEN_LEN <= len(token) <= MAX_TOKEN_LEN
+
+    @given(st.text(max_size=200))
+    def test_tokenize_is_idempotent_on_joined_output(self, text):
+        tokens = tokenize(text)
+        assert tokenize(" ".join(tokens)) == tokens

@@ -1,0 +1,69 @@
+"""Tests for the config-sweep tool."""
+
+import pytest
+
+from repro.core.config import CAFCConfig
+from repro.core.tuning import sweep_configs
+
+
+class TestSweep:
+    def test_grid_product_evaluated(self, small_pages):
+        result = sweep_configs(
+            small_pages,
+            {"min_hub_cardinality": [3, 5], "page_weight": [1.0, 2.0]},
+        )
+        assert len(result.cells) == 4
+        labels = {cell.label() for cell in result.cells}
+        assert "min_hub_cardinality=3, page_weight=1.0" in labels
+
+    def test_best_is_min_entropy(self, small_pages):
+        result = sweep_configs(small_pages, {"min_hub_cardinality": [3, 50]})
+        best = result.best()
+        assert all(best.entropy <= cell.entropy for cell in result.cells)
+
+    def test_fallback_flagged(self, small_pages):
+        result = sweep_configs(small_pages, {"min_hub_cardinality": [1000]})
+        assert result.cells[0].fell_back
+
+    def test_cafc_c_mode_with_runs(self, small_pages):
+        result = sweep_configs(
+            small_pages, {"page_weight": [1.0]},
+            algorithm="cafc-c", n_runs=2,
+        )
+        assert len(result.cells) == 1
+        assert not result.cells[0].fell_back
+
+    def test_unknown_field_rejected(self, small_pages):
+        with pytest.raises(ValueError, match="no field"):
+            sweep_configs(small_pages, {"bogus_knob": [1]})
+
+    def test_empty_grid_rejected(self, small_pages):
+        with pytest.raises(ValueError, match="empty grid"):
+            sweep_configs(small_pages, {})
+
+    def test_bad_algorithm_rejected(self, small_pages):
+        with pytest.raises(ValueError, match="unknown algorithm"):
+            sweep_configs(small_pages, {"k": [8]}, algorithm="dbscan")
+
+    def test_unlabelled_pages_rejected(self, small_pages):
+        import dataclasses
+
+        stripped = [dataclasses.replace(page, label=None) for page in small_pages]
+        with pytest.raises(ValueError, match="gold labels"):
+            sweep_configs(stripped, {"k": [8]})
+
+    def test_base_config_respected(self, small_pages):
+        base = CAFCConfig(k=4, min_hub_cardinality=3)
+        result = sweep_configs(small_pages, {"page_weight": [1.0]}, base=base)
+        assert len(result.cells) == 1
+
+    def test_rows_render(self, small_pages):
+        result = sweep_configs(small_pages, {"min_hub_cardinality": [3]})
+        rows = result.as_rows()
+        assert rows[0][0] == "min_hub_cardinality=3"
+
+    def test_empty_sweep_best_raises(self):
+        from repro.core.tuning import SweepResult
+
+        with pytest.raises(ValueError):
+            SweepResult().best()

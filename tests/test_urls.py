@@ -1,0 +1,47 @@
+"""Tests for URL helpers."""
+
+from repro.webgraph.urls import host_of, root_url_of, same_site, site_of
+
+
+class TestHostOf:
+    def test_basic(self):
+        assert host_of("http://www.example.com/a/b?x=1") == "www.example.com"
+
+    def test_case_folded(self):
+        assert host_of("http://WWW.Example.COM/") == "www.example.com"
+
+    def test_unparseable(self):
+        assert host_of("not a url") == ""
+
+
+class TestSiteOf:
+    def test_strips_www(self):
+        assert site_of("http://www.example.com/") == "example.com"
+
+    def test_bare_host(self):
+        assert site_of("http://example.com/x") == "example.com"
+
+    def test_subdomain_kept(self):
+        assert site_of("http://jobs.example.com/") == "jobs.example.com"
+
+
+class TestSameSite:
+    def test_www_variant_matches(self):
+        assert same_site("http://www.x.com/a", "http://x.com/b")
+
+    def test_different_sites(self):
+        assert not same_site("http://a.com/", "http://b.com/")
+
+    def test_empty_host_never_matches(self):
+        assert not same_site("garbage", "garbage")
+
+
+class TestRootUrl:
+    def test_basic(self):
+        assert root_url_of("http://www.x.com/deep/page.html?q=1") == "http://www.x.com/"
+
+    def test_https_preserved(self):
+        assert root_url_of("https://x.com/a") == "https://x.com/"
+
+    def test_schemeless_defaults_http(self):
+        assert root_url_of("//x.com/a") == "http://x.com/"

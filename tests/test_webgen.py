@@ -1,0 +1,241 @@
+"""Tests for the synthetic-web generator (repro.webgen)."""
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.html.forms import extract_forms
+from repro.webgen.config import GeneratorConfig
+from repro.webgen.corpus import generate_benchmark
+from repro.webgen.domains import DOMAINS, domain_by_name, domain_names
+from repro.webgen.forms_gen import (
+    keyword_form,
+    login_form,
+    mixed_entertainment_form,
+    multi_attribute_form,
+    newsletter_form,
+)
+from repro.webgen.pages_gen import build_form_page, table1_bucket
+from repro.webgen.sites import build_site
+from repro.webgen.vocab import brand_name, sample_distinct, zipf_sample
+from repro.webgraph.form_classifier import classify_form
+
+from tests.conftest import small_config
+
+
+class TestVocab:
+    def test_brand_name_shape(self):
+        rng = random.Random(0)
+        for _ in range(20):
+            brand = brand_name(rng)
+            assert brand.isalpha()
+            assert 4 <= len(brand) <= 12
+
+    def test_zipf_sample_skew(self):
+        rng = random.Random(0)
+        pool = [f"w{i}" for i in range(20)]
+        sampled = zipf_sample(pool, 2000, rng)
+        counts = Counter(sampled)
+        assert counts["w0"] > counts["w10"]
+
+    def test_zipf_sample_empty_pool(self):
+        assert zipf_sample([], 5, random.Random(0)) == []
+
+    def test_sample_distinct_caps_at_pool(self):
+        assert len(sample_distinct(["a", "b"], 5, random.Random(0))) == 2
+
+
+class TestDomains:
+    def test_eight_domains(self):
+        assert len(DOMAINS) == 8
+        assert len(set(domain_names())) == 8
+
+    def test_lookup(self):
+        assert domain_by_name("airfare").display_name == "Airfare"
+        with pytest.raises(KeyError):
+            domain_by_name("nonexistent")
+
+    def test_every_domain_has_required_attribute(self):
+        for spec in DOMAINS:
+            assert any(a.required for a in spec.attributes), spec.name
+
+    def test_label_variants_plural(self):
+        for spec in DOMAINS:
+            for attribute in spec.attributes:
+                assert len(attribute.label_variants) >= 1
+
+    def test_select_attributes_have_pools(self):
+        for spec in DOMAINS:
+            for attribute in spec.attributes:
+                if attribute.kind == "select":
+                    assert attribute.value_pool, (spec.name, attribute.concept)
+
+    def test_entertainment_domains_share_vocabulary(self):
+        music = set(domain_by_name("music").shared_words)
+        movie = set(domain_by_name("movie").shared_words)
+        assert music & movie
+
+    def test_topic_words_distinct_across_far_domains(self):
+        job = set(domain_by_name("job").topic_words)
+        hotel = set(domain_by_name("hotel").topic_words)
+        assert not job & hotel
+
+
+class TestFormsGen:
+    def test_multi_attribute_form_parses(self):
+        rng = random.Random(0)
+        generated = multi_attribute_form(domain_by_name("job"), rng)
+        forms = extract_forms(generated.html)
+        assert len(forms) == 1
+        assert forms[0].attribute_count == generated.n_attributes
+
+    def test_size_classes_order_terms(self):
+        rng = random.Random(0)
+        small = [multi_attribute_form(domain_by_name("airfare"), random.Random(i), "small").approx_term_count for i in range(10)]
+        large = [multi_attribute_form(domain_by_name("airfare"), random.Random(i), "large").approx_term_count for i in range(10)]
+        assert sum(small) / 10 < sum(large) / 10
+
+    def test_keyword_form_single_attribute(self):
+        generated = keyword_form(domain_by_name("job"), random.Random(0))
+        form = extract_forms(generated.html)[0]
+        assert form.is_single_attribute
+
+    def test_keyword_form_is_searchable(self):
+        generated = keyword_form(domain_by_name("book"), random.Random(0))
+        assert classify_form(extract_forms(generated.html)[0])
+
+    def test_login_form_not_searchable(self):
+        generated = login_form(random.Random(0))
+        assert not classify_form(extract_forms(generated.html)[0])
+
+    def test_newsletter_form_not_searchable(self):
+        generated = newsletter_form(random.Random(0))
+        assert not classify_form(extract_forms(generated.html)[0])
+
+    def test_mixed_form_has_both_genre_pools(self):
+        generated = mixed_entertainment_form(
+            domain_by_name("music"), domain_by_name("movie"), random.Random(0)
+        )
+        assert "CD" in generated.html and "DVD" in generated.html
+
+
+class TestPagesGen:
+    def test_table1_bucket_mapping(self):
+        assert table1_bucket(5) == 0
+        assert table1_bucket(10) == 10
+        assert table1_bucket(49) == 10
+        assert table1_bucket(99) == 50
+        assert table1_bucket(150) == 100
+        assert table1_bucket(500) == 200
+
+    def test_page_contains_form_and_title(self):
+        config = GeneratorConfig()
+        rng = random.Random(0)
+        form = multi_attribute_form(domain_by_name("hotel"), rng)
+        blueprint = build_form_page(domain_by_name("hotel"), "testbrand", form, config, rng)
+        assert "<form" in blueprint.html
+        assert "<title>" in blueprint.html
+        assert extract_forms(blueprint.html)
+
+    def test_keyword_hint_outside_form(self):
+        config = GeneratorConfig()
+        rng = random.Random(0)
+        form = keyword_form(domain_by_name("job"), rng)
+        blueprint = build_form_page(
+            domain_by_name("job"), "testbrand", form, config, rng,
+            keyword_hint="Search Jobs",
+        )
+        before_form = blueprint.html.split("<form")[0]
+        assert "Search Jobs" in before_form
+
+
+class TestSites:
+    def test_site_structure(self):
+        config = GeneratorConfig()
+        site = build_site(domain_by_name("auto"), config, random.Random(0), set())
+        urls = [page.url for page in site.pages]
+        assert site.root_url in urls
+        assert site.form_page_url in urls
+        assert site.host.startswith("www.")
+
+    def test_root_links_to_form_page(self):
+        config = GeneratorConfig()
+        site = build_site(domain_by_name("auto"), config, random.Random(0), set())
+        root = next(p for p in site.pages if p.url == site.root_url)
+        assert site.form_page_url in root.outlinks
+
+    def test_unique_hosts(self):
+        config = GeneratorConfig()
+        used = set()
+        hosts = {
+            build_site(domain_by_name("book"), config, random.Random(i), used).host
+            for i in range(20)
+        }
+        assert len(hosts) == 20
+
+    def test_mixed_site_labelled_by_primary_domain(self):
+        config = GeneratorConfig()
+        site = build_site(
+            domain_by_name("music"), config, random.Random(0), set(),
+            form_kind="mixed", mixed_with=domain_by_name("movie"),
+            label_override="music",
+        )
+        assert site.domain_name == "music"
+        assert site.is_mixed_entertainment
+
+
+class TestCorpus:
+    def test_profile_matches_paper(self, benchmark_web):
+        profile = benchmark_web.profile()
+        assert profile["form_pages"] == 454
+        assert profile["single_attribute"] == 56
+        assert profile["multi_attribute"] == 398
+        assert profile["domains"] == 8
+
+    def test_determinism(self):
+        config = small_config()
+        first = generate_benchmark(config=config)
+        second = generate_benchmark(config=small_config())
+        assert first.form_page_urls() == second.form_page_urls()
+        assert [p.html for p in first.raw_pages()] == [p.html for p in second.raw_pages()]
+
+    def test_seed_changes_output(self):
+        first = generate_benchmark(config=small_config(seed=1))
+        second = generate_benchmark(config=small_config(seed=2))
+        assert first.form_page_urls() != second.form_page_urls()
+
+    def test_raw_pages_have_labels_and_html(self, small_raw_pages):
+        for page in small_raw_pages:
+            assert page.label in domain_names()
+            assert "<form" in page.html
+
+    def test_orphan_fraction_honoured(self, benchmark_web):
+        profile = benchmark_web.profile()
+        fraction = profile["orphans"] / profile["form_pages"]
+        assert 0.10 <= fraction <= 0.20
+
+    def test_orphans_receive_no_hub_backlinks(self, benchmark_web):
+        engine = benchmark_web.search_engine()
+        orphan_sites = [
+            site for site in benchmark_web.sites
+            if site.form_page_url in benchmark_web.orphan_urls
+        ]
+        from repro.webgraph.urls import same_site
+
+        for site in orphan_sites[:10]:
+            backlinks = engine.link_query(site.form_page_url)
+            assert all(same_site(b, site.form_page_url) for b in backlinks)
+
+    def test_labels_align_with_raw_pages(self, small_web, small_raw_pages):
+        assert small_web.labels() == [p.label for p in small_raw_pages]
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            GeneratorConfig(orphan_fraction=1.5)
+        with pytest.raises(ValueError):
+            GeneratorConfig(mixed_entertainment_pages=3)
+        with pytest.raises(ValueError):
+            GeneratorConfig(
+                pages_per_domain={"airfare": 2}, single_attribute_per_domain=7
+            )

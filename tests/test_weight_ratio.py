@@ -1,0 +1,56 @@
+"""Tests for the C1/C2 weight-ratio ablation experiment."""
+
+import pytest
+
+from repro.core.config import CAFCConfig
+from repro.core.hubs import build_hub_clusters
+from repro.experiments import weight_ratio
+from repro.experiments.context import ExperimentContext
+
+
+@pytest.fixture(scope="module")
+def small_context(small_web, small_raw_pages, small_pages, small_gold):
+    return ExperimentContext(
+        web=small_web,
+        raw_pages=small_raw_pages,
+        pages=small_pages,
+        gold_labels=small_gold,
+        raw_hub_clusters=build_hub_clusters(small_pages, min_cardinality=1),
+        config=CAFCConfig(k=8, min_hub_cardinality=3),
+    )
+
+
+class TestWeightRatio:
+    def test_sweep_covers_requested_ratios(self, small_context):
+        result = weight_ratio.run_weight_ratio(
+            small_context, ratios=((2.0, 1.0), (1.0, 1.0), (1.0, 2.0))
+        )
+        assert [point.label for point in result.points] == ["2:1", "1:1", "1:2"]
+
+    def test_balanced_lookup(self, small_context):
+        result = weight_ratio.run_weight_ratio(
+            small_context, ratios=((1.0, 1.0), (1.0, 3.0))
+        )
+        assert result.balanced().label == "1:1"
+
+    def test_balanced_missing_raises(self, small_context):
+        result = weight_ratio.run_weight_ratio(
+            small_context, ratios=((2.0, 1.0),)
+        )
+        with pytest.raises(ValueError):
+            result.balanced()
+
+    def test_best_is_minimum_entropy(self, small_context):
+        result = weight_ratio.run_weight_ratio(small_context)
+        best = result.best()
+        assert all(best.entropy <= point.entropy for point in result.points)
+
+    def test_shape_holds_on_small_corpus(self, small_context):
+        result = weight_ratio.run_weight_ratio(small_context)
+        assert weight_ratio.check_shape(result, tolerance=0.15) == []
+
+    def test_format(self, small_context):
+        result = weight_ratio.run_weight_ratio(
+            small_context, ratios=((1.0, 1.0),)
+        )
+        assert "C1:C2" in weight_ratio.format_weight_ratio(result)
