@@ -1,15 +1,19 @@
 # Convenience targets; everything works without make too.
 
-.PHONY: install test bench experiments examples lint clean
+.PHONY: install test bench bench-smoke experiments examples lint clean
 
 install:
 	pip install -e . || python setup.py develop
 
-test:
+test: bench-smoke
 	pytest tests/
 
 bench:
 	pytest benchmarks/ --benchmark-only
+
+bench-smoke:           ## engine-vs-naive A/B + micro benches; fails on mismatch
+	pytest benchmarks/test_bench_simengine.py benchmarks/test_bench_micro.py \
+		-q --timeout=300
 
 bench-paper:           ## full paper protocol (20 CAFC-C trials per bench)
 	REPRO_BENCH_RUNS=20 pytest benchmarks/ --benchmark-only

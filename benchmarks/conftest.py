@@ -18,6 +18,19 @@ from repro.vsm.batch import form_page_similarity_matrix
 from repro.experiments.context import get_context
 
 
+def pytest_addoption(parser):
+    # ``make bench-smoke`` passes --timeout for environments that carry
+    # pytest-timeout; this container does not, so accept the flag as a
+    # no-op.  Guarded so a real pytest-timeout plugin wins if present.
+    try:
+        parser.addoption(
+            "--timeout", action="store", default=None,
+            help="accepted for compatibility; no-op without pytest-timeout",
+        )
+    except ValueError:
+        pass
+
+
 @pytest.fixture(scope="session")
 def context():
     return get_context(seed=42)

@@ -19,7 +19,9 @@ from typing import List, Optional, Sequence
 
 from repro.baselines.label_extraction import extract_attribute_labels
 from repro.clustering.kmeans import KMeansResult, kmeans
-from repro.core.form_page import RawFormPage
+from repro.core.config import CAFCConfig, ContentMode
+from repro.core.form_page import RawFormPage, VectorPair
+from repro.core.similarity import BackendSpec, EngineBackend, resolve_backend
 from repro.text.analyzer import TextAnalyzer
 from repro.vsm.corpus import CorpusStats
 from repro.vsm.vector import SparseVector, cosine_similarity, mean_vector
@@ -51,6 +53,17 @@ def _schema_centroid(points: Sequence[SchemaVector]) -> SparseVector:
     return mean_vector(point.vector for point in points)
 
 
+class _SchemaPoint:
+    """Adapter giving a schema vector the (PC, FC) shape the similarity
+    engine compiles — the schema lives in the PC slot, FC stays empty."""
+
+    __slots__ = ("pc", "fc")
+
+    def __init__(self, schema: SchemaVector) -> None:
+        self.pc = schema.vector
+        self.fc = SparseVector()
+
+
 class SchemaClusterer:
     """The schema-label clustering baseline.
 
@@ -68,6 +81,7 @@ class SchemaClusterer:
         analyzer: Optional[TextAnalyzer] = None,
         stop_fraction: float = 0.1,
         max_iterations: int = 50,
+        backend: BackendSpec = None,
     ) -> None:
         if k < 1:
             raise ValueError("k must be positive")
@@ -76,6 +90,7 @@ class SchemaClusterer:
         self.analyzer = analyzer or TextAnalyzer()
         self.stop_fraction = stop_fraction
         self.max_iterations = max_iterations
+        self.backend = backend
 
     # ----------------------------------------------------------------
     # Schema construction.
@@ -126,7 +141,13 @@ class SchemaClusterer:
     # ----------------------------------------------------------------
 
     def cluster(self, schemas: Sequence[SchemaVector]) -> KMeansResult:
-        """k-means over the schema vectors (random page seeds)."""
+        """k-means over the schema vectors (random page seeds).
+
+        Centroids in the result are plain :class:`SparseVector`, as
+        before.  The loop runs on the batched similarity engine (PC-mode
+        compilation of the schema vectors) unless ``backend="naive"``
+        asked for the per-pair reference path.
+        """
         rng = random.Random(self.seed)
         if self.k > len(schemas):
             raise ValueError(
@@ -134,6 +155,24 @@ class SchemaClusterer:
             )
         seed_indices = rng.sample(range(len(schemas)), self.k)
         seeds = [schemas[i].vector for i in seed_indices]
+
+        resolved = resolve_backend(
+            self.backend, CAFCConfig(k=self.k, content_mode=ContentMode.PC)
+        )
+        if isinstance(resolved, EngineBackend) and schemas:
+            engine = resolved.engine_for([_SchemaPoint(s) for s in schemas])
+            result = engine.kmeans(
+                [VectorPair(pc=seed, fc=SparseVector()) for seed in seeds],
+                stop_fraction=self.stop_fraction,
+                max_iterations=self.max_iterations,
+            )
+            resolved.collect(engine)
+            return KMeansResult(
+                clustering=result.clustering,
+                centroids=[pair.pc for pair in result.centroids],
+                iterations=result.iterations,
+                converged=result.converged,
+            )
         return kmeans(
             points=list(schemas),
             initial_centroids=seeds,

@@ -66,7 +66,7 @@ def _cmd_organize(args: argparse.Namespace) -> int:
 
         raw_pages = generate_benchmark(seed=args.seed).raw_pages()
 
-    pipeline = CAFCPipeline(CAFCConfig(k=args.k))
+    pipeline = CAFCPipeline(CAFCConfig(k=args.k, backend=args.backend))
     result = pipeline.organize(raw_pages, algorithm=args.algorithm)
     if args.save_result:
         from repro.datasets import save_result
@@ -74,6 +74,8 @@ def _cmd_organize(args: argparse.Namespace) -> int:
         save_result(result, args.save_result)
         print(f"saved organized directory to {args.save_result}")
     print(f"algorithm: {result.algorithm}; iterations: {result.iterations}")
+    if args.profile and result.engine_stats is not None:
+        print(f"profile: {result.engine_stats.summary()}")
     for index, cluster in enumerate(result.clusters):
         print(f"\ncluster {index} ({cluster.size} databases)")
         print(f"  terms: {', '.join(cluster.top_terms)}")
@@ -175,6 +177,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_org.add_argument(
         "--save-result", help="write the organized directory to this JSON path"
+    )
+    p_org.add_argument(
+        "--backend", choices=["auto", "engine", "naive"], default="auto",
+        help="similarity backend (default: auto)",
+    )
+    p_org.add_argument(
+        "--profile", action="store_true",
+        help="print similarity-engine statistics (build time, comparisons, "
+             "cache hits)",
     )
     p_org.set_defaults(func=_cmd_organize)
 

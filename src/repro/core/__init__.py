@@ -9,7 +9,13 @@ Public API
   :class:`repro.core.form_page.FormPage` — the form-page model
   ``FP(Backlink, PC, FC)`` of Sections 2.1 and 3.2.
 * :class:`repro.core.vectorizer.FormPageVectorizer` — Equation 1 vectors.
-* :class:`repro.core.similarity.FormPageSimilarity` — Equation 3.
+* :class:`repro.core.similarity.FormPageSimilarity` — Equation 3 (scalar);
+  :class:`repro.core.similarity.SimilarityBackend` with
+  :class:`~repro.core.similarity.NaiveBackend` /
+  :class:`~repro.core.similarity.EngineBackend` — the batched backends.
+* :class:`repro.core.simengine.SimilarityEngine` — the compiled sparse
+  engine behind ``EngineBackend`` (with :class:`~repro.core.simengine.EngineStats`
+  instrumentation).
 * :func:`repro.core.cafc_c.cafc_c` — Algorithm 1.
 * :func:`repro.core.cafc_ch.cafc_ch` — Algorithm 2 (+ Algorithm 3 via
   :mod:`repro.core.hubs` and :mod:`repro.core.seeds`).
@@ -25,7 +31,15 @@ from repro.core.hubs import HubCluster, build_hub_clusters
 from repro.core.incremental import IncrementalOrganizer
 from repro.core.pipeline import CAFCPipeline, CAFCResult
 from repro.core.seeds import select_hub_clusters
-from repro.core.similarity import FormPageSimilarity
+from repro.core.simengine import HAVE_NUMPY, EngineStats, SimilarityEngine
+from repro.core.similarity import (
+    EngineBackend,
+    FormPageSimilarity,
+    NaiveBackend,
+    SimilarityBackend,
+    form_page_similarity,
+    resolve_backend,
+)
 from repro.core.vectorizer import FormPageVectorizer
 
 __all__ = [
@@ -42,5 +56,13 @@ __all__ = [
     "CAFCResult",
     "select_hub_clusters",
     "FormPageSimilarity",
+    "form_page_similarity",
+    "SimilarityBackend",
+    "NaiveBackend",
+    "EngineBackend",
+    "resolve_backend",
+    "SimilarityEngine",
+    "EngineStats",
+    "HAVE_NUMPY",
     "FormPageVectorizer",
 ]

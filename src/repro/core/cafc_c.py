@@ -9,6 +9,12 @@
 * assignment: Equation-3 similarity between a page and each centroid;
 * update: Equation-4 per-space mean;
 * stop: fewer than ``stop_fraction`` of pages moved (paper: 10%).
+
+The similarity arithmetic is served by a pluggable backend (see
+:mod:`repro.core.similarity`): the default ``"auto"`` routes the
+assignment loop through the compiled
+:class:`~repro.core.simengine.SimilarityEngine`; ``backend="naive"``
+keeps the historical per-pair path.  Both produce the same clustering.
 """
 
 import random
@@ -17,7 +23,12 @@ from typing import List, Optional, Sequence
 from repro.clustering.kmeans import KMeansResult, kmeans
 from repro.core.config import CAFCConfig
 from repro.core.form_page import FormPage, VectorPair, centroid_of
-from repro.core.similarity import FormPageSimilarity
+from repro.core.similarity import (
+    BackendSpec,
+    EngineBackend,
+    FormPageSimilarity,
+    resolve_backend,
+)
 
 
 def similarity_for(config: CAFCConfig) -> FormPageSimilarity:
@@ -46,6 +57,7 @@ def cafc_c(
     pages: Sequence[FormPage],
     config: Optional[CAFCConfig] = None,
     seed_centroids: Optional[Sequence[VectorPair]] = None,
+    backend: BackendSpec = None,
 ) -> KMeansResult:
     """Run CAFC-C (Algorithm 1).
 
@@ -59,13 +71,17 @@ def cafc_c(
         Optional externally computed seeds (hub clusters for CAFC-CH,
         HAC groups for the Section 4.3 experiment).  When omitted, ``k``
         random pages seed the run, drawn from ``config.seed``'s RNG.
+    backend:
+        Similarity backend: ``None`` (use ``config.backend``), a name
+        (``"auto"`` / ``"engine"`` / ``"naive"``), or a
+        :class:`~repro.core.similarity.SimilarityBackend` instance.
 
     Returns
     -------
     KMeansResult whose clustering indexes into ``pages``.
     """
     config = config or CAFCConfig()
-    similarity = similarity_for(config)
+    resolved = resolve_backend(backend, config)
     if seed_centroids is None:
         rng = random.Random(config.seed)
         seed_centroids = random_seed_centroids(pages, config.k, rng)
@@ -74,10 +90,20 @@ def cafc_c(
             f"got {len(seed_centroids)} seed centroids for k={config.k}"
         )
 
+    if isinstance(resolved, EngineBackend) and pages:
+        engine = resolved.engine_for(list(pages))
+        result = engine.kmeans(
+            list(seed_centroids),
+            stop_fraction=config.stop_fraction,
+            max_iterations=config.max_iterations,
+        )
+        resolved.collect(engine)
+        return result
+
     return kmeans(
         points=list(pages),
         initial_centroids=list(seed_centroids),
-        similarity=similarity,
+        similarity=resolved.pair,
         make_centroid=centroid_of,
         stop_fraction=config.stop_fraction,
         max_iterations=config.max_iterations,

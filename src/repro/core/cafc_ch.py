@@ -17,11 +17,12 @@ from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
 from repro.clustering.kmeans import KMeansResult
-from repro.core.cafc_c import cafc_c, similarity_for
+from repro.core.cafc_c import cafc_c
 from repro.core.config import CAFCConfig
 from repro.core.form_page import FormPage
 from repro.core.hubs import HubCluster, build_hub_clusters
 from repro.core.seeds import select_hub_clusters
+from repro.core.similarity import BackendSpec, resolve_backend
 
 
 @dataclass
@@ -42,6 +43,7 @@ def cafc_ch(
     pages: Sequence[FormPage],
     config: Optional[CAFCConfig] = None,
     hub_clusters: Optional[List[HubCluster]] = None,
+    backend: BackendSpec = None,
 ) -> CAFCCHResult:
     """Run CAFC-CH (Algorithm 2).
 
@@ -56,6 +58,10 @@ def cafc_ch(
         Pre-built hub clusters (already pruned); built from ``pages`` when
         omitted.  Passing them in lets experiments reuse one hub harvest
         across many configurations.
+    backend:
+        Similarity backend for both phases (the Algorithm-3 distance
+        matrix and the k-means loop): ``None`` (use ``config.backend``),
+        a backend name, or a backend instance.
 
     Raises
     ------
@@ -69,8 +75,8 @@ def cafc_ch(
         hub_clusters = build_hub_clusters(
             pages, min_cardinality=config.min_hub_cardinality
         )
-    similarity = similarity_for(config)
-    selected = select_hub_clusters(hub_clusters, config.k, similarity)
+    resolved = resolve_backend(backend, config)
+    selected = select_hub_clusters(hub_clusters, config.k, backend=resolved)
     seed_centroids = [cluster.centroid for cluster in selected]
-    result = cafc_c(pages, config, seed_centroids=seed_centroids)
+    result = cafc_c(pages, config, seed_centroids=seed_centroids, backend=resolved)
     return CAFCCHResult(kmeans=result, hub_clusters=hub_clusters, selected_seeds=selected)

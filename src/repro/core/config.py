@@ -60,6 +60,12 @@ class CAFCConfig:
     seed:
         RNG seed for random-seed selection; runs are reproducible given
         the same seed.
+    backend:
+        Which similarity backend batch operations use: ``"auto"``
+        (default; currently the compiled engine), ``"engine"`` (force
+        the batched :class:`~repro.core.simengine.SimilarityEngine`),
+        or ``"naive"`` (per-pair Equation-3 calls — the reference
+        path).  All backends agree to 1e-9; see docs/PERFORMANCE.md.
     """
 
     k: int = 8
@@ -73,8 +79,14 @@ class CAFCConfig:
     stop_fraction: float = 0.1
     max_iterations: int = 50
     seed: int = 0
+    backend: str = "auto"
 
     def __post_init__(self) -> None:
+        if self.backend not in ("auto", "engine", "naive"):
+            raise ValueError(
+                f"unknown backend {self.backend!r}; "
+                'expected "auto", "engine" or "naive"'
+            )
         if self.k < 1:
             raise ValueError("k must be positive")
         if self.page_weight < 0 or self.form_weight < 0:

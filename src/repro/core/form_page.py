@@ -51,6 +51,11 @@ class FormPage:
     is a frozen set of URLs pointing at this page (possibly via its site
     root, per Section 3.1).  ``form_term_count`` and ``page_term_count``
     are raw (pre-IDF) term totals used for the Table 1 analysis.
+
+    ``pc_norm`` / ``fc_norm`` are the Euclidean norms of the two
+    vectors, computed once at construction (vectorize) time so that no
+    similarity path ever recomputes them — they also warm the vectors'
+    own norm caches, keeping every consumer on the same float.
     """
 
     url: str
@@ -61,6 +66,12 @@ class FormPage:
     form_term_count: int = 0
     page_term_count: int = 0
     attribute_count: int = 0
+    pc_norm: float = field(init=False, default=0.0)
+    fc_norm: float = field(init=False, default=0.0)
+
+    def __post_init__(self) -> None:
+        self.pc_norm = self.pc.norm()
+        self.fc_norm = self.fc.norm()
 
     @property
     def is_single_attribute(self) -> bool:

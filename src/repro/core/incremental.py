@@ -8,22 +8,36 @@ wasteful; this module maintains an organized collection incrementally:
 
 * **add** — a new form page is vectorized against the frozen corpus
   statistics, assigned to its most similar cluster (Section 5's
-  classification step), and the cluster centroid is updated;
-* **remove** — a page leaves its cluster; the centroid is rebuilt;
+  classification step), and the cluster centroid is updated.  Each add
+  costs exactly ``k + 1`` similarity evaluations (one per centroid to
+  pick the cluster, one for the new page's cohesion contribution) —
+  independent of how many pages are managed;
+* **remove** — a page leaves its cluster; the centroid is rebuilt (no
+  similarity evaluations at all);
 * **drift detection** — incremental updates slowly degrade the
   partition (the corpus IDF ages, centroids absorb borderline pages).
-  The organizer tracks the mean assignment similarity; when it falls
-  below a factor of its initial level, ``needs_reclustering`` turns on
-  and the caller should run the full pipeline again.
+  The organizer tracks the mean assignment similarity as a *running
+  sum*: each page's page-to-centroid similarity is recorded when the
+  page is assigned and retired when it leaves.  Contributions are not
+  recomputed when a centroid later moves, so the running cohesion is an
+  approximation that drifts with the clusters — exactly the quantity a
+  staleness monitor wants.  ``refresh_cohesion()`` re-scores everything
+  when an exact value is needed.  When cohesion falls below a factor of
+  its initial level, ``needs_reclustering`` turns on and the caller
+  should run the full pipeline again.
 """
 
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-from repro.core.cafc_c import similarity_for
 from repro.core.config import CAFCConfig
 from repro.core.form_page import FormPage, RawFormPage, VectorPair, centroid_of
-from repro.core.similarity import FormPageSimilarity
+from repro.core.similarity import (
+    BackendSpec,
+    FormPageSimilarity,
+    SimilarityBackend,
+    resolve_backend,
+)
 from repro.core.vectorizer import FormPageVectorizer
 
 
@@ -52,6 +66,11 @@ class IncrementalOrganizer:
     Build it from an initial full clustering (lists of vectorized pages
     per cluster) plus the fitted vectorizer, then feed it additions and
     removals.  Watch :attr:`needs_reclustering`.
+
+    ``backend`` selects the similarity backend (``None`` uses
+    ``config.backend``); ``backend.stats.comparisons`` counts every
+    similarity evaluation, which is how the regression tests pin the
+    O(1)-per-add property.
     """
 
     def __init__(
@@ -60,6 +79,7 @@ class IncrementalOrganizer:
         vectorizer: FormPageVectorizer,
         config: Optional[CAFCConfig] = None,
         drift_threshold: float = 0.7,
+        backend: BackendSpec = None,
     ) -> None:
         if not initial_clusters:
             raise ValueError("need at least one initial cluster")
@@ -67,7 +87,14 @@ class IncrementalOrganizer:
             raise ValueError("drift_threshold must be in (0, 1]")
         self.config = config or CAFCConfig()
         self.vectorizer = vectorizer
-        self.similarity: FormPageSimilarity = similarity_for(self.config)
+        self.backend: SimilarityBackend = resolve_backend(backend, self.config)
+        # Kept for backward compatibility with code that reached for the
+        # scalar callable; the organizer itself goes through the backend.
+        self.similarity: FormPageSimilarity = FormPageSimilarity(
+            content_mode=self.config.content_mode,
+            page_weight=self.config.page_weight,
+            form_weight=self.config.form_weight,
+        )
         self.drift_threshold = drift_threshold
         self.clusters: List[IncrementalCluster] = []
         self._by_url: Dict[str, int] = {}
@@ -78,7 +105,10 @@ class IncrementalOrganizer:
             for page in members:
                 self._by_url[page.url] = len(self.clusters) - 1
 
-        self._baseline_cohesion = self._mean_cohesion()
+        self._contrib: Dict[str, float] = {}
+        self._cohesion_sum = 0.0
+        self.refresh_cohesion()
+        self._baseline_cohesion = self.cohesion
         self.n_added = 0
         self.n_removed = 0
 
@@ -86,26 +116,31 @@ class IncrementalOrganizer:
     # Cohesion / drift.
     # ----------------------------------------------------------------
 
-    def _mean_cohesion(self) -> float:
-        """Mean page-to-own-centroid similarity over the collection."""
-        total = 0.0
-        count = 0
+    def refresh_cohesion(self) -> float:
+        """Re-score every page against its current centroid (O(n)
+        similarity evaluations), re-syncing the running sum.  Returns the
+        refreshed mean cohesion."""
+        self._contrib = {}
+        self._cohesion_sum = 0.0
         for cluster in self.clusters:
             for page in cluster.pages:
-                total += self.similarity(page, cluster.centroid)
-                count += 1
-        return total / count if count else 0.0
+                value = self.backend.pair(page, cluster.centroid)
+                self._contrib[page.url] = value
+                self._cohesion_sum += value
+        return self.cohesion
 
     @property
     def cohesion(self) -> float:
-        return self._mean_cohesion()
+        """Mean page-to-own-centroid similarity (running sum, O(1))."""
+        count = len(self._contrib)
+        return self._cohesion_sum / count if count else 0.0
 
     @property
     def needs_reclustering(self) -> bool:
         """True when cohesion fell below ``drift_threshold`` x initial."""
         if self._baseline_cohesion == 0.0:
             return False
-        return self._mean_cohesion() < self.drift_threshold * self._baseline_cohesion
+        return self.cohesion < self.drift_threshold * self._baseline_cohesion
 
     # ----------------------------------------------------------------
     # Updates.
@@ -127,30 +162,38 @@ class IncrementalOrganizer:
         The page is vectorized against the frozen corpus statistics and
         joins its most similar cluster (classification, Section 5).
         Re-adding a managed URL replaces the old page first.
+
+        Cost: exactly ``len(self.clusters) + 1`` similarity evaluations,
+        regardless of collection size.
         """
         if raw.url in self._by_url:
             self.remove(raw.url)
         page = self.vectorizer.transform_new(raw)
-        best_index = max(
-            range(len(self.clusters)),
-            key=lambda i: self.similarity(page, self.clusters[i].centroid),
-        )
+        scores = [
+            self.backend.pair(page, cluster.centroid)
+            for cluster in self.clusters
+        ]
+        best_index = max(range(len(scores)), key=scores.__getitem__)
         cluster = self.clusters[best_index]
         cluster.pages.append(page)
         cluster.rebuild_centroid()
+        contribution = self.backend.pair(page, cluster.centroid)
+        self._contrib[page.url] = contribution
+        self._cohesion_sum += contribution
         self._by_url[raw.url] = best_index
         self.n_added += 1
         return best_index
 
     def remove(self, url: str) -> bool:
         """Drop a source (a database went offline).  Returns False when
-        the URL is not managed."""
+        the URL is not managed.  Costs no similarity evaluations."""
         cluster_index = self._by_url.pop(url, None)
         if cluster_index is None:
             return False
         cluster = self.clusters[cluster_index]
         cluster.pages = [page for page in cluster.pages if page.url != url]
         cluster.rebuild_centroid()
+        self._cohesion_sum -= self._contrib.pop(url, 0.0)
         self.n_removed += 1
         return True
 

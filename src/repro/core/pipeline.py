@@ -15,10 +15,12 @@ they can be used as the basis to automatically classify new sources").
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
-from repro.core.cafc_c import cafc_c, similarity_for
+from repro.core.cafc_c import cafc_c
 from repro.core.cafc_ch import cafc_ch
 from repro.core.config import CAFCConfig
 from repro.core.form_page import FormPage, RawFormPage, VectorPair, centroid_of
+from repro.core.similarity import BackendSpec, SimilarityBackend, resolve_backend
+from repro.core.simengine import EngineStats
 from repro.core.vectorizer import FormPageVectorizer
 
 
@@ -51,6 +53,9 @@ class CAFCResult:
     # Only populated by CAFC-CH runs:
     n_hub_clusters: int = 0
     seed_hub_urls: List[str] = field(default_factory=list)
+    # Similarity-backend instrumentation for the run (``--profile``);
+    # None for results loaded from disk or built without a backend.
+    engine_stats: Optional[EngineStats] = None
 
     @property
     def n_clusters(self) -> int:
@@ -88,13 +93,17 @@ class CAFCPipeline:
         domain = pipeline.classify(new_raw_page, result)
     """
 
-    def __init__(self, config: Optional[CAFCConfig] = None) -> None:
+    def __init__(
+        self,
+        config: Optional[CAFCConfig] = None,
+        backend: BackendSpec = None,
+    ) -> None:
         self.config = config or CAFCConfig()
         self.vectorizer = FormPageVectorizer(
             location_weights=self.config.location_weights,
             max_backlinks=self.config.max_backlinks,
         )
-        self._similarity = similarity_for(self.config)
+        self.backend: SimilarityBackend = resolve_backend(backend, self.config)
 
     # ----------------------------------------------------------------
     # Organizing.
@@ -135,10 +144,10 @@ class CAFCPipeline:
 
         if algorithm == "cafc-ch":
             try:
-                ch_result = cafc_ch(pages, self.config)
+                ch_result = cafc_ch(pages, self.config, backend=self.backend)
             except ValueError:
                 # Too few hub clusters: degrade to content-only CAFC-C.
-                km_result = cafc_c(pages, self.config)
+                km_result = cafc_c(pages, self.config, backend=self.backend)
                 algorithm = "cafc-c (hub fallback)"
             else:
                 km_result = ch_result.kmeans
@@ -165,7 +174,7 @@ class CAFCPipeline:
             clustering = hac_result.clustering
             iterations = len(hac_result.merges)
         else:
-            km_result = cafc_c(pages, self.config)
+            km_result = cafc_c(pages, self.config, backend=self.backend)
             clustering = km_result.clustering
             iterations = km_result.iterations
 
@@ -188,6 +197,7 @@ class CAFCPipeline:
             used_hub_seeding=used_hubs,
             n_hub_clusters=n_hub_clusters,
             seed_hub_urls=seed_hub_urls,
+            engine_stats=self.backend.stats.snapshot(),
         )
 
     # ----------------------------------------------------------------
@@ -205,6 +215,7 @@ class CAFCPipeline:
             raise ValueError("cannot classify against an empty result")
         page = self.vectorizer.transform_new(raw_page)
         scores = [
-            self._similarity(page, cluster.centroid) for cluster in result.clusters
+            self.backend.pair(page, cluster.centroid)
+            for cluster in result.clusters
         ]
         return max(range(len(scores)), key=scores.__getitem__)

@@ -12,6 +12,11 @@ to serve as k-means seeds:
 The paper argues the selection is robust to outliers because it operates
 on clusters (multi-document centroids), not individual pages — provided
 small clusters were pruned first (Section 3.3).
+
+The distance matrix is served by a similarity backend (one batched
+:meth:`~repro.core.similarity.SimilarityBackend.pairwise` call); passing
+a bare :class:`~repro.core.similarity.FormPageSimilarity` positionally is
+still accepted but deprecated.
 """
 
 from typing import List, Sequence
@@ -19,28 +24,45 @@ from typing import List, Sequence
 import numpy as np
 
 from repro.core.hubs import HubCluster
-from repro.core.similarity import FormPageSimilarity
+from repro.core.similarity import BackendSpec, SimilarityBackend, resolve_backend
+
+
+def _resolve(similarity: BackendSpec, backend: BackendSpec) -> SimilarityBackend:
+    """Resolve the deprecated positional ``similarity`` or the ``backend``
+    keyword into a backend instance (``resolve_backend`` emits the
+    DeprecationWarning for bare callables)."""
+    if similarity is not None:
+        return resolve_backend(similarity)
+    return resolve_backend(backend)
 
 
 def hub_distance_matrix(
     clusters: Sequence[HubCluster],
-    similarity: FormPageSimilarity,
+    similarity: BackendSpec = None,
+    *,
+    backend: BackendSpec = None,
 ) -> np.ndarray:
-    """Pairwise centroid distances (1 - similarity), symmetric, zero diag."""
+    """Pairwise centroid distances (1 - similarity), symmetric, zero diag.
+
+    Pass ``backend=`` (a name or :class:`SimilarityBackend`); the
+    positional ``similarity`` callable is deprecated.
+    """
+    resolved = _resolve(similarity, backend)
     n = len(clusters)
-    matrix = np.zeros((n, n), dtype=np.float64)
-    for i in range(n):
-        for j in range(i + 1, n):
-            distance = similarity.distance(clusters[i].centroid, clusters[j].centroid)
-            matrix[i, j] = distance
-            matrix[j, i] = distance
+    if n == 0:
+        return np.zeros((0, 0), dtype=np.float64)
+    centroids = [cluster.centroid for cluster in clusters]
+    matrix = 1.0 - np.asarray(resolved.pairwise(centroids), dtype=np.float64)
+    np.fill_diagonal(matrix, 0.0)
     return matrix
 
 
 def select_hub_clusters(
     clusters: Sequence[HubCluster],
     k: int,
-    similarity: FormPageSimilarity,
+    similarity: BackendSpec = None,
+    *,
+    backend: BackendSpec = None,
 ) -> List[HubCluster]:
     """Pick the ``k`` most mutually distant hub clusters (Algorithm 3).
 
@@ -50,6 +72,11 @@ def select_hub_clusters(
 
     Determinism: ties in the greedy objective are broken by the clusters'
     order in ``clusters`` (which `build_hub_clusters` makes deterministic).
+
+    The similarity arithmetic comes from ``backend`` (a backend name,
+    a :class:`~repro.core.similarity.SimilarityBackend`, or ``None`` for
+    the default).  The positional ``similarity`` callable is deprecated:
+    it still works, wrapped in a NaiveBackend, but warns.
     """
     if k < 1:
         raise ValueError("k must be positive")
@@ -58,10 +85,11 @@ def select_hub_clusters(
             f"need at least {k} hub clusters, have {len(clusters)}; "
             "lower min_hub_cardinality or use random seeding"
         )
+    resolved = _resolve(similarity, backend)
     if k == 1:
         return [clusters[0]]
 
-    distances = hub_distance_matrix(clusters, similarity)
+    distances = hub_distance_matrix(clusters, backend=resolved)
     n = len(clusters)
 
     # Step 1: the two most distant clusters.  np.argmax on the upper

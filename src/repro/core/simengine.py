@@ -1,0 +1,727 @@
+"""Batched sparse similarity engine — the shared backend for Equation 3.
+
+Every hot path of the reproduction (Algorithm 1's assignment loop,
+Algorithm 3's hub-distance matrix, incremental cohesion, the explorer's
+query scoring, the schema baseline) is some batch of Equation-3 cosines.
+Computing them pair-by-pair over string-keyed dictionaries caps corpus
+size; this module compiles a collection once into CSR-style parallel
+arrays and serves every batched shape from that one representation:
+
+* :meth:`SimilarityEngine.pairwise` — the full n x n similarity matrix
+  via inverted-index accumulation (upper triangle only);
+* :meth:`SimilarityEngine.page_centroid_matrix` — pages x centroids,
+  the k-means assignment shape;
+* :meth:`SimilarityEngine.to_centroids` — Equation-4 means straight
+  from the compiled rows;
+* :meth:`SimilarityEngine.topk` — query-against-collection ranking;
+* :meth:`SimilarityEngine.kmeans` — Algorithm 1's loop, batched, with
+  tie-breaking and stopping semantics identical to
+  :func:`repro.clustering.kmeans.kmeans`.
+
+Everything is pure Python over :mod:`array` buffers; when NumPy and
+SciPy are importable (detected once at import time) the two matrix
+shapes switch to one sparse matmul.  Both paths agree with the scalar
+:class:`~repro.core.similarity.FormPageSimilarity` to well below 1e-9:
+per-space cosines are accumulated from pre-normalized rows and combined
+with the literal Equation-3 expression, never algebraically rearranged.
+
+The engine never changes Eq. 1-6 semantics — it only changes how the
+same arithmetic is batched.
+"""
+
+import time
+from array import array
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.config import ContentMode
+from repro.core.form_page import VectorPair
+from repro.vsm.vector import SparseVector
+
+try:  # optional fast path, detected once at import
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy is normally present
+    _np = None
+try:
+    from scipy import sparse as _sp
+except ImportError:  # pragma: no cover
+    _sp = None
+
+#: True when the NumPy/SciPy matmul fast path is available.
+HAVE_NUMPY = _np is not None and _sp is not None
+
+
+@dataclass
+class EngineStats:
+    """Instrumentation counters for one engine (or backend) instance.
+
+    ``comparisons`` counts pair-similarity equivalents: a pairwise call
+    over n items adds n*(n-1)/2, an assignment pass adds pages x
+    centroids, a top-k query adds one per scored item.  ``cache_hits``
+    counts reuses of already-computed work (memoized single pairs,
+    compiled-engine reuse).  ``build_seconds`` is time spent compiling
+    collections into the packed representation.
+    """
+
+    n_pages: int = 0
+    n_terms: int = 0
+    build_seconds: float = 0.0
+    comparisons: int = 0
+    cache_hits: int = 0
+    backend: str = "python"
+
+    def snapshot(self) -> "EngineStats":
+        """An immutable copy (for surfacing through results)."""
+        return replace(self)
+
+    def summary(self) -> str:
+        return (
+            f"backend={self.backend} pages={self.n_pages} "
+            f"terms={self.n_terms} build={self.build_seconds:.3f}s "
+            f"comparisons={self.comparisons} cache_hits={self.cache_hits}"
+        )
+
+
+class _Space:
+    """One compiled feature space (PC or FC) in CSR-style arrays."""
+
+    __slots__ = (
+        "vocab", "term_of", "ids", "raw", "nrm", "norms", "_postings", "_csr"
+    )
+
+    def __init__(self) -> None:
+        self.vocab: Dict[str, int] = {}
+        self.term_of: List[str] = []
+        self.ids: List[array] = []     # per row: term ids ('l')
+        self.raw: List[array] = []     # per row: raw Equation-1 weights ('d')
+        self.nrm: List[array] = []     # per row: weights / row norm ('d')
+        self.norms: List[float] = []
+        self._postings: Optional[Dict[int, List[Tuple[int, float]]]] = None
+        self._csr = None
+
+    def add_row(self, vector: SparseVector) -> None:
+        ids = array("l")
+        raw = array("d")
+        vocab = self.vocab
+        term_of = self.term_of
+        for term, weight in vector.items():
+            term_id = vocab.get(term)
+            if term_id is None:
+                term_id = len(term_of)
+                vocab[term] = term_id
+                term_of.append(term)
+            ids.append(term_id)
+            raw.append(weight)
+        norm = vector.norm()
+        self.ids.append(ids)
+        self.raw.append(raw)
+        if norm > 0.0:
+            inv = 1.0 / norm
+            self.nrm.append(array("d", (w * inv for w in raw)))
+        else:
+            self.nrm.append(array("d"))
+        self.norms.append(norm)
+
+    # -- derived structures (built lazily, cached) --------------------
+
+    def postings(self) -> Dict[int, List[Tuple[int, float]]]:
+        """Inverted index over normalized rows: id -> [(row, weight)].
+
+        Rows are appended in ascending order (pages are compiled in
+        sequence), which the upper-triangle accumulation relies on.
+        Each posting is one list of (row, weight) tuples — the layout
+        the accumulation loops iterate millions of times, so one tuple
+        unpack per step replaces parallel-array indexing.
+        """
+        if self._postings is None:
+            postings: Dict[int, List[Tuple[int, float]]] = {}
+            for row, (ids, weights) in enumerate(zip(self.ids, self.nrm)):
+                for term_id, weight in zip(ids, weights):
+                    entry = postings.get(term_id)
+                    if entry is None:
+                        entry = []
+                        postings[term_id] = entry
+                    entry.append((row, weight))
+            self._postings = postings
+        return self._postings
+
+    def csr(self):
+        """Normalized rows as a scipy CSR matrix (fast path only)."""
+        if self._csr is None:
+            indptr = [0]
+            indices: List[int] = []
+            data: List[float] = []
+            for ids, weights in zip(self.ids, self.nrm):
+                indices.extend(ids)
+                data.extend(weights)
+                indptr.append(len(indices))
+            self._csr = _sp.csr_matrix(
+                (data, indices, indptr),
+                shape=(len(self.ids), max(len(self.vocab), 1)),
+                dtype=_np.float64,
+            )
+        return self._csr
+
+    # -- per-row helpers ----------------------------------------------
+
+    def row_map(self, row: int) -> Dict[int, float]:
+        return dict(zip(self.ids[row], self.nrm[row]))
+
+    def self_cosine(self, row: int) -> float:
+        """cos(row, row): 1.0-ish for non-empty rows, 0.0 for empty."""
+        weights = self.nrm[row]
+        if not weights:
+            return 0.0
+        return sum(w * w for w in weights)
+
+    def compile_external(self, vector: SparseVector) -> Dict[int, float]:
+        """A foreign vector as a normalized id -> weight map.
+
+        The norm is the vector's *full* norm (out-of-vocabulary terms
+        included), exactly as the scalar cosine sees it; OOV terms are
+        then dropped because no compiled row can match them.
+        """
+        norm = vector.norm()
+        if norm == 0.0:
+            return {}
+        inv = 1.0 / norm
+        vocab = self.vocab
+        compiled: Dict[int, float] = {}
+        for term, weight in vector.items():
+            term_id = vocab.get(term)
+            if term_id is not None:
+                compiled[term_id] = weight * inv
+        return compiled
+
+    def score_column(self, query: Dict[int, float], n_rows: int) -> List[float]:
+        """Cosine of ``query`` against every compiled row (accumulator)."""
+        scores = [0.0] * n_rows
+        postings = self.postings()
+        for term_id, query_weight in query.items():
+            entry = postings.get(term_id)
+            if entry is None:
+                continue
+            for row, weight in entry:
+                scores[row] += query_weight * weight
+        return scores
+
+    def pairwise_upper(self) -> List[List[float]]:
+        """All-pairs cosine dot products, upper triangle only.
+
+        Returned rows are full length but only ``row[i][j]`` with
+        ``j > i`` is meaningful; the engine's combine step fills the
+        diagonal and mirrors the lower triangle in one pass.  The inner
+        loop iterates a slice of (row, weight) tuples, so each step is
+        one unpack plus one indexed add — the cheapest scatter CPython
+        offers for this shape.
+        """
+        n = len(self.ids)
+        sims: List[List[float]] = [[0.0] * n for _ in range(n)]
+        for pool in self.postings().values():
+            m = len(pool)
+            if m < 2:
+                continue
+            for a in range(m - 1):
+                row_a, weight_a = pool[a]
+                target = sims[row_a]
+                for row_b, weight_b in pool[a + 1:]:
+                    target[row_b] += weight_a * weight_b
+        return sims
+
+    def pairwise_numpy(self):
+        matrix = self.csr()
+        dense = _np.asarray((matrix @ matrix.T).todense())
+        _np.fill_diagonal(
+            dense, [self.self_cosine(i) for i in range(len(self.ids))]
+        )
+        return dense
+
+
+class CompiledCentroids:
+    """Equation-4 centroids in engine id space, ready for batched scoring.
+
+    Built either from an assignment over the engine's own rows
+    (:meth:`SimilarityEngine.to_centroids`) or by compiling external
+    :class:`~repro.core.form_page.VectorPair` objects.  ``raw[space][i]``
+    is the centroid's raw id -> weight map, ``nrm[space][i]`` the
+    normalized one used for cosine scoring; ``norms[space][i]`` the
+    Euclidean norm (0.0 for an empty centroid).
+    """
+
+    def __init__(self, engine: "SimilarityEngine", k: int) -> None:
+        self.engine = engine
+        self.k = k
+        self.raw: Dict[str, List[Dict[int, float]]] = {}
+        self.nrm: Dict[str, List[Dict[int, float]]] = {}
+        self.norms: Dict[str, List[float]] = {}
+        for name in engine.space_names:
+            self.raw[name] = [{} for _ in range(k)]
+            self.nrm[name] = [{} for _ in range(k)]
+            self.norms[name] = [0.0] * k
+
+    def __len__(self) -> int:
+        return self.k
+
+    def set_raw(self, space: str, index: int, raw: Dict[int, float]) -> None:
+        norm = _sqrt_sum_sq(raw)
+        self.raw[space][index] = raw
+        self.norms[space][index] = norm
+        if norm > 0.0:
+            inv = 1.0 / norm
+            self.nrm[space][index] = {i: w * inv for i, w in raw.items()}
+        else:
+            self.nrm[space][index] = {}
+
+    def vector_pair(self, index: int) -> VectorPair:
+        """Materialize centroid ``index`` back into string-term vectors."""
+        pc = self._materialize("pc", index)
+        fc = self._materialize("fc", index)
+        return VectorPair(pc=pc, fc=fc)
+
+    def _materialize(self, space: str, index: int) -> SparseVector:
+        compiled = self.raw.get(space)
+        if compiled is None:
+            return SparseVector()
+        term_of = self.engine.space(space).term_of
+        return SparseVector(
+            {term_of[i]: w for i, w in compiled[index].items()}
+        )
+
+
+def _sqrt_sum_sq(weights: Dict[int, float]) -> float:
+    total = 0.0
+    for weight in weights.values():
+        total += weight * weight
+    return total ** 0.5
+
+
+class SimilarityEngine:
+    """Compiled Equation-3 similarity over a fixed collection.
+
+    Parameters
+    ----------
+    items:
+        Anything with ``.pc`` / ``.fc`` sparse vectors (form pages, hub
+        centroids, schema adapters).  The engine indexes them once; all
+        batched operations refer to them by position.
+    content_mode / page_weight / form_weight:
+        The Equation-3 configuration, exactly as
+        :class:`~repro.core.similarity.FormPageSimilarity` takes it.
+    use_numpy:
+        ``None`` (default) auto-detects the NumPy/SciPy fast path;
+        ``False`` forces the pure-Python path (the benchmarks use this
+        to prove the pure path's speedup); ``True`` requires the fast
+        path and raises if it is unavailable.
+    """
+
+    def __init__(
+        self,
+        items: Sequence,
+        content_mode: ContentMode = ContentMode.FC_PC,
+        page_weight: float = 1.0,
+        form_weight: float = 1.0,
+        use_numpy: Optional[bool] = None,
+    ) -> None:
+        if use_numpy is None:
+            use_numpy = HAVE_NUMPY
+        elif use_numpy and not HAVE_NUMPY:
+            raise RuntimeError("NumPy/SciPy fast path requested but unavailable")
+        self.items = list(items)
+        self.content_mode = content_mode
+        self.page_weight = page_weight
+        self.form_weight = form_weight
+        self.use_numpy = use_numpy
+        self.stats = EngineStats(backend="numpy" if use_numpy else "python")
+
+        started = time.perf_counter()
+        self._spaces: Dict[str, _Space] = {}
+        # A space with zero Equation-3 weight contributes nothing and is
+        # not compiled at all (matches the scalar formula exactly).
+        if content_mode.uses_pc and (
+            content_mode is ContentMode.PC or page_weight > 0
+        ):
+            self._spaces["pc"] = _Space()
+        if content_mode.uses_fc and (
+            content_mode is ContentMode.FC or form_weight > 0
+        ):
+            self._spaces["fc"] = _Space()
+        for item in self.items:
+            for name, space in self._spaces.items():
+                space.add_row(getattr(item, name))
+        self._pair_cache: Dict[Tuple[int, int], float] = {}
+        self.stats.build_seconds = time.perf_counter() - started
+        self.stats.n_pages = len(self.items)
+        self.stats.n_terms = sum(
+            len(space.vocab) for space in self._spaces.values()
+        )
+
+    # ----------------------------------------------------------------
+    # Introspection.
+    # ----------------------------------------------------------------
+
+    @classmethod
+    def from_config(cls, items: Sequence, config,
+                    use_numpy: Optional[bool] = None) -> "SimilarityEngine":
+        """Build an engine matching a :class:`~repro.core.config.CAFCConfig`."""
+        return cls(
+            items,
+            content_mode=config.content_mode,
+            page_weight=config.page_weight,
+            form_weight=config.form_weight,
+            use_numpy=use_numpy,
+        )
+
+    @property
+    def n_pages(self) -> int:
+        return len(self.items)
+
+    @property
+    def n_terms(self) -> int:
+        return self.stats.n_terms
+
+    @property
+    def space_names(self) -> Tuple[str, ...]:
+        return tuple(self._spaces)
+
+    def space(self, name: str) -> _Space:
+        return self._spaces[name]
+
+    # ----------------------------------------------------------------
+    # Combining per-space cosines — the literal Equation-3 expression.
+    # ----------------------------------------------------------------
+
+    def _combine(self, pc: float, fc: float) -> float:
+        mode = self.content_mode
+        if mode is ContentMode.PC:
+            return pc
+        if mode is ContentMode.FC:
+            return fc
+        return (self.page_weight * pc + self.form_weight * fc) / (
+            self.page_weight + self.form_weight
+        )
+
+    def _space_value(self, per_space: Dict[str, float]) -> float:
+        return self._combine(per_space.get("pc", 0.0), per_space.get("fc", 0.0))
+
+    # ----------------------------------------------------------------
+    # Single pairs (memoized).
+    # ----------------------------------------------------------------
+
+    def similarity(self, i: int, j: int) -> float:
+        """Equation-3 similarity between compiled items ``i`` and ``j``."""
+        key = (i, j) if i <= j else (j, i)
+        cached = self._pair_cache.get(key)
+        if cached is not None:
+            self.stats.cache_hits += 1
+            return cached
+        per_space: Dict[str, float] = {}
+        for name, space in self._spaces.items():
+            if i == j:
+                per_space[name] = space.self_cosine(i)
+                continue
+            ids_i, nrm_i = space.ids[i], space.nrm[i]
+            row_j = space.row_map(j)
+            total = 0.0
+            get = row_j.get
+            for term_id, weight in zip(ids_i, nrm_i):
+                other = get(term_id)
+                if other is not None:
+                    total += weight * other
+            per_space[name] = total
+        value = self._space_value(per_space)
+        self._pair_cache[key] = value
+        self.stats.comparisons += 1
+        return value
+
+    # ----------------------------------------------------------------
+    # Batched shapes.
+    # ----------------------------------------------------------------
+
+    def pairwise(self, indices: Optional[Sequence[int]] = None):
+        """The full symmetric similarity matrix over the compiled items.
+
+        Returns a list of row lists on the pure-Python path, an ndarray
+        on the fast path.  ``indices`` restricts to a sub-collection
+        (rows/columns follow the given order).
+        """
+        n = len(self.items)
+        self.stats.comparisons += n * (n - 1) // 2
+        if not self._spaces:
+            zeros = [[0.0] * n for _ in range(n)]
+            return _np.asarray(zeros) if self.use_numpy else zeros
+        if self.use_numpy:
+            total = None
+            for name, space in self._spaces.items():
+                matrix = space.pairwise_numpy()
+                if self.content_mode is ContentMode.FC_PC:
+                    weight = (
+                        self.page_weight if name == "pc" else self.form_weight
+                    )
+                    matrix = matrix * weight
+                total = matrix if total is None else total + matrix
+            if self.content_mode is ContentMode.FC_PC:
+                total = total / (self.page_weight + self.form_weight)
+            if indices is not None:
+                index_array = _np.asarray(list(indices))
+                total = total[_np.ix_(index_array, index_array)]
+            return total
+
+        per_space = {
+            name: space.pairwise_upper()
+            for name, space in self._spaces.items()
+        }
+        if len(per_space) == 1 and self.content_mode is not ContentMode.FC_PC:
+            combined = next(iter(per_space.values()))
+        else:
+            # The literal Equation-3 expression, hoisted out of _combine
+            # so the whole matrix combines in C-speed comprehensions.
+            # Only the upper triangle is combined (the lower is mirrored
+            # afterwards), in place over the PC matrix.
+            pc_matrix = per_space.get("pc")
+            fc_matrix = per_space.get("fc")
+            zero_row = [0.0] * n
+            pw = self.page_weight
+            fw = self.form_weight
+            scale = pw + fw
+            combined = (
+                pc_matrix if pc_matrix is not None
+                else [[0.0] * n for _ in range(n)]
+            )
+            for i in range(n):
+                row = combined[i]
+                other = fc_matrix[i] if fc_matrix is not None else zero_row
+                row[i + 1:] = [
+                    (pw * p + fw * f) / scale
+                    for p, f in zip(row[i + 1:], other[i + 1:])
+                ]
+        # One pass fills the diagonal and mirrors the upper triangle.
+        pc_space = self._spaces.get("pc")
+        fc_space = self._spaces.get("fc")
+        for i in range(n):
+            row = combined[i]
+            row[i] = self._combine(
+                pc_space.self_cosine(i) if pc_space is not None else 0.0,
+                fc_space.self_cosine(i) if fc_space is not None else 0.0,
+            )
+            for j in range(i + 1, n):
+                combined[j][i] = row[j]
+        if indices is not None:
+            chosen = list(indices)
+            combined = [[combined[i][j] for j in chosen] for i in chosen]
+        return combined
+
+    def to_centroids(
+        self, assignments: Sequence[int], k: Optional[int] = None
+    ) -> CompiledCentroids:
+        """Equation-4 centroids per cluster, straight from compiled rows.
+
+        ``assignments[i]`` is the cluster of item ``i``; clusters with no
+        members come back empty (callers wanting k-means' keep-previous
+        semantics handle that, as :meth:`kmeans` does).
+        """
+        if k is None:
+            k = (max(assignments) + 1) if len(assignments) else 0
+        centroids = CompiledCentroids(self, k)
+        counts = [0] * k
+        for cluster in assignments:
+            counts[cluster] += 1
+        for name, space in self._spaces.items():
+            sums: List[Dict[int, float]] = [{} for _ in range(k)]
+            for row, cluster in enumerate(assignments):
+                target = sums[cluster]
+                for term_id, weight in zip(space.ids[row], space.raw[row]):
+                    target[term_id] = target.get(term_id, 0.0) + weight
+            for cluster in range(k):
+                if counts[cluster] == 0:
+                    continue
+                inv = 1.0 / counts[cluster]
+                centroids.set_raw(
+                    name,
+                    cluster,
+                    {i: w * inv for i, w in sums[cluster].items()},
+                )
+        return centroids
+
+    def compile_centroids(
+        self, pairs: Sequence
+    ) -> CompiledCentroids:
+        """Compile external (PC, FC) pairs — e.g. hub-cluster centroids —
+        into the engine's id space for batched scoring."""
+        centroids = CompiledCentroids(self, len(pairs))
+        for name, space in self._spaces.items():
+            for index, pair in enumerate(pairs):
+                vector: SparseVector = getattr(pair, name)
+                norm = vector.norm()
+                centroids.norms[name][index] = norm
+                centroids.nrm[name][index] = space.compile_external(vector)
+                vocab = space.vocab
+                centroids.raw[name][index] = {
+                    vocab[term]: weight
+                    for term, weight in vector.items()
+                    if term in vocab
+                }
+        return centroids
+
+    def page_centroid_matrix(self, centroids) -> List[List[float]]:
+        """Similarity of every compiled item against every centroid.
+
+        ``centroids`` is a :class:`CompiledCentroids` or a sequence of
+        (PC, FC) pairs, which is compiled on the fly.  Returns rows =
+        items, columns = centroids (a list of row lists; the fast path
+        also returns nested lists so callers need no NumPy).
+        """
+        if not isinstance(centroids, CompiledCentroids):
+            centroids = self.compile_centroids(centroids)
+        n = len(self.items)
+        k = len(centroids)
+        self.stats.comparisons += n * k
+        columns: Dict[str, List[List[float]]] = {}
+        for name, space in self._spaces.items():
+            space_columns = []
+            for index in range(k):
+                space_columns.append(
+                    space.score_column(centroids.nrm[name][index], n)
+                )
+            columns[name] = space_columns
+        pc_columns = columns.get("pc")
+        fc_columns = columns.get("fc")
+        matrix: List[List[float]] = []
+        for row in range(n):
+            matrix.append(
+                [
+                    self._combine(
+                        pc_columns[index][row] if pc_columns else 0.0,
+                        fc_columns[index][row] if fc_columns else 0.0,
+                    )
+                    for index in range(k)
+                ]
+            )
+        return matrix
+
+    def topk(self, query, n: int = 3) -> List[Tuple[int, float]]:
+        """The ``n`` compiled items most similar to ``query``.
+
+        ``query`` is anything with ``.pc`` / ``.fc`` vectors.  Items with
+        zero (or negative) similarity are omitted; ties break toward the
+        lower index, matching the explorer's historical ordering.
+        """
+        total = len(self.items)
+        self.stats.comparisons += total
+        per_space: Dict[str, List[float]] = {}
+        for name, space in self._spaces.items():
+            compiled = space.compile_external(getattr(query, name))
+            per_space[name] = space.score_column(compiled, total)
+        pc_scores = per_space.get("pc")
+        fc_scores = per_space.get("fc")
+        scored = []
+        for index in range(total):
+            value = self._combine(
+                pc_scores[index] if pc_scores else 0.0,
+                fc_scores[index] if fc_scores else 0.0,
+            )
+            if value > 0.0:
+                scored.append((index, value))
+        scored.sort(key=lambda pair: (-pair[1], pair[0]))
+        return scored[:n]
+
+    # ----------------------------------------------------------------
+    # Batched k-means (Algorithm 1's loop).
+    # ----------------------------------------------------------------
+
+    def kmeans(
+        self,
+        initial_centroids: Sequence,
+        stop_fraction: float = 0.1,
+        max_iterations: int = 50,
+    ):
+        """Run k-means over the compiled items from the given seeds.
+
+        Semantically identical to :func:`repro.clustering.kmeans.kmeans`
+        driven by :class:`~repro.core.similarity.FormPageSimilarity`:
+        same assignment tie-breaking (stability toward the previous
+        cluster, then the lowest index), same keep-previous-centroid
+        behaviour for emptied clusters, same sub-10%-moved stopping
+        rule.  Returns the same :class:`~repro.clustering.kmeans.KMeansResult`.
+        """
+        from repro.clustering.kmeans import KMeansResult
+        from repro.clustering.types import Clustering
+
+        if not initial_centroids:
+            raise ValueError("kmeans requires at least one initial centroid")
+        k = len(initial_centroids)
+        n = len(self.items)
+        if n == 0:
+            return KMeansResult(
+                Clustering([[] for _ in range(k)]),
+                list(initial_centroids),
+                iterations=0,
+                converged=True,
+            )
+
+        current = self.compile_centroids(initial_centroids)
+        # Per-cluster materialized centroid: starts at the seeds, updated
+        # whenever the cluster is non-empty (mirrors the generic engine).
+        final_pairs: List = list(initial_centroids)
+        assignment = self._assign(current, previous=None)
+        converged = False
+        iterations = 0
+
+        for iterations in range(1, max_iterations + 1):
+            updated = self.to_centroids(assignment, k)
+            counts = [0] * k
+            for cluster in assignment:
+                counts[cluster] += 1
+            for cluster in range(k):
+                if counts[cluster]:
+                    for name in self.space_names:
+                        current.raw[name][cluster] = updated.raw[name][cluster]
+                        current.nrm[name][cluster] = updated.nrm[name][cluster]
+                        current.norms[name][cluster] = updated.norms[name][cluster]
+                    final_pairs[cluster] = None  # materialize lazily below
+
+            new_assignment = self._assign(current, previous=assignment)
+            moved = sum(
+                1 for old, new in zip(assignment, new_assignment) if old != new
+            )
+            assignment = new_assignment
+            if moved <= stop_fraction * n and (stop_fraction > 0 or moved == 0):
+                converged = True
+                break
+
+        clusters: List[List[int]] = [[] for _ in range(k)]
+        for point, cluster in enumerate(assignment):
+            clusters[cluster].append(point)
+        for cluster in range(k):
+            if final_pairs[cluster] is None:
+                final_pairs[cluster] = current.vector_pair(cluster)
+        return KMeansResult(
+            Clustering(clusters), final_pairs, iterations, converged
+        )
+
+    def _assign(
+        self, centroids: CompiledCentroids, previous: Optional[List[int]]
+    ) -> List[int]:
+        matrix = self.page_centroid_matrix(centroids)
+        k = len(centroids)
+        assignment: List[int] = []
+        for index, row in enumerate(matrix):
+            best_cluster = 0
+            best_similarity = float("-inf")
+            prev_cluster = previous[index] if previous is not None else -1
+            for cluster in range(k):
+                score = row[cluster]
+                if score > best_similarity:
+                    best_similarity = score
+                    best_cluster = cluster
+                elif score == best_similarity and cluster == prev_cluster:
+                    best_cluster = cluster
+            assignment.append(best_cluster)
+        return assignment
+
+
+__all__ = [
+    "HAVE_NUMPY",
+    "EngineStats",
+    "CompiledCentroids",
+    "SimilarityEngine",
+]

@@ -1,4 +1,4 @@
-"""Form-page similarity — Equation 3.
+"""Form-page similarity — Equation 3 — and the similarity backends.
 
 ``sim(FP1, FP2) = (C1 * cos(PC1, PC2) + C2 * cos(FC1, FC2)) / (C1 + C2)``
 
@@ -9,11 +9,30 @@ drives k-means assignment, HAC matrices and hub-cluster distances.
 
 The *content mode* restricts which spaces contribute — the FC / PC / FC+PC
 configurations of Figure 2.
+
+Backends
+--------
+
+Batch consumers no longer thread bare similarity callables around;
+they take a :class:`SimilarityBackend`:
+
+* :class:`NaiveBackend` — per-pair :class:`FormPageSimilarity` calls
+  (the reference path, with comparison counting);
+* :class:`EngineBackend` — the compiled
+  :class:`~repro.core.simengine.SimilarityEngine`, which serves the
+  same values (within 1e-9; in practice ~1e-15) from CSR-style arrays
+  at a fraction of the cost.
+
+``resolve_backend`` maps the ``CAFCConfig.backend`` string (``"auto"``,
+``"engine"``, ``"naive"``), an existing backend instance, or a legacy
+bare callable (deprecated) to a backend object.
 """
 
-from typing import Protocol
+import warnings
+from typing import Callable, List, Optional, Protocol, Sequence, Union, runtime_checkable
 
-from repro.core.config import ContentMode
+from repro.core.config import CAFCConfig, ContentMode
+from repro.core.simengine import EngineStats, SimilarityEngine
 from repro.vsm.vector import SparseVector, cosine_similarity
 
 
@@ -66,3 +85,257 @@ class FormPageSimilarity:
         """1 - similarity; used where the paper speaks of distance
         (Algorithm 3 picks the most *distant* hub clusters)."""
         return 1.0 - self(a, b)
+
+
+def form_page_similarity(
+    a: HasVectorPair,
+    b: HasVectorPair,
+    content_mode: ContentMode = ContentMode.FC_PC,
+    page_weight: float = 1.0,
+    form_weight: float = 1.0,
+) -> float:
+    """Thin compatibility wrapper: one Equation-3 similarity, scalar path.
+
+    Equivalent to ``FormPageSimilarity(content_mode, page_weight,
+    form_weight)(a, b)`` and guaranteed (by test) to agree with the
+    batched :class:`~repro.core.simengine.SimilarityEngine` to 1e-9.
+    Prefer a :class:`SimilarityBackend` for anything called in a loop.
+    """
+    return FormPageSimilarity(content_mode, page_weight, form_weight)(a, b)
+
+
+# --------------------------------------------------------------------
+# Backends.
+# --------------------------------------------------------------------
+
+
+@runtime_checkable
+class SimilarityBackend(Protocol):
+    """The batched similarity interface every consumer codes against.
+
+    Implementations must agree with Equation 3 (the scalar
+    :class:`FormPageSimilarity`) to 1e-9 on every operation.
+    """
+
+    stats: EngineStats
+
+    def pair(self, a: HasVectorPair, b: HasVectorPair) -> float:
+        """Similarity of one (page or centroid) pair."""
+        ...
+
+    def pairwise(self, items: Sequence[HasVectorPair]) -> List[List[float]]:
+        """Full symmetric similarity matrix over ``items``."""
+        ...
+
+    def page_centroid_matrix(
+        self,
+        pages: Sequence[HasVectorPair],
+        centroids: Sequence[HasVectorPair],
+    ) -> List[List[float]]:
+        """Rows = pages, columns = centroids."""
+        ...
+
+
+class NaiveBackend:
+    """Per-pair Equation-3 calls — the reference backend.
+
+    Wraps a :class:`FormPageSimilarity` and counts comparisons so the
+    instrumentation surface matches :class:`EngineBackend`.
+    """
+
+    name = "naive"
+
+    def __init__(self, similarity: FormPageSimilarity) -> None:
+        self.similarity = similarity
+        self.stats = EngineStats(backend="naive")
+
+    @classmethod
+    def from_config(cls, config: CAFCConfig) -> "NaiveBackend":
+        return cls(
+            FormPageSimilarity(
+                content_mode=config.content_mode,
+                page_weight=config.page_weight,
+                form_weight=config.form_weight,
+            )
+        )
+
+    def pair(self, a: HasVectorPair, b: HasVectorPair) -> float:
+        self.stats.comparisons += 1
+        return self.similarity(a, b)
+
+    def pairwise(self, items: Sequence[HasVectorPair]) -> List[List[float]]:
+        n = len(items)
+        matrix = [[0.0] * n for _ in range(n)]
+        for i in range(n):
+            matrix[i][i] = self.pair(items[i], items[i])
+            for j in range(i + 1, n):
+                value = self.pair(items[i], items[j])
+                matrix[i][j] = value
+                matrix[j][i] = value
+        return matrix
+
+    def page_centroid_matrix(
+        self,
+        pages: Sequence[HasVectorPair],
+        centroids: Sequence[HasVectorPair],
+    ) -> List[List[float]]:
+        return [
+            [self.pair(page, centroid) for centroid in centroids]
+            for page in pages
+        ]
+
+
+class EngineBackend:
+    """The compiled-engine backend.
+
+    Engines are compiled per collection and cached (keyed by the
+    identity of the collection's items), so repeated batch calls over
+    the same pages — k-means iterations, sweeps, cohesion checks —
+    reuse one compilation.  ``stats`` aggregates over every engine this
+    backend built.
+    """
+
+    name = "engine"
+    _CACHE_SIZE = 4
+
+    def __init__(
+        self,
+        content_mode: ContentMode = ContentMode.FC_PC,
+        page_weight: float = 1.0,
+        form_weight: float = 1.0,
+        use_numpy: Optional[bool] = None,
+    ) -> None:
+        self.content_mode = content_mode
+        self.page_weight = page_weight
+        self.form_weight = form_weight
+        self.use_numpy = use_numpy
+        self.stats = EngineStats(
+            backend="engine" if use_numpy is None else
+            ("engine/numpy" if use_numpy else "engine/python")
+        )
+        self._scalar = FormPageSimilarity(content_mode, page_weight, form_weight)
+        self._engines: "dict[tuple, SimilarityEngine]" = {}
+
+    @classmethod
+    def from_config(
+        cls, config: CAFCConfig, use_numpy: Optional[bool] = None
+    ) -> "EngineBackend":
+        return cls(
+            content_mode=config.content_mode,
+            page_weight=config.page_weight,
+            form_weight=config.form_weight,
+            use_numpy=use_numpy,
+        )
+
+    def engine_for(self, items: Sequence[HasVectorPair]) -> SimilarityEngine:
+        """The compiled engine for ``items`` (cached by item identity)."""
+        key = tuple(id(item) for item in items)
+        engine = self._engines.get(key)
+        if engine is not None:
+            self.stats.cache_hits += 1
+            return engine
+        engine = SimilarityEngine(
+            items,
+            content_mode=self.content_mode,
+            page_weight=self.page_weight,
+            form_weight=self.form_weight,
+            use_numpy=self.use_numpy,
+        )
+        # The engine holds the items alive, so ids stay valid while cached.
+        if len(self._engines) >= self._CACHE_SIZE:
+            self._engines.pop(next(iter(self._engines)))
+        self._engines[key] = engine
+        self._merge(engine)
+        return engine
+
+    def _merge(self, engine: SimilarityEngine) -> None:
+        self.stats.n_pages = max(self.stats.n_pages, engine.stats.n_pages)
+        self.stats.n_terms = max(self.stats.n_terms, engine.stats.n_terms)
+        self.stats.build_seconds += engine.stats.build_seconds
+
+    def collect(self, engine: SimilarityEngine) -> None:
+        """Fold an engine's counters into the aggregate stats."""
+        self.stats.comparisons += engine.stats.comparisons
+        self.stats.cache_hits += engine.stats.cache_hits
+        engine.stats.comparisons = 0
+        engine.stats.cache_hits = 0
+
+    def pair(self, a: HasVectorPair, b: HasVectorPair) -> float:
+        # A single pair gains nothing from compilation; the scalar path
+        # is the same arithmetic.
+        self.stats.comparisons += 1
+        return self._scalar(a, b)
+
+    def pairwise(self, items: Sequence[HasVectorPair]) -> List[List[float]]:
+        engine = self.engine_for(items)
+        matrix = engine.pairwise()
+        self.collect(engine)
+        if not isinstance(matrix, list):  # ndarray from the fast path
+            matrix = matrix.tolist()
+        return matrix
+
+    def page_centroid_matrix(
+        self,
+        pages: Sequence[HasVectorPair],
+        centroids: Sequence[HasVectorPair],
+    ) -> List[List[float]]:
+        engine = self.engine_for(pages)
+        matrix = engine.page_centroid_matrix(centroids)
+        self.collect(engine)
+        return matrix
+
+
+#: What users may put in ``CAFCConfig.backend`` / pass as ``backend=``.
+BackendSpec = Union[None, str, SimilarityBackend, Callable[..., float]]
+
+_BACKEND_NAMES = ("auto", "engine", "naive")
+
+
+def resolve_backend(
+    spec: BackendSpec, config: Optional[CAFCConfig] = None
+) -> SimilarityBackend:
+    """Turn a backend spec into a backend instance.
+
+    ``spec`` may be ``None`` (use ``config.backend``), one of the
+    strings ``"auto"`` / ``"engine"`` / ``"naive"``, an existing
+    :class:`SimilarityBackend`, or — deprecated — a bare similarity
+    callable, which is wrapped in a :class:`NaiveBackend` with a
+    :class:`DeprecationWarning`.  ``"auto"`` currently selects the
+    engine (it is never slower on batch shapes and agrees to 1e-9);
+    the name is reserved so future heuristics can pick per-workload.
+    """
+    config = config or CAFCConfig()
+    if spec is None:
+        spec = config.backend
+    if isinstance(spec, str):
+        if spec not in _BACKEND_NAMES:
+            raise ValueError(
+                f"unknown backend {spec!r}; expected one of {_BACKEND_NAMES}"
+            )
+        if spec == "naive":
+            return NaiveBackend.from_config(config)
+        return EngineBackend.from_config(config)
+    if isinstance(spec, (NaiveBackend, EngineBackend)):
+        return spec
+    if isinstance(spec, FormPageSimilarity):
+        warnings.warn(
+            "passing a bare FormPageSimilarity is deprecated; pass a "
+            "SimilarityBackend (e.g. NaiveBackend(similarity)) or a "
+            'backend name such as "engine"',
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        return NaiveBackend(spec)
+    if callable(spec):
+        warnings.warn(
+            "passing a bare similarity callable is deprecated; wrap it in "
+            "NaiveBackend or pass a backend name",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        wrapper = NaiveBackend(FormPageSimilarity())
+        wrapper.similarity = spec  # type: ignore[assignment]
+        return wrapper
+    if isinstance(spec, SimilarityBackend):
+        return spec
+    raise TypeError(f"cannot resolve similarity backend from {spec!r}")

@@ -11,9 +11,22 @@ human-readable summaries.
 from dataclasses import dataclass
 from typing import List, Optional
 
+from repro.core.config import ContentMode
 from repro.core.pipeline import CAFCResult, OrganizedCluster
+from repro.core.simengine import SimilarityEngine
 from repro.text.analyzer import TextAnalyzer
-from repro.vsm.vector import SparseVector, cosine_similarity
+from repro.vsm.vector import SparseVector
+
+
+class _CombinedPoint:
+    """Adapter: one combined-space vector as a (PC, FC) item, so the
+    query scoring can ride the PC-mode similarity engine."""
+
+    __slots__ = ("pc", "fc")
+
+    def __init__(self, vector: SparseVector) -> None:
+        self.pc = vector
+        self.fc = SparseVector()
 
 
 @dataclass
@@ -41,6 +54,23 @@ class ClusterExplorer:
     ) -> None:
         self.result = result
         self.analyzer = analyzer or TextAnalyzer()
+        self._combined: Optional[List[SparseVector]] = None
+        self._engine: Optional[SimilarityEngine] = None
+
+    def _centroid_engine(self) -> SimilarityEngine:
+        """A PC-mode engine over the combined (PC + FC) centroids,
+        compiled once per explorer — queries then score every cluster in
+        one batched pass."""
+        if self._engine is None:
+            self._combined = [
+                cluster.centroid.pc.add(cluster.centroid.fc)
+                for cluster in self.result.clusters
+            ]
+            self._engine = SimilarityEngine(
+                [_CombinedPoint(vector) for vector in self._combined],
+                content_mode=ContentMode.PC,
+            )
+        return self._engine
 
     # ----------------------------------------------------------------
     # Search.
@@ -64,25 +94,22 @@ class ClusterExplorer:
         query_vector = self._query_vector(query)
         if not query_vector:
             return []
+        engine = self._centroid_engine()
         hits: List[SearchHit] = []
-        for index, cluster in enumerate(self.result.clusters):
-            combined = cluster.centroid.pc.add(cluster.centroid.fc)
-            score = cosine_similarity(query_vector, combined)
-            if score <= 0.0:
-                continue
+        for index, score in engine.topk(_CombinedPoint(query_vector), n):
+            combined = self._combined[index]
             matched = sorted(
                 term for term in query_vector.terms() if term in combined
             )
             hits.append(
                 SearchHit(
                     cluster_index=index,
-                    cluster=cluster,
+                    cluster=self.result.clusters[index],
                     score=score,
                     matched_terms=matched,
                 )
             )
-        hits.sort(key=lambda hit: (-hit.score, hit.cluster_index))
-        return hits[:n]
+        return hits
 
     # ----------------------------------------------------------------
     # Summaries.

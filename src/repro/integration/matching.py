@@ -169,8 +169,35 @@ def match_attributes(
     Merges the most similar admissible group pair until no pair exceeds
     ``threshold``.  A merge is inadmissible when the merged group would
     contain two attributes from the same form.
+
+    ``attribute_similarity`` over the instance pairs is computed exactly
+    once, up front; every average-linkage group score across all merge
+    rounds is then a sum over that matrix (the instances in a group
+    never change, only their grouping does).
     """
+    n = len(instances)
+    pair_sims = [[0.0] * n for _ in range(n)]
+    for a in range(n):
+        for b in range(a + 1, n):
+            value = attribute_similarity(instances[a], instances[b])
+            pair_sims[a][b] = value
+            pair_sims[b][a] = value
+
     groups = [ConceptGroup(members=[instance]) for instance in instances]
+    # Parallel structure: the instance indices behind each group, in the
+    # same member order, so group scores sum pair_sims in exactly the
+    # order the per-pair recomputation used to.
+    indices: List[List[int]] = [[i] for i in range(n)]
+
+    def group_score(index_a: int, index_b: int) -> float:
+        total = 0.0
+        count = 0
+        for a in indices[index_a]:
+            row = pair_sims[a]
+            for b in indices[index_b]:
+                total += row[b]
+                count += 1
+        return total / count if count else 0.0
 
     while len(groups) > 1:
         best_pair = None
@@ -179,7 +206,7 @@ def match_attributes(
             for j in range(i + 1, len(groups)):
                 if groups[i].form_indices & groups[j].form_indices:
                     continue
-                score = _group_similarity(groups[i], groups[j])
+                score = group_score(i, j)
                 if score > best_score:
                     best_score = score
                     best_pair = (i, j)
@@ -187,7 +214,9 @@ def match_attributes(
             break
         i, j = best_pair
         groups[i].members.extend(groups[j].members)
+        indices[i].extend(indices[j])
         del groups[j]
+        del indices[j]
 
     groups.sort(key=lambda g: (-g.size, g.canonical_label()))
     return groups

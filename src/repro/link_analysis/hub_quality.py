@@ -27,7 +27,7 @@ from typing import Dict, List, Optional, Sequence
 from repro.core.form_page import FormPage
 from repro.core.hubs import HubCluster
 from repro.core.seeds import select_hub_clusters
-from repro.core.similarity import FormPageSimilarity
+from repro.core.similarity import FormPageSimilarity, NaiveBackend
 
 
 @dataclass
@@ -109,4 +109,6 @@ def select_hub_clusters_quality_aware(
     scored = score_hub_clusters(clusters, pages, similarity)
     keep = max(k, int(round(len(scored) * (1.0 - drop_fraction))))
     survivors = [quality.cluster for quality in scored[:keep]]
-    return select_hub_clusters(survivors, k, similarity)
+    # Same Equation-3 arithmetic as the scalar callable, via the backend
+    # API (passing the callable positionally is deprecated).
+    return select_hub_clusters(survivors, k, backend=NaiveBackend(similarity))

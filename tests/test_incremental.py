@@ -112,3 +112,43 @@ class TestAddRemove:
         for raw in fresh.raw_pages()[:10]:
             organizer.add(raw)
         assert organizer.cohesion > 0.5 * initial_cohesion
+
+
+class TestSimilarityBudget:
+    """Regression: add is O(1) in similarity evaluations — exactly
+    ``len(clusters) + 1`` per add (one per centroid plus the new page's
+    cohesion contribution), independent of how many pages are managed;
+    remove costs zero."""
+
+    def test_add_costs_k_plus_one_similarities(self, organizer_setup):
+        organizer = make_organizer(organizer_setup)
+        k = len(organizer.clusters)
+        fresh = generate_benchmark(config=small_config(seed=59))
+        raw_pages = fresh.raw_pages()[:12]
+        budgets = []
+        for raw in raw_pages:
+            before = organizer.backend.stats.comparisons
+            organizer.add(raw)
+            budgets.append(organizer.backend.stats.comparisons - before)
+        # Every add pays the same price, no matter how large the
+        # collection has grown, and that price is exactly k + 1.
+        assert budgets == [k + 1] * len(raw_pages)
+
+    def test_remove_costs_no_similarities(self, organizer_setup):
+        organizer = make_organizer(organizer_setup)
+        _, pages, _ = organizer_setup
+        before = organizer.backend.stats.comparisons
+        assert organizer.remove(pages[0].url)
+        assert organizer.backend.stats.comparisons == before
+
+    def test_cohesion_read_costs_no_similarities(self, organizer_setup):
+        organizer = make_organizer(organizer_setup)
+        before = organizer.backend.stats.comparisons
+        _ = organizer.cohesion
+        _ = organizer.needs_reclustering
+        assert organizer.backend.stats.comparisons == before
+
+    def test_refresh_cohesion_matches_running_sum_initially(self, organizer_setup):
+        organizer = make_organizer(organizer_setup)
+        running = organizer.cohesion
+        assert organizer.refresh_cohesion() == pytest.approx(running, abs=1e-9)

@@ -1,0 +1,317 @@
+"""Tests for the batched similarity engine and the backend API.
+
+The contract under test: every backend — and every batched shape the
+engine serves — agrees with the scalar Equation-3 arithmetic
+(:class:`FormPageSimilarity`) to 1e-9, including degenerate pages with
+an empty PC or FC vector, across all three content modes.
+"""
+
+import random
+
+import pytest
+
+from repro.core.cafc_c import cafc_c, random_seed_centroids
+from repro.core.config import CAFCConfig, ContentMode
+from repro.core.form_page import FormPage, VectorPair
+from repro.core.similarity import (
+    EngineBackend,
+    FormPageSimilarity,
+    NaiveBackend,
+    SimilarityBackend,
+    form_page_similarity,
+    resolve_backend,
+)
+from repro.core.simengine import HAVE_NUMPY, EngineStats, SimilarityEngine
+from repro.vsm.vector import SparseVector
+
+TOLERANCE = 1e-9
+
+VOCAB = [f"term{i}" for i in range(60)]
+
+
+def random_vector(rng: random.Random, empty_chance: float = 0.0) -> SparseVector:
+    if rng.random() < empty_chance:
+        return SparseVector()
+    n_terms = rng.randint(1, 12)
+    return SparseVector(
+        {rng.choice(VOCAB): rng.uniform(0.05, 5.0) for _ in range(n_terms)}
+    )
+
+
+def random_pages(rng: random.Random, n: int) -> list:
+    """Random vectorized pages, ~15% with an empty PC or FC vector."""
+    pages = []
+    for i in range(n):
+        pages.append(
+            FormPage(
+                url=f"http://site{i}.example/search",
+                pc=random_vector(rng, empty_chance=0.15),
+                fc=random_vector(rng, empty_chance=0.15),
+                label=f"domain{i % 4}",
+            )
+        )
+    return pages
+
+
+def config_for(mode: ContentMode, **overrides) -> CAFCConfig:
+    return CAFCConfig(k=3, content_mode=mode, **overrides)
+
+
+class TestBackendAgreement:
+    """Satellite: the 200-random-pair property test, all content modes."""
+
+    @pytest.mark.parametrize("mode", list(ContentMode))
+    def test_engine_matches_naive_on_random_pairs(self, mode):
+        rng = random.Random(1234)
+        pages = random_pages(rng, 40)
+        config = config_for(mode)
+        naive = NaiveBackend.from_config(config)
+        engine = EngineBackend.from_config(config, use_numpy=False)
+        matrix = engine.pairwise(pages)
+        for _ in range(200):
+            i = rng.randrange(len(pages))
+            j = rng.randrange(len(pages))
+            expected = naive.pair(pages[i], pages[j])
+            assert engine.pair(pages[i], pages[j]) == pytest.approx(
+                expected, abs=TOLERANCE
+            )
+            assert matrix[i][j] == pytest.approx(expected, abs=TOLERANCE)
+
+    @pytest.mark.parametrize("mode", list(ContentMode))
+    def test_full_pairwise_matrix_agreement(self, mode):
+        rng = random.Random(99)
+        pages = random_pages(rng, 30)
+        config = config_for(mode)
+        reference = NaiveBackend.from_config(config).pairwise(pages)
+        compiled = EngineBackend.from_config(config, use_numpy=False).pairwise(pages)
+        for row_a, row_b in zip(reference, compiled):
+            for a, b in zip(row_a, row_b):
+                assert b == pytest.approx(a, abs=TOLERANCE)
+
+    @pytest.mark.skipif(not HAVE_NUMPY, reason="NumPy/SciPy unavailable")
+    @pytest.mark.parametrize("mode", list(ContentMode))
+    def test_numpy_fast_path_agreement(self, mode):
+        rng = random.Random(7)
+        pages = random_pages(rng, 30)
+        config = config_for(mode)
+        reference = NaiveBackend.from_config(config).pairwise(pages)
+        compiled = EngineBackend.from_config(config, use_numpy=True).pairwise(pages)
+        for row_a, row_b in zip(reference, compiled):
+            for a, b in zip(row_a, row_b):
+                assert b == pytest.approx(a, abs=TOLERANCE)
+
+    def test_page_centroid_matrix_agreement(self):
+        rng = random.Random(5)
+        pages = random_pages(rng, 25)
+        centroids = [VectorPair.of(page) for page in pages[:4]]
+        config = config_for(ContentMode.FC_PC)
+        reference = NaiveBackend.from_config(config).page_centroid_matrix(
+            pages, centroids
+        )
+        compiled = EngineBackend.from_config(
+            config, use_numpy=False
+        ).page_centroid_matrix(pages, centroids)
+        for row_a, row_b in zip(reference, compiled):
+            for a, b in zip(row_a, row_b):
+                assert b == pytest.approx(a, abs=TOLERANCE)
+
+    def test_weighted_combination(self):
+        rng = random.Random(3)
+        pages = random_pages(rng, 20)
+        config = CAFCConfig(k=3, page_weight=2.0, form_weight=0.5)
+        reference = NaiveBackend.from_config(config).pairwise(pages)
+        compiled = EngineBackend.from_config(config, use_numpy=False).pairwise(pages)
+        for row_a, row_b in zip(reference, compiled):
+            for a, b in zip(row_a, row_b):
+                assert b == pytest.approx(a, abs=TOLERANCE)
+
+    def test_compat_wrapper_matches_scalar_class(self):
+        rng = random.Random(11)
+        pages = random_pages(rng, 10)
+        for mode in ContentMode:
+            scalar = FormPageSimilarity(content_mode=mode)
+            for i in range(len(pages)):
+                for j in range(len(pages)):
+                    assert form_page_similarity(
+                        pages[i], pages[j], content_mode=mode
+                    ) == scalar(pages[i], pages[j])
+
+
+class TestEngineShapes:
+    def test_topk_matches_exhaustive_scoring(self):
+        rng = random.Random(21)
+        pages = random_pages(rng, 30)
+        engine = SimilarityEngine(pages, use_numpy=False)
+        scalar = FormPageSimilarity()
+        query = pages[17]
+        expected = sorted(
+            (
+                (i, scalar(query, page))
+                for i, page in enumerate(pages)
+                if scalar(query, page) > 0.0
+            ),
+            key=lambda pair: (-pair[1], pair[0]),
+        )[:5]
+        got = engine.topk(query, n=5)
+        assert [i for i, _ in got] == [i for i, _ in expected]
+        for (_, a), (_, b) in zip(got, expected):
+            assert a == pytest.approx(b, abs=TOLERANCE)
+
+    def test_to_centroids_matches_equation_four(self):
+        rng = random.Random(31)
+        pages = random_pages(rng, 12)
+        engine = SimilarityEngine(pages, use_numpy=False)
+        assignments = [i % 3 for i in range(len(pages))]
+        centroids = engine.to_centroids(assignments, k=3)
+        from repro.core.form_page import centroid_of
+
+        for cluster in range(3):
+            members = [p for i, p in enumerate(pages) if assignments[i] == cluster]
+            expected = centroid_of(members)
+            got = centroids.vector_pair(cluster)
+            for term, weight in expected.pc.items():
+                assert got.pc[term] == pytest.approx(weight, abs=TOLERANCE)
+            for term, weight in expected.fc.items():
+                assert got.fc[term] == pytest.approx(weight, abs=TOLERANCE)
+
+    def test_kmeans_identical_to_naive_path(self):
+        rng = random.Random(41)
+        pages = random_pages(rng, 36)
+        for seed in (0, 1, 2):
+            config = CAFCConfig(k=3, seed=seed)
+            naive = cafc_c(pages, config, backend="naive")
+            engine = cafc_c(pages, config, backend="engine")
+            assert naive.clustering.clusters == engine.clustering.clusters
+            assert naive.iterations == engine.iterations
+            assert naive.converged == engine.converged
+
+    def test_empty_collection(self):
+        engine = SimilarityEngine([], use_numpy=False)
+        assert engine.pairwise() == []
+        seeds = [VectorPair(pc=SparseVector({"a": 1.0}), fc=SparseVector())]
+        result = engine.kmeans(seeds)
+        assert result.converged
+        assert result.clustering.clusters == [[]]
+
+    def test_use_numpy_true_requires_numpy(self):
+        if HAVE_NUMPY:
+            SimilarityEngine([], use_numpy=True)  # must not raise
+        else:
+            with pytest.raises(RuntimeError):
+                SimilarityEngine([], use_numpy=True)
+
+
+class TestStats:
+    def test_pairwise_counts_comparisons(self):
+        rng = random.Random(51)
+        pages = random_pages(rng, 10)
+        backend = EngineBackend(use_numpy=False)
+        backend.pairwise(pages)
+        assert backend.stats.comparisons == 10 * 9 // 2
+
+    def test_engine_reuse_counts_cache_hits(self):
+        rng = random.Random(52)
+        pages = random_pages(rng, 8)
+        backend = EngineBackend(use_numpy=False)
+        backend.pairwise(pages)
+        assert backend.stats.cache_hits == 0
+        backend.pairwise(pages)
+        assert backend.stats.cache_hits == 1
+
+    def test_snapshot_is_detached(self):
+        stats = EngineStats(comparisons=3)
+        copy = stats.snapshot()
+        stats.comparisons = 99
+        assert copy.comparisons == 3
+
+    def test_naive_backend_counts_too(self):
+        rng = random.Random(53)
+        pages = random_pages(rng, 6)
+        backend = NaiveBackend(FormPageSimilarity())
+        backend.pairwise(pages)
+        # Full matrix: diagonal plus both triangles' shared computation.
+        assert backend.stats.comparisons == 6 + 6 * 5 // 2
+
+
+class TestResolveBackend:
+    def test_names(self):
+        assert isinstance(resolve_backend("naive"), NaiveBackend)
+        assert isinstance(resolve_backend("engine"), EngineBackend)
+        assert isinstance(resolve_backend("auto"), EngineBackend)
+
+    def test_none_uses_config_field(self):
+        config = CAFCConfig(backend="naive")
+        assert isinstance(resolve_backend(None, config), NaiveBackend)
+
+    def test_instance_passthrough(self):
+        backend = NaiveBackend(FormPageSimilarity())
+        assert resolve_backend(backend) is backend
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError):
+            resolve_backend("turbo")
+
+    def test_config_validates_backend_field(self):
+        with pytest.raises(ValueError):
+            CAFCConfig(backend="turbo")
+
+    def test_bare_similarity_object_deprecated(self):
+        with pytest.warns(DeprecationWarning):
+            backend = resolve_backend(FormPageSimilarity())
+        assert isinstance(backend, NaiveBackend)
+
+    def test_bare_callable_deprecated_but_used(self):
+        calls = []
+
+        def fake_similarity(a, b):
+            calls.append((a, b))
+            return 0.5
+
+        with pytest.warns(DeprecationWarning):
+            backend = resolve_backend(fake_similarity)
+        assert backend.pair(object(), object()) == 0.5
+        assert calls
+
+    def test_backends_satisfy_protocol(self):
+        assert isinstance(NaiveBackend(FormPageSimilarity()), SimilarityBackend)
+        assert isinstance(EngineBackend(), SimilarityBackend)
+
+    def test_config_carries_weights_into_backends(self):
+        config = CAFCConfig(
+            content_mode=ContentMode.FC, page_weight=2.0, form_weight=3.0
+        )
+        engine = EngineBackend.from_config(config)
+        assert engine.content_mode is ContentMode.FC
+        assert engine.form_weight == 3.0
+
+    def test_deprecated_path_still_selects_same_seeds(self):
+        """The deprecated positional similarity and the backend keyword
+        agree (seeds module)."""
+        from repro.core.hubs import HubCluster
+        from repro.core.seeds import select_hub_clusters
+
+        rng = random.Random(61)
+        pages = random_pages(rng, 9)
+        clusters = [
+            HubCluster(
+                hub_url=f"http://hub{i}.example/",
+                members=[i],
+                centroid=VectorPair.of(page),
+            )
+            for i, page in enumerate(pages)
+        ]
+        with pytest.warns(DeprecationWarning):
+            legacy = select_hub_clusters(clusters, 3, FormPageSimilarity())
+        modern = select_hub_clusters(clusters, 3, backend="naive")
+        assert [c.hub_url for c in legacy] == [c.hub_url for c in modern]
+
+
+class TestCafcSeedPathways:
+    def test_random_seeds_unchanged_by_backend(self):
+        """Seed selection draws from the config RNG identically under
+        both backends (the backend never touches the RNG)."""
+        rng = random.Random(71)
+        pages = random_pages(rng, 20)
+        seeds_a = random_seed_centroids(pages, 4, random.Random(5))
+        seeds_b = random_seed_centroids(pages, 4, random.Random(5))
+        assert [s.pc for s in seeds_a] == [s.pc for s in seeds_b]
