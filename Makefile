@@ -1,6 +1,6 @@
 # Convenience targets; everything works without make too.
 
-.PHONY: install test bench bench-smoke experiments examples lint clean
+.PHONY: install test bench bench-smoke serve-smoke experiments examples lint clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -14,6 +14,9 @@ bench:
 bench-smoke:           ## engine-vs-naive A/B + micro benches; fails on mismatch
 	pytest benchmarks/test_bench_simengine.py benchmarks/test_bench_micro.py \
 		-q --timeout=300
+
+serve-smoke:           ## boot the directory server on an ephemeral port, probe it, shut down
+	PYTHONPATH=src python -m repro serve --smoke
 
 bench-paper:           ## full paper protocol (20 CAFC-C trials per bench)
 	REPRO_BENCH_RUNS=20 pytest benchmarks/ --benchmark-only

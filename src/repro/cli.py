@@ -18,6 +18,12 @@ Commands
 ``unify``
     Organize a dataset, then match attributes across one cluster's forms
     and print the unified query interface (Section 5's downstream use).
+``snapshot build`` / ``snapshot inspect``
+    Persist a fully built directory index to a versioned JSON(+gzip)
+    snapshot, or summarize one without loading it.
+``serve``
+    Run the form-directory HTTP server (see docs/SERVING.md) from a
+    snapshot — or build one on the fly from a dataset / the benchmark.
 """
 
 import argparse
@@ -148,6 +154,140 @@ def _cmd_unify(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_snapshot_build(args: argparse.Namespace) -> int:
+    from repro.core import CAFCConfig, CAFCPipeline
+    from repro.service import build_snapshot
+
+    raw_pages = _load_or_generate(args)
+    pipeline = CAFCPipeline(CAFCConfig(k=args.k, backend=args.backend))
+    result = pipeline.organize(raw_pages, algorithm=args.algorithm)
+    snapshot = build_snapshot(result, pipeline.vectorizer, pipeline.config)
+    snapshot.save(args.out)
+    print(
+        f"saved snapshot to {args.out}: {snapshot.n_pages} pages in "
+        f"{snapshot.n_clusters} clusters ({result.algorithm})"
+    )
+    return 0
+
+
+def _cmd_snapshot_inspect(args: argparse.Namespace) -> int:
+    from repro.service import snapshot_info
+
+    info = snapshot_info(args.path)
+    for key, value in info.items():
+        print(f"{key}: {value}")
+    return 0
+
+
+def _build_serve_directory(args: argparse.Namespace):
+    """A FormDirectory from --snapshot, or built on the fly."""
+    from repro.service import FormDirectory
+
+    window = args.batch_window_ms if args.batch_window_ms >= 0 else None
+    knobs = dict(
+        backend=args.backend,
+        batch_window_ms=window,
+        cache_size=args.cache_size,
+        auto_recluster=not args.no_auto_recluster,
+    )
+    if args.snapshot:
+        return FormDirectory.from_snapshot(args.snapshot, **knobs)
+
+    from repro.core import CAFCConfig, CAFCPipeline
+    from repro.service import build_snapshot
+
+    if getattr(args, "smoke", False) and not args.dataset:
+        # The smoke corpus: a scaled-down benchmark so the whole
+        # boot-probe-shutdown cycle stays in seconds.
+        from repro.webgen.config import GeneratorConfig
+        from repro.webgen.corpus import generate_benchmark
+
+        config = GeneratorConfig(
+            pages_per_domain={
+                "airfare": 9, "auto": 8, "book": 8, "hotel": 9,
+                "job": 8, "movie": 8, "music": 8, "rental": 6,
+            },
+            single_attribute_per_domain=2,
+            mixed_entertainment_pages=2,
+            small_hubs_per_domain=6,
+            medium_hubs_per_domain=3,
+            n_directories=15,
+            n_travel_portals=2,
+            seed=args.seed,
+        )
+        raw_pages = generate_benchmark(config=config).raw_pages()
+        pipeline = CAFCPipeline(
+            CAFCConfig(k=args.k, min_hub_cardinality=3, backend=args.backend)
+        )
+    else:
+        raw_pages = _load_or_generate(args)
+        pipeline = CAFCPipeline(CAFCConfig(k=args.k, backend=args.backend))
+    result = pipeline.organize(raw_pages)
+    snapshot = build_snapshot(result, pipeline.vectorizer, pipeline.config)
+    return FormDirectory.from_snapshot(snapshot, **knobs)
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import json
+    import urllib.request
+
+    from repro.service import serve_directory
+
+    directory = _build_serve_directory(args)
+    server = serve_directory(
+        directory,
+        host=args.host,
+        port=0 if args.smoke else args.port,
+        max_request_bytes=args.max_request_bytes,
+        request_timeout=args.request_timeout,
+    )
+    stats = directory.stats()
+    print(
+        f"form directory: {stats['pages']} pages in {stats['clusters']} "
+        f"clusters; batch window "
+        f"{directory.batch_window_ms if directory.batch_window_ms is not None else 'off'} ms"
+    )
+
+    if args.smoke:
+        # Boot on an ephemeral port, probe /healthz and one /classify
+        # over a real socket, and shut down cleanly — the CI smoke.
+        server.serve_in_thread()
+        base = server.base_url
+        try:
+            with urllib.request.urlopen(base + "/healthz", timeout=15) as r:
+                health = json.loads(r.read().decode("utf-8"))
+            assert health["status"] == "ok", health
+            body = json.dumps({
+                "url": "http://smoke.example/form",
+                "html": "<html><title>flight search</title><body>"
+                        "<form><input name='from'><input name='to'></form>"
+                        "book cheap flights and airline tickets</body></html>",
+            }).encode("utf-8")
+            request = urllib.request.Request(
+                base + "/classify", data=body,
+                headers={"Content-Type": "application/json"}, method="POST",
+            )
+            with urllib.request.urlopen(request, timeout=15) as r:
+                outcome = json.loads(r.read().decode("utf-8"))
+            assert outcome["ok"] and isinstance(outcome["cluster"], int), outcome
+            print(
+                f"serve smoke ok: {base} classified into cluster "
+                f"{outcome['cluster']} ({', '.join(outcome['top_terms'][:3])})"
+            )
+        finally:
+            server.shut_down()
+        return 0
+
+    print(f"serving on {server.base_url} (Ctrl-C to stop)")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("\nshutting down")
+    finally:
+        server.shut_down()
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -210,6 +350,81 @@ def build_parser() -> argparse.ArgumentParser:
     p_unify.add_argument("--html", action="store_true",
                          help="also print the unified interface as HTML")
     p_unify.set_defaults(func=_cmd_unify)
+
+    p_snap = subparsers.add_parser(
+        "snapshot", help="build or inspect directory snapshots"
+    )
+    snap_sub = p_snap.add_subparsers(dest="snapshot_command", required=True)
+
+    p_snap_build = snap_sub.add_parser(
+        "build", help="organize a dataset and persist the built index"
+    )
+    p_snap_build.add_argument(
+        "--dataset", help="JSON dataset path (default: benchmark)"
+    )
+    p_snap_build.add_argument("--seed", type=int, default=42)
+    p_snap_build.add_argument("--k", type=int, default=8)
+    p_snap_build.add_argument(
+        "--algorithm", choices=["cafc-ch", "cafc-c", "hac"], default="cafc-ch"
+    )
+    p_snap_build.add_argument(
+        "--backend", choices=["auto", "engine", "naive"], default="auto"
+    )
+    p_snap_build.add_argument(
+        "--out", required=True,
+        help="snapshot path (gzipped when it ends in .gz)",
+    )
+    p_snap_build.set_defaults(func=_cmd_snapshot_build)
+
+    p_snap_inspect = snap_sub.add_parser(
+        "inspect", help="summarize a snapshot without materializing it"
+    )
+    p_snap_inspect.add_argument("path", help="snapshot path")
+    p_snap_inspect.set_defaults(func=_cmd_snapshot_inspect)
+
+    p_serve = subparsers.add_parser(
+        "serve", help="run the form-directory HTTP server (docs/SERVING.md)"
+    )
+    p_serve.add_argument(
+        "--snapshot", help="cold-start from this snapshot "
+        "(default: organize --dataset or the benchmark first)",
+    )
+    p_serve.add_argument("--dataset", help="JSON dataset path")
+    p_serve.add_argument("--seed", type=int, default=42)
+    p_serve.add_argument("--k", type=int, default=8)
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=8080)
+    p_serve.add_argument(
+        "--backend", choices=["auto", "engine", "naive"], default="auto",
+        help="similarity backend for serving",
+    )
+    p_serve.add_argument(
+        "--batch-window-ms", type=float, default=5.0,
+        help="classify micro-batching window; 0 = flush immediately "
+             "(still coalesces under load); negative = disable batching",
+    )
+    p_serve.add_argument(
+        "--cache-size", type=int, default=1024,
+        help="classify LRU result-cache capacity (0 disables)",
+    )
+    p_serve.add_argument(
+        "--no-auto-recluster", action="store_true",
+        help="do not repair drift in a background thread",
+    )
+    p_serve.add_argument(
+        "--max-request-bytes", type=int, default=2 * 1024 * 1024,
+        help="reject request bodies larger than this (413)",
+    )
+    p_serve.add_argument(
+        "--request-timeout", type=float, default=30.0,
+        help="per-connection socket timeout in seconds",
+    )
+    p_serve.add_argument(
+        "--smoke", action="store_true",
+        help="boot on an ephemeral port, probe /healthz and /classify, "
+             "shut down (CI self-check)",
+    )
+    p_serve.set_defaults(func=_cmd_serve)
     return parser
 
 

@@ -81,6 +81,56 @@ class CAFCConfig:
     seed: int = 0
     backend: str = "auto"
 
+    def to_dict(self) -> dict:
+        """All tunables as JSON-safe data (snapshot support)."""
+        return {
+            "k": self.k,
+            "content_mode": self.content_mode.value,
+            "page_weight": self.page_weight,
+            "form_weight": self.form_weight,
+            "location_weights": self.location_weights.to_dict(),
+            "min_hub_cardinality": self.min_hub_cardinality,
+            "max_backlinks": self.max_backlinks,
+            "use_root_page_backlinks": self.use_root_page_backlinks,
+            "stop_fraction": self.stop_fraction,
+            "max_iterations": self.max_iterations,
+            "seed": self.seed,
+            "backend": self.backend,
+        }
+
+    @classmethod
+    def from_dict(cls, state: dict) -> "CAFCConfig":
+        """Rebuild a config exported by :meth:`to_dict` (validates)."""
+        defaults = cls()
+        return cls(
+            k=int(state.get("k", defaults.k)),
+            content_mode=ContentMode(
+                state.get("content_mode", defaults.content_mode.value)
+            ),
+            page_weight=float(state.get("page_weight", defaults.page_weight)),
+            form_weight=float(state.get("form_weight", defaults.form_weight)),
+            location_weights=LocationWeights.from_dict(
+                state.get("location_weights", {})
+            ),
+            min_hub_cardinality=int(
+                state.get("min_hub_cardinality", defaults.min_hub_cardinality)
+            ),
+            max_backlinks=int(state.get("max_backlinks", defaults.max_backlinks)),
+            use_root_page_backlinks=bool(
+                state.get(
+                    "use_root_page_backlinks", defaults.use_root_page_backlinks
+                )
+            ),
+            stop_fraction=float(
+                state.get("stop_fraction", defaults.stop_fraction)
+            ),
+            max_iterations=int(
+                state.get("max_iterations", defaults.max_iterations)
+            ),
+            seed=int(state.get("seed", defaults.seed)),
+            backend=str(state.get("backend", defaults.backend)),
+        )
+
     def __post_init__(self) -> None:
         if self.backend not in ("auto", "engine", "naive"):
             raise ValueError(

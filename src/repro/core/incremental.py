@@ -28,7 +28,7 @@ wasteful; this module maintains an organized collection incrementally:
 """
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.config import CAFCConfig
 from repro.core.form_page import FormPage, RawFormPage, VectorPair, centroid_of
@@ -119,9 +119,17 @@ class IncrementalOrganizer:
     def refresh_cohesion(self) -> float:
         """Re-score every page against its current centroid (O(n)
         similarity evaluations), re-syncing the running sum.  Returns the
-        refreshed mean cohesion."""
+        refreshed mean cohesion.
+
+        An empty organizer (clusters exist but hold no pages — a
+        directory bootstrapped before any source arrived, or drained by
+        removals) has cohesion 0.0 by definition; the guard keeps the
+        mean from dividing by the zero page count.
+        """
         self._contrib = {}
         self._cohesion_sum = 0.0
+        if not self._by_url:
+            return 0.0
         for cluster in self.clusters:
             for page in cluster.pages:
                 value = self.backend.pair(page, cluster.centroid)
@@ -138,7 +146,7 @@ class IncrementalOrganizer:
     @property
     def needs_reclustering(self) -> bool:
         """True when cohesion fell below ``drift_threshold`` x initial."""
-        if self._baseline_cohesion == 0.0:
+        if self._baseline_cohesion == 0.0 or not self._by_url:
             return False
         return self.cohesion < self.drift_threshold * self._baseline_cohesion
 
@@ -156,6 +164,56 @@ class IncrementalOrganizer:
         """Cluster index of a managed page (KeyError when unknown)."""
         return self._by_url[url]
 
+    def centroid_pairs(self) -> List[VectorPair]:
+        """The current centroids, in cluster order (read-only view)."""
+        return [cluster.centroid for cluster in self.clusters]
+
+    # ----------------------------------------------------------------
+    # Classification (Section 5) — read-only scoring paths.
+    # ----------------------------------------------------------------
+
+    def classify_vectorized(self, page: FormPage) -> Tuple[int, float]:
+        """Best cluster for an already-vectorized page, without mutating
+        anything.  Returns ``(cluster_index, similarity)``; ties break
+        toward the lowest index, exactly as :meth:`add` assigns.
+
+        Cost: ``len(self.clusters)`` similarity evaluations.
+        """
+        scores = [
+            self.backend.pair(page, cluster.centroid)
+            for cluster in self.clusters
+        ]
+        best_index = max(range(len(scores)), key=scores.__getitem__)
+        return best_index, scores[best_index]
+
+    def classify(self, raw: RawFormPage) -> Tuple[int, float]:
+        """Vectorize a raw page and score it (no mutation) — the serving
+        path's non-destructive twin of :meth:`add`."""
+        return self.classify_vectorized(self.vectorizer.transform_new(raw))
+
+    def classify_batch(
+        self, pages: Sequence[FormPage]
+    ) -> List[Tuple[int, float]]:
+        """Classify many vectorized pages in ONE backend batch call.
+
+        This is the micro-batching hook the form-directory server
+        coalesces concurrent requests through: a single
+        ``page_centroid_matrix`` over pages x centroids replaces
+        ``len(pages) * len(self.clusters)`` scalar pair calls.  Argmax
+        tie-breaking matches :meth:`classify_vectorized` (lowest index).
+        """
+        pages = list(pages)
+        if not pages:
+            return []
+        matrix = self.backend.page_centroid_matrix(
+            pages, self.centroid_pairs()
+        )
+        results: List[Tuple[int, float]] = []
+        for row in matrix:
+            best_index = max(range(len(row)), key=row.__getitem__)
+            results.append((best_index, row[best_index]))
+        return results
+
     def add(self, raw: RawFormPage) -> int:
         """Insert a newly discovered source; returns its cluster index.
 
@@ -168,20 +226,30 @@ class IncrementalOrganizer:
         """
         if raw.url in self._by_url:
             self.remove(raw.url)
-        page = self.vectorizer.transform_new(raw)
-        scores = [
-            self.backend.pair(page, cluster.centroid)
-            for cluster in self.clusters
-        ]
-        best_index = max(range(len(scores)), key=scores.__getitem__)
+        return self._insert(self.vectorizer.transform_new(raw))
+
+    def add_vectorized(self, page: FormPage) -> int:
+        """Insert an already-vectorized page (the server vectorizes
+        outside its write lock, then inserts under it).  Same semantics
+        and similarity budget as :meth:`add`."""
+        if page.url in self._by_url:
+            self.remove(page.url)
+        return self._insert(page)
+
+    def _insert(self, page: FormPage) -> int:
+        best_index, _ = self.classify_vectorized(page)
         cluster = self.clusters[best_index]
         cluster.pages.append(page)
         cluster.rebuild_centroid()
         contribution = self.backend.pair(page, cluster.centroid)
         self._contrib[page.url] = contribution
         self._cohesion_sum += contribution
-        self._by_url[raw.url] = best_index
+        self._by_url[page.url] = best_index
         self.n_added += 1
+        if self._baseline_cohesion == 0.0 and self.cohesion > 0.0:
+            # The organizer started empty (baseline 0 would disarm drift
+            # detection forever); the first real content re-arms it.
+            self._baseline_cohesion = self.cohesion
         return best_index
 
     def remove(self, url: str) -> bool:
@@ -199,3 +267,58 @@ class IncrementalOrganizer:
 
     def sizes(self) -> List[int]:
         return [cluster.size for cluster in self.clusters]
+
+    # ----------------------------------------------------------------
+    # Drift repair.
+    # ----------------------------------------------------------------
+
+    def recluster(self, max_iterations: Optional[int] = None) -> int:
+        """Re-run batched k-means over every managed page, seeded with
+        the *current* centroids — the drift repair a long-running
+        directory performs when :attr:`needs_reclustering` turns on.
+
+        Cheaper than the full pipeline (no re-crawl, no re-vectorize, no
+        hub re-seeding): the pages keep their frozen-corpus vectors and
+        the existing centroids are already close to a good solution, so
+        the loop converges in a few iterations.  The number of clusters
+        is preserved (emptied clusters keep their previous centroid, the
+        k-means convention).  Re-syncs cohesion and resets the drift
+        baseline to the repaired level.  Returns how many pages changed
+        cluster.
+        """
+        from repro.core.simengine import SimilarityEngine
+
+        pages = [
+            page for cluster in self.clusters for page in cluster.pages
+        ]
+        if not pages:
+            return 0
+        old_assignment = dict(self._by_url)
+        engine = SimilarityEngine.from_config(pages, self.config)
+        result = engine.kmeans(
+            self.centroid_pairs(),
+            stop_fraction=self.config.stop_fraction,
+            max_iterations=max_iterations or self.config.max_iterations,
+        )
+        self.backend.stats.merge(engine.stats)
+        moved = 0
+        new_clusters: List[IncrementalCluster] = []
+        self._by_url = {}
+        for index, members in enumerate(result.clustering.clusters):
+            cluster = IncrementalCluster(pages=[pages[i] for i in members])
+            if cluster.pages:
+                cluster.rebuild_centroid()
+            else:
+                # Emptied cluster: keep its final k-means centroid so it
+                # can win pages back later (keep-previous convention).
+                final = result.centroids[index]
+                cluster.centroid = VectorPair(pc=final.pc, fc=final.fc)
+            new_clusters.append(cluster)
+            for page in cluster.pages:
+                self._by_url[page.url] = index
+                if old_assignment.get(page.url) != index:
+                    moved += 1
+        self.clusters = new_clusters
+        self.refresh_cohesion()
+        self._baseline_cohesion = self.cohesion
+        return moved

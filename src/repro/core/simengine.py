@@ -74,6 +74,32 @@ class EngineStats:
         """An immutable copy (for surfacing through results)."""
         return replace(self)
 
+    def merge(self, other: "EngineStats") -> None:
+        """Fold another instance's counters into this one (rollup).
+
+        Counters add; sizes take the max (they describe the largest
+        collection either side compiled); the backend tag is kept unless
+        this instance has none yet.
+        """
+        self.n_pages = max(self.n_pages, other.n_pages)
+        self.n_terms = max(self.n_terms, other.n_terms)
+        self.build_seconds += other.build_seconds
+        self.comparisons += other.comparisons
+        self.cache_hits += other.cache_hits
+        if not self.backend:
+            self.backend = other.backend
+
+    def as_dict(self) -> Dict[str, object]:
+        """Counters as plain data — the /metrics rollup shape."""
+        return {
+            "backend": self.backend,
+            "n_pages": self.n_pages,
+            "n_terms": self.n_terms,
+            "build_seconds": self.build_seconds,
+            "comparisons": self.comparisons,
+            "cache_hits": self.cache_hits,
+        }
+
     def summary(self) -> str:
         return (
             f"backend={self.backend} pages={self.n_pages} "

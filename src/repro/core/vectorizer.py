@@ -105,6 +105,47 @@ class FormPageVectorizer:
             )
         ]
 
+    # ----------------------------------------------------------------
+    # State export / import (snapshot support).
+    #
+    # Everything :meth:`transform_new` consumes is exported: the two
+    # corpus statistics, the LOC policy, and the backlink cap.  The
+    # analyzer is rebuilt from library defaults — it is a pure function
+    # of its (default) stopword list and stemmer, so a fresh instance
+    # reproduces the same terms.  Counts are integers and weights plain
+    # floats, so a JSON round trip of this state yields bit-identical
+    # vectors for any page.
+    # ----------------------------------------------------------------
+
+    def export_state(self) -> dict:
+        """The fitted state as JSON-safe data (for snapshots)."""
+        if not self._fitted:
+            raise RuntimeError("vectorizer must be fitted before export_state")
+        return {
+            "max_backlinks": self.max_backlinks,
+            "location_weights": self.location_weights.to_dict(),
+            "pc_corpus": self.pc_corpus.to_dict(),
+            "fc_corpus": self.fc_corpus.to_dict(),
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "FormPageVectorizer":
+        """Rebuild a fitted vectorizer from :meth:`export_state` data.
+
+        The result classifies new pages (``transform_new``) exactly as
+        the original would; it must not be re-fitted.
+        """
+        vectorizer = cls(
+            location_weights=LocationWeights.from_dict(
+                state.get("location_weights", {})
+            ),
+            max_backlinks=int(state.get("max_backlinks", 100)),
+        )
+        vectorizer.pc_corpus = CorpusStats.from_dict(state.get("pc_corpus", {}))
+        vectorizer.fc_corpus = CorpusStats.from_dict(state.get("fc_corpus", {}))
+        vectorizer._fitted = True
+        return vectorizer
+
     def transform_new(self, raw: RawFormPage) -> FormPage:
         """Vectorize a page against the already-fitted corpus statistics.
 

@@ -7,11 +7,21 @@ regenerable, diffable and shareable without the generator.
 """
 
 from repro.datasets.results import load_result, save_result
-from repro.datasets.store import dataset_info, load_dataset, save_dataset
+from repro.datasets.store import (
+    DatasetFormatError,
+    atomic_write_json,
+    dataset_info,
+    load_dataset,
+    read_json,
+    save_dataset,
+)
 
 __all__ = [
+    "DatasetFormatError",
+    "atomic_write_json",
     "dataset_info",
     "load_dataset",
+    "read_json",
     "save_dataset",
     "load_result",
     "save_result",

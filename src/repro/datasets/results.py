@@ -15,6 +15,7 @@ from typing import Union
 
 from repro.core.form_page import FormPage, VectorPair
 from repro.core.pipeline import CAFCResult, OrganizedCluster
+from repro.datasets.store import DatasetFormatError, atomic_write_json
 from repro.vsm.vector import SparseVector
 
 _FORMAT_VERSION = 1
@@ -69,11 +70,7 @@ def save_result(result: CAFCResult, path: Union[str, Path]) -> None:
             for cluster in result.clusters
         ],
     }
-    path = Path(path)
-    tmp_path = path.with_suffix(path.suffix + ".tmp")
-    with open(tmp_path, "w", encoding="utf-8") as handle:
-        json.dump(payload, handle)
-    tmp_path.replace(path)
+    atomic_write_json(payload, path)
 
 
 def load_result(path: Union[str, Path]) -> CAFCResult:
@@ -84,10 +81,7 @@ def load_result(path: Union[str, Path]) -> CAFCResult:
         raise ValueError(f"{path}: expected a JSON object at top level")
     version = payload.get("format_version")
     if version != _FORMAT_VERSION:
-        raise ValueError(
-            f"{path}: unsupported format_version {version!r} "
-            f"(expected {_FORMAT_VERSION})"
-        )
+        raise DatasetFormatError(path, version, _FORMAT_VERSION)
     clusters = []
     for entry in payload.get("clusters", []):
         clusters.append(

@@ -1,6 +1,15 @@
-"""JSON storage for form-page datasets."""
+"""JSON storage for form-page datasets.
 
+Also home of the shared durable-write helper: every artifact this
+library persists (datasets, organized directories, service snapshots)
+goes through :func:`atomic_write_json` — write to a tmp file, flush,
+``fsync``, then ``os.replace`` — so a crash or power loss mid-write
+never leaves a truncated or missing artifact behind.
+"""
+
+import gzip
 import json
+import os
 from pathlib import Path
 from typing import Dict, List, Union
 
@@ -10,12 +19,61 @@ from repro.core.form_page import RawFormPage
 _FORMAT_VERSION = 1
 
 
-def save_dataset(pages: List[RawFormPage], path: Union[str, Path]) -> None:
-    """Write ``pages`` to ``path`` as JSON.
+class DatasetFormatError(ValueError):
+    """A stored artifact has an unknown or incompatible format version.
 
-    The file is written atomically-ish (tmp file + replace) so a crashed
-    run never leaves a truncated dataset behind.
+    ``found_version`` carries whatever version marker the file declared
+    (possibly ``None``), so callers can tell "newer tool wrote this"
+    from "this is not one of our files at all".
     """
+
+    def __init__(self, path, found_version, expected_version) -> None:
+        self.path = str(path)
+        self.found_version = found_version
+        self.expected_version = expected_version
+        super().__init__(
+            f"{path}: unsupported format_version {found_version!r} "
+            f"(this build reads version {expected_version!r})"
+        )
+
+
+def atomic_write_json(
+    payload: object, path: Union[str, Path], compress: bool = False
+) -> None:
+    """Durably write ``payload`` as JSON to ``path``.
+
+    The bytes land in ``<path>.tmp`` first and are fsynced *before* the
+    rename, so the replace is atomic on POSIX and the data is on disk
+    when it happens — a crashed run leaves either the old file or the
+    new one, never a torn half-write.  ``compress`` gzips the payload
+    (the convention: pass it for paths ending in ``.gz``).
+    """
+    path = Path(path)
+    tmp_path = path.with_suffix(path.suffix + ".tmp")
+    data = json.dumps(payload).encode("utf-8")
+    if compress:
+        data = gzip.compress(data, mtime=0)
+    with open(tmp_path, "wb") as handle:
+        handle.write(data)
+        handle.flush()
+        os.fsync(handle.fileno())
+    tmp_path.replace(path)
+
+
+def read_json(path: Union[str, Path]) -> object:
+    """Read a JSON artifact written by :func:`atomic_write_json`,
+    transparently handling gzip (detected by magic bytes, not name)."""
+    path = Path(path)
+    with open(path, "rb") as handle:
+        data = handle.read()
+    if data[:2] == b"\x1f\x8b":
+        data = gzip.decompress(data)
+    return json.loads(data.decode("utf-8"))
+
+
+def save_dataset(pages: List[RawFormPage], path: Union[str, Path]) -> None:
+    """Write ``pages`` to ``path`` as JSON (atomic + fsynced; see
+    :func:`atomic_write_json`)."""
     payload = {
         "format_version": _FORMAT_VERSION,
         "n_pages": len(pages),
@@ -29,18 +87,15 @@ def save_dataset(pages: List[RawFormPage], path: Union[str, Path]) -> None:
             for page in pages
         ],
     }
-    path = Path(path)
-    tmp_path = path.with_suffix(path.suffix + ".tmp")
-    with open(tmp_path, "w", encoding="utf-8") as handle:
-        json.dump(payload, handle)
-    tmp_path.replace(path)
+    atomic_write_json(payload, path)
 
 
 def load_dataset(path: Union[str, Path]) -> List[RawFormPage]:
     """Load a dataset written by :func:`save_dataset`.
 
-    Raises ValueError on format mismatch or structural problems, with a
-    message naming what is wrong.
+    Raises :class:`DatasetFormatError` on an unknown ``format_version``
+    and ValueError on structural problems, with a message naming what is
+    wrong.
     """
     with open(path, "r", encoding="utf-8") as handle:
         payload = json.load(handle)
@@ -48,10 +103,7 @@ def load_dataset(path: Union[str, Path]) -> List[RawFormPage]:
         raise ValueError(f"{path}: expected a JSON object at top level")
     version = payload.get("format_version")
     if version != _FORMAT_VERSION:
-        raise ValueError(
-            f"{path}: unsupported format_version {version!r} "
-            f"(expected {_FORMAT_VERSION})"
-        )
+        raise DatasetFormatError(path, version, _FORMAT_VERSION)
     pages_field = payload.get("pages")
     if not isinstance(pages_field, list):
         raise ValueError(f"{path}: 'pages' must be a list")

@@ -1,0 +1,48 @@
+"""repro.service — the form-directory server.
+
+The paper's motivation is a hidden web "so vast and dynamic" that an
+organization of its sources must be *maintained and served*, not just
+computed once.  This package turns the offline CAFC pipeline into a
+long-running directory service:
+
+* :mod:`repro.service.snapshot` — persist/load a fully built index
+  (vectorizer statistics, centroids, page assignments, config) so a
+  server cold-starts in milliseconds without re-running the pipeline;
+* :mod:`repro.service.directory` — a thread-safe façade over
+  :class:`~repro.core.incremental.IncrementalOrganizer` with
+  micro-batched classification, an LRU result cache, and
+  drift-triggered background re-clustering;
+* :mod:`repro.service.http` — a stdlib ``ThreadingHTTPServer`` JSON
+  API (classify / add / remove / search / clusters / healthz / metrics);
+* :mod:`repro.service.metrics` — latency histograms, batch/cache
+  counters and engine-stats rollups in Prometheus text format.
+
+Everything is standard library only (the similarity engine's optional
+NumPy fast path keeps working underneath).
+"""
+
+from repro.service.directory import ClassifyOutcome, FormDirectory
+from repro.service.http import DirectoryHTTPServer, serve_directory
+from repro.service.metrics import MetricsRegistry
+from repro.service.snapshot import (
+    SNAPSHOT_FORMAT_VERSION,
+    Snapshot,
+    build_snapshot,
+    load_snapshot,
+    save_snapshot,
+    snapshot_info,
+)
+
+__all__ = [
+    "ClassifyOutcome",
+    "FormDirectory",
+    "DirectoryHTTPServer",
+    "serve_directory",
+    "MetricsRegistry",
+    "SNAPSHOT_FORMAT_VERSION",
+    "Snapshot",
+    "build_snapshot",
+    "load_snapshot",
+    "save_snapshot",
+    "snapshot_info",
+]

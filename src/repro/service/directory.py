@@ -1,0 +1,564 @@
+"""The thread-safe form directory — the serving façade.
+
+:class:`FormDirectory` wraps an
+:class:`~repro.core.incremental.IncrementalOrganizer` for concurrent
+use:
+
+* a **readers-writer lock** lets any number of classify/search requests
+  score in parallel while add/remove/recluster take exclusive access;
+* a **micro-batching queue** coalesces concurrent classify requests
+  into a single batched ``page_centroid_matrix`` call — under load, one
+  engine batch serves many requests (the ``/metrics`` counters
+  ``classify_requests_total`` vs ``classify_batches_total`` make the
+  coalescing observable);
+* an **LRU result cache** keyed by content hash short-circuits repeat
+  classifications of the same page; entries are validated against a
+  directory *generation* that every mutation bumps, so a cache hit can
+  never serve a pre-mutation assignment;
+* **drift-triggered re-clustering**: when the organizer's running
+  cohesion falls below its drift threshold, a background thread runs
+  :meth:`~repro.core.incremental.IncrementalOrganizer.recluster` under
+  the write lock (classification never blocks on the decision, only —
+  briefly — on the repair itself).
+
+Vectorization (HTML parsing + Equation 1) happens *outside* every lock:
+it touches only the frozen corpus statistics, so requests pay the
+parsing cost in parallel and the locks protect just the cluster state.
+"""
+
+import hashlib
+import threading
+import time
+from collections import OrderedDict
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.core.form_page import FormPage, RawFormPage
+from repro.core.incremental import IncrementalOrganizer
+from repro.core.pipeline import _label_terms
+from repro.core.similarity import BackendSpec
+from repro.service.metrics import (
+    DEFAULT_SIZE_BUCKETS,
+    MetricsRegistry,
+)
+from repro.service.snapshot import Snapshot
+from repro.text.analyzer import TextAnalyzer
+from repro.vsm.vector import SparseVector, cosine_similarity
+
+
+class RWLock:
+    """A writer-preferring readers-writer lock.
+
+    Many readers may hold the lock at once; a writer waits for them to
+    drain and blocks new readers while waiting, so a steady classify
+    stream cannot starve adds.
+    """
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._readers = 0
+        self._writer_active = False
+        self._writers_waiting = 0
+
+    def acquire_read(self) -> None:
+        with self._cond:
+            while self._writer_active or self._writers_waiting:
+                self._cond.wait()
+            self._readers += 1
+
+    def release_read(self) -> None:
+        with self._cond:
+            self._readers -= 1
+            if self._readers == 0:
+                self._cond.notify_all()
+
+    def acquire_write(self) -> None:
+        with self._cond:
+            self._writers_waiting += 1
+            try:
+                while self._writer_active or self._readers:
+                    self._cond.wait()
+            finally:
+                self._writers_waiting -= 1
+            self._writer_active = True
+
+    def release_write(self) -> None:
+        with self._cond:
+            self._writer_active = False
+            self._cond.notify_all()
+
+    @contextmanager
+    def read_locked(self):
+        self.acquire_read()
+        try:
+            yield
+        finally:
+            self.release_read()
+
+    @contextmanager
+    def write_locked(self):
+        self.acquire_write()
+        try:
+            yield
+        finally:
+            self.release_write()
+
+
+@dataclass
+class ClassifyOutcome:
+    """One served classification."""
+
+    url: str
+    cluster: int
+    similarity: float
+    top_terms: List[str]
+    cached: bool = False
+    batch_size: int = 1
+
+
+class _PendingClassify:
+    """One queued classify request awaiting the next batch flush."""
+
+    __slots__ = ("page", "event", "result", "error", "generation")
+
+    def __init__(self, page: FormPage) -> None:
+        self.page = page
+        self.event = threading.Event()
+        self.result: Optional[Tuple[int, float, int]] = None
+        self.error: Optional[BaseException] = None
+        self.generation = -1
+
+
+def content_hash(raw: RawFormPage) -> str:
+    """A stable digest of everything classification depends on."""
+    hasher = hashlib.sha256()
+    for part in (
+        raw.url,
+        raw.html,
+        "\x00".join(sorted(raw.backlinks)),
+        "\x00".join(raw.anchor_texts),
+    ):
+        hasher.update(part.encode("utf-8", "replace"))
+        hasher.update(b"\x1f")
+    return hasher.hexdigest()
+
+
+class FormDirectory:
+    """A concurrent, observable form-directory over an organizer.
+
+    Parameters
+    ----------
+    organizer:
+        The maintained clustering (typically from
+        :meth:`~repro.service.snapshot.Snapshot.to_organizer`).
+    batch_window_ms:
+        How long the batching worker waits after the first queued
+        request before flushing, collecting concurrent requests into one
+        engine call.  ``0`` flushes immediately but still coalesces
+        whatever queued while the previous batch was scoring.  ``None``
+        disables the queue entirely — every request scores on its own
+        thread (the unbatched reference mode).
+    cache_size:
+        LRU capacity of the classify result cache (0 disables).
+    auto_recluster:
+        Repair drift in a background thread when the organizer reports
+        ``needs_reclustering``.
+    metrics:
+        A :class:`~repro.service.metrics.MetricsRegistry` to instrument
+        into (one is created when omitted).
+    """
+
+    def __init__(
+        self,
+        organizer: IncrementalOrganizer,
+        batch_window_ms: Optional[float] = 5.0,
+        cache_size: int = 1024,
+        auto_recluster: bool = True,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        if batch_window_ms is not None and batch_window_ms < 0:
+            batch_window_ms = None
+        self.organizer = organizer
+        self.vectorizer = organizer.vectorizer
+        self.batch_window_ms = batch_window_ms
+        self.cache_size = max(0, int(cache_size))
+        self.auto_recluster = auto_recluster
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.started_unix = time.time()
+
+        self._rw = RWLock()
+        self._generation = 0
+        self._analyzer = TextAnalyzer()
+
+        self._cache: "OrderedDict[str, Tuple[int, int, float, List[str]]]" = (
+            OrderedDict()
+        )
+        self._cache_lock = threading.Lock()
+
+        self._queue: List[_PendingClassify] = []
+        self._queue_cond = threading.Condition()
+        self._stopped = False
+        self._worker: Optional[threading.Thread] = None
+        if self.batch_window_ms is not None:
+            self._worker = threading.Thread(
+                target=self._flush_loop, name="repro-classify-batcher",
+                daemon=True,
+            )
+            self._worker.start()
+
+        self._recluster_lock = threading.Lock()
+        self._recluster_running = False
+        self.n_reclusters = 0
+
+        self._instrument()
+
+    # ----------------------------------------------------------------
+    # Construction helpers.
+    # ----------------------------------------------------------------
+
+    @classmethod
+    def from_snapshot(
+        cls,
+        snapshot: Union[Snapshot, str],
+        backend: BackendSpec = None,
+        drift_threshold: float = 0.7,
+        **kwargs,
+    ) -> "FormDirectory":
+        """Cold-start a directory from a snapshot (object or path)."""
+        if not isinstance(snapshot, Snapshot):
+            snapshot = Snapshot.load(snapshot)
+        organizer = snapshot.to_organizer(
+            backend=backend, drift_threshold=drift_threshold
+        )
+        return cls(organizer, **kwargs)
+
+    def _instrument(self) -> None:
+        m = self.metrics
+        self._m_requests = m.counter(
+            "classify_requests_total", "Classify requests served"
+        )
+        self._m_cache_hits = m.counter(
+            "classify_cache_hits_total", "Classify requests served from cache"
+        )
+        self._m_batches = m.counter(
+            "classify_batches_total", "Engine batch calls made for classify"
+        )
+        self._m_batch_size = m.histogram(
+            "classify_batch_size", "Requests coalesced per engine batch",
+            buckets=DEFAULT_SIZE_BUCKETS,
+        )
+        self._m_adds = m.counter("directory_adds_total", "Pages added")
+        self._m_removes = m.counter("directory_removes_total", "Pages removed")
+        self._m_reclusters = m.counter(
+            "directory_reclusters_total", "Drift-triggered re-clusterings"
+        )
+        m.gauge("directory_pages", "Managed pages").set_function(
+            lambda: len(self.organizer)
+        )
+        m.gauge("directory_clusters", "Clusters").set_function(
+            lambda: len(self.organizer.clusters)
+        )
+        m.gauge("directory_cohesion", "Running mean cohesion").set_function(
+            lambda: self.organizer.cohesion
+        )
+        m.gauge(
+            "directory_generation", "Mutations since start"
+        ).set_function(lambda: self._generation)
+        stats = self.organizer.backend.stats
+        m.gauge(
+            "engine_comparisons_total", "Similarity evaluations (engine rollup)"
+        ).set_function(lambda: stats.comparisons)
+        m.gauge(
+            "engine_cache_hits_total", "Engine compilation reuses"
+        ).set_function(lambda: stats.cache_hits)
+        m.gauge(
+            "engine_build_seconds_total", "Time compiling collections"
+        ).set_function(lambda: stats.build_seconds)
+
+    # ----------------------------------------------------------------
+    # Classify — the hot path.
+    # ----------------------------------------------------------------
+
+    def classify(
+        self, raw: RawFormPage, timeout: Optional[float] = 30.0
+    ) -> ClassifyOutcome:
+        """Assign ``raw`` to its most similar cluster (read-only).
+
+        Cache hit -> answer without scoring.  Batched mode -> the
+        request joins the coalescing queue and waits for its flush.
+        Unbatched mode -> scores inline under the read lock.
+        """
+        self._m_requests.inc()
+        key = content_hash(raw)
+        cached = self._cache_get(key)
+        if cached is not None:
+            cluster, similarity, terms = cached
+            self._m_cache_hits.inc()
+            return ClassifyOutcome(
+                url=raw.url, cluster=cluster, similarity=similarity,
+                top_terms=terms, cached=True,
+            )
+        page = self.vectorizer.transform_new(raw)
+
+        if self.batch_window_ms is None:
+            with self._rw.read_locked():
+                generation = self._generation
+                cluster, similarity = self.organizer.classify_vectorized(page)
+                terms = self._cluster_terms(cluster)
+            batch_size = 1
+            self._m_batches.inc()
+            self._m_batch_size.observe(1)
+        else:
+            pending = _PendingClassify(page)
+            with self._queue_cond:
+                if self._stopped:
+                    raise RuntimeError("directory is closed")
+                self._queue.append(pending)
+                self._queue_cond.notify()
+            if not pending.event.wait(timeout):
+                raise TimeoutError(
+                    f"classify of {raw.url!r} timed out after {timeout}s"
+                )
+            if pending.error is not None:
+                raise pending.error
+            cluster, similarity, batch_size = pending.result
+            generation = pending.generation
+            with self._rw.read_locked():
+                terms = self._cluster_terms(cluster)
+
+        self._cache_put(key, generation, cluster, similarity, terms)
+        return ClassifyOutcome(
+            url=raw.url, cluster=cluster, similarity=similarity,
+            top_terms=terms, cached=False, batch_size=batch_size,
+        )
+
+    def _flush_loop(self) -> None:
+        """The batching worker: wait for work, linger for the window,
+        then serve everything queued with ONE engine batch call."""
+        window = (self.batch_window_ms or 0.0) / 1000.0
+        while True:
+            with self._queue_cond:
+                while not self._queue and not self._stopped:
+                    self._queue_cond.wait()
+                if self._stopped and not self._queue:
+                    return
+            if window > 0.0:
+                time.sleep(window)
+            with self._queue_cond:
+                batch = self._queue
+                self._queue = []
+            if not batch:
+                continue
+            try:
+                with self._rw.read_locked():
+                    generation = self._generation
+                    scored = self.organizer.classify_batch(
+                        [pending.page for pending in batch]
+                    )
+                self._m_batches.inc()
+                self._m_batch_size.observe(len(batch))
+                for pending, (cluster, similarity) in zip(batch, scored):
+                    pending.result = (cluster, similarity, len(batch))
+                    pending.generation = generation
+                    pending.event.set()
+            except BaseException as exc:  # propagate to every waiter
+                for pending in batch:
+                    pending.error = exc
+                    pending.event.set()
+
+    # ----------------------------------------------------------------
+    # Cache.
+    # ----------------------------------------------------------------
+
+    def _cache_get(self, key: str) -> Optional[Tuple[int, float, List[str]]]:
+        if not self.cache_size:
+            return None
+        with self._cache_lock:
+            entry = self._cache.get(key)
+            if entry is None:
+                return None
+            generation, cluster, similarity, terms = entry
+            if generation != self._generation:
+                # Stale: the directory mutated since this was computed.
+                del self._cache[key]
+                return None
+            self._cache.move_to_end(key)
+            return cluster, similarity, terms
+
+    def _cache_put(
+        self,
+        key: str,
+        generation: int,
+        cluster: int,
+        similarity: float,
+        terms: List[str],
+    ) -> None:
+        if not self.cache_size:
+            return
+        with self._cache_lock:
+            if generation != self._generation:
+                return  # computed against an already-replaced state
+            self._cache[key] = (generation, cluster, similarity, terms)
+            self._cache.move_to_end(key)
+            while len(self._cache) > self.cache_size:
+                self._cache.popitem(last=False)
+
+    @property
+    def generation(self) -> int:
+        return self._generation
+
+    # ----------------------------------------------------------------
+    # Mutations.
+    # ----------------------------------------------------------------
+
+    def add(self, raw: RawFormPage) -> Tuple[int, int]:
+        """Insert (or replace) a source.  Returns (cluster index, its
+        new size)."""
+        page = self.vectorizer.transform_new(raw)
+        with self._rw.write_locked():
+            index = self.organizer.add_vectorized(page)
+            size = self.organizer.clusters[index].size
+            self._generation += 1
+        self._m_adds.inc()
+        self._maybe_schedule_recluster()
+        return index, size
+
+    def remove(self, url: str) -> bool:
+        """Drop a source.  Returns False when the URL is not managed."""
+        with self._rw.write_locked():
+            removed = self.organizer.remove(url)
+            if removed:
+                self._generation += 1
+        if removed:
+            self._m_removes.inc()
+        return removed
+
+    # ----------------------------------------------------------------
+    # Drift repair.
+    # ----------------------------------------------------------------
+
+    def _maybe_schedule_recluster(self) -> None:
+        if not self.auto_recluster or not self.organizer.needs_reclustering:
+            return
+        with self._recluster_lock:
+            if self._recluster_running:
+                return
+            self._recluster_running = True
+        thread = threading.Thread(
+            target=self._recluster_worker, name="repro-recluster", daemon=True
+        )
+        thread.start()
+
+    def _recluster_worker(self) -> None:
+        try:
+            self.recluster()
+        finally:
+            with self._recluster_lock:
+                self._recluster_running = False
+
+    def recluster(self) -> int:
+        """Run drift repair now (blocking).  Returns pages moved."""
+        with self._rw.write_locked():
+            moved = self.organizer.recluster()
+            self._generation += 1
+        self.n_reclusters += 1
+        self._m_reclusters.inc()
+        return moved
+
+    # ----------------------------------------------------------------
+    # Read-only views.
+    # ----------------------------------------------------------------
+
+    def _cluster_terms(self, index: int, n_terms: int = 6) -> List[str]:
+        """Descriptive terms for a cluster, from its live centroid.
+        Caller must hold at least the read lock."""
+        return _label_terms(
+            self.organizer.clusters[index].centroid, n_terms
+        )
+
+    def search(self, query: str, n: int = 3) -> List[Dict[str, object]]:
+        """Rank clusters against a keyword query (Section 6 exploration).
+
+        The query is analyzed with the page-text pipeline and scored by
+        cosine against each cluster's combined (PC + FC) centroid,
+        mirroring :class:`repro.explore.ClusterExplorer.search`.
+        """
+        terms = self._analyzer.analyze(query)
+        weights: Dict[str, float] = {}
+        for term in terms:
+            weights[term] = weights.get(term, 0.0) + 1.0
+        query_vector = SparseVector(weights)
+        if not query_vector:
+            return []
+        hits: List[Dict[str, object]] = []
+        with self._rw.read_locked():
+            for index, cluster in enumerate(self.organizer.clusters):
+                combined = cluster.centroid.pc.add(cluster.centroid.fc)
+                score = cosine_similarity(query_vector, combined)
+                if score <= 0.0:
+                    continue
+                matched = sorted(
+                    term for term in query_vector.terms() if term in combined
+                )
+                hits.append(
+                    {
+                        "cluster": index,
+                        "score": score,
+                        "matched_terms": matched,
+                        "top_terms": self._cluster_terms(index),
+                        "size": cluster.size,
+                    }
+                )
+        hits.sort(key=lambda hit: (-hit["score"], hit["cluster"]))
+        return hits[:n]
+
+    def clusters_summary(self, max_urls: int = 5) -> List[Dict[str, object]]:
+        """One JSON-safe record per cluster."""
+        with self._rw.read_locked():
+            return [
+                {
+                    "cluster": index,
+                    "size": cluster.size,
+                    "top_terms": self._cluster_terms(index),
+                    "urls": [page.url for page in cluster.pages[:max_urls]],
+                }
+                for index, cluster in enumerate(self.organizer.clusters)
+            ]
+
+    def stats(self) -> Dict[str, object]:
+        """Health/staleness summary (the /healthz body)."""
+        organizer = self.organizer
+        with self._rw.read_locked():
+            return {
+                "pages": len(organizer),
+                "clusters": len(organizer.clusters),
+                "cohesion": organizer.cohesion,
+                "needs_reclustering": organizer.needs_reclustering,
+                "n_added": organizer.n_added,
+                "n_removed": organizer.n_removed,
+                "n_reclusters": self.n_reclusters,
+                "generation": self._generation,
+                "batch_window_ms": self.batch_window_ms,
+                "cache_size": self.cache_size,
+                "uptime_seconds": time.time() - self.started_unix,
+                "engine": organizer.backend.stats.as_dict(),
+            }
+
+    # ----------------------------------------------------------------
+    # Lifecycle.
+    # ----------------------------------------------------------------
+
+    def close(self) -> None:
+        """Stop the batching worker (pending requests are still served)."""
+        with self._queue_cond:
+            self._stopped = True
+            self._queue_cond.notify_all()
+        if self._worker is not None:
+            self._worker.join(timeout=5.0)
+
+    def __enter__(self) -> "FormDirectory":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,382 @@
+"""The form-directory HTTP API — stdlib ``ThreadingHTTPServer``.
+
+Endpoints (all JSON unless noted):
+
+========  ==============  ====================================================
+method    path            purpose
+========  ==============  ====================================================
+POST      ``/classify``   assign a page ``{url, html, backlinks?}`` to its
+                          cluster (read-only; micro-batched)
+POST      ``/add``        insert (or replace) a source
+POST      ``/remove``     drop a source ``{url}``
+GET       ``/search``     ``?q=keyword+query&n=3`` — rank clusters
+GET       ``/clusters``   cluster directory summary
+GET       ``/healthz``    liveness + staleness stats
+GET       ``/metrics``    Prometheus text format (not JSON)
+========  ==============  ====================================================
+
+Every response is either ``{"ok": true, ...}`` or a structured error
+``{"ok": false, "error": {"code", "message"}}`` with a matching HTTP
+status.  Requests are bounded: bodies above ``max_request_bytes`` are
+rejected with 413 before being read into memory, and each connection
+gets a socket timeout so a stalled client cannot pin a handler thread.
+"""
+
+import json
+import socket
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, List, Optional, Tuple
+from urllib.parse import parse_qs, urlsplit
+
+from repro.core.form_page import RawFormPage
+from repro.service.directory import FormDirectory
+
+#: Default cap on request bodies (form pages are HTML documents; 2 MiB
+#: holds anything reasonable and stops accidental uploads).
+DEFAULT_MAX_REQUEST_BYTES = 2 * 1024 * 1024
+
+#: Default per-connection socket timeout (seconds).
+DEFAULT_REQUEST_TIMEOUT = 30.0
+
+
+class ApiError(Exception):
+    """An error with a wire representation."""
+
+    def __init__(self, status: int, code: str, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.code = code
+        self.message = message
+
+
+def _raw_page_from_body(body: dict) -> RawFormPage:
+    url = body.get("url")
+    html = body.get("html")
+    if not isinstance(url, str) or not url:
+        raise ApiError(400, "bad_request", "'url' must be a non-empty string")
+    if not isinstance(html, str) or not html:
+        raise ApiError(400, "bad_request", "'html' must be a non-empty string")
+    backlinks = body.get("backlinks", [])
+    anchor_texts = body.get("anchor_texts", [])
+    if not isinstance(backlinks, list) or not all(
+        isinstance(item, str) for item in backlinks
+    ):
+        raise ApiError(400, "bad_request", "'backlinks' must be a string list")
+    if not isinstance(anchor_texts, list) or not all(
+        isinstance(item, str) for item in anchor_texts
+    ):
+        raise ApiError(
+            400, "bad_request", "'anchor_texts' must be a string list"
+        )
+    return RawFormPage(
+        url=url,
+        html=html,
+        backlinks=list(backlinks),
+        label=None,
+        anchor_texts=list(anchor_texts),
+    )
+
+
+class DirectoryRequestHandler(BaseHTTPRequestHandler):
+    """Routes requests onto the server's :class:`FormDirectory`."""
+
+    server_version = "repro-directory/1.0"
+    protocol_version = "HTTP/1.1"
+
+    # -- plumbing -----------------------------------------------------
+
+    def setup(self) -> None:
+        super().setup()
+        self.connection.settimeout(self.server.request_timeout)
+
+    def log_message(self, format: str, *args) -> None:
+        # Access logging is the metrics registry's job; keep stderr for
+        # real errors only.
+        pass
+
+    @property
+    def directory(self) -> FormDirectory:
+        return self.server.directory
+
+    def _observe(self, endpoint: str, status: int, started: float) -> None:
+        metrics = self.directory.metrics
+        elapsed = self._now() - started
+        metrics.histogram(
+            "http_request_seconds", "Request latency", endpoint=endpoint
+        ).observe(elapsed)
+        metrics.counter(
+            "http_requests_total", "Requests served",
+            endpoint=endpoint, status=str(status),
+        ).inc()
+
+    @staticmethod
+    def _now() -> float:
+        return time.perf_counter()
+
+    def _send_json(self, status: int, payload: dict) -> None:
+        data = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json; charset=utf-8")
+        self.send_header("Content-Length", str(len(data)))
+        self.end_headers()
+        self.wfile.write(data)
+
+    def _send_error_json(self, error: ApiError) -> None:
+        self._send_json(
+            error.status,
+            {"ok": False,
+             "error": {"code": error.code, "message": error.message}},
+        )
+
+    def _read_json_body(self) -> dict:
+        length_header = self.headers.get("Content-Length")
+        if length_header is None:
+            raise ApiError(411, "length_required", "Content-Length required")
+        try:
+            length = int(length_header)
+        except ValueError:
+            raise ApiError(400, "bad_request", "malformed Content-Length")
+        if length < 0:
+            raise ApiError(400, "bad_request", "malformed Content-Length")
+        if length > self.server.max_request_bytes:
+            raise ApiError(
+                413, "payload_too_large",
+                f"request body {length} bytes exceeds limit "
+                f"{self.server.max_request_bytes}",
+            )
+        data = self.rfile.read(length)
+        try:
+            body = json.loads(data.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ApiError(400, "bad_request", f"invalid JSON body: {exc}")
+        if not isinstance(body, dict):
+            raise ApiError(400, "bad_request", "body must be a JSON object")
+        return body
+
+    # -- dispatch -----------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 (stdlib naming)
+        split = urlsplit(self.path)
+        endpoint = split.path.rstrip("/") or "/"
+        self._dispatch(
+            endpoint,
+            {
+                "/healthz": self._get_healthz,
+                "/metrics": self._get_metrics,
+                "/clusters": self._get_clusters,
+                "/search": self._get_search,
+            },
+            query=parse_qs(split.query),
+        )
+
+    def do_POST(self) -> None:  # noqa: N802
+        endpoint = urlsplit(self.path).path.rstrip("/")
+        self._dispatch(
+            endpoint,
+            {
+                "/classify": self._post_classify,
+                "/add": self._post_add,
+                "/remove": self._post_remove,
+            },
+        )
+
+    def _dispatch(self, endpoint: str, routes: dict, **kwargs) -> None:
+        started = self._now()
+        status = 500
+        try:
+            handler = routes.get(endpoint)
+            if handler is None:
+                raise ApiError(
+                    404, "not_found", f"no such endpoint: {endpoint!r}"
+                )
+            status = handler(**kwargs)
+        except ApiError as error:
+            status = error.status
+            try:
+                self._send_error_json(error)
+            except (BrokenPipeError, ConnectionResetError, socket.timeout):
+                pass
+        except (BrokenPipeError, ConnectionResetError, socket.timeout):
+            status = 499  # client went away; nothing to send
+        except TimeoutError as exc:
+            status = 504
+            self._send_error_json(ApiError(504, "timeout", str(exc)))
+        except Exception as exc:  # structured 500, never a stack trace
+            status = 500
+            try:
+                self._send_error_json(
+                    ApiError(500, "internal", f"{type(exc).__name__}: {exc}")
+                )
+            except (BrokenPipeError, ConnectionResetError, socket.timeout):
+                pass
+        finally:
+            self._observe(endpoint.lstrip("/") or "root", status, started)
+
+    # -- GET handlers -------------------------------------------------
+
+    def _get_healthz(self, query: dict) -> int:
+        self._send_json(200, {"ok": True, "status": "ok",
+                              **self.directory.stats()})
+        return 200
+
+    def _get_metrics(self, query: dict) -> int:
+        data = self.directory.metrics.render().encode("utf-8")
+        self.send_response(200)
+        self.send_header(
+            "Content-Type", "text/plain; version=0.0.4; charset=utf-8"
+        )
+        self.send_header("Content-Length", str(len(data)))
+        self.end_headers()
+        self.wfile.write(data)
+        return 200
+
+    def _get_clusters(self, query: dict) -> int:
+        max_urls = self._int_param(query, "max_urls", 5, low=0, high=100)
+        self._send_json(
+            200,
+            {"ok": True,
+             "clusters": self.directory.clusters_summary(max_urls=max_urls)},
+        )
+        return 200
+
+    def _get_search(self, query: dict) -> int:
+        terms = query.get("q", [""])[0]
+        if not terms.strip():
+            raise ApiError(400, "bad_request", "missing query parameter 'q'")
+        n = self._int_param(query, "n", 3, low=1, high=100)
+        hits = self.directory.search(terms, n=n)
+        self._send_json(200, {"ok": True, "query": terms, "hits": hits})
+        return 200
+
+    @staticmethod
+    def _int_param(query: dict, name: str, default: int,
+                   low: int, high: int) -> int:
+        values = query.get(name)
+        if not values:
+            return default
+        try:
+            value = int(values[0])
+        except ValueError:
+            raise ApiError(400, "bad_request", f"'{name}' must be an integer")
+        if not low <= value <= high:
+            raise ApiError(
+                400, "bad_request", f"'{name}' must be in [{low}, {high}]"
+            )
+        return value
+
+    # -- POST handlers ------------------------------------------------
+
+    def _post_classify(self) -> int:
+        body = self._read_json_body()
+        raw = _raw_page_from_body(body)
+        outcome = self.directory.classify(
+            raw, timeout=self.server.request_timeout
+        )
+        self._send_json(
+            200,
+            {
+                "ok": True,
+                "url": outcome.url,
+                "cluster": outcome.cluster,
+                "similarity": outcome.similarity,
+                "top_terms": outcome.top_terms,
+                "cached": outcome.cached,
+                "batch_size": outcome.batch_size,
+            },
+        )
+        return 200
+
+    def _post_add(self) -> int:
+        body = self._read_json_body()
+        raw = _raw_page_from_body(body)
+        cluster, size = self.directory.add(raw)
+        self._send_json(
+            200,
+            {"ok": True, "url": raw.url, "cluster": cluster,
+             "cluster_size": size},
+        )
+        return 200
+
+    def _post_remove(self) -> int:
+        body = self._read_json_body()
+        url = body.get("url")
+        if not isinstance(url, str) or not url:
+            raise ApiError(400, "bad_request",
+                           "'url' must be a non-empty string")
+        removed = self.directory.remove(url)
+        self._send_json(200, {"ok": True, "url": url, "removed": removed})
+        return 200
+
+
+class DirectoryHTTPServer(ThreadingHTTPServer):
+    """A threading HTTP server bound to one :class:`FormDirectory`."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+    # socketserver's default accept backlog is 5; a burst of concurrent
+    # clients (the whole point of micro-batching) would see kernel
+    # connection resets before the server ever accepts them.
+    request_queue_size = 128
+
+    def __init__(
+        self,
+        directory: FormDirectory,
+        address: Tuple[str, int] = ("127.0.0.1", 0),
+        max_request_bytes: int = DEFAULT_MAX_REQUEST_BYTES,
+        request_timeout: float = DEFAULT_REQUEST_TIMEOUT,
+    ) -> None:
+        self.directory = directory
+        self.max_request_bytes = max_request_bytes
+        self.request_timeout = request_timeout
+        super().__init__(address, DirectoryRequestHandler)
+
+    @property
+    def port(self) -> int:
+        return self.server_address[1]
+
+    @property
+    def base_url(self) -> str:
+        host = self.server_address[0]
+        return f"http://{host}:{self.port}"
+
+    def serve_in_thread(self) -> threading.Thread:
+        """Start serving on a daemon thread (for tests and embedding)."""
+        thread = threading.Thread(
+            target=self.serve_forever, name="repro-http", daemon=True
+        )
+        thread.start()
+        return thread
+
+    def shut_down(self) -> None:
+        """Stop serving and release the socket and batch worker."""
+        self.shutdown()
+        self.server_close()
+        self.directory.close()
+
+
+def serve_directory(
+    directory: FormDirectory,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    max_request_bytes: int = DEFAULT_MAX_REQUEST_BYTES,
+    request_timeout: float = DEFAULT_REQUEST_TIMEOUT,
+) -> DirectoryHTTPServer:
+    """Bind a server for ``directory`` (port 0 picks an ephemeral port)."""
+    return DirectoryHTTPServer(
+        directory,
+        (host, port),
+        max_request_bytes=max_request_bytes,
+        request_timeout=request_timeout,
+    )
+
+
+__all__ = [
+    "ApiError",
+    "DEFAULT_MAX_REQUEST_BYTES",
+    "DEFAULT_REQUEST_TIMEOUT",
+    "DirectoryHTTPServer",
+    "DirectoryRequestHandler",
+    "serve_directory",
+]

@@ -1,0 +1,244 @@
+"""Directory snapshots — cold-starting the server without the pipeline.
+
+A snapshot is everything a serving process needs to answer classify /
+add / search requests exactly as the process that built the clustering
+would:
+
+* the fitted vectorizer state (per-space document frequencies, the LOC
+  policy, the backlink cap) — what ``transform_new`` consumes;
+* every managed page's vectors and assignment, grouped by cluster (the
+  centroids are recomputed from these on load, reproducing the exact
+  float-addition order of the builder);
+* the :class:`~repro.core.config.CAFCConfig` of the run;
+* descriptive cluster labels for /clusters and /search responses.
+
+Counts are integers and weights plain floats, and ``json`` round-trips
+Python floats exactly (repr-based), so a load-from-snapshot organizer
+classifies **bit-identically** to the organizer it was built from —
+pinned by ``tests/test_service_snapshot.py`` over the full benchmark
+corpus.
+
+Artifacts are versioned JSON, gzipped when the path ends in ``.gz``,
+written via the same fsynced atomic writer as every other stored
+artifact (:func:`repro.datasets.store.atomic_write_json`).
+"""
+
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from repro.core.config import CAFCConfig
+from repro.core.form_page import FormPage
+from repro.core.incremental import IncrementalOrganizer
+from repro.core.pipeline import CAFCResult
+from repro.core.similarity import BackendSpec
+from repro.core.vectorizer import FormPageVectorizer
+from repro.datasets.store import DatasetFormatError, atomic_write_json, read_json
+from repro.vsm.vector import SparseVector
+
+SNAPSHOT_FORMAT_VERSION = 1
+
+_KIND = "repro-directory-snapshot"
+
+
+def _page_to_json(page: FormPage) -> dict:
+    return {
+        "url": page.url,
+        "label": page.label,
+        "pc": dict(page.pc.items()),
+        "fc": dict(page.fc.items()),
+        "backlinks": sorted(page.backlinks),
+        "form_term_count": page.form_term_count,
+        "page_term_count": page.page_term_count,
+        "attribute_count": page.attribute_count,
+    }
+
+
+def _page_from_json(data: dict) -> FormPage:
+    return FormPage(
+        url=data["url"],
+        pc=SparseVector(data.get("pc", {})),
+        fc=SparseVector(data.get("fc", {})),
+        backlinks=frozenset(data.get("backlinks", ())),
+        label=data.get("label"),
+        form_term_count=data.get("form_term_count", 0),
+        page_term_count=data.get("page_term_count", 0),
+        attribute_count=data.get("attribute_count", 0),
+    )
+
+
+@dataclass
+class Snapshot:
+    """A serialized-ready directory: clusters of vectorized pages plus
+    the fitted vectorizer state and run config."""
+
+    clusters: List[List[FormPage]]
+    vectorizer_state: dict
+    config: CAFCConfig
+    top_terms: List[List[str]] = field(default_factory=list)
+    algorithm: str = "?"
+    created_unix: float = 0.0
+
+    @property
+    def n_pages(self) -> int:
+        return sum(len(members) for members in self.clusters)
+
+    @property
+    def n_clusters(self) -> int:
+        return len(self.clusters)
+
+    # ----------------------------------------------------------------
+    # Materialization.
+    # ----------------------------------------------------------------
+
+    def vectorizer(self) -> FormPageVectorizer:
+        """A fitted vectorizer reproducing the builder's ``transform_new``."""
+        return FormPageVectorizer.from_state(self.vectorizer_state)
+
+    def to_organizer(
+        self,
+        backend: BackendSpec = None,
+        drift_threshold: float = 0.7,
+    ) -> IncrementalOrganizer:
+        """An :class:`IncrementalOrganizer` serving this snapshot.
+
+        Centroids are rebuilt from the stored page vectors in stored
+        order — the same float-addition order the builder used — so
+        every subsequent classification matches the builder's
+        bit-for-bit.
+        """
+        return IncrementalOrganizer(
+            [list(members) for members in self.clusters],
+            self.vectorizer(),
+            config=self.config,
+            drift_threshold=drift_threshold,
+            backend=backend,
+        )
+
+    # ----------------------------------------------------------------
+    # Persistence.
+    # ----------------------------------------------------------------
+
+    def save(self, path: Union[str, Path]) -> None:
+        """Write the snapshot (gzipped when ``path`` ends in ``.gz``)."""
+        path = Path(path)
+        payload = {
+            "format_version": SNAPSHOT_FORMAT_VERSION,
+            "kind": _KIND,
+            "created_unix": self.created_unix or time.time(),
+            "algorithm": self.algorithm,
+            "config": self.config.to_dict(),
+            "vectorizer": self.vectorizer_state,
+            "clusters": [
+                {
+                    "top_terms": list(terms),
+                    "pages": [_page_to_json(page) for page in members],
+                }
+                for members, terms in zip(self.clusters, self._padded_terms())
+            ],
+        }
+        atomic_write_json(payload, path, compress=path.name.endswith(".gz"))
+
+    def _padded_terms(self) -> List[List[str]]:
+        terms = list(self.top_terms)
+        while len(terms) < len(self.clusters):
+            terms.append([])
+        return terms
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "Snapshot":
+        """Load a snapshot written by :meth:`save`.
+
+        Raises :class:`~repro.datasets.store.DatasetFormatError` on an
+        unknown format version and ValueError on structural problems.
+        """
+        payload = read_json(path)
+        if not isinstance(payload, dict):
+            raise ValueError(f"{path}: expected a JSON object at top level")
+        if payload.get("kind") != _KIND:
+            raise ValueError(
+                f"{path}: not a directory snapshot "
+                f"(kind={payload.get('kind')!r})"
+            )
+        version = payload.get("format_version")
+        if version != SNAPSHOT_FORMAT_VERSION:
+            raise DatasetFormatError(path, version, SNAPSHOT_FORMAT_VERSION)
+        clusters_field = payload.get("clusters")
+        if not isinstance(clusters_field, list) or not clusters_field:
+            raise ValueError(f"{path}: 'clusters' must be a non-empty list")
+        clusters: List[List[FormPage]] = []
+        top_terms: List[List[str]] = []
+        for index, entry in enumerate(clusters_field):
+            try:
+                clusters.append(
+                    [_page_from_json(p) for p in entry.get("pages", [])]
+                )
+                top_terms.append(list(entry.get("top_terms", [])))
+            except (KeyError, TypeError) as exc:
+                raise ValueError(
+                    f"{path}: malformed cluster entry {index}: {exc}"
+                ) from exc
+        return cls(
+            clusters=clusters,
+            vectorizer_state=dict(payload.get("vectorizer", {})),
+            config=CAFCConfig.from_dict(dict(payload.get("config", {}))),
+            top_terms=top_terms,
+            algorithm=str(payload.get("algorithm", "?")),
+            created_unix=float(payload.get("created_unix", 0.0)),
+        )
+
+
+def build_snapshot(
+    result: CAFCResult,
+    vectorizer: FormPageVectorizer,
+    config: Optional[CAFCConfig] = None,
+) -> Snapshot:
+    """Snapshot an organized directory (a pipeline result + its fitted
+    vectorizer)."""
+    return Snapshot(
+        clusters=[list(cluster.pages) for cluster in result.clusters],
+        vectorizer_state=vectorizer.export_state(),
+        config=config or CAFCConfig(),
+        top_terms=[list(cluster.top_terms) for cluster in result.clusters],
+        algorithm=result.algorithm,
+        created_unix=time.time(),
+    )
+
+
+def save_snapshot(snapshot: Snapshot, path: Union[str, Path]) -> None:
+    """Module-level alias for :meth:`Snapshot.save`."""
+    snapshot.save(path)
+
+
+def load_snapshot(path: Union[str, Path]) -> Snapshot:
+    """Module-level alias for :meth:`Snapshot.load`."""
+    return Snapshot.load(path)
+
+
+def snapshot_info(path: Union[str, Path]) -> Dict[str, object]:
+    """Cheap summary of a stored snapshot (for ``repro snapshot inspect``)."""
+    payload = read_json(path)
+    if not isinstance(payload, dict):
+        raise ValueError(f"{path}: expected a JSON object at top level")
+    clusters = payload.get("clusters", [])
+    sizes = [len(entry.get("pages", [])) for entry in clusters]
+    vectorizer = payload.get("vectorizer", {})
+    return {
+        "kind": payload.get("kind"),
+        "format_version": payload.get("format_version"),
+        "created_unix": payload.get("created_unix"),
+        "algorithm": payload.get("algorithm"),
+        "n_clusters": len(clusters),
+        "n_pages": sum(sizes),
+        "cluster_sizes": sizes,
+        "top_terms": [
+            list(entry.get("top_terms", []))[:4] for entry in clusters
+        ],
+        "pc_vocabulary": len(
+            vectorizer.get("pc_corpus", {}).get("document_frequency", {})
+        ),
+        "fc_vocabulary": len(
+            vectorizer.get("fc_corpus", {}).get("document_frequency", {})
+        ),
+    }

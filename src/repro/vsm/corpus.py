@@ -71,3 +71,26 @@ class CorpusStats:
             term: math.log(n / df)
             for term, df in self._document_frequency.items()
         }
+
+    # ----------------------------------------------------------------
+    # Serialization (snapshot support).
+    # ----------------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        """State as plain JSON-safe data (counts are exact integers, so a
+        JSON round trip reproduces every IDF bit-for-bit)."""
+        return {
+            "document_count": self._document_count,
+            "document_frequency": dict(self._document_frequency),
+        }
+
+    @classmethod
+    def from_dict(cls, state: Dict[str, object]) -> "CorpusStats":
+        """Rebuild statistics exported by :meth:`to_dict`."""
+        stats = cls()
+        stats._document_count = int(state.get("document_count", 0))
+        stats._document_frequency = Counter(
+            {str(term): int(df)
+             for term, df in dict(state.get("document_frequency", {})).items()}
+        )
+        return stats

@@ -57,6 +57,25 @@ class LocationWeights:
         """All locations weighted 1 — the Section 4.4 ablation."""
         return LocationWeights(title=1, anchor=1, body=1, option=1.0)
 
+    def to_dict(self) -> dict:
+        """The LOC factors as JSON-safe data (snapshot support)."""
+        return {
+            "title": self.title,
+            "anchor": self.anchor,
+            "body": self.body,
+            "option": self.option,
+        }
+
+    @staticmethod
+    def from_dict(state: dict) -> "LocationWeights":
+        """Rebuild a policy exported by :meth:`to_dict`."""
+        return LocationWeights(
+            title=int(state.get("title", 3)),
+            anchor=int(state.get("anchor", 2)),
+            body=int(state.get("body", 1)),
+            option=float(state.get("option", 0.3)),
+        )
+
 
 def located_term_frequencies(
     located_terms: Iterable[Tuple[str, TextLocation]],

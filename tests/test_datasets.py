@@ -91,3 +91,44 @@ class TestInfo:
         assert info["n_pages"] == 2
         assert info["format_version"] == 1
         assert info["labels"] == {"job": 1, "?": 1}
+
+
+class TestStoreDurability:
+    """The atomic writer and the typed format error (PR satellite)."""
+
+    def test_format_error_carries_versions(self, tmp_path):
+        from repro.datasets import DatasetFormatError
+
+        path = tmp_path / "future.json"
+        path.write_text(json.dumps({"format_version": 99, "pages": []}))
+        with pytest.raises(DatasetFormatError) as excinfo:
+            load_dataset(path)
+        error = excinfo.value
+        assert isinstance(error, ValueError)  # old call sites keep working
+        assert error.found_version == 99
+        assert error.expected_version == 1
+        assert "99" in str(error) and "1" in str(error)
+
+    def test_atomic_write_leaves_no_tmp_files(self, tmp_path):
+        save_dataset(sample_pages(), tmp_path / "dataset.json")
+        leftovers = [
+            p.name for p in tmp_path.iterdir() if p.name != "dataset.json"
+        ]
+        assert leftovers == []
+
+    def test_atomic_write_json_gzip_roundtrip(self, tmp_path):
+        from repro.datasets import atomic_write_json, read_json
+
+        payload = {"pi": 3.141592653589793, "n": 7, "nested": {"a": [1, 2]}}
+        path = tmp_path / "blob.json.gz"
+        atomic_write_json(payload, path, compress=True)
+        assert path.read_bytes()[:2] == b"\x1f\x8b"  # really gzip
+        assert read_json(path) == payload
+
+    def test_gzip_detected_by_magic_not_suffix(self, tmp_path):
+        from repro.datasets import atomic_write_json, read_json
+
+        # Misleading name: gzipped content under a .json suffix still loads.
+        path = tmp_path / "blob.json"
+        atomic_write_json({"x": 1}, path, compress=True)
+        assert read_json(path) == {"x": 1}

@@ -152,3 +152,88 @@ class TestSimilarityBudget:
         organizer = make_organizer(organizer_setup)
         running = organizer.cohesion
         assert organizer.refresh_cohesion() == pytest.approx(running, abs=1e-9)
+
+
+class TestEmptyOrganizer:
+    """Regression: an organizer whose clusters hold no pages (all
+    removed, or seeded with empty clusters) must not crash or wedge
+    drift detection."""
+
+    def empty_organizer(self, organizer_setup):
+        vectorizer, _, initial = organizer_setup
+        return IncrementalOrganizer(
+            [[] for _ in initial], vectorizer
+        )
+
+    def test_refresh_cohesion_on_empty(self, organizer_setup):
+        organizer = self.empty_organizer(organizer_setup)
+        assert organizer.refresh_cohesion() == 0.0
+        assert organizer.cohesion == 0.0
+        assert not organizer.needs_reclustering
+
+    def test_drain_then_refresh(self, organizer_setup):
+        organizer = make_organizer(organizer_setup)
+        for url in list(organizer._by_url):
+            assert organizer.remove(url)
+        assert len(organizer) == 0
+        assert organizer.refresh_cohesion() == 0.0
+        assert organizer.cohesion == 0.0
+        assert not organizer.needs_reclustering
+
+    def test_baseline_self_heals_after_first_add(self, organizer_setup):
+        # Starting empty, the drift baseline is 0.0 — which would make
+        # needs_reclustering permanently False.  The first add with real
+        # cohesion must re-arm it.
+        organizer = self.empty_organizer(organizer_setup)
+        fresh = generate_benchmark(config=small_config(seed=61))
+        for raw in fresh.raw_pages()[:5]:
+            organizer.add(raw)
+        assert organizer.cohesion > 0.0
+        assert organizer._baseline_cohesion > 0.0
+
+
+class TestBatchClassify:
+    """The serving hooks: classify_batch must agree with the scalar
+    path, and recluster must repair drift in place."""
+
+    def test_classify_batch_matches_scalar(self, organizer_setup):
+        organizer = make_organizer(organizer_setup)
+        _, pages, _ = organizer_setup
+        probes = pages[:16]
+        batched = organizer.classify_batch(probes)
+        for page, (cluster, similarity) in zip(probes, batched):
+            want_cluster, want_similarity = organizer.classify_vectorized(page)
+            assert cluster == want_cluster, page.url
+            assert similarity == pytest.approx(want_similarity, abs=1e-9)
+
+    def test_classify_batch_single_engine_call(self, organizer_setup):
+        organizer = make_organizer(organizer_setup)
+        _, pages, _ = organizer_setup
+        probes = pages[:16]
+        before = organizer.backend.stats.comparisons
+        organizer.classify_batch(probes)
+        paid = organizer.backend.stats.comparisons - before
+        # One batched matrix call: pages x centroids comparisons, not
+        # per-request overhead.
+        assert paid == len(probes) * len(organizer.clusters)
+
+    def test_recluster_preserves_pages_and_k(self, organizer_setup):
+        organizer = make_organizer(organizer_setup)
+        n_pages = len(organizer)
+        k = len(organizer.clusters)
+        moved = organizer.recluster()
+        assert moved >= 0
+        assert len(organizer) == n_pages
+        assert len(organizer.clusters) == k
+        # Membership map stays consistent with cluster contents.
+        for index, cluster in enumerate(organizer.clusters):
+            for page in cluster.pages:
+                assert organizer.cluster_of(page.url) == index
+
+    def test_recluster_resets_drift_baseline(self, organizer_setup):
+        organizer = make_organizer(organizer_setup)
+        organizer.recluster()
+        assert organizer._baseline_cohesion == pytest.approx(
+            organizer.cohesion
+        )
+        assert not organizer.needs_reclustering

@@ -1,0 +1,344 @@
+"""FormDirectory tests — locking, caching, batching, concurrency.
+
+The hammer tests drive real threads against one directory: classifiers
+race against a mutator, and the assertions check the invariants the
+service guarantees (no lost updates, no stale cache hits, batched and
+unbatched classification agreeing).
+"""
+
+import threading
+
+import pytest
+
+from repro.core.config import CAFCConfig
+from repro.core.pipeline import CAFCPipeline
+from repro.service.directory import (
+    ClassifyOutcome,
+    FormDirectory,
+    RWLock,
+    content_hash,
+)
+from repro.service.snapshot import build_snapshot
+
+
+SMALL_CONFIG = CAFCConfig(k=8, min_hub_cardinality=3)
+
+
+@pytest.fixture(scope="module")
+def small_snapshot(small_raw_pages):
+    pipeline = CAFCPipeline(SMALL_CONFIG)
+    result = pipeline.organize(small_raw_pages)
+    return build_snapshot(result, pipeline.vectorizer, SMALL_CONFIG)
+
+
+def make_directory(snapshot, **kwargs):
+    kwargs.setdefault("auto_recluster", False)
+    return FormDirectory.from_snapshot(snapshot, **kwargs)
+
+
+class TestRWLock:
+    def test_readers_share(self):
+        lock = RWLock()
+        lock.acquire_read()
+        acquired = threading.Event()
+
+        def second_reader():
+            lock.acquire_read()
+            acquired.set()
+            lock.release_read()
+
+        thread = threading.Thread(target=second_reader)
+        thread.start()
+        assert acquired.wait(2.0), "second reader should not block"
+        lock.release_read()
+        thread.join()
+
+    def test_writer_excludes_readers(self):
+        lock = RWLock()
+        lock.acquire_write()
+        progressed = threading.Event()
+
+        def reader():
+            lock.acquire_read()
+            progressed.set()
+            lock.release_read()
+
+        thread = threading.Thread(target=reader)
+        thread.start()
+        assert not progressed.wait(0.1), "reader entered during write"
+        lock.release_write()
+        assert progressed.wait(2.0)
+        thread.join()
+
+    def test_waiting_writer_blocks_new_readers(self):
+        lock = RWLock()
+        lock.acquire_read()
+        writer_in = threading.Event()
+        reader_in = threading.Event()
+
+        def writer():
+            lock.acquire_write()
+            writer_in.set()
+            lock.release_write()
+
+        def late_reader():
+            lock.acquire_read()
+            reader_in.set()
+            lock.release_read()
+
+        wt = threading.Thread(target=writer)
+        wt.start()
+        # Give the writer time to queue up, then start a late reader:
+        # writer preference means it must wait behind the writer.
+        while not lock._writers_waiting:
+            pass
+        rt = threading.Thread(target=late_reader)
+        rt.start()
+        assert not reader_in.wait(0.1), "late reader jumped the writer queue"
+        lock.release_read()
+        assert writer_in.wait(2.0)
+        assert reader_in.wait(2.0)
+        wt.join()
+        rt.join()
+
+
+class TestClassify:
+    def test_basic_outcome(self, small_snapshot, small_raw_pages):
+        with make_directory(small_snapshot) as directory:
+            outcome = directory.classify(small_raw_pages[0])
+            assert isinstance(outcome, ClassifyOutcome)
+            assert 0 <= outcome.cluster < len(directory.organizer.clusters)
+            assert outcome.similarity > 0.0
+            assert outcome.top_terms
+            assert not outcome.cached
+
+    def test_repeat_is_cached(self, small_snapshot, small_raw_pages):
+        with make_directory(small_snapshot) as directory:
+            first = directory.classify(small_raw_pages[1])
+            second = directory.classify(small_raw_pages[1])
+            assert second.cached
+            assert second.cluster == first.cluster
+            assert second.similarity == first.similarity
+
+    def test_batched_matches_unbatched(self, small_snapshot, small_raw_pages):
+        with make_directory(small_snapshot, batch_window_ms=None) as plain, \
+                make_directory(small_snapshot, batch_window_ms=2.0) as batched:
+            for raw in small_raw_pages:
+                want = plain.classify(raw)
+                got = batched.classify(raw)
+                assert got.cluster == want.cluster, raw.url
+                assert got.similarity == pytest.approx(
+                    want.similarity, abs=1e-9
+                )
+
+    def test_mutation_invalidates_cache(self, small_snapshot, small_raw_pages):
+        with make_directory(small_snapshot) as directory:
+            probe = small_raw_pages[2]
+            directory.classify(probe)
+            assert directory.classify(probe).cached
+            generation = directory.generation
+            directory.add(small_raw_pages[3])
+            assert directory.generation == generation + 1
+            refreshed = directory.classify(probe)
+            assert not refreshed.cached, "cache served a pre-mutation answer"
+
+    def test_classify_after_close_raises(self, small_snapshot, small_raw_pages):
+        directory = make_directory(small_snapshot, batch_window_ms=1.0)
+        directory.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            directory.classify(small_raw_pages[0])
+
+    def test_cache_disabled(self, small_snapshot, small_raw_pages):
+        with make_directory(small_snapshot, cache_size=0) as directory:
+            directory.classify(small_raw_pages[0])
+            assert not directory.classify(small_raw_pages[0]).cached
+
+
+class TestMutations:
+    def test_add_and_remove(self, small_snapshot, small_raw_pages):
+        with make_directory(small_snapshot) as directory:
+            before = len(directory.organizer)
+            raw = small_raw_pages[4]
+            directory.remove(raw.url)  # make room in case it's managed
+            base = len(directory.organizer)
+            index, size = directory.add(raw)
+            assert len(directory.organizer) == base + 1
+            assert directory.organizer.clusters[index].size == size
+            assert directory.remove(raw.url)
+            assert not directory.remove("http://nowhere.example/missing")
+            del before
+
+    def test_recluster_bumps_generation(self, small_snapshot):
+        with make_directory(small_snapshot) as directory:
+            generation = directory.generation
+            moved = directory.recluster()
+            assert moved >= 0
+            assert directory.generation == generation + 1
+            assert directory.n_reclusters == 1
+
+
+class TestViews:
+    def test_search_finds_flight_cluster(self, small_snapshot):
+        with make_directory(small_snapshot) as directory:
+            hits = directory.search("flight airfare", n=3)
+            assert hits
+            assert hits[0]["score"] > 0
+            assert "flight" in hits[0]["matched_terms"] or (
+                "airfar" in hits[0]["matched_terms"]
+            )
+
+    def test_clusters_summary_shape(self, small_snapshot):
+        with make_directory(small_snapshot) as directory:
+            summary = directory.clusters_summary(max_urls=2)
+            assert len(summary) == len(directory.organizer.clusters)
+            for entry in summary:
+                assert len(entry["urls"]) <= 2
+                assert entry["size"] >= len(entry["urls"])
+
+    def test_stats_shape(self, small_snapshot):
+        with make_directory(small_snapshot) as directory:
+            stats = directory.stats()
+            assert stats["pages"] == len(directory.organizer)
+            assert stats["clusters"] == len(directory.organizer.clusters)
+            assert stats["generation"] == 0
+            assert stats["engine"]["backend"]
+
+    def test_content_hash_sensitivity(self, small_raw_pages):
+        base = small_raw_pages[0]
+        assert content_hash(base) == content_hash(base)
+        tweaked = type(base)(
+            url=base.url,
+            html=base.html + " ",
+            backlinks=list(base.backlinks),
+            label=base.label,
+            anchor_texts=list(base.anchor_texts),
+        )
+        assert content_hash(base) != content_hash(tweaked)
+
+
+class TestConcurrencyHammer:
+    """Classify from many threads while one thread adds and removes."""
+
+    N_CLASSIFIERS = 8
+    ROUNDS = 6
+
+    def test_hammer(self, small_snapshot, small_raw_pages):
+        with make_directory(
+            small_snapshot, batch_window_ms=1.0, cache_size=64
+        ) as directory:
+            stop = threading.Event()
+            errors = []
+            served = []
+            served_lock = threading.Lock()
+
+            probes = small_raw_pages[: self.N_CLASSIFIERS]
+            churn = small_raw_pages[self.N_CLASSIFIERS:
+                                    self.N_CLASSIFIERS + 4]
+
+            def classifier(raw):
+                while not stop.is_set():
+                    try:
+                        outcome = directory.classify(raw, timeout=30.0)
+                    except Exception as exc:  # pragma: no cover
+                        errors.append(exc)
+                        return
+                    with served_lock:
+                        served.append(outcome)
+
+            def mutator():
+                try:
+                    for _ in range(self.ROUNDS):
+                        for raw in churn:
+                            directory.remove(raw.url)
+                        for raw in churn:
+                            directory.add(raw)
+                except Exception as exc:  # pragma: no cover
+                    errors.append(exc)
+                finally:
+                    stop.set()
+
+            threads = [
+                threading.Thread(target=classifier, args=(raw,))
+                for raw in probes
+            ]
+            threads.append(threading.Thread(target=mutator))
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=120.0)
+                assert not thread.is_alive(), "hammer thread hung"
+
+            assert not errors, errors
+            assert served, "classifiers never got a response"
+            n_clusters = len(directory.organizer.clusters)
+            for outcome in served:
+                assert 0 <= outcome.cluster < n_clusters
+
+            # No lost updates: every churn page must be managed exactly
+            # once after the final add round.
+            for raw in churn:
+                assert raw.url in directory.organizer
+
+            # Cache coherence: whatever the cache now returns must equal
+            # a fresh scoring of the final state.
+            for raw in probes:
+                cached = directory.classify(raw)
+                page = directory.vectorizer.transform_new(raw)
+                want_cluster, want_similarity = (
+                    directory.organizer.classify_vectorized(page)
+                )
+                assert cached.cluster == want_cluster, raw.url
+                assert cached.similarity == pytest.approx(
+                    want_similarity, abs=1e-9
+                )
+
+    def test_coalescing_under_concurrency(
+        self, small_snapshot, small_raw_pages
+    ):
+        """16 concurrent clients: strictly fewer engine batches than
+        requests, with every answer matching the unbatched reference."""
+        n_clients = 16
+        probes = small_raw_pages[:n_clients]
+        with make_directory(small_snapshot, batch_window_ms=None,
+                            cache_size=0) as reference:
+            expected = {
+                raw.url: reference.classify(raw).cluster for raw in probes
+            }
+
+        with make_directory(
+            small_snapshot, batch_window_ms=25.0, cache_size=0
+        ) as directory:
+            barrier = threading.Barrier(n_clients)
+            outcomes = {}
+            errors = []
+            lock = threading.Lock()
+
+            def client(raw):
+                try:
+                    barrier.wait(timeout=30.0)
+                    outcome = directory.classify(raw, timeout=60.0)
+                    with lock:
+                        outcomes[raw.url] = outcome
+                except Exception as exc:  # pragma: no cover
+                    errors.append(exc)
+
+            threads = [
+                threading.Thread(target=client, args=(raw,)) for raw in probes
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=120.0)
+            assert not errors, errors
+            assert len(outcomes) == n_clients
+
+            requests = directory._m_requests.value
+            batches = directory._m_batches.value
+            assert requests == n_clients
+            assert batches < requests, (
+                f"no coalescing: {batches} batches for {requests} requests"
+            )
+            assert max(o.batch_size for o in outcomes.values()) > 1
+
+            for url, outcome in outcomes.items():
+                assert outcome.cluster == expected[url], url
