@@ -1,0 +1,185 @@
+"""Ingestion benchmark: serial vs pooled vs cached, on the 454-page corpus.
+
+Measures the map phase (parse + tokenize + stem) end to end through
+``FormPageVectorizer.fit_transform`` under every executor the
+:class:`~repro.parallel.config.ParallelConfig` planner offers, plus the
+two cache tiers, and records the table to ``BENCH_ingest.json`` at the
+repo root (the numbers quoted in docs/PERFORMANCE.md).
+
+The acceptance claim is the *cached* path: warm-cache ingestion at 4
+workers must be at least 2x faster than a cold serial run.  Process-pool
+rows are measured and recorded for completeness; on a single-core host
+(``cpu_count`` is in the JSON) a pool cannot beat serial — fork and
+pickle costs are pure overhead there — which is exactly why the ``auto``
+policy degrades to serial on such machines.
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.core.vectorizer import FormPageVectorizer
+from repro.html.text_extract import page_text
+from repro.parallel import ParallelConfig
+from repro.text.stemmer import PorterStemmer
+from repro.text.tokenize import tokenize
+from repro.webgen.corpus import generate_benchmark
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+RESULTS_PATH = REPO_ROOT / "BENCH_ingest.json"
+REQUIRED_CACHED_SPEEDUP = 2.0
+POOL_WORKER_COUNTS = (1, 2, 4, 8)
+
+
+@pytest.fixture(scope="module")
+def raw_pages():
+    return generate_benchmark(seed=42).raw_pages()
+
+
+def _timed_fit(raw_pages, parallel, rounds=1, prime=None):
+    """Best-of-``rounds`` wall clock for a cold fit under ``parallel``.
+
+    ``prime`` (a shared AnalysisCache) turns the fit into a warm-cache
+    replay: the same corpus was analyzed into that cache beforehand.
+    """
+    best = float("inf")
+    vectorizer = None
+    for _ in range(rounds):
+        vectorizer = FormPageVectorizer(parallel=parallel)
+        if prime is not None:
+            vectorizer._analysis_cache = prime
+        start = time.perf_counter()
+        vectorizer.fit_transform(raw_pages)
+        best = min(best, time.perf_counter() - start)
+    return best, vectorizer
+
+
+def _row(name, seconds, n_pages, stats):
+    return {
+        "config": name,
+        "seconds": round(seconds, 4),
+        "pages_per_sec": round(n_pages / seconds, 1),
+        "executor": stats.executor,
+        "pages_analyzed": stats.pages_analyzed,
+        "cache_hits": stats.cache_hits,
+    }
+
+
+def test_bench_ingest_executors_and_cache(benchmark, raw_pages, tmp_path):
+    n = len(raw_pages)
+    rows = []
+
+    # Baseline: cold serial, caching off — every page parsed from scratch.
+    serial_cfg = ParallelConfig(workers=1, executor="serial", use_cache=False)
+    benchmark.pedantic(
+        lambda: FormPageVectorizer(parallel=serial_cfg).fit_transform(raw_pages),
+        rounds=1, iterations=1,
+    )
+    serial_time, serial_vec = _timed_fit(raw_pages, serial_cfg, rounds=2)
+    rows.append(_row("serial cold", serial_time, n, serial_vec.ingest_stats))
+
+    # Process pools, cold (workers=1 resolves to serial by contract).
+    for workers in POOL_WORKER_COUNTS:
+        config = ParallelConfig(
+            workers=workers, executor="process", use_cache=False
+        )
+        seconds, vectorizer = _timed_fit(raw_pages, config)
+        rows.append(_row(
+            f"process x{workers} cold", seconds, n, vectorizer.ingest_stats
+        ))
+
+    # Warm disk cache at 4 workers: a prior run left its analyses on disk;
+    # this run replays them and the planner has nothing left to pool.
+    cache_dir = str(tmp_path / "ingest-cache")
+    disk_cfg = ParallelConfig(workers=4, cache_dir=cache_dir)
+    _timed_fit(raw_pages, disk_cfg)  # priming run, fills the disk cache
+    disk_time, disk_vec = _timed_fit(raw_pages, disk_cfg)
+    assert disk_vec.ingest_stats.pages_analyzed == 0
+    rows.append(_row("warm disk cache x4", disk_time, n, disk_vec.ingest_stats))
+
+    # Warm in-memory cache at 4 workers (the in-process re-fit path).
+    primer = FormPageVectorizer(
+        parallel=ParallelConfig(workers=4), analysis_cache_size=n
+    )
+    primer.fit_transform(raw_pages)
+    memory_time, memory_vec = _timed_fit(
+        raw_pages, ParallelConfig(workers=4), prime=primer._analysis_cache
+    )
+    assert memory_vec.ingest_stats.pages_analyzed == 0
+    rows.append(_row(
+        "warm memory cache x4", memory_time, n, memory_vec.ingest_stats
+    ))
+
+    cached_speedup = serial_time / disk_time
+    print(f"\n[{n} pages, {os.cpu_count()} cpu(s)]")
+    for row in rows:
+        print(
+            f"  {row['config']:<22} {row['seconds']:7.3f}s  "
+            f"{row['pages_per_sec']:7.1f} pages/s  "
+            f"({row['pages_analyzed']} analyzed, {row['cache_hits']} cached)"
+        )
+    print(f"  cached-vs-serial speedup: {cached_speedup:.2f}x "
+          f"(required {REQUIRED_CACHED_SPEEDUP}x)")
+
+    RESULTS_PATH.write_text(json.dumps({
+        "benchmark": "ingest",
+        "corpus_pages": n,
+        "cpu_count": os.cpu_count(),
+        "rows": rows,
+        "cached_speedup_vs_serial": round(cached_speedup, 2),
+        "required_speedup": REQUIRED_CACHED_SPEEDUP,
+        "note": (
+            "Pool rows are cold-start measurements; on a host without "
+            "spare cores a process pool cannot beat serial (the auto "
+            "policy then stays serial).  The >=2x acceptance claim is "
+            "the warm analysis cache."
+        ),
+    }, indent=2) + "\n")
+
+    assert cached_speedup >= REQUIRED_CACHED_SPEEDUP, (
+        f"warm-cache ingestion only {cached_speedup:.2f}x over serial cold "
+        f"(required {REQUIRED_CACHED_SPEEDUP}x)"
+    )
+
+
+def test_bench_stemmer_memoization(raw_pages):
+    """The stem memo table on the real token stream: hit rate and timing."""
+    tokens = []
+    for raw in raw_pages[:120]:
+        tokens.extend(tokenize(page_text(raw.html)))
+
+    cold = PorterStemmer(cache_size=0)
+    start = time.perf_counter()
+    for token in tokens:
+        cold.stem(token)
+    uncached_time = time.perf_counter() - start
+
+    warm = PorterStemmer()
+    start = time.perf_counter()
+    for token in tokens:
+        warm.stem(token)
+    cached_time = time.perf_counter() - start
+
+    lookups = warm.cache_hits + warm.cache_misses
+    hit_rate = warm.cache_hits / lookups
+    print(
+        f"\n[{len(tokens)} tokens] uncached {uncached_time:.3f}s  "
+        f"cached {cached_time:.3f}s  hit rate {hit_rate:.1%} "
+        f"({warm.cache_hits}/{lookups})"
+    )
+    # Web corpora repeat terms heavily; the memo table must convert that
+    # repetition into hits.
+    assert hit_rate >= 0.5
+
+    if RESULTS_PATH.exists():
+        payload = json.loads(RESULTS_PATH.read_text())
+        payload["stemmer"] = {
+            "tokens": len(tokens),
+            "uncached_seconds": round(uncached_time, 4),
+            "cached_seconds": round(cached_time, 4),
+            "hit_rate": round(hit_rate, 4),
+        }
+        RESULTS_PATH.write_text(json.dumps(payload, indent=2) + "\n")

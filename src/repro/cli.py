@@ -39,11 +39,24 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
             print(name)
         return 0
     try:
-        print(run_all(seed=args.seed, n_runs=args.runs, only=args.only))
+        print(run_all(
+            seed=args.seed, n_runs=args.runs, only=args.only,
+            workers=args.workers, use_cache=not args.no_cache,
+            report_header=True,
+        ))
     except ValueError as exc:
         print(str(exc), file=sys.stderr)
         return 1
     return 0
+
+
+def _parallel_config(args: argparse.Namespace):
+    """A ParallelConfig from the shared --workers / --no-cache flags."""
+    from repro.parallel import ParallelConfig
+
+    return ParallelConfig(
+        workers=args.workers, use_cache=not args.no_cache
+    )
 
 
 def _cmd_corpus(args: argparse.Namespace) -> int:
@@ -72,8 +85,11 @@ def _cmd_organize(args: argparse.Namespace) -> int:
 
         raw_pages = generate_benchmark(seed=args.seed).raw_pages()
 
-    pipeline = CAFCPipeline(CAFCConfig(k=args.k, backend=args.backend))
+    pipeline = CAFCPipeline(CAFCConfig(
+        k=args.k, backend=args.backend, parallel=_parallel_config(args)
+    ))
     result = pipeline.organize(raw_pages, algorithm=args.algorithm)
+    print(f"ingest: {pipeline.vectorizer.ingest_stats.describe()}")
     if args.save_result:
         from repro.datasets import save_result
 
@@ -159,10 +175,13 @@ def _cmd_snapshot_build(args: argparse.Namespace) -> int:
     from repro.service import build_snapshot
 
     raw_pages = _load_or_generate(args)
-    pipeline = CAFCPipeline(CAFCConfig(k=args.k, backend=args.backend))
+    pipeline = CAFCPipeline(CAFCConfig(
+        k=args.k, backend=args.backend, parallel=_parallel_config(args)
+    ))
     result = pipeline.organize(raw_pages, algorithm=args.algorithm)
     snapshot = build_snapshot(result, pipeline.vectorizer, pipeline.config)
     snapshot.save(args.out)
+    print(f"ingest: {pipeline.vectorizer.ingest_stats.describe()}")
     print(
         f"saved snapshot to {args.out}: {snapshot.n_pages} pages in "
         f"{snapshot.n_clusters} clusters ({result.algorithm})"
@@ -288,6 +307,19 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_parallel_flags(parser: argparse.ArgumentParser) -> None:
+    """The shared ingestion knobs (docs/INGESTION.md)."""
+    parser.add_argument(
+        "--workers", type=int, default=1,
+        help="ingestion pool size; 0 = one per CPU, 1 = serial "
+             "(parallel output is bit-identical to serial)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the content-hash analysis cache (force re-parsing)",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -301,6 +333,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_exp.add_argument("--only", default="", help="run one experiment id")
     p_exp.add_argument("--list", action="store_true",
                        help="list experiment ids and exit")
+    _add_parallel_flags(p_exp)
     p_exp.set_defaults(func=_cmd_experiments)
 
     p_corpus = subparsers.add_parser("corpus", help="generate the benchmark corpus")
@@ -327,6 +360,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="print similarity-engine statistics (build time, comparisons, "
              "cache hits)",
     )
+    _add_parallel_flags(p_org)
     p_org.set_defaults(func=_cmd_organize)
 
     p_explore = subparsers.add_parser(
@@ -374,6 +408,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--out", required=True,
         help="snapshot path (gzipped when it ends in .gz)",
     )
+    _add_parallel_flags(p_snap_build)
     p_snap_build.set_defaults(func=_cmd_snapshot_build)
 
     p_snap_inspect = snap_sub.add_parser(

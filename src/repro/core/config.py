@@ -9,6 +9,7 @@ backlinks per page.
 import enum
 from dataclasses import dataclass, field
 
+from repro.parallel.config import ParallelConfig
 from repro.vsm.weights import LocationWeights
 
 
@@ -66,6 +67,11 @@ class CAFCConfig:
         the batched :class:`~repro.core.simengine.SimilarityEngine`),
         or ``"naive"`` (per-pair Equation-3 calls — the reference
         path).  All backends agree to 1e-9; see docs/PERFORMANCE.md.
+    parallel:
+        Ingestion execution plan (workers, chunk size, executor, and
+        the analysis cache) — see
+        :class:`~repro.parallel.config.ParallelConfig` and
+        docs/INGESTION.md.  Parallel output is bit-identical to serial.
     """
 
     k: int = 8
@@ -80,6 +86,7 @@ class CAFCConfig:
     max_iterations: int = 50
     seed: int = 0
     backend: str = "auto"
+    parallel: ParallelConfig = field(default_factory=ParallelConfig)
 
     def to_dict(self) -> dict:
         """All tunables as JSON-safe data (snapshot support)."""
@@ -96,6 +103,7 @@ class CAFCConfig:
             "max_iterations": self.max_iterations,
             "seed": self.seed,
             "backend": self.backend,
+            "parallel": self.parallel.to_dict(),
         }
 
     @classmethod
@@ -129,6 +137,7 @@ class CAFCConfig:
             ),
             seed=int(state.get("seed", defaults.seed)),
             backend=str(state.get("backend", defaults.backend)),
+            parallel=ParallelConfig.from_dict(dict(state.get("parallel", {}))),
         )
 
     def __post_init__(self) -> None:

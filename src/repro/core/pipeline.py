@@ -102,6 +102,7 @@ class CAFCPipeline:
         self.vectorizer = FormPageVectorizer(
             location_weights=self.config.location_weights,
             max_backlinks=self.config.max_backlinks,
+            parallel=self.config.parallel,
         )
         self.backend: SimilarityBackend = resolve_backend(backend, self.config)
 

@@ -16,14 +16,33 @@ before any vector exists: call :meth:`FormPageVectorizer.fit_transform`
 once over the corpus, then (optionally) :meth:`transform_new` for pages
 that arrive later (Section 5: classifying new sources against built
 clusters).
+
+Steps 1-2 (the CPU-heavy map phase) run through
+:mod:`repro.parallel.ingest` under the vectorizer's
+:class:`~repro.parallel.config.ParallelConfig` — serial, threaded, or on
+a process pool — and per-page analyses are memoized by content hash, so
+re-runs and the service's retry path skip re-parsing unchanged pages.
+Parallel and cached output is bit-identical to serial output (see
+docs/INGESTION.md for the determinism contract).
 """
 
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence
 
-from repro.core.form_page import FormPage, LocatedTerm, RawFormPage
-from repro.html.forms import extract_forms
-from repro.html.parser import parse_html
-from repro.html.text_extract import TextLocation, extract_located_text
+from repro.core.form_page import FormPage, RawFormPage
+from repro.parallel.cache import (
+    AnalysisCache,
+    DiskAnalysisCache,
+    analyzer_fingerprint,
+    page_analysis_key,
+)
+from repro.parallel.config import ParallelConfig
+from repro.parallel.ingest import (
+    IngestError,
+    IngestStats,
+    PageAnalysis,
+    analyze_form_page,
+    analyze_pages,
+)
 from repro.text.analyzer import TextAnalyzer
 from repro.vsm.corpus import CorpusStats
 from repro.vsm.weights import LocationWeights, located_term_frequencies, tf_idf_vector
@@ -37,72 +56,99 @@ class FormPageVectorizer:
         location_weights: Optional[LocationWeights] = None,
         analyzer: Optional[TextAnalyzer] = None,
         max_backlinks: int = 100,
+        parallel: Optional[ParallelConfig] = None,
+        analysis_cache_size: int = 4096,
     ) -> None:
         self.location_weights = location_weights or LocationWeights()
         self.analyzer = analyzer or TextAnalyzer()
         self.max_backlinks = max_backlinks
+        self.parallel = parallel or ParallelConfig()
         self.fc_corpus = CorpusStats()
         self.pc_corpus = CorpusStats()
         self._fitted = False
+        # Per-page analysis memo (content-hash keyed): fit_transform
+        # fills it, transform_new reuses it — the service /classify
+        # retry path re-analyzes nothing.
+        self._analysis_cache = AnalysisCache(
+            analysis_cache_size if self.parallel.use_cache else 0
+        )
+        self._disk_cache: Optional[DiskAnalysisCache] = (
+            DiskAnalysisCache(self.parallel.cache_dir)
+            if self.parallel.use_cache and self.parallel.cache_dir
+            else None
+        )
+        self.ingest_stats = IngestStats()
 
     # ----------------------------------------------------------------
     # Per-page text analysis.
     # ----------------------------------------------------------------
 
-    def _analyze_page(
-        self, raw: RawFormPage
-    ) -> Tuple[List[LocatedTerm], List[LocatedTerm], int, int]:
-        """Return (pc_terms, fc_terms, attribute_count, on_page_terms).
-
-        ``on_page_terms`` counts only the page's own visible terms —
-        harvested anchor text (appended at the end of ``pc_terms``) is
-        excluded, since Table 1 reasons about on-page text.
-        """
-        root = parse_html(raw.html)
-        pc_terms: List[LocatedTerm] = []
-        fc_terms: List[LocatedTerm] = []
-        for fragment in extract_located_text(root):
-            terms = self.analyzer.analyze(fragment.text)
-            located = [(term, fragment.location) for term in terms]
-            pc_terms.extend(located)
-            if fragment.inside_form:
-                fc_terms.extend(located)
-        # Incoming anchor text (when harvested) joins the page context
-        # with the ANCHOR location weight — it describes the page the
-        # way the linking site sees it.
-        on_page_terms = len(pc_terms)
-        for anchor in raw.anchor_texts:
-            pc_terms.extend(
-                (term, TextLocation.ANCHOR) for term in self.analyzer.analyze(anchor)
-            )
-        attribute_count = 0
-        forms = extract_forms(root)
-        if forms:
-            # A page can embed several forms (nav search + the database
-            # form); the database form is normally the largest.
-            attribute_count = max(form.attribute_count for form in forms)
-        return pc_terms, fc_terms, attribute_count, on_page_terms
+    def _analyze_page(self, raw: RawFormPage) -> PageAnalysis:
+        """Analyze one page, reusing any cached analysis for its content."""
+        key = None
+        if self.parallel.use_cache:
+            key = page_analysis_key(raw, analyzer_fingerprint(self.analyzer))
+            hit = self._analysis_cache.get(key)
+            if hit is not None:
+                self.ingest_stats.pages_total += 1
+                self.ingest_stats.memory_cache_hits += 1
+                return hit
+            if self._disk_cache is not None:
+                hit = self._disk_cache.get(key)
+                if hit is not None:
+                    self._analysis_cache.put(key, hit)
+                    self.ingest_stats.pages_total += 1
+                    self.ingest_stats.disk_cache_hits += 1
+                    return hit
+        try:
+            analysis = analyze_form_page(raw, self.analyzer)
+        except Exception as exc:
+            raise IngestError(raw.url, f"{type(exc).__name__}: {exc}") from exc
+        self.ingest_stats.pages_total += 1
+        self.ingest_stats.pages_analyzed += 1
+        if key is not None:
+            self._analysis_cache.put(key, analysis)
+            if self._disk_cache is not None:
+                self._disk_cache.put(key, analysis)
+        return analysis
 
     # ----------------------------------------------------------------
     # Fitting and transforming.
     # ----------------------------------------------------------------
 
     def fit_transform(self, raw_pages: Sequence[RawFormPage]) -> List[FormPage]:
-        """Vectorize a full collection (computes corpus IDF, then vectors)."""
-        analyzed = [self._analyze_page(raw) for raw in raw_pages]
+        """Vectorize a full collection (computes corpus IDF, then vectors).
+
+        The map phase (parse + tokenize + stem) runs under the
+        vectorizer's :class:`ParallelConfig`; the document-frequency
+        merge happens here, in the parent, in page order — the exact
+        call sequence of the serial path — so vocabulary order, DF
+        counts, and every float weight are identical whatever executor
+        analyzed the pages.
+        """
+        analyzed = analyze_pages(
+            raw_pages,
+            self.analyzer,
+            config=self.parallel,
+            memory_cache=self._analysis_cache if self.parallel.use_cache else None,
+            disk_cache=self._disk_cache,
+            stats=self.ingest_stats,
+        )
 
         # Pass 1 — document frequencies per feature space.
-        for pc_terms, fc_terms, _, _ in analyzed:
-            self.pc_corpus.add_document(term for term, _ in pc_terms)
-            self.fc_corpus.add_document(term for term, _ in fc_terms)
+        for analysis in analyzed:
+            self.pc_corpus.add_document(term for term, _ in analysis.pc_terms)
+            self.fc_corpus.add_document(term for term, _ in analysis.fc_terms)
         self._fitted = True
 
-        # Pass 2 — Equation 1 vectors.
+        # Pass 2 — Equation 1 vectors, over materialized IDF maps (same
+        # ``log(N / n_i)`` floats as per-term ``idf`` calls, minus the
+        # per-lookup method dispatch).
+        pc_idf = self.pc_corpus.idf_map()
+        fc_idf = self.fc_corpus.idf_map()
         return [
-            self._build_form_page(raw, pc_terms, fc_terms, attribute_count, on_page)
-            for raw, (pc_terms, fc_terms, attribute_count, on_page) in zip(
-                raw_pages, analyzed
-            )
+            self._build_form_page(raw, analysis, pc_idf=pc_idf, fc_idf=fc_idf)
+            for raw, analysis in zip(raw_pages, analyzed)
         ]
 
     # ----------------------------------------------------------------
@@ -129,7 +175,9 @@ class FormPageVectorizer:
         }
 
     @classmethod
-    def from_state(cls, state: dict) -> "FormPageVectorizer":
+    def from_state(
+        cls, state: dict, parallel: Optional[ParallelConfig] = None
+    ) -> "FormPageVectorizer":
         """Rebuild a fitted vectorizer from :meth:`export_state` data.
 
         The result classifies new pages (``transform_new``) exactly as
@@ -140,6 +188,7 @@ class FormPageVectorizer:
                 state.get("location_weights", {})
             ),
             max_backlinks=int(state.get("max_backlinks", 100)),
+            parallel=parallel,
         )
         vectorizer.pc_corpus = CorpusStats.from_dict(state.get("pc_corpus", {}))
         vectorizer.fc_corpus = CorpusStats.from_dict(state.get("fc_corpus", {}))
@@ -151,29 +200,30 @@ class FormPageVectorizer:
 
         Terms unseen during fitting get IDF 0 and drop out; this is the
         standard frozen-vocabulary treatment for scoring new documents.
+        A page whose content was already analyzed (during
+        ``fit_transform`` or an earlier ``transform_new``) reuses the
+        cached analysis instead of re-parsing.
         """
         if not self._fitted:
             raise RuntimeError("vectorizer must be fitted before transform_new")
-        pc_terms, fc_terms, attribute_count, on_page = self._analyze_page(raw)
-        return self._build_form_page(raw, pc_terms, fc_terms, attribute_count, on_page)
+        return self._build_form_page(raw, self._analyze_page(raw))
 
     def _build_form_page(
         self,
         raw: RawFormPage,
-        pc_terms: List[LocatedTerm],
-        fc_terms: List[LocatedTerm],
-        attribute_count: int,
-        on_page_terms: int,
+        analysis: PageAnalysis,
+        pc_idf: Optional[dict] = None,
+        fc_idf: Optional[dict] = None,
     ) -> FormPage:
-        pc_tf = located_term_frequencies(pc_terms, self.location_weights)
-        fc_tf = located_term_frequencies(fc_terms, self.location_weights)
+        pc_tf = located_term_frequencies(analysis.pc_terms, self.location_weights)
+        fc_tf = located_term_frequencies(analysis.fc_terms, self.location_weights)
         return FormPage(
             url=raw.url,
-            pc=tf_idf_vector(pc_tf, self.pc_corpus),
-            fc=tf_idf_vector(fc_tf, self.fc_corpus),
+            pc=tf_idf_vector(pc_tf, self.pc_corpus, idf_map=pc_idf),
+            fc=tf_idf_vector(fc_tf, self.fc_corpus, idf_map=fc_idf),
             backlinks=frozenset(raw.backlinks[: self.max_backlinks]),
             label=raw.label,
-            form_term_count=len(fc_terms),
-            page_term_count=on_page_terms,
-            attribute_count=attribute_count,
+            form_term_count=len(analysis.fc_terms),
+            page_term_count=analysis.on_page_terms,
+            attribute_count=analysis.attribute_count,
         )

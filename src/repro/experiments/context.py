@@ -16,6 +16,7 @@ from repro.core.form_page import FormPage, RawFormPage
 from repro.core.hubs import HubCluster, build_hub_clusters
 from repro.core.similarity import FormPageSimilarity
 from repro.core.vectorizer import FormPageVectorizer
+from repro.parallel.config import ParallelConfig
 from repro.vsm.weights import LocationWeights
 from repro.webgen.corpus import SyntheticWeb, generate_benchmark
 
@@ -30,6 +31,7 @@ class ExperimentContext:
     gold_labels: List[str]
     raw_hub_clusters: List[HubCluster]   # min cardinality 1, for statistics
     config: CAFCConfig
+    ingest_summary: str = "serial"       # how vectorization actually ran
 
     @property
     def similarity(self) -> FormPageSimilarity:
@@ -45,18 +47,29 @@ class ExperimentContext:
 
 
 @lru_cache(maxsize=8)
-def get_context(seed: int = 42, uniform_weights: bool = False) -> ExperimentContext:
+def get_context(
+    seed: int = 42,
+    uniform_weights: bool = False,
+    workers: int = 1,
+    use_cache: bool = True,
+) -> ExperimentContext:
     """Build (or fetch the cached) experiment context.
 
     ``uniform_weights`` vectorizes with LOC factors all set to 1 — the
-    Section 4.4 ablation input.
+    Section 4.4 ablation input.  ``workers`` / ``use_cache`` configure
+    the ingestion layer (see docs/INGESTION.md); vectors are
+    bit-identical regardless, so every (seed, uniform_weights) pair
+    yields the same experiment numbers at any worker count.
     """
+    parallel = ParallelConfig(workers=workers, use_cache=use_cache)
     web = generate_benchmark(seed=seed)
-    raw = web.raw_pages()
+    raw = web.raw_pages(parallel=parallel)
     location_weights = (
         LocationWeights.uniform() if uniform_weights else LocationWeights()
     )
-    vectorizer = FormPageVectorizer(location_weights=location_weights)
+    vectorizer = FormPageVectorizer(
+        location_weights=location_weights, parallel=parallel
+    )
     pages = vectorizer.fit_transform(raw)
     gold = [page.label or "?" for page in pages]
     hub_clusters = build_hub_clusters(pages, min_cardinality=1)
@@ -67,4 +80,5 @@ def get_context(seed: int = 42, uniform_weights: bool = False) -> ExperimentCont
         gold_labels=gold,
         raw_hub_clusters=hub_clusters,
         config=CAFCConfig(k=8),
+        ingest_summary=vectorizer.ingest_stats.describe(),
     )

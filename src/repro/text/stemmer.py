@@ -15,7 +15,14 @@ from typing import List
 
 
 class PorterStemmer:
-    """Stateless Porter stemmer.
+    """Porter stemmer with a bounded memo table.
+
+    The algorithm itself is stateless and pure; web corpora repeat terms
+    heavily, so each instance memoizes ``stem`` results in a size-capped
+    dict (FIFO eviction — insertion order is all ``dict`` gives us
+    cheaply, and any bounded policy works for a pure function).  The
+    cache is plain data, so instances stay picklable for process pools;
+    ``cache_hits`` / ``cache_misses`` feed the ingestion micro-bench.
 
     Usage::
 
@@ -25,6 +32,14 @@ class PorterStemmer:
     """
 
     _VOWELS = "aeiou"
+
+    DEFAULT_CACHE_SIZE = 50_000
+
+    def __init__(self, cache_size: int = DEFAULT_CACHE_SIZE) -> None:
+        self.cache_size = max(0, int(cache_size))
+        self._cache: dict = {}
+        self.cache_hits = 0
+        self.cache_misses = 0
 
     # ------------------------------------------------------------------
     # Measure and shape predicates, defined on a word prefix ``word[:j+1]``
@@ -243,6 +258,19 @@ class PorterStemmer:
         if len(word) <= 2:
             # Porter: strings of length 1 or 2 are left as-is.
             return word
+        cached = self._cache.get(word)
+        if cached is not None:
+            self.cache_hits += 1
+            return cached
+        self.cache_misses += 1
+        stemmed = self._stem_uncached(word)
+        if self.cache_size:
+            if len(self._cache) >= self.cache_size:
+                self._cache.pop(next(iter(self._cache)))
+            self._cache[word] = stemmed
+        return stemmed
+
+    def _stem_uncached(self, word: str) -> str:
         word = self._step1a(word)
         word = self._step1b(word)
         word = self._step1c(word)

@@ -17,7 +17,7 @@ Section 4.4 ablation (all LOC factors = 1).
 
 from collections import Counter
 from dataclasses import dataclass
-from typing import Iterable, Tuple
+from typing import Dict, Iterable, Optional, Tuple
 
 from repro.html.text_extract import TextLocation
 from repro.vsm.corpus import CorpusStats
@@ -96,13 +96,26 @@ def located_term_frequencies(
 def tf_idf_vector(
     weighted_term_frequencies: Counter,
     corpus: CorpusStats,
+    idf_map: Optional[Dict[str, float]] = None,
 ) -> SparseVector:
     """Build the Equation-1 vector from LOC-weighted TFs and corpus IDF.
 
     Terms with zero IDF (present in every document, or unknown) drop out of
     the vector — they cannot discriminate anything.
+
+    ``idf_map`` (from :meth:`CorpusStats.idf_map`) replaces the per-term
+    ``corpus.idf`` method calls with dict lookups when the caller
+    vectorizes a whole collection; both paths compute ``log(N / n_i)``
+    from the same integers, so the floats are identical.
     """
     weights = {}
+    if idf_map is not None:
+        get_idf = idf_map.get
+        for term, weighted_tf in weighted_term_frequencies.items():
+            idf = get_idf(term, 0.0)
+            if idf > 0.0:
+                weights[term] = weighted_tf * idf
+        return SparseVector(weights)
     for term, weighted_tf in weighted_term_frequencies.items():
         idf = corpus.idf(term)
         if idf > 0.0:

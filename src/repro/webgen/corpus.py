@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.core.form_page import RawFormPage
+from repro.parallel.config import ParallelConfig
 from repro.webgen.config import GeneratorConfig
 from repro.webgen.domains import DOMAINS, domain_by_name
 from repro.webgen.hubs_gen import generate_hubs
@@ -81,6 +82,7 @@ class SyntheticWeb:
         self,
         use_root_backlinks: bool = True,
         include_anchor_text: bool = False,
+        parallel: Optional[ParallelConfig] = None,
     ) -> List[RawFormPage]:
         """The clustering input: HTML + harvested backlinks + gold label.
 
@@ -91,12 +93,18 @@ class SyntheticWeb:
         ``include_anchor_text`` additionally fetches each backlink page
         and collects the anchor strings of its links to the form page or
         site root (the Section-6 anchor-text extension).
+
+        ``parallel`` harvests per-site backlinks (and anchor text)
+        concurrently; per-site assembly is an independent pure read of
+        the graph and the engine's deterministic index, and results are
+        collected in site order, so the output is identical to serial.
         """
         from repro.link_analysis.anchor_text import harvest_anchor_texts
+        from repro.parallel.ingest import parallel_map
 
         engine = self.search_engine()
-        pages: List[RawFormPage] = []
-        for site in self.sites:
+
+        def assemble(site: Site) -> RawFormPage:
             backlinks = engine.link_query(site.form_page_url)
             if use_root_backlinks:
                 root_backlinks = engine.link_query(site.root_url)
@@ -115,16 +123,15 @@ class SyntheticWeb:
                     backlinks,
                     also_match=[site.root_url],
                 )
-            pages.append(
-                RawFormPage(
-                    url=site.form_page_url,
-                    html=page.html,
-                    backlinks=backlinks,
-                    label=site.domain_name,
-                    anchor_texts=anchor_texts,
-                )
+            return RawFormPage(
+                url=site.form_page_url,
+                html=page.html,
+                backlinks=backlinks,
+                label=site.domain_name,
+                anchor_texts=anchor_texts,
             )
-        return pages
+
+        return parallel_map(assemble, self.sites, parallel)
 
     def profile(self) -> Dict[str, int]:
         """Corpus profile counts (the Section 4.1 numbers)."""

@@ -16,6 +16,7 @@ so experiments are exactly reproducible.
 """
 
 import hashlib
+import threading
 from typing import List
 
 from repro.webgraph.graph import WebGraph
@@ -61,6 +62,9 @@ class SimulatedSearchEngine:
         self.max_results = max_results
         self.seed = seed
         self.query_count = 0
+        # Parallel backlink harvesting queries from several threads; the
+        # counter is the only mutable state, so guard just it.
+        self._count_lock = threading.Lock()
 
     def _indexed(self, url: str) -> bool:
         """Whether the engine crawled (and thus indexed links from) ``url``."""
@@ -72,7 +76,8 @@ class SimulatedSearchEngine:
         Results are URL-sorted then truncated, which matches how engines
         return a stable prefix of a larger result set.
         """
-        self.query_count += 1
+        with self._count_lock:
+            self.query_count += 1
         indexed = [
             source for source in self.graph.backlinks(url) if self._indexed(source)
         ]

@@ -15,6 +15,20 @@ class TestParser:
         args = build_parser().parse_args(["experiments"])
         assert args.seed == 42
         assert args.runs == 20
+        assert args.workers == 1
+        assert args.no_cache is False
+
+    def test_parallel_flags(self):
+        for command in (
+            ["experiments"],
+            ["organize"],
+            ["snapshot", "build", "--out", "d.json"],
+        ):
+            args = build_parser().parse_args(
+                command + ["--workers", "4", "--no-cache"]
+            )
+            assert args.workers == 4
+            assert args.no_cache is True
 
     def test_corpus_args(self):
         args = build_parser().parse_args(["corpus", "--seed", "7", "--save", "x.json"])
@@ -45,6 +59,18 @@ class TestCommands:
         output = capsys.readouterr().out
         assert "cluster 0" in output
         assert "terms:" in output
+
+    def test_organize_reports_ingest(self, tmp_path, small_raw_pages, capsys):
+        path = tmp_path / "corpus.json"
+        save_dataset(small_raw_pages, path)
+        exit_code = main(
+            ["organize", "--dataset", str(path), "--k", "8",
+             "--workers", "2", "--no-cache"]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "ingest:" in output
+        assert f"{len(small_raw_pages)} pages" in output
 
     def test_organize_cafc_c(self, tmp_path, small_raw_pages, capsys):
         path = tmp_path / "corpus.json"

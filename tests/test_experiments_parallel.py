@@ -1,0 +1,109 @@
+"""The dependency-aware experiment executor, and run_all under it."""
+
+import threading
+import time
+
+import pytest
+
+from repro.experiments.parallel import ExperimentSpec, run_specs
+from repro.experiments.run_all import run_all
+
+
+class TestRunSpecs:
+    def test_serial_respects_dependencies(self):
+        order = []
+
+        def make(name):
+            def runner(*deps):
+                order.append(name)
+                return name
+            return runner
+
+        results = run_specs([
+            ExperimentSpec("c", make("c"), deps=("a", "b")),
+            ExperimentSpec("a", make("a")),
+            ExperimentSpec("b", make("b"), deps=("a",)),
+        ])
+        assert results == {"a": "a", "b": "b", "c": "c"}
+        assert order == ["a", "b", "c"]
+
+    def test_dependency_results_passed_positionally(self):
+        results = run_specs([
+            ExperimentSpec("x", lambda: 2),
+            ExperimentSpec("y", lambda: 3),
+            ExperimentSpec("sum", lambda x, y: x + y, deps=("x", "y")),
+        ])
+        assert results["sum"] == 5
+
+    def test_parallel_matches_serial(self):
+        specs = [
+            ExperimentSpec("base", lambda: 10),
+            ExperimentSpec("double", lambda b: b * 2, deps=("base",)),
+            ExperimentSpec("triple", lambda b: b * 3, deps=("base",)),
+            ExperimentSpec(
+                "total", lambda d, t: d + t, deps=("double", "triple")
+            ),
+        ]
+        assert run_specs(specs, workers=4) == run_specs(specs, workers=1)
+
+    def test_independent_nodes_overlap_under_workers(self):
+        """Two dependency-free nodes actually run concurrently: each waits
+        for the other to start before finishing."""
+        barrier = threading.Barrier(2, timeout=5)
+
+        def rendezvous():
+            barrier.wait()
+            return True
+
+        started = time.perf_counter()
+        results = run_specs(
+            [ExperimentSpec("left", rendezvous),
+             ExperimentSpec("right", rendezvous)],
+            workers=2,
+        )
+        assert results == {"left": True, "right": True}
+        assert time.perf_counter() - started < 5
+
+    def test_graph_validation(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            run_specs([
+                ExperimentSpec("a", lambda: 1),
+                ExperimentSpec("a", lambda: 2),
+            ])
+        with pytest.raises(ValueError, match="unknown"):
+            run_specs([ExperimentSpec("a", lambda: 1, deps=("ghost",))])
+        with pytest.raises(ValueError, match="cycle"):
+            run_specs([
+                ExperimentSpec("a", lambda b: b, deps=("b",)),
+                ExperimentSpec("b", lambda a: a, deps=("a",)),
+            ])
+
+    @pytest.mark.parametrize("workers", [1, 3])
+    def test_runner_exception_propagates(self, workers):
+        def boom(ok):
+            raise RuntimeError("experiment failed")
+
+        with pytest.raises(RuntimeError, match="experiment failed"):
+            run_specs(
+                [ExperimentSpec("ok", lambda: 1),
+                 ExperimentSpec("bad", boom, deps=("ok",))],
+                workers=workers,
+            )
+
+
+class TestRunAllParallel:
+    def test_parallel_report_matches_serial(self):
+        """The whole point of canonical-order assembly: the report text is
+        byte-identical at any worker count."""
+        serial = run_all(only="table1", n_runs=1, workers=1)
+        threaded = run_all(only="table1", n_runs=1, workers=4)
+        assert threaded == serial
+
+    def test_header_names_executors(self):
+        report = run_all(only="corpus_profile", n_runs=1, workers=2,
+                         report_header=True)
+        first_line = report.splitlines()[0]
+        assert first_line.startswith("run: 1 experiment(s); executor: thread x2")
+        assert "ingest:" in first_line
+        # Without the flag, no header.
+        assert "executor:" not in run_all(only="corpus_profile", n_runs=1)

@@ -152,3 +152,52 @@ class TestStemmerProperties:
     @given(st.text(alphabet=st.sampled_from("abcdefghijklmnopqrstuvwxyz"), min_size=1, max_size=20))
     def test_deterministic(self, word):
         assert stem(word) == stem(word)
+
+
+class TestStemCache:
+    """The bounded memo table: correct, bounded, counted, picklable."""
+
+    def test_cached_equals_uncached(self):
+        cached = PorterStemmer()
+        uncached = PorterStemmer(cache_size=0)
+        words = ["flights", "flights", "privacy", "shopping", "shopping"]
+        assert cached.stem_all(words) == uncached.stem_all(words)
+
+    def test_hit_and_miss_counters(self):
+        stemmer = PorterStemmer()
+        stemmer.stem("flights")
+        stemmer.stem("flights")
+        stemmer.stem("hotels")
+        assert stemmer.cache_misses == 2
+        assert stemmer.cache_hits == 1
+
+    def test_short_words_bypass_cache(self):
+        stemmer = PorterStemmer()
+        stemmer.stem("ab")
+        stemmer.stem("ab")
+        assert stemmer.cache_hits == 0 and stemmer.cache_misses == 0
+
+    def test_cache_stays_bounded(self):
+        stemmer = PorterStemmer(cache_size=3)
+        for word in ["flights", "hotels", "careers", "albums", "rentals"]:
+            stemmer.stem(word)
+        assert len(stemmer._cache) <= 3
+        # Evicted entries are recomputed correctly, not wrongly served.
+        assert stemmer.stem("flights") == "flight"
+
+    def test_zero_size_disables_storage(self):
+        stemmer = PorterStemmer(cache_size=0)
+        stemmer.stem("flights")
+        stemmer.stem("flights")
+        assert stemmer._cache == {}
+        assert stemmer.cache_hits == 0
+
+    def test_picklable_with_warm_cache(self):
+        import pickle
+
+        stemmer = PorterStemmer()
+        stemmer.stem("flights")
+        clone = pickle.loads(pickle.dumps(stemmer))
+        assert clone.stem("flights") == "flight"
+        # The clone carried the warm cache with it.
+        assert clone.cache_hits == 1
