@@ -26,6 +26,7 @@ Parallel and cached output is bit-identical to serial output (see
 docs/INGESTION.md for the determinism contract).
 """
 
+import threading
 from typing import List, Optional, Sequence
 
 from repro.core.form_page import FormPage, RawFormPage
@@ -78,6 +79,10 @@ class FormPageVectorizer:
             else None
         )
         self.ingest_stats = IngestStats()
+        # transform_new runs concurrently under the service's threaded
+        # HTTP server; the analysis cache locks itself, this lock keeps
+        # the stats counters consistent.
+        self._stats_lock = threading.Lock()
 
     # ----------------------------------------------------------------
     # Per-page text analysis.
@@ -90,22 +95,25 @@ class FormPageVectorizer:
             key = page_analysis_key(raw, analyzer_fingerprint(self.analyzer))
             hit = self._analysis_cache.get(key)
             if hit is not None:
-                self.ingest_stats.pages_total += 1
-                self.ingest_stats.memory_cache_hits += 1
+                with self._stats_lock:
+                    self.ingest_stats.pages_total += 1
+                    self.ingest_stats.memory_cache_hits += 1
                 return hit
             if self._disk_cache is not None:
                 hit = self._disk_cache.get(key)
                 if hit is not None:
                     self._analysis_cache.put(key, hit)
-                    self.ingest_stats.pages_total += 1
-                    self.ingest_stats.disk_cache_hits += 1
+                    with self._stats_lock:
+                        self.ingest_stats.pages_total += 1
+                        self.ingest_stats.disk_cache_hits += 1
                     return hit
         try:
             analysis = analyze_form_page(raw, self.analyzer)
         except Exception as exc:
             raise IngestError(raw.url, f"{type(exc).__name__}: {exc}") from exc
-        self.ingest_stats.pages_total += 1
-        self.ingest_stats.pages_analyzed += 1
+        with self._stats_lock:
+            self.ingest_stats.pages_total += 1
+            self.ingest_stats.pages_analyzed += 1
         if key is not None:
             self._analysis_cache.put(key, analysis)
             if self._disk_cache is not None:

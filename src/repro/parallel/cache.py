@@ -21,6 +21,7 @@ order with exact integer counts, so a cache hit reproduces the same
 """
 
 import hashlib
+import threading
 from collections import OrderedDict
 from pathlib import Path
 from typing import Optional, Union
@@ -67,39 +68,48 @@ def page_analysis_key(raw: RawFormPage, analyzer_print: str) -> str:
 class AnalysisCache:
     """A bounded in-memory LRU of :class:`~repro.parallel.ingest.PageAnalysis`.
 
-    Not thread-safe by itself; the service serializes access through the
-    vectorizer it owns.  ``max_size=0`` disables storage (every ``get``
-    misses), which keeps call sites branch-free.
+    Thread-safe: every operation holds an internal lock, because the
+    service's ``ThreadingHTTPServer`` runs ``transform_new`` outside the
+    directory locks and concurrent ``/classify`` / ``/add`` requests hit
+    this cache simultaneously.  The lock is a dict move plus a counter
+    bump — negligible next to the parse it saves.  ``max_size=0``
+    disables storage (every ``get`` misses), which keeps call sites
+    branch-free.
     """
 
     def __init__(self, max_size: int = 4096) -> None:
         self.max_size = max(0, int(max_size))
         self._entries: "OrderedDict[str, object]" = OrderedDict()
+        self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def get(self, key: str):
-        entry = self._entries.get(key)
-        if entry is None:
-            self.misses += 1
-            return None
-        self._entries.move_to_end(key)
-        self.hits += 1
-        return entry
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return entry
 
     def put(self, key: str, analysis) -> None:
         if self.max_size == 0:
             return
-        self._entries[key] = analysis
-        self._entries.move_to_end(key)
-        while len(self._entries) > self.max_size:
-            self._entries.popitem(last=False)
+        with self._lock:
+            self._entries[key] = analysis
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_size:
+                self._entries.popitem(last=False)
 
     def clear(self) -> None:
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
 
 
 class DiskAnalysisCache:

@@ -290,11 +290,20 @@ class FormDirectory:
         m.gauge(
             "ingest_map_seconds_total", "Time in the analysis map phase"
         ).set_function(lambda: ingest.map_seconds)
-        m.gauge(
-            "ingest_workers",
-            "Pool size of the most recent ingest run, labeled by executor",
-            executor=ingest.executor,
-        ).set_function(lambda: ingest.workers)
+        # One child per executor kind, resolved at scrape time: the live
+        # executor reports its pool size, the others read 0.  (Binding
+        # ingest.executor as the label here would freeze whatever the
+        # executor was at registration.)
+        for kind in ("serial", "thread", "process"):
+            m.gauge(
+                "ingest_workers",
+                "Pool size of the most recent ingest run, labeled by executor",
+                executor=kind,
+            ).set_function(
+                lambda kind=kind: (
+                    ingest.workers if ingest.executor == kind else 0
+                )
+            )
         self._m_vectorize_seconds = m.histogram(
             "ingest_vectorize_seconds",
             "Per-request vectorization latency (parse + Equation 1)",

@@ -266,7 +266,16 @@ class PorterStemmer:
         stemmed = self._stem_uncached(word)
         if self.cache_size:
             if len(self._cache) >= self.cache_size:
-                self._cache.pop(next(iter(self._cache)))
+                # The memo may be shared across threads (thread-executor
+                # ingestion, concurrent service requests).  Individual
+                # dict ops are atomic under the GIL, but another thread
+                # can evict between our iter() and pop() — tolerate the
+                # collision instead of taking a lock, which would cost
+                # every stem call and break process-pool pickling.
+                try:
+                    self._cache.pop(next(iter(self._cache)), None)
+                except (StopIteration, RuntimeError, KeyError):
+                    pass
             self._cache[word] = stemmed
         return stemmed
 

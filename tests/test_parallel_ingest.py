@@ -11,6 +11,7 @@ this contract.
 
 import concurrent.futures
 import pickle
+import threading
 
 import pytest
 
@@ -317,6 +318,37 @@ def test_memory_cache_is_a_bounded_lru():
     disabled = AnalysisCache(max_size=0)
     disabled.put("a", 1)
     assert disabled.get("a") is None and len(disabled) == 0
+
+
+def test_memory_cache_survives_concurrent_hammering():
+    # Regression: the service's threaded HTTP server reaches this cache
+    # from concurrent /classify and /add handlers outside every
+    # directory lock; unsynchronized move_to_end/popitem raced into
+    # KeyError and a corrupted LRU.
+    cache = AnalysisCache(max_size=8)
+    errors = []
+    start = threading.Barrier(8)
+
+    def hammer(seed):
+        try:
+            start.wait()
+            for i in range(2000):
+                key = f"k{(seed * 31 + i) % 32}"
+                cache.put(key, i)
+                cache.get(key)
+                cache.get(f"k{i % 32}")
+        except Exception as exc:  # pragma: no cover - the regression
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=hammer, args=(seed,)) for seed in range(8)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert errors == []
+    assert len(cache) <= 8
 
 
 def test_analysis_json_roundtrip_and_version_gate(small_raw_pages):

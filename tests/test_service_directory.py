@@ -342,3 +342,22 @@ class TestConcurrencyHammer:
 
             for url, outcome in outcomes.items():
                 assert outcome.cluster == expected[url], url
+
+
+class TestIngestMetrics:
+    def test_ingest_workers_label_tracks_live_executor(self, small_snapshot):
+        # Regression: the executor label was bound once at metrics
+        # registration, so a later ingest under a different executor
+        # misreported forever.  Each executor kind now has its own
+        # child, resolved against the live stats at scrape time.
+        with make_directory(small_snapshot, cache_size=0) as directory:
+            ingest = directory.vectorizer.ingest_stats
+            text = directory.metrics.render()
+            assert 'repro_ingest_workers{executor="serial"} 1' in text
+            assert 'repro_ingest_workers{executor="process"} 0' in text
+
+            ingest.executor = "process"
+            ingest.workers = 4
+            text = directory.metrics.render()
+            assert 'repro_ingest_workers{executor="process"} 4' in text
+            assert 'repro_ingest_workers{executor="serial"} 0' in text

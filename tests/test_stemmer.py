@@ -192,6 +192,38 @@ class TestStemCache:
         assert stemmer._cache == {}
         assert stemmer.cache_hits == 0
 
+    def test_concurrent_eviction_never_raises(self):
+        # Regression: thread-executor ingestion shares one analyzer (and
+        # thus one memo) across workers; two threads evicting at once
+        # popped the same key -> KeyError, surfaced as a spurious
+        # IngestError that aborted the whole run.
+        import threading
+
+        stemmer = PorterStemmer(cache_size=4)
+        words = [f"testing{i}words" for i in range(64)]
+        errors = []
+        start = threading.Barrier(8)
+
+        def loop():
+            try:
+                start.wait()
+                for _ in range(50):
+                    for word in words:
+                        stemmer.stem(word)
+            except Exception as exc:  # pragma: no cover - the regression
+                errors.append(exc)
+
+        threads = [threading.Thread(target=loop) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+        # Lock-free eviction can transiently overshoot by at most one
+        # entry per racing thread; it must never grow unbounded.
+        assert len(stemmer._cache) <= 4 + len(threads)
+        assert stemmer.stem("flights") == "flight"
+
     def test_picklable_with_warm_cache(self):
         import pickle
 
