@@ -1,6 +1,6 @@
 # Convenience targets; everything works without make too.
 
-.PHONY: install test bench bench-smoke bench-ingest serve-smoke experiments examples lint clean
+.PHONY: install test bench bench-smoke bench-ingest bench-search serve-smoke experiments examples lint clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -17,6 +17,9 @@ bench-smoke:           ## engine-vs-naive A/B + micro benches; fails on mismatch
 
 bench-ingest:          ## ingestion executor/cache A/B; records BENCH_ingest.json
 	pytest benchmarks/test_bench_ingest.py -q -s --timeout=600
+
+bench-search:          ## scan-vs-indexed search A/B; records BENCH_search.json
+	pytest benchmarks/test_bench_search.py -q -s --timeout=600
 
 serve-smoke:           ## boot the directory server on an ephemeral port, probe it, shut down
 	PYTHONPATH=src python -m repro serve --smoke

@@ -82,14 +82,21 @@ def test_bench_ingest_executors_and_cache(benchmark, raw_pages, tmp_path):
     rows.append(_row("serial cold", serial_time, n, serial_vec.ingest_stats))
 
     # Process pools, cold (workers=1 resolves to serial by contract).
+    cpus = os.cpu_count() or 1
     for workers in POOL_WORKER_COUNTS:
         config = ParallelConfig(
             workers=workers, executor="process", use_cache=False
         )
         seconds, vectorizer = _timed_fit(raw_pages, config)
-        rows.append(_row(
+        row = _row(
             f"process x{workers} cold", seconds, n, vectorizer.ingest_stats
-        ))
+        )
+        if workers > cpus:
+            row["note"] = (
+                f"requested {workers} workers on a {cpus}-cpu host; "
+                "measured under oversubscription, not a parallel speedup"
+            )
+        rows.append(row)
 
     # Warm disk cache at 4 workers: a prior run left its analyses on disk;
     # this run replays them and the planner has nothing left to pool.

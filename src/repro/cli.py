@@ -208,6 +208,7 @@ def _build_serve_directory(args: argparse.Namespace):
         batch_window_ms=window,
         cache_size=args.cache_size,
         auto_recluster=not args.no_auto_recluster,
+        index=args.index,
     )
     if args.snapshot:
         return FormDirectory.from_snapshot(args.snapshot, **knobs)
@@ -432,6 +433,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument(
         "--backend", choices=["auto", "engine", "naive"], default="auto",
         help="similarity backend for serving",
+    )
+    p_serve.add_argument(
+        "--index", choices=["auto", "on", "off"], default="auto",
+        help="inverted-index retrieval for classify candidates and "
+             "/search (auto enables it at scale; results are "
+             "bit-identical either way — docs/SERVING.md)",
     )
     p_serve.add_argument(
         "--batch-window-ms", type=float, default=5.0,

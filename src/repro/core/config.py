@@ -67,6 +67,13 @@ class CAFCConfig:
         the batched :class:`~repro.core.simengine.SimilarityEngine`),
         or ``"naive"`` (per-pair Equation-3 calls — the reference
         path).  All backends agree to 1e-9; see docs/PERFORMANCE.md.
+    index:
+        Inverted-index retrieval for the read path (classify candidate
+        generation and directory search): ``"auto"`` (default; on once
+        the collection is large enough to pay off), ``"on"`` (always),
+        ``"off"`` (always full scans).  Indexed results are
+        bit-identical to the scans — see docs/SERVING.md, "Indexed
+        retrieval".
     parallel:
         Ingestion execution plan (workers, chunk size, executor, and
         the analysis cache) — see
@@ -86,6 +93,7 @@ class CAFCConfig:
     max_iterations: int = 50
     seed: int = 0
     backend: str = "auto"
+    index: str = "auto"
     parallel: ParallelConfig = field(default_factory=ParallelConfig)
 
     def to_dict(self) -> dict:
@@ -103,6 +111,7 @@ class CAFCConfig:
             "max_iterations": self.max_iterations,
             "seed": self.seed,
             "backend": self.backend,
+            "index": self.index,
             "parallel": self.parallel.to_dict(),
         }
 
@@ -137,6 +146,7 @@ class CAFCConfig:
             ),
             seed=int(state.get("seed", defaults.seed)),
             backend=str(state.get("backend", defaults.backend)),
+            index=str(state.get("index", defaults.index)),
             parallel=ParallelConfig.from_dict(dict(state.get("parallel", {}))),
         )
 
@@ -145,6 +155,11 @@ class CAFCConfig:
             raise ValueError(
                 f"unknown backend {self.backend!r}; "
                 'expected "auto", "engine" or "naive"'
+            )
+        if self.index not in ("auto", "on", "off"):
+            raise ValueError(
+                f"unknown index mode {self.index!r}; "
+                'expected "auto", "on" or "off"'
             )
         if self.k < 1:
             raise ValueError("k must be positive")

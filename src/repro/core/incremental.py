@@ -39,6 +39,11 @@ from repro.core.similarity import (
     resolve_backend,
 )
 from repro.core.vectorizer import FormPageVectorizer
+from repro.index.centroids import CentroidIndex
+from repro.index.directory_index import (
+    INDEX_AUTO_MIN_CLUSTERS,
+    validate_index_mode,
+)
 
 
 @dataclass
@@ -80,6 +85,7 @@ class IncrementalOrganizer:
         config: Optional[CAFCConfig] = None,
         drift_threshold: float = 0.7,
         backend: BackendSpec = None,
+        index: Optional[str] = None,
     ) -> None:
         if not initial_clusters:
             raise ValueError("need at least one initial cluster")
@@ -104,6 +110,29 @@ class IncrementalOrganizer:
             self.clusters.append(cluster)
             for page in members:
                 self._by_url[page.url] = len(self.clusters) - 1
+
+        # Candidate-pruned classification (repro.index): with many
+        # clusters, scoring a page against every centroid per classify
+        # is the read path's scan; posting lists over the centroids cut
+        # it to a provably sufficient candidate set, re-scored through
+        # the same backend.pair arithmetic (results bit-identical).
+        # Cluster count never changes after construction (recluster
+        # preserves it), so the auto decision is made once here.
+        self.index_mode = validate_index_mode(
+            index if index is not None else self.config.index
+        )
+        self._index_active = self.index_mode == "on" or (
+            self.index_mode == "auto"
+            and len(self.clusters) >= INDEX_AUTO_MIN_CLUSTERS
+        )
+        self.centroid_index: Optional[CentroidIndex] = None
+        if self._index_active:
+            self.centroid_index = CentroidIndex(
+                content_mode=self.config.content_mode,
+                page_weight=self.config.page_weight,
+                form_weight=self.config.form_weight,
+            )
+            self.centroid_index.rebuild(self.clusters)
 
         self._contrib: Dict[str, float] = {}
         self._cohesion_sum = 0.0
@@ -177,8 +206,25 @@ class IncrementalOrganizer:
         anything.  Returns ``(cluster_index, similarity)``; ties break
         toward the lowest index, exactly as :meth:`add` assigns.
 
-        Cost: ``len(self.clusters)`` similarity evaluations.
+        With the centroid index active (``index="on"``, or ``"auto"``
+        over at least ``INDEX_AUTO_MIN_CLUSTERS`` clusters), posting-
+        list pruning generates a candidate set and only the survivors
+        are scored — same winner, same float, fewer evaluations.  The
+        full scan costs ``len(self.clusters)`` similarity evaluations
+        and remains the reference (and the fallback when a concurrent
+        reader finds the index rows stale).
         """
+        index = self.centroid_index
+        if index is not None and index.fresh(self.clusters):
+            hit = index.top1(
+                page,
+                lambda i: self.backend.pair(page, self.clusters[i].centroid),
+            )
+            if hit is not None:
+                return hit
+            # Every centroid scored 0: mirror the scan's argmax over an
+            # all-zero score list (first cluster wins).
+            return 0, self.backend.pair(page, self.clusters[0].centroid)
         scores = [
             self.backend.pair(page, cluster.centroid)
             for cluster in self.clusters
@@ -241,6 +287,8 @@ class IncrementalOrganizer:
         cluster = self.clusters[best_index]
         cluster.pages.append(page)
         cluster.rebuild_centroid()
+        if self.centroid_index is not None:
+            self.centroid_index.sync(self.clusters)
         contribution = self.backend.pair(page, cluster.centroid)
         self._contrib[page.url] = contribution
         self._cohesion_sum += contribution
@@ -261,6 +309,8 @@ class IncrementalOrganizer:
         cluster = self.clusters[cluster_index]
         cluster.pages = [page for page in cluster.pages if page.url != url]
         cluster.rebuild_centroid()
+        if self.centroid_index is not None:
+            self.centroid_index.sync(self.clusters)
         self._cohesion_sum -= self._contrib.pop(url, 0.0)
         self.n_removed += 1
         return True
@@ -319,6 +369,8 @@ class IncrementalOrganizer:
                 if old_assignment.get(page.url) != index:
                     moved += 1
         self.clusters = new_clusters
+        if self.centroid_index is not None:
+            self.centroid_index.rebuild(self.clusters)
         self.refresh_cohesion()
         self._baseline_cohesion = self.cohesion
         return moved

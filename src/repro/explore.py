@@ -11,22 +11,10 @@ human-readable summaries.
 from dataclasses import dataclass
 from typing import List, Optional
 
-from repro.core.config import ContentMode
 from repro.core.pipeline import CAFCResult, OrganizedCluster
-from repro.core.simengine import SimilarityEngine
+from repro.index import SpaceIndex, combined_query_channel, top_k_exact
 from repro.text.analyzer import TextAnalyzer
-from repro.vsm.vector import SparseVector
-
-
-class _CombinedPoint:
-    """Adapter: one combined-space vector as a (PC, FC) item, so the
-    query scoring can ride the PC-mode similarity engine."""
-
-    __slots__ = ("pc", "fc")
-
-    def __init__(self, vector: SparseVector) -> None:
-        self.pc = vector
-        self.fc = SparseVector()
+from repro.vsm.vector import SparseVector, cosine_similarity
 
 
 @dataclass
@@ -55,22 +43,21 @@ class ClusterExplorer:
         self.result = result
         self.analyzer = analyzer or TextAnalyzer()
         self._combined: Optional[List[SparseVector]] = None
-        self._engine: Optional[SimilarityEngine] = None
+        self._index: Optional[SpaceIndex] = None
 
-    def _centroid_engine(self) -> SimilarityEngine:
-        """A PC-mode engine over the combined (PC + FC) centroids,
-        compiled once per explorer — queries then score every cluster in
-        one batched pass."""
-        if self._engine is None:
+    def _centroid_index(self) -> SpaceIndex:
+        """Posting lists over the combined (PC + FC) centroids, built
+        once per explorer — queries then touch only the lists their
+        terms appear in (:mod:`repro.index`)."""
+        if self._index is None:
             self._combined = [
                 cluster.centroid.pc.add(cluster.centroid.fc)
                 for cluster in self.result.clusters
             ]
-            self._engine = SimilarityEngine(
-                [_CombinedPoint(vector) for vector in self._combined],
-                content_mode=ContentMode.PC,
-            )
-        return self._engine
+            self._index = SpaceIndex()
+            for index, vector in enumerate(self._combined):
+                self._index.add_row(index, vector)
+        return self._index
 
     # ----------------------------------------------------------------
     # Search.
@@ -94,9 +81,14 @@ class ClusterExplorer:
         query_vector = self._query_vector(query)
         if not query_vector:
             return []
-        engine = self._centroid_engine()
+        index_rows = self._centroid_index()
+        ranked = top_k_exact(
+            [combined_query_channel(index_rows, query_vector)],
+            n,
+            lambda i: cosine_similarity(query_vector, self._combined[i]),
+        )
         hits: List[SearchHit] = []
-        for index, score in engine.topk(_CombinedPoint(query_vector), n):
+        for index, score in ranked:
             combined = self._combined[index]
             matched = sorted(
                 term for term in query_vector.terms() if term in combined

@@ -1,0 +1,41 @@
+"""repro.index — sparse inverted-index retrieval over the feature spaces.
+
+Exact top-k without full scans: per-term posting lists with
+pre-normalized weights and per-term max-weight upper bounds
+(:mod:`~repro.index.postings`), term-at-a-time accumulation with
+upper-bound pruning and exact re-scoring (:mod:`~repro.index.retrieval`),
+centroid candidate generation for classify
+(:mod:`~repro.index.centroids`), and the generation-stamped directory
+state behind ``/search`` (:mod:`~repro.index.directory_index`).
+
+Results are parity-pinned against the full-scan paths — same ids, same
+floats, same order.  See docs/SERVING.md ("Indexed retrieval").
+"""
+
+from repro.index.centroids import CentroidIndex
+from repro.index.directory_index import (
+    INDEX_AUTO_MIN_CLUSTERS,
+    INDEX_AUTO_MIN_PAGES,
+    DirectoryIndex,
+    validate_index_mode,
+)
+from repro.index.postings import SpaceIndex
+from repro.index.retrieval import (
+    Channel,
+    RetrievalStats,
+    combined_query_channel,
+    top_k_exact,
+)
+
+__all__ = [
+    "INDEX_AUTO_MIN_CLUSTERS",
+    "INDEX_AUTO_MIN_PAGES",
+    "CentroidIndex",
+    "Channel",
+    "DirectoryIndex",
+    "RetrievalStats",
+    "SpaceIndex",
+    "combined_query_channel",
+    "top_k_exact",
+    "validate_index_mode",
+]

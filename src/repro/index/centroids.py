@@ -1,0 +1,129 @@
+"""Per-space centroid posting lists — candidate-pruned classification.
+
+:class:`CentroidIndex` holds one :class:`~repro.index.postings.SpaceIndex`
+per feature space over the *cluster centroids* and turns a page into the
+Equation-3 query channels the retrieval layer accumulates:
+
+``sim(page, centroid) = (C1*cos(PC) + C2*cos(FC)) / (C1 + C2)``
+
+is a sum over per-term contributions ``coef_s * (page_w/||page_s||) *
+(centroid_w/||centroid_s||)`` with ``coef_s = C_s / (C1 + C2)`` — so by
+folding ``coef_s / ||page_s||`` into the query weights, partial sums are
+direct lower bounds on the Equation-3 score and the TAAT pruning of
+:func:`~repro.index.retrieval.top_k_exact` applies unchanged.  Survivors
+are re-scored through the organizer's backend ``pair`` (the scalar
+Equation-3 path), which is what makes the indexed argmax bit-identical
+to the full centroid scan.
+
+Maintenance is keyed on **centroid object identity**: the organizer
+replaces a cluster's ``VectorPair`` whenever the centroid is rebuilt, so
+``refs[i] is cluster.centroid`` detects staleness exactly.  Mutators
+call :meth:`sync` (under the caller's write lock); read paths call
+:meth:`fresh` and fall back to the full scan on a mismatch rather than
+mutate shared state.
+"""
+
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.core.config import ContentMode
+from repro.index.postings import SpaceIndex
+from repro.index.retrieval import Channel, RetrievalStats, top_k_exact
+
+
+class CentroidIndex:
+    """Posting lists over cluster centroids, one per feature space."""
+
+    def __init__(
+        self,
+        content_mode: ContentMode = ContentMode.FC_PC,
+        page_weight: float = 1.0,
+        form_weight: float = 1.0,
+    ) -> None:
+        self.content_mode = content_mode
+        if content_mode is ContentMode.PC:
+            self._pc_coef, self._fc_coef = 1.0, 0.0
+        elif content_mode is ContentMode.FC:
+            self._pc_coef, self._fc_coef = 0.0, 1.0
+        else:
+            total = page_weight + form_weight
+            self._pc_coef = page_weight / total
+            self._fc_coef = form_weight / total
+        self._pc = SpaceIndex() if self._pc_coef > 0.0 else None
+        self._fc = SpaceIndex() if self._fc_coef > 0.0 else None
+        self._refs: List[object] = []
+        self.stats = RetrievalStats()
+
+    # ----------------------------------------------------------------
+    # Maintenance (caller holds the write side of any lock).
+    # ----------------------------------------------------------------
+
+    def sync(self, clusters: Sequence) -> None:
+        """Bring rows up to date with ``clusters`` (identity-diffed)."""
+        if len(clusters) != len(self._refs):
+            self.rebuild(clusters)
+            return
+        for index, cluster in enumerate(clusters):
+            centroid = cluster.centroid
+            if self._refs[index] is not centroid:
+                self._set_row(index, centroid)
+
+    def rebuild(self, clusters: Sequence) -> None:
+        if self._pc is not None:
+            self._pc.clear()
+        if self._fc is not None:
+            self._fc.clear()
+        self._refs = [None] * len(clusters)
+        for index, cluster in enumerate(clusters):
+            self._set_row(index, cluster.centroid)
+
+    def _set_row(self, index: int, centroid) -> None:
+        if self._pc is not None:
+            self._pc.add_row(index, centroid.pc)
+        if self._fc is not None:
+            self._fc.add_row(index, centroid.fc)
+        self._refs[index] = centroid
+
+    def fresh(self, clusters: Sequence) -> bool:
+        """True when every row matches its cluster's live centroid —
+        read-only, so concurrent readers may check safely."""
+        if len(clusters) != len(self._refs):
+            return False
+        refs = self._refs
+        for index, cluster in enumerate(clusters):
+            if refs[index] is not cluster.centroid:
+                return False
+        return True
+
+    # ----------------------------------------------------------------
+    # Retrieval.
+    # ----------------------------------------------------------------
+
+    def _channels(self, page) -> List[Channel]:
+        channels: List[Channel] = []
+        if self._pc is not None and page.pc_norm > 0.0:
+            scale = self._pc_coef / page.pc_norm
+            channels.append(Channel(
+                self._pc,
+                {term: weight * scale for term, weight in page.pc.items()},
+            ))
+        if self._fc is not None and page.fc_norm > 0.0:
+            scale = self._fc_coef / page.fc_norm
+            channels.append(Channel(
+                self._fc,
+                {term: weight * scale for term, weight in page.fc.items()},
+            ))
+        return channels
+
+    def top1(
+        self, page, score_exact: Callable[[int], float]
+    ) -> Optional[Tuple[int, float]]:
+        """The best cluster for ``page`` — ``None`` when no centroid has
+        positive similarity (the caller then mirrors the scan's argmax-
+        of-zeros convention)."""
+        results = top_k_exact(
+            self._channels(page), 1, score_exact, stats=self.stats
+        )
+        return results[0] if results else None
+
+
+__all__ = ["CentroidIndex"]

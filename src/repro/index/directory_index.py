@@ -1,0 +1,222 @@
+"""The serving directory's retrieval state — combined-vector caches and
+(optionally) posting lists, generation-stamped.
+
+:class:`DirectoryIndex` owns two row collections for a
+:class:`~repro.service.directory.FormDirectory`:
+
+* **clusters** — each cluster's combined ``PC + FC`` centroid vector
+  (the thing ``/search`` scores queries against).  These used to be
+  re-materialized per request inside the read lock; here they are
+  computed once per centroid change and reused by every query — the
+  ``index="off"`` mode keeps exactly this cache, minus posting lists.
+* **pages** — each managed page's combined vector, for
+  ``/search?scope=pages``.  Page rows are keyed by a stable integer id
+  (URLs map to ids) and survive re-clustering untouched: only cluster
+  membership moves, and that is looked up live at query time.
+
+Every mutation the owning directory performs calls :meth:`sync_clusters`
+/ :meth:`page_upsert` / :meth:`page_remove` under the directory's write
+lock and then stamps :attr:`generation` with the directory's new
+generation.  Read paths compare stamps; on a mismatch (a mutation path
+that forgot to sync) they fall back to a fresh full scan instead of
+serving stale rows.
+
+Parity: cached combined vectors are built by the same
+``centroid.pc.add(centroid.fc)`` call the per-query path used, so their
+term dicts (and hence dot-product iteration order) are identical —
+cached, indexed, and from-scratch scoring all produce the same floats.
+"""
+
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
+
+from repro.index.postings import SpaceIndex
+from repro.index.retrieval import (
+    Channel,
+    RetrievalStats,
+    combined_query_channel,
+    top_k_exact,
+)
+from repro.vsm.vector import SparseVector
+
+#: ``index="auto"`` turns indexed retrieval on at these sizes.  Below
+#: them a full scan over cached combined vectors is already cheap, and
+#: the small-k behaviour (including pinned per-add similarity budgets)
+#: stays byte-for-byte what it was before the index existed.
+INDEX_AUTO_MIN_CLUSTERS = 32
+INDEX_AUTO_MIN_PAGES = 256
+
+_MODES = ("auto", "on", "off")
+
+
+def validate_index_mode(mode: str) -> str:
+    if mode not in _MODES:
+        raise ValueError(
+            f"unknown index mode {mode!r}; expected one of {_MODES}"
+        )
+    return mode
+
+
+class DirectoryIndex:
+    """Cluster + page retrieval rows for one serving directory."""
+
+    def __init__(self, mode: str = "auto") -> None:
+        self.mode = validate_index_mode(mode)
+        build = self.mode != "off"
+        self._clusters = SpaceIndex(build_postings=build)
+        self._pages = SpaceIndex(build_postings=build)
+        self._centroid_refs: List[object] = []
+        self._row_by_url: Dict[str, int] = {}
+        self._url_by_row: Dict[int, str] = {}
+        self._next_row = 0
+        #: Directory generation these rows reflect (-1 = never synced).
+        self.generation = -1
+        self.stats = RetrievalStats()
+
+    # ----------------------------------------------------------------
+    # Mode resolution.
+    # ----------------------------------------------------------------
+
+    def use_for_clusters(self) -> bool:
+        if self.mode == "off":
+            return False
+        if self.mode == "on":
+            return True
+        return len(self._clusters) >= INDEX_AUTO_MIN_CLUSTERS
+
+    def use_for_pages(self) -> bool:
+        if self.mode == "off":
+            return False
+        if self.mode == "on":
+            return True
+        return len(self._pages) >= INDEX_AUTO_MIN_PAGES
+
+    # ----------------------------------------------------------------
+    # Introspection (metrics).
+    # ----------------------------------------------------------------
+
+    @property
+    def n_cluster_postings(self) -> int:
+        return self._clusters.n_postings
+
+    @property
+    def n_page_postings(self) -> int:
+        return self._pages.n_postings
+
+    @property
+    def n_cluster_terms(self) -> int:
+        return self._clusters.n_terms
+
+    @property
+    def n_page_terms(self) -> int:
+        return self._pages.n_terms
+
+    @property
+    def n_pages(self) -> int:
+        return len(self._pages)
+
+    # ----------------------------------------------------------------
+    # Maintenance (caller holds the directory write lock).
+    # ----------------------------------------------------------------
+
+    def rebuild(self, organizer, generation: int) -> None:
+        """Full rebuild from ``organizer`` (cold start / repair)."""
+        self._clusters.clear()
+        self._pages.clear()
+        self._centroid_refs = []
+        self._row_by_url = {}
+        self._url_by_row = {}
+        self._next_row = 0
+        self._sync_cluster_rows(organizer)
+        for cluster in organizer.clusters:
+            for page in cluster.pages:
+                self.page_upsert(page)
+        self.generation = generation
+
+    def sync_clusters(self, organizer, generation: int) -> None:
+        """Refresh rows for centroids whose object identity changed,
+        then stamp ``generation``."""
+        self._sync_cluster_rows(organizer)
+        self.generation = generation
+
+    def _sync_cluster_rows(self, organizer) -> None:
+        clusters = organizer.clusters
+        if len(clusters) != len(self._centroid_refs):
+            self._clusters.clear()
+            self._centroid_refs = [None] * len(clusters)
+        refs = self._centroid_refs
+        for index, cluster in enumerate(clusters):
+            centroid = cluster.centroid
+            if refs[index] is not centroid:
+                self._clusters.add_row(index, centroid.pc.add(centroid.fc))
+                refs[index] = centroid
+
+    def page_upsert(self, page) -> None:
+        """(Re-)index one managed page's combined vector."""
+        row = self._row_by_url.get(page.url)
+        if row is None:
+            row = self._next_row
+            self._next_row += 1
+            self._row_by_url[page.url] = row
+            self._url_by_row[row] = page.url
+        self._pages.add_row(row, page.pc.add(page.fc))
+
+    def page_remove(self, url: str) -> None:
+        row = self._row_by_url.pop(url, None)
+        if row is not None:
+            del self._url_by_row[row]
+            self._pages.remove_row(row)
+
+    # ----------------------------------------------------------------
+    # Reads (caller holds the directory read lock).
+    # ----------------------------------------------------------------
+
+    def cluster_combined(self, index: int) -> SparseVector:
+        """The cached combined centroid of cluster ``index``."""
+        return self._clusters.vector(index)
+
+    def cluster_combined_all(self) -> List[SparseVector]:
+        return [
+            self._clusters.vector(index)
+            for index in range(len(self._clusters))
+        ]
+
+    def page_combined_items(self) -> Iterator[Tuple[str, SparseVector]]:
+        """(url, combined vector) over every indexed page, for the
+        cached full-scan path."""
+        for row, vector in self._pages.row_items():
+            yield self._url_by_row[row], vector
+
+    def top_clusters(
+        self, query: SparseVector, k: int,
+        score_exact: Callable[[int], float],
+    ) -> List[Tuple[int, float]]:
+        """Exact top-``k`` clusters by combined-centroid cosine."""
+        return top_k_exact(
+            [combined_query_channel(self._clusters, query)],
+            k, score_exact, stats=self.stats,
+        )
+
+    def top_pages(
+        self, query: SparseVector, k: int,
+        score_exact: Callable[[int], float],
+    ) -> List[Tuple[int, float]]:
+        """Exact top-``k`` page rows, URL-tie-broken like the scan."""
+        return top_k_exact(
+            [combined_query_channel(self._pages, query)],
+            k, score_exact, stats=self.stats,
+            tie_key=self._url_by_row.__getitem__,
+        )
+
+    def page_vector(self, row: int) -> SparseVector:
+        return self._pages.vector(row)
+
+    def page_url(self, row: int) -> str:
+        return self._url_by_row[row]
+
+
+__all__ = [
+    "INDEX_AUTO_MIN_CLUSTERS",
+    "INDEX_AUTO_MIN_PAGES",
+    "DirectoryIndex",
+    "validate_index_mode",
+]

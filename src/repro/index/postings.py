@@ -1,0 +1,162 @@
+"""Incremental per-term posting lists over one sparse feature space.
+
+A :class:`SpaceIndex` maps every term of a row collection (cluster
+centroids, or managed pages) to the rows containing it, with weights
+**pre-normalized** by the row's Euclidean norm — the unit the cosine
+accumulators want — plus a per-term *maximum* pre-normalized weight.
+That maximum is the upper bound the exact top-k retrieval
+(:mod:`repro.index.retrieval`) prunes with: a term can contribute at
+most ``query_weight * max_prenormed(term)`` to any row's score, so once
+the sum of remaining bounds falls below the running k-th best partial
+score, the remaining posting lists never need to be walked.
+
+Rows are mutable: :meth:`add_row` and :meth:`remove_row` keep the
+posting lists, maxima, and per-row raw vectors in sync, so the index is
+maintained incrementally as a directory mutates instead of being
+rebuilt per query.  The raw row vectors are kept because the retrieval
+layer's final scoring deliberately goes back through the *scalar*
+cosine path on them — that is what makes indexed results bit-identical
+to a full scan (see docs/SERVING.md, "Indexed retrieval").
+"""
+
+from typing import Dict, Iterator, List, Tuple
+
+from repro.vsm.vector import SparseVector
+
+
+class SpaceIndex:
+    """Posting lists with max-weight upper bounds over one vector space.
+
+    ``build_postings=False`` keeps only the per-row vector/norm storage
+    — the shape the ``index="off"`` directory uses as a plain combined-
+    vector cache, so the cache and the full index share one maintenance
+    code path.
+    """
+
+    __slots__ = (
+        "_postings", "_max", "_vectors", "_norms", "n_postings",
+        "build_postings",
+    )
+
+    def __init__(self, build_postings: bool = True) -> None:
+        self.build_postings = build_postings
+        #: term -> [(row_id, weight / row_norm)], append-ordered.
+        self._postings: Dict[str, List[Tuple[int, float]]] = {}
+        #: term -> max pre-normalized weight over its posting list.
+        self._max: Dict[str, float] = {}
+        self._vectors: Dict[int, SparseVector] = {}
+        self._norms: Dict[int, float] = {}
+        #: total posting entries (the /metrics gauge).
+        self.n_postings = 0
+
+    # ----------------------------------------------------------------
+    # Introspection.
+    # ----------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._vectors)
+
+    def __contains__(self, row_id: int) -> bool:
+        return row_id in self._vectors
+
+    @property
+    def n_terms(self) -> int:
+        return len(self._postings)
+
+    def rows(self) -> Iterator[int]:
+        return iter(self._vectors)
+
+    def row_items(self) -> Iterator[Tuple[int, SparseVector]]:
+        """(row_id, raw vector) pairs — what a cached full scan walks."""
+        return iter(self._vectors.items())
+
+    def vector(self, row_id: int) -> SparseVector:
+        """The raw row vector as indexed (for exact re-scoring)."""
+        return self._vectors[row_id]
+
+    def norm(self, row_id: int) -> float:
+        return self._norms[row_id]
+
+    def postings(self, term: str) -> List[Tuple[int, float]]:
+        """The (row, pre-normalized weight) posting list of ``term``
+        (empty when the term is unindexed)."""
+        return self._postings.get(term, _EMPTY)
+
+    def max_prenormed(self, term: str) -> float:
+        """Upper bound on any row's pre-normalized weight for ``term``."""
+        return self._max.get(term, 0.0)
+
+    # ----------------------------------------------------------------
+    # Maintenance.
+    # ----------------------------------------------------------------
+
+    def add_row(self, row_id: int, vector: SparseVector) -> None:
+        """Index ``vector`` under ``row_id`` (replacing any previous row).
+
+        Zero-norm rows are recorded (so lookups and removals work) but
+        post nothing: they cannot match any query, exactly as the scalar
+        cosine scores them 0.
+        """
+        if row_id in self._vectors:
+            self.remove_row(row_id)
+        norm = vector.norm()
+        self._vectors[row_id] = vector
+        self._norms[row_id] = norm
+        if norm == 0.0 or not self.build_postings:
+            return
+        inv = 1.0 / norm
+        postings = self._postings
+        maxima = self._max
+        for term, weight in vector.items():
+            prenormed = weight * inv
+            entry = postings.get(term)
+            if entry is None:
+                postings[term] = [(row_id, prenormed)]
+                maxima[term] = prenormed
+            else:
+                entry.append((row_id, prenormed))
+                if prenormed > maxima[term]:
+                    maxima[term] = prenormed
+            self.n_postings += 1
+
+    def remove_row(self, row_id: int) -> bool:
+        """Drop a row from every posting list it appears in.
+
+        Per-term maxima are recomputed from the surviving entries when
+        the departing row held the maximum — bounds must never
+        understate, or pruning would turn lossy.
+        """
+        vector = self._vectors.pop(row_id, None)
+        if vector is None:
+            return False
+        norm = self._norms.pop(row_id)
+        if norm == 0.0 or not self.build_postings:
+            return True
+        postings = self._postings
+        maxima = self._max
+        for term in vector.terms():
+            entry = postings.get(term)
+            if entry is None:
+                continue
+            kept = [(row, weight) for row, weight in entry if row != row_id]
+            self.n_postings -= len(entry) - len(kept)
+            if not kept:
+                del postings[term]
+                del maxima[term]
+            else:
+                postings[term] = kept
+                maxima[term] = max(weight for _, weight in kept)
+        return True
+
+    def clear(self) -> None:
+        self._postings = {}
+        self._max = {}
+        self._vectors = {}
+        self._norms = {}
+        self.n_postings = 0
+
+
+_EMPTY: List[Tuple[int, float]] = []
+
+
+__all__ = ["SpaceIndex"]

@@ -1,0 +1,217 @@
+"""Exact top-k retrieval over posting lists — term-at-a-time with
+upper-bound pruning.
+
+The algorithm is the classic two-phase TAAT scheme, arranged so that
+its results are **bit-identical** to the full-scan reference paths:
+
+1. *Accumulate with bounds.*  Query terms (possibly spanning several
+   feature-space channels, each carrying its Equation-3 scale folded
+   into the query weights) are processed in descending order of their
+   maximum possible score contribution ``q_w * max_prenormed(term)``.
+   Walking a term's posting list adds its contribution to every row
+   containing it.  After each term, if at least ``k`` rows have been
+   touched and the sum of the *remaining* terms' bounds falls below the
+   running k-th best partial score, the loop stops: no untouched row
+   can reach the top k any more.
+
+2. *Prune and re-score exactly.*  Touched rows whose upper bound
+   (partial score + remaining bound) cannot reach the k-th best are
+   dropped.  The survivors — a superset of the true top k — are scored
+   through the caller's **exact** scorer: the same scalar
+   ``cosine_similarity`` / ``FormPageSimilarity`` arithmetic the
+   full-scan path runs, over the same stored vectors, so every returned
+   score is the same float the scan would produce.  Partial-sum floats
+   from phase 1 never reach the caller; they only steer pruning.
+
+Float safety: the pruning comparisons use small relative+absolute
+margins (bounds inflated, thresholds deflated), so accumulated rounding
+in the bookkeeping sums can never prune a row that exact arithmetic
+would keep.  The margins only make pruning marginally more conservative.
+"""
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.index.postings import SpaceIndex
+
+#: Pruning-margin knobs: bounds are inflated and thresholds deflated by
+#: this relative factor (plus an absolute floor) before being compared,
+#: so float rounding in the bookkeeping can never cause a lossy prune.
+_MARGIN_REL = 1e-9
+_MARGIN_ABS = 1e-12
+
+
+def _inflate(value: float) -> float:
+    return value * (1.0 + _MARGIN_REL) + _MARGIN_ABS
+
+
+def _deflate(value: float) -> float:
+    return value * (1.0 - _MARGIN_REL) - _MARGIN_ABS
+
+
+@dataclass
+class RetrievalStats:
+    """What one indexed query cost, for the ``index_*`` metrics.
+
+    ``rows_total`` is the collection size a full scan would have scored;
+    ``rows_touched`` how many rows the accumulators reached;
+    ``rows_scored`` how many survived bound pruning and were re-scored
+    exactly.  ``terms_total`` / ``terms_processed`` count posting lists
+    considered vs actually walked (the early-stop saving).
+    """
+
+    rows_total: int = 0
+    rows_touched: int = 0
+    rows_scored: int = 0
+    terms_total: int = 0
+    terms_processed: int = 0
+
+    @property
+    def scored_fraction(self) -> float:
+        """Exactly-scored rows as a fraction of a full scan (<= 1)."""
+        if self.rows_total == 0:
+            return 0.0
+        return self.rows_scored / self.rows_total
+
+    def merge(self, other: "RetrievalStats") -> None:
+        self.rows_total += other.rows_total
+        self.rows_touched += other.rows_touched
+        self.rows_scored += other.rows_scored
+        self.terms_total += other.terms_total
+        self.terms_processed += other.terms_processed
+
+
+@dataclass
+class Channel:
+    """One feature-space contribution to a query.
+
+    ``query_pre`` maps terms to query weights with every scale baked in
+    — ``C_s / (C1 + C2) / ||q_s||`` for Equation-3 channels, or simply
+    ``1 / ||q||`` for single combined-space queries — so a term's score
+    contribution to a row is exactly ``query_pre[term] *
+    posting_weight`` and partial sums are directly comparable to final
+    scores.
+    """
+
+    space: SpaceIndex
+    query_pre: Dict[str, float] = field(default_factory=dict)
+
+
+def top_k_exact(
+    channels: Sequence[Channel],
+    k: int,
+    score_exact: Callable[[int], float],
+    stats: Optional[RetrievalStats] = None,
+    tie_key: Optional[Callable[[int], object]] = None,
+) -> List[Tuple[int, float]]:
+    """The exact top-``k`` rows across ``channels``, highest score first.
+
+    ``score_exact(row_id)`` must return the row's full-precision score
+    via the same arithmetic as the full-scan reference; it is invoked
+    only for rows surviving bound pruning.  Rows with non-positive exact
+    scores are dropped (matching the scan paths, which skip them).
+    Ties break toward the lower ``row_id``, or toward the lower
+    ``tie_key(row_id)`` when given (page search breaks ties by URL) —
+    boundary ties are safe because a row tying the k-th exact score can
+    never be pruned (its upper bound is at least the pruning threshold).
+
+    Returns ``[(row_id, score)]`` sorted by ``(-score, tie key)``.
+    """
+    if stats is None:
+        stats = RetrievalStats()
+    rows_total = max((len(ch.space) for ch in channels), default=0)
+    stats.rows_total += rows_total
+    if k <= 0 or rows_total == 0:
+        return []
+
+    # Bound-ordered term entries: (bound, channel, term, scaled weight).
+    entries: List[Tuple[float, int, str, float]] = []
+    for channel_index, channel in enumerate(channels):
+        space = channel.space
+        for term, weight in channel.query_pre.items():
+            if weight <= 0.0:
+                continue
+            bound = weight * space.max_prenormed(term)
+            if bound > 0.0:
+                entries.append((bound, channel_index, term, weight))
+    stats.terms_total += len(entries)
+    if not entries:
+        return []
+    entries.sort(key=lambda entry: (-entry[0], entry[1], entry[2]))
+
+    suffix = [0.0] * (len(entries) + 1)
+    for index in range(len(entries) - 1, -1, -1):
+        suffix[index] = suffix[index + 1] + entries[index][0]
+
+    accumulated: Dict[int, float] = {}
+    remaining = 0.0
+    processed = len(entries)
+    for index, (bound, channel_index, term, weight) in enumerate(entries):
+        if len(accumulated) >= k:
+            remaining = suffix[index]
+            kth = heapq.nlargest(k, accumulated.values())[-1]
+            if _inflate(remaining) < _deflate(kth):
+                processed = index
+                break
+        for row, prenormed in channels[channel_index].space.postings(term):
+            if row in accumulated:
+                accumulated[row] += weight * prenormed
+            else:
+                accumulated[row] = weight * prenormed
+    else:
+        remaining = 0.0
+    stats.terms_processed += processed
+    stats.rows_touched += len(accumulated)
+
+    if not accumulated:
+        return []
+
+    # Candidate pruning: a touched row can finish at most ``partial +
+    # remaining``; rows that cannot reach the running k-th best under
+    # that bound are never scored exactly.  (With every term processed,
+    # ``remaining`` is 0 and the partials themselves are the bounds —
+    # the margins absorb their float-ordering drift from exact scores.)
+    if len(accumulated) > k:
+        kth = heapq.nlargest(k, accumulated.values())[-1]
+        threshold = _deflate(kth)
+        candidates = [
+            row for row, partial in accumulated.items()
+            if _inflate(partial + remaining) >= threshold
+        ]
+    else:
+        candidates = list(accumulated)
+    candidates.sort()
+    stats.rows_scored += len(candidates)
+
+    scored = [(row, score_exact(row)) for row in candidates]
+    scored = [(row, score) for row, score in scored if score > 0.0]
+    if tie_key is None:
+        scored.sort(key=lambda pair: (-pair[1], pair[0]))
+    else:
+        scored.sort(key=lambda pair: (-pair[1], tie_key(pair[0])))
+    return scored[:k]
+
+
+def combined_query_channel(
+    space: SpaceIndex, query, norm: Optional[float] = None
+) -> Channel:
+    """A single-space channel for a combined (PC+FC summed) query.
+
+    ``query`` is a :class:`~repro.vsm.vector.SparseVector`; its weights
+    are pre-divided by its norm so partial sums are cosine-comparable.
+    """
+    if norm is None:
+        norm = query.norm()
+    if norm == 0.0:
+        return Channel(space, {})
+    inv = 1.0 / norm
+    return Channel(space, {term: weight * inv for term, weight in query.items()})
+
+
+__all__ = [
+    "Channel",
+    "RetrievalStats",
+    "combined_query_channel",
+    "top_k_exact",
+]

@@ -38,6 +38,7 @@ from repro.core.form_page import FormPage, RawFormPage
 from repro.core.incremental import IncrementalOrganizer
 from repro.core.pipeline import _label_terms
 from repro.core.similarity import BackendSpec
+from repro.index.directory_index import DirectoryIndex
 from repro.service.metrics import (
     DEFAULT_SIZE_BUCKETS,
     MetricsRegistry,
@@ -167,6 +168,12 @@ class FormDirectory:
     metrics:
         A :class:`~repro.service.metrics.MetricsRegistry` to instrument
         into (one is created when omitted).
+    index:
+        Inverted-index mode for /search and /search?scope=pages:
+        ``"auto"`` (on at scale), ``"on"``, ``"off"``.  ``None`` (the
+        default) follows ``organizer.config.index``.  Even ``"off"``
+        keeps the per-generation combined-centroid cache, so no query
+        re-materializes centroid sums inside the read lock.
     """
 
     def __init__(
@@ -176,6 +183,7 @@ class FormDirectory:
         cache_size: int = 1024,
         auto_recluster: bool = True,
         metrics: Optional[MetricsRegistry] = None,
+        index: Optional[str] = None,
     ) -> None:
         if batch_window_ms is not None and batch_window_ms < 0:
             batch_window_ms = None
@@ -190,6 +198,10 @@ class FormDirectory:
         self._rw = RWLock()
         self._generation = 0
         self._analyzer = TextAnalyzer()
+        self._index = DirectoryIndex(
+            index if index is not None else organizer.config.index
+        )
+        self._index.rebuild(organizer, self._generation)
 
         self._cache: "OrderedDict[str, Tuple[int, int, float, List[str]]]" = (
             OrderedDict()
@@ -223,15 +235,21 @@ class FormDirectory:
         snapshot: Union[Snapshot, str],
         backend: BackendSpec = None,
         drift_threshold: float = 0.7,
+        index: Optional[str] = None,
         **kwargs,
     ) -> "FormDirectory":
-        """Cold-start a directory from a snapshot (object or path)."""
+        """Cold-start a directory from a snapshot (object or path).
+
+        ``index`` overrides the snapshot config's inverted-index mode
+        for both the organizer (classify candidates) and the directory
+        (search).
+        """
         if not isinstance(snapshot, Snapshot):
             snapshot = Snapshot.load(snapshot)
         organizer = snapshot.to_organizer(
-            backend=backend, drift_threshold=drift_threshold
+            backend=backend, drift_threshold=drift_threshold, index=index
         )
-        return cls(organizer, **kwargs)
+        return cls(organizer, index=index, **kwargs)
 
     def _instrument(self) -> None:
         m = self.metrics
@@ -308,6 +326,52 @@ class FormDirectory:
             "ingest_vectorize_seconds",
             "Per-request vectorization latency (parse + Equation 1)",
         )
+        # Inverted-index observability: structure sizes plus the pruning
+        # ratio (exactly-scored rows as a fraction of what full scans
+        # would have scored — lower is better; 1.0 means no saving).
+        index = self._index
+        m.gauge(
+            "index_postings", "Posting entries", space="clusters"
+        ).set_function(lambda: index.n_cluster_postings)
+        m.gauge(
+            "index_postings", "Posting entries", space="pages"
+        ).set_function(lambda: index.n_page_postings)
+        m.gauge(
+            "index_terms", "Indexed terms", space="clusters"
+        ).set_function(lambda: index.n_cluster_terms)
+        m.gauge(
+            "index_terms", "Indexed terms", space="pages"
+        ).set_function(lambda: index.n_page_terms)
+        m.gauge(
+            "index_rows_considered_total",
+            "Rows an unindexed scan would have scored (indexed queries)",
+        ).set_function(lambda: self._retrieval_stats().rows_total)
+        m.gauge(
+            "index_rows_scored_total",
+            "Rows actually scored exactly after posting-list pruning",
+        ).set_function(lambda: self._retrieval_stats().rows_scored)
+        m.gauge(
+            "index_pruning_ratio",
+            "Fraction of scan work avoided by the index (1 - scored/total)",
+        ).set_function(self._pruning_ratio)
+
+    def _retrieval_stats(self):
+        """Roll up retrieval stats across the directory index and (when
+        active) the organizer's classify centroid index."""
+        from repro.index.retrieval import RetrievalStats
+
+        total = RetrievalStats()
+        total.merge(self._index.stats)
+        centroid_index = getattr(self.organizer, "centroid_index", None)
+        if centroid_index is not None:
+            total.merge(centroid_index.stats)
+        return total
+
+    def _pruning_ratio(self) -> float:
+        stats = self._retrieval_stats()
+        if stats.rows_total == 0:
+            return 0.0
+        return 1.0 - stats.rows_scored / stats.rows_total
 
     # ----------------------------------------------------------------
     # Classify — the hot path.
@@ -465,6 +529,8 @@ class FormDirectory:
             index = self.organizer.add_vectorized(page)
             size = self.organizer.clusters[index].size
             self._generation += 1
+            self._index.page_upsert(page)
+            self._index.sync_clusters(self.organizer, self._generation)
         self._m_adds.inc()
         self._maybe_schedule_recluster()
         return index, size
@@ -475,6 +541,8 @@ class FormDirectory:
             removed = self.organizer.remove(url)
             if removed:
                 self._generation += 1
+                self._index.page_remove(url)
+                self._index.sync_clusters(self.organizer, self._generation)
         if removed:
             self._m_removes.inc()
         return removed
@@ -507,6 +575,9 @@ class FormDirectory:
         with self._rw.write_locked():
             moved = self.organizer.recluster()
             self._generation += 1
+            # Page vectors survive re-clustering (only membership moved,
+            # and that is looked up live); centroid rows are re-derived.
+            self._index.sync_clusters(self.organizer, self._generation)
         self.n_reclusters += 1
         self._m_reclusters.inc()
         return moved
@@ -522,41 +593,145 @@ class FormDirectory:
             self.organizer.clusters[index].centroid, n_terms
         )
 
+    def _query_vector(self, query: str) -> SparseVector:
+        """Analyze a keyword query with the page-text pipeline."""
+        weights: Dict[str, float] = {}
+        for term in self._analyzer.analyze(query):
+            weights[term] = weights.get(term, 0.0) + 1.0
+        return SparseVector(weights)
+
+    def _observe_search(self, scope: str, path: str, started: float) -> None:
+        self.metrics.histogram(
+            "search_seconds", "Search latency", scope=scope
+        ).observe(time.perf_counter() - started)
+        self.metrics.counter(
+            "search_requests_total", "Search requests served",
+            scope=scope, path=path,
+        ).inc()
+
+    def _cluster_hit(
+        self, index: int, score: float, combined: SparseVector,
+        query_vector: SparseVector,
+    ) -> Dict[str, object]:
+        """One /search hit record.  Caller holds the read lock."""
+        return {
+            "cluster": index,
+            "score": score,
+            "matched_terms": sorted(
+                term for term in query_vector.terms() if term in combined
+            ),
+            "top_terms": self._cluster_terms(index),
+            "size": self.organizer.clusters[index].size,
+        }
+
     def search(self, query: str, n: int = 3) -> List[Dict[str, object]]:
         """Rank clusters against a keyword query (Section 6 exploration).
 
         The query is analyzed with the page-text pipeline and scored by
         cosine against each cluster's combined (PC + FC) centroid,
-        mirroring :class:`repro.explore.ClusterExplorer.search`.
+        mirroring :class:`repro.explore.ClusterExplorer.search`.  The
+        combined centroids come from the per-generation cache; with the
+        index in play, posting-list pruning replaces the scan — same
+        hits, same floats, same order (docs/SERVING.md).
         """
-        terms = self._analyzer.analyze(query)
-        weights: Dict[str, float] = {}
-        for term in terms:
-            weights[term] = weights.get(term, 0.0) + 1.0
-        query_vector = SparseVector(weights)
+        query_vector = self._query_vector(query)
         if not query_vector:
             return []
-        hits: List[Dict[str, object]] = []
+        started = time.perf_counter()
         with self._rw.read_locked():
-            for index, cluster in enumerate(self.organizer.clusters):
-                combined = cluster.centroid.pc.add(cluster.centroid.fc)
-                score = cosine_similarity(query_vector, combined)
-                if score <= 0.0:
-                    continue
-                matched = sorted(
-                    term for term in query_vector.terms() if term in combined
+            fresh = self._index.generation == self._generation
+            if fresh and self._index.use_for_clusters():
+                path = "indexed"
+                ranked = self._index.top_clusters(
+                    query_vector, n,
+                    lambda i: cosine_similarity(
+                        query_vector, self._index.cluster_combined(i)
+                    ),
                 )
-                hits.append(
-                    {
-                        "cluster": index,
-                        "score": score,
-                        "matched_terms": matched,
-                        "top_terms": self._cluster_terms(index),
-                        "size": cluster.size,
-                    }
+                hits = [
+                    self._cluster_hit(
+                        index, score,
+                        self._index.cluster_combined(index), query_vector,
+                    )
+                    for index, score in ranked
+                ]
+            else:
+                path = "scan"
+                hits = []
+                for index, cluster in enumerate(self.organizer.clusters):
+                    if fresh:
+                        combined = self._index.cluster_combined(index)
+                    else:  # a mutation path forgot to sync; stay correct
+                        combined = cluster.centroid.pc.add(cluster.centroid.fc)
+                    score = cosine_similarity(query_vector, combined)
+                    if score <= 0.0:
+                        continue
+                    hits.append(
+                        self._cluster_hit(index, score, combined, query_vector)
+                    )
+                hits.sort(key=lambda hit: (-hit["score"], hit["cluster"]))
+                hits = hits[:n]
+        self._observe_search("clusters", path, started)
+        return hits
+
+    def search_pages(self, query: str, n: int = 3) -> List[Dict[str, object]]:
+        """Rank managed *pages* against a keyword query
+        (``/search?scope=pages``).
+
+        Each page is scored by cosine between the query and its combined
+        (PC + FC) vector; ties break by URL.  Indexed and scan paths are
+        parity-pinned exactly like cluster search.
+        """
+        query_vector = self._query_vector(query)
+        if not query_vector:
+            return []
+        started = time.perf_counter()
+        with self._rw.read_locked():
+            fresh = self._index.generation == self._generation
+            if fresh and self._index.use_for_pages():
+                path = "indexed"
+                ranked = self._index.top_pages(
+                    query_vector, n,
+                    lambda row: cosine_similarity(
+                        query_vector, self._index.page_vector(row)
+                    ),
                 )
-        hits.sort(key=lambda hit: (-hit["score"], hit["cluster"]))
-        return hits[:n]
+                scored = [
+                    (self._index.page_url(row), score,
+                     self._index.page_vector(row))
+                    for row, score in ranked
+                ]
+            else:
+                path = "scan"
+                if fresh:
+                    pairs = self._index.page_combined_items()
+                else:  # defensive: derive from the live organizer state
+                    pairs = (
+                        (page.url, page.pc.add(page.fc))
+                        for cluster in self.organizer.clusters
+                        for page in cluster.pages
+                    )
+                scored = []
+                for url, combined in pairs:
+                    score = cosine_similarity(query_vector, combined)
+                    if score > 0.0:
+                        scored.append((url, score, combined))
+                scored.sort(key=lambda hit: (-hit[1], hit[0]))
+                scored = scored[:n]
+            hits = [
+                {
+                    "url": url,
+                    "cluster": self.organizer.cluster_of(url),
+                    "score": score,
+                    "matched_terms": sorted(
+                        term for term in query_vector.terms()
+                        if term in combined
+                    ),
+                }
+                for url, score, combined in scored
+            ]
+        self._observe_search("pages", path, started)
+        return hits
 
     def clusters_summary(self, max_urls: int = 5) -> List[Dict[str, object]]:
         """One JSON-safe record per cluster."""
@@ -588,6 +763,16 @@ class FormDirectory:
                 "cache_size": self.cache_size,
                 "uptime_seconds": time.time() - self.started_unix,
                 "engine": organizer.backend.stats.as_dict(),
+                "index": {
+                    "mode": self._index.mode,
+                    "generation": self._index.generation,
+                    "active_clusters": self._index.use_for_clusters(),
+                    "active_pages": self._index.use_for_pages(),
+                    "classify_candidates": organizer.centroid_index
+                    is not None,
+                    "cluster_postings": self._index.n_cluster_postings,
+                    "page_postings": self._index.n_page_postings,
+                },
             }
 
     # ----------------------------------------------------------------

@@ -9,7 +9,8 @@ POST      ``/classify``   assign a page ``{url, html, backlinks?}`` to its
                           cluster (read-only; micro-batched)
 POST      ``/add``        insert (or replace) a source
 POST      ``/remove``     drop a source ``{url}``
-GET       ``/search``     ``?q=keyword+query&n=3`` — rank clusters
+GET       ``/search``     ``?q=keyword+query&n=3&scope=clusters|pages`` —
+                          rank clusters (or managed pages)
 GET       ``/clusters``   cluster directory summary
 GET       ``/healthz``    liveness + staleness stats
 GET       ``/metrics``    Prometheus text format (not JSON)
@@ -246,8 +247,19 @@ class DirectoryRequestHandler(BaseHTTPRequestHandler):
         if not terms.strip():
             raise ApiError(400, "bad_request", "missing query parameter 'q'")
         n = self._int_param(query, "n", 3, low=1, high=100)
-        hits = self.directory.search(terms, n=n)
-        self._send_json(200, {"ok": True, "query": terms, "hits": hits})
+        scope = query.get("scope", ["clusters"])[0]
+        if scope == "clusters":
+            hits = self.directory.search(terms, n=n)
+        elif scope == "pages":
+            hits = self.directory.search_pages(terms, n=n)
+        else:
+            raise ApiError(
+                400, "bad_request",
+                "'scope' must be 'clusters' or 'pages'",
+            )
+        self._send_json(
+            200, {"ok": True, "query": terms, "scope": scope, "hits": hits}
+        )
         return 200
 
     @staticmethod

@@ -100,13 +100,15 @@ class Snapshot:
         self,
         backend: BackendSpec = None,
         drift_threshold: float = 0.7,
+        index: Optional[str] = None,
     ) -> IncrementalOrganizer:
         """An :class:`IncrementalOrganizer` serving this snapshot.
 
         Centroids are rebuilt from the stored page vectors in stored
         order — the same float-addition order the builder used — so
         every subsequent classification matches the builder's
-        bit-for-bit.
+        bit-for-bit.  ``index`` overrides the snapshot config's
+        inverted-index mode (``"auto"``/``"on"``/``"off"``).
         """
         return IncrementalOrganizer(
             [list(members) for members in self.clusters],
@@ -114,6 +116,7 @@ class Snapshot:
             config=self.config,
             drift_threshold=drift_threshold,
             backend=backend,
+            index=index,
         )
 
     # ----------------------------------------------------------------
@@ -224,11 +227,14 @@ def snapshot_info(path: Union[str, Path]) -> Dict[str, object]:
     clusters = payload.get("clusters", [])
     sizes = [len(entry.get("pages", [])) for entry in clusters]
     vectorizer = payload.get("vectorizer", {})
+    config = payload.get("config", {})
     return {
         "kind": payload.get("kind"),
         "format_version": payload.get("format_version"),
         "created_unix": payload.get("created_unix"),
         "algorithm": payload.get("algorithm"),
+        "index": config.get("index", "auto") if isinstance(config, dict)
+        else "auto",
         "n_clusters": len(clusters),
         "n_pages": sum(sizes),
         "cluster_sizes": sizes,

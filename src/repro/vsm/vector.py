@@ -79,6 +79,19 @@ class SparseVector:
             a, b = b, a
         return sum(weight * b[term] for term, weight in a.items() if term in b)
 
+    def dot_prenormed(self, weights: Mapping[str, float]) -> float:
+        """Dot product against a plain pre-scaled ``{term: weight}`` map.
+
+        The inverted-index accumulators (:mod:`repro.index`) carry
+        queries as already-normalized plain dicts; this fast path skips
+        SparseVector construction, zero filtering and norm bookkeeping
+        entirely.  Iterates the sparser side, like :meth:`dot`.
+        """
+        mine = self._weights
+        if len(mine) > len(weights):
+            return sum(w * mine[t] for t, w in weights.items() if t in mine)
+        return sum(w * weights[t] for t, w in mine.items() if t in weights)
+
     def scale(self, factor: float) -> "SparseVector":
         """Return a new vector scaled by ``factor``."""
         return SparseVector(
@@ -86,10 +99,17 @@ class SparseVector:
         )
 
     def add(self, other: "SparseVector") -> "SparseVector":
-        """Return the element-wise sum as a new vector."""
-        summed = dict(self._weights)
-        for term, weight in other.items():
-            summed[term] = summed.get(term, 0.0) + weight
+        """Return the element-wise sum as a new vector.
+
+        The merged dict is built in one C-level pass; only genuinely
+        shared terms pay a Python-level float add.  For the common
+        PC+FC merge the two vocabularies barely overlap, so almost the
+        whole sum happens inside the dict constructor.
+        """
+        a, b = self._weights, other._weights
+        summed = {**a, **b}
+        for term in a.keys() & b.keys():
+            summed[term] = a[term] + b[term]
         return SparseVector(summed)
 
     def normalized(self) -> "SparseVector":
@@ -118,11 +138,23 @@ def cosine_similarity(a: SparseVector, b: SparseVector) -> float:
 
 
 def accumulate(vectors: Iterable[SparseVector]) -> SparseVector:
-    """Sum many vectors efficiently (single mutable accumulator)."""
+    """Sum many vectors efficiently (single mutable accumulator).
+
+    The first vector seeds the accumulator as a plain dict copy; later
+    vectors pay a float add only for terms already present, so the
+    common sparse-disjoint case stays in C-level dict operations.
+    """
     total: Dict[str, float] = {}
     for vector in vectors:
-        for term, weight in vector.items():
-            total[term] = total.get(term, 0.0) + weight
+        weights = vector._weights
+        if not total:
+            total = dict(weights)
+            continue
+        for term, weight in weights.items():
+            if term in total:
+                total[term] = total[term] + weight
+            else:
+                total[term] = weight
     return SparseVector(total)
 
 

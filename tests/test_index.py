@@ -1,0 +1,458 @@
+"""repro.index — posting lists, pruned retrieval, and parity pins.
+
+The contract under test is absolute: indexed top-k (clusters and pages,
+classify and search) must be **bit-identical** to the full-scan
+reference — same ids, same float scores, same order — including after
+arbitrary interleavings of add / remove / recluster.  The randomized
+property tests drive an ``index="on"`` directory and an ``index="off"``
+directory through identical mutation schedules and diff every answer.
+"""
+
+import json
+import random
+import urllib.request
+
+import pytest
+
+from repro.core.config import CAFCConfig
+from repro.core.pipeline import CAFCPipeline
+from repro.index import (
+    INDEX_AUTO_MIN_CLUSTERS,
+    SpaceIndex,
+    combined_query_channel,
+    top_k_exact,
+)
+from repro.index.retrieval import Channel, RetrievalStats
+from repro.service.directory import FormDirectory
+from repro.service.http import serve_directory
+from repro.service.snapshot import build_snapshot, snapshot_info
+from repro.vsm.vector import SparseVector, cosine_similarity
+
+SMALL_CONFIG = CAFCConfig(k=8, min_hub_cardinality=3)
+
+
+@pytest.fixture(scope="module")
+def small_snapshot(small_raw_pages):
+    pipeline = CAFCPipeline(SMALL_CONFIG)
+    result = pipeline.organize(small_raw_pages)
+    return build_snapshot(result, pipeline.vectorizer, SMALL_CONFIG)
+
+
+def make_directory(snapshot, **kwargs):
+    kwargs.setdefault("auto_recluster", False)
+    return FormDirectory.from_snapshot(snapshot, **kwargs)
+
+
+def random_vector(rng, vocabulary, max_terms=12):
+    n_terms = rng.randint(0, max_terms)
+    return SparseVector({
+        term: rng.uniform(0.1, 5.0)
+        for term in rng.sample(vocabulary, n_terms)
+    })
+
+
+# ---------------------------------------------------------------------
+# SpaceIndex maintenance.
+# ---------------------------------------------------------------------
+
+
+class TestSpaceIndex:
+    def test_add_and_lookup(self):
+        index = SpaceIndex()
+        vector = SparseVector({"a": 3.0, "b": 4.0})  # norm 5
+        index.add_row(7, vector)
+        assert len(index) == 1
+        assert 7 in index
+        assert index.vector(7) is vector
+        assert index.norm(7) == 5.0
+        assert index.postings("a") == [(7, 3.0 * (1.0 / 5.0))]
+        assert index.max_prenormed("b") == 4.0 * (1.0 / 5.0)
+        assert index.max_prenormed("zzz") == 0.0
+        assert index.n_postings == 2
+        assert index.n_terms == 2
+
+    def test_replace_row(self):
+        index = SpaceIndex()
+        index.add_row(1, SparseVector({"a": 1.0, "b": 1.0}))
+        index.add_row(1, SparseVector({"b": 2.0}))
+        assert index.postings("a") == []
+        assert index.postings("b") == [(1, 1.0)]
+        assert index.n_postings == 1
+
+    def test_remove_recomputes_maxima(self):
+        index = SpaceIndex()
+        index.add_row(1, SparseVector({"a": 1.0}))          # prenormed 1.0
+        index.add_row(2, SparseVector({"a": 3.0, "b": 4.0}))  # a: 0.6
+        assert index.max_prenormed("a") == 1.0
+        assert index.remove_row(1)
+        assert index.max_prenormed("a") == 3.0 * (1.0 / 5.0)
+        assert not index.remove_row(1)
+        assert index.remove_row(2)
+        assert index.n_postings == 0
+        assert index.n_terms == 0
+
+    def test_zero_norm_row_posts_nothing(self):
+        index = SpaceIndex()
+        index.add_row(3, SparseVector())
+        assert 3 in index
+        assert index.n_postings == 0
+        assert index.remove_row(3)
+
+    def test_storage_only_mode(self):
+        index = SpaceIndex(build_postings=False)
+        index.add_row(1, SparseVector({"a": 2.0}))
+        assert 1 in index
+        assert index.n_postings == 0
+        assert index.postings("a") == []
+        assert index.remove_row(1)
+        assert len(index) == 0
+
+
+# ---------------------------------------------------------------------
+# top_k_exact against brute force, randomized.
+# ---------------------------------------------------------------------
+
+
+class TestTopKExact:
+    def brute_force(self, query, index, k):
+        scored = []
+        for row, vector in index.row_items():
+            score = cosine_similarity(query, vector)
+            if score > 0.0:
+                scored.append((row, score))
+        scored.sort(key=lambda pair: (-pair[1], pair[0]))
+        return scored[:k]
+
+    def test_matches_brute_force_with_churn(self):
+        rng = random.Random(20260806)
+        vocabulary = [f"t{i}" for i in range(60)]
+        index = SpaceIndex()
+        live = set()
+        for row in range(150):
+            index.add_row(row, random_vector(rng, vocabulary))
+            live.add(row)
+        for row in rng.sample(sorted(live), 40):  # interleave removals
+            index.remove_row(row)
+            live.remove(row)
+        for row in range(150, 180):
+            index.add_row(row, random_vector(rng, vocabulary))
+
+        for trial in range(30):
+            query = random_vector(rng, vocabulary, max_terms=8)
+            if not query:
+                continue
+            for k in (1, 3, 10, 50):
+                stats = RetrievalStats()
+                got = top_k_exact(
+                    [combined_query_channel(index, query)], k,
+                    lambda row: cosine_similarity(query, index.vector(row)),
+                    stats=stats,
+                )
+                want = self.brute_force(query, index, k)
+                assert got == want, (trial, k)
+                assert stats.rows_scored <= stats.rows_total
+
+    def test_empty_cases(self):
+        index = SpaceIndex()
+        query = SparseVector({"a": 1.0})
+        assert top_k_exact(
+            [combined_query_channel(index, query)], 3, lambda row: 1.0
+        ) == []
+        index.add_row(0, SparseVector({"b": 1.0}))  # disjoint vocabulary
+        assert top_k_exact(
+            [combined_query_channel(index, query)], 3,
+            lambda row: cosine_similarity(query, index.vector(row)),
+        ) == []
+        assert top_k_exact(
+            [combined_query_channel(index, query)], 0, lambda row: 1.0
+        ) == []
+
+    def test_tie_break_via_key(self):
+        index = SpaceIndex()
+        vector = SparseVector({"a": 1.0})
+        for row in (0, 1, 2):
+            index.add_row(row, vector)
+        names = {0: "zebra", 1: "apple", 2: "mango"}
+        query = SparseVector({"a": 2.0})
+        got = top_k_exact(
+            [combined_query_channel(index, query)], 2,
+            lambda row: cosine_similarity(query, index.vector(row)),
+            tie_key=names.__getitem__,
+        )
+        assert [row for row, _ in got] == [1, 2]
+
+    def test_multi_channel_bounds(self):
+        # Two channels (the classify shape): brute-force an Equation-3
+        # style half/half combination and require exact agreement.
+        rng = random.Random(99)
+        vocabulary = [f"t{i}" for i in range(30)]
+        first, second = SpaceIndex(), SpaceIndex()
+        for row in range(80):
+            first.add_row(row, random_vector(rng, vocabulary))
+            second.add_row(row, random_vector(rng, vocabulary))
+
+        def exact(query_a, query_b, row):
+            return 0.5 * cosine_similarity(query_a, first.vector(row)) \
+                + 0.5 * cosine_similarity(query_b, second.vector(row))
+
+        for _ in range(15):
+            query_a = random_vector(rng, vocabulary, max_terms=6)
+            query_b = random_vector(rng, vocabulary, max_terms=6)
+            channels = []
+            if query_a.norm() > 0.0:
+                scale = 0.5 / query_a.norm()
+                channels.append(Channel(
+                    first, {t: w * scale for t, w in query_a.items()}
+                ))
+            if query_b.norm() > 0.0:
+                scale = 0.5 / query_b.norm()
+                channels.append(Channel(
+                    second, {t: w * scale for t, w in query_b.items()}
+                ))
+            if not channels:
+                continue
+            got = top_k_exact(
+                channels, 5, lambda row: exact(query_a, query_b, row)
+            )
+            scored = [
+                (row, exact(query_a, query_b, row)) for row in range(80)
+            ]
+            scored = [(r, s) for r, s in scored if s > 0.0]
+            scored.sort(key=lambda pair: (-pair[1], pair[0]))
+            assert got == scored[:5]
+
+
+# ---------------------------------------------------------------------
+# Classify parity: indexed candidate generation vs full centroid scan.
+# ---------------------------------------------------------------------
+
+
+class TestClassifyParity:
+    def test_indexed_classify_bit_identical(self, small_snapshot, small_pages):
+        organizer_on = small_snapshot.to_organizer(index="on")
+        organizer_off = small_snapshot.to_organizer(index="off")
+        assert organizer_on.centroid_index is not None
+        assert organizer_off.centroid_index is None
+        for page in small_pages:
+            got = organizer_on.classify_vectorized(page)
+            want = organizer_off.classify_vectorized(page)
+            assert got == want, page.url  # same cluster AND same float
+
+    def test_parity_survives_mutations(self, small_snapshot, small_raw_pages):
+        organizer_on = small_snapshot.to_organizer(index="on")
+        organizer_off = small_snapshot.to_organizer(index="off")
+        churn = small_raw_pages[:10]
+        for raw in churn[:5]:
+            assert organizer_on.remove(raw.url) == organizer_off.remove(raw.url)
+        for raw in churn[:5]:
+            assert organizer_on.add(raw) == organizer_off.add(raw)
+        organizer_on.recluster()
+        organizer_off.recluster()
+        probes = [
+            organizer_on.vectorizer.transform_new(raw) for raw in churn
+        ]
+        for page in probes:
+            assert organizer_on.classify_vectorized(page) == \
+                organizer_off.classify_vectorized(page), page.url
+
+    def test_auto_threshold(self, small_snapshot):
+        organizer = small_snapshot.to_organizer()  # auto, k=8 clusters
+        assert len(organizer.clusters) < INDEX_AUTO_MIN_CLUSTERS
+        assert organizer.centroid_index is None
+
+    def test_candidate_pruning_counts_fewer_comparisons(
+        self, small_snapshot, small_pages
+    ):
+        organizer = small_snapshot.to_organizer(index="on")
+        stats = organizer.centroid_index.stats
+        for page in small_pages[:20]:
+            organizer.classify_vectorized(page)
+        assert stats.rows_total == 20 * len(organizer.clusters)
+        assert 0 < stats.rows_scored <= stats.rows_total
+
+
+# ---------------------------------------------------------------------
+# Directory parity: randomized interleaved mutations, search both scopes.
+# ---------------------------------------------------------------------
+
+
+QUERIES = (
+    "flight airfare ticket",
+    "book novel author",
+    "job career salary engineer",
+    "movie theater actor",
+    "hotel room reservation",
+    "car rental pickup",
+    "music album",
+    "zzz-nothing-matches-this",
+)
+
+
+class TestDirectoryParity:
+    def assert_search_parity(self, indexed, scan):
+        for query in QUERIES:
+            for n in (1, 3, 5, 20):
+                got = indexed.search(query, n=n)
+                want = scan.search(query, n=n)
+                assert got == want, (query, n)
+                got_pages = indexed.search_pages(query, n=n)
+                want_pages = scan.search_pages(query, n=n)
+                assert got_pages == want_pages, (query, n)
+
+    def test_randomized_interleaved_mutations(
+        self, small_snapshot, small_raw_pages
+    ):
+        rng = random.Random(1234)
+        with make_directory(small_snapshot, index="on") as indexed, \
+                make_directory(small_snapshot, index="off") as scan:
+            assert indexed.stats()["index"]["active_clusters"]
+            assert not scan.stats()["index"]["active_clusters"]
+            self.assert_search_parity(indexed, scan)
+
+            managed = {raw.url for raw in small_raw_pages
+                       if raw.url in indexed.organizer}
+            pool = list(small_raw_pages)
+            for round_number in range(4):
+                for _ in range(6):
+                    action = rng.random()
+                    if action < 0.45:
+                        raw = rng.choice(pool)
+                        assert indexed.add(raw) == scan.add(raw)
+                        managed.add(raw.url)
+                    elif action < 0.8 and managed:
+                        url = rng.choice(sorted(managed))
+                        assert indexed.remove(url) == scan.remove(url)
+                        managed.discard(url)
+                    else:
+                        indexed.recluster()
+                        scan.recluster()
+                self.assert_search_parity(indexed, scan)
+            assert indexed.generation == scan.generation
+            assert indexed.generation > 0
+
+    def test_page_hits_shape(self, small_snapshot):
+        with make_directory(small_snapshot, index="on") as directory:
+            hits = directory.search_pages("flight airfare", n=5)
+            assert hits
+            previous = None
+            for hit in hits:
+                assert set(hit) == {
+                    "url", "cluster", "score", "matched_terms"
+                }
+                assert hit["score"] > 0.0
+                assert hit["cluster"] == \
+                    directory.organizer.cluster_of(hit["url"])
+                if previous is not None:
+                    assert (-previous["score"], previous["url"]) <= \
+                        (-hit["score"], hit["url"])
+                previous = hit
+
+    def test_off_mode_still_caches_combined_centroids(self, small_snapshot):
+        with make_directory(small_snapshot, index="off") as directory:
+            first = directory._index.cluster_combined(0)
+            assert directory.search("flight airfare", n=3)
+            assert directory._index.cluster_combined(0) is first
+            assert directory._index.n_cluster_postings == 0
+
+    def test_generation_stamps_follow_mutations(
+        self, small_snapshot, small_raw_pages
+    ):
+        with make_directory(small_snapshot, index="on") as directory:
+            assert directory._index.generation == directory.generation == 0
+            directory.add(small_raw_pages[0])
+            assert directory._index.generation == directory.generation == 1
+            directory.remove(small_raw_pages[0].url)
+            assert directory._index.generation == directory.generation == 2
+            directory.recluster()
+            assert directory._index.generation == directory.generation == 3
+
+
+# ---------------------------------------------------------------------
+# Full benchmark corpus parity (the acceptance pin).
+# ---------------------------------------------------------------------
+
+
+class TestBenchmarkCorpusParity:
+    def test_full_corpus_bit_identical(self, benchmark_raw_pages):
+        pipeline = CAFCPipeline(CAFCConfig())
+        result = pipeline.organize(benchmark_raw_pages)
+        snapshot = build_snapshot(result, pipeline.vectorizer, pipeline.config)
+        organizer_on = snapshot.to_organizer(index="on")
+        organizer_off = snapshot.to_organizer(index="off")
+        for raw in benchmark_raw_pages:
+            page = organizer_on.vectorizer.transform_new(raw)
+            assert organizer_on.classify_vectorized(page) == \
+                organizer_off.classify_vectorized(page), raw.url
+        with FormDirectory(organizer_on, auto_recluster=False) as indexed, \
+                FormDirectory(organizer_off, auto_recluster=False) as scan:
+            for query in QUERIES:
+                for n in (1, 5, 25):
+                    assert indexed.search(query, n=n) == \
+                        scan.search(query, n=n), query
+                    assert indexed.search_pages(query, n=n) == \
+                        scan.search_pages(query, n=n), query
+
+
+# ---------------------------------------------------------------------
+# HTTP scope + metrics + snapshot surfaces.
+# ---------------------------------------------------------------------
+
+
+class TestServiceSurfaces:
+    def fetch(self, base, path):
+        with urllib.request.urlopen(base + path, timeout=10) as response:
+            return json.loads(response.read().decode("utf-8"))
+
+    def test_http_search_scopes(self, small_snapshot):
+        directory = make_directory(small_snapshot, index="on")
+        server = serve_directory(directory)
+        server.serve_in_thread()
+        try:
+            base = server.base_url
+            clusters = self.fetch(base, "/search?q=flight+airfare&n=3")
+            assert clusters["ok"] and clusters["scope"] == "clusters"
+            assert clusters["hits"] == directory.search("flight airfare", n=3)
+            pages = self.fetch(
+                base, "/search?q=flight+airfare&n=3&scope=pages"
+            )
+            assert pages["ok"] and pages["scope"] == "pages"
+            assert pages["hits"] == \
+                directory.search_pages("flight airfare", n=3)
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                self.fetch(base, "/search?q=x&scope=bogus")
+            assert excinfo.value.code == 400
+        finally:
+            server.shut_down()
+
+    def test_search_and_index_metrics_exposed(self, small_snapshot):
+        with make_directory(small_snapshot, index="on") as directory:
+            directory.search("flight airfare", n=3)
+            directory.search_pages("flight airfare", n=3)
+            text = directory.metrics.render()
+            assert 'repro_search_requests_total{path="indexed",' \
+                'scope="clusters"} 1' in text
+            assert 'repro_search_seconds_count{scope="pages"} 1' in text
+            assert 'repro_index_postings{space="clusters"}' in text
+            assert 'repro_index_terms{space="pages"}' in text
+            assert "repro_index_pruning_ratio" in text
+            assert "repro_index_rows_scored_total" in text
+
+    def test_scan_path_labels(self, small_snapshot):
+        with make_directory(small_snapshot, index="off") as directory:
+            directory.search("flight airfare", n=3)
+            text = directory.metrics.render()
+            assert 'repro_search_requests_total{path="scan",' \
+                'scope="clusters"} 1' in text
+
+    def test_config_round_trip_and_snapshot_info(
+        self, small_snapshot, tmp_path
+    ):
+        config = CAFCConfig(index="on")
+        assert CAFCConfig.from_dict(config.to_dict()).index == "on"
+        with pytest.raises(ValueError):
+            CAFCConfig(index="sometimes")
+        path = tmp_path / "snap.json.gz"
+        small_snapshot.save(path)
+        info = snapshot_info(path)
+        assert info["index"] == "auto"
+        assert info["n_pages"] == small_snapshot.n_pages
