@@ -1,6 +1,6 @@
 # Convenience targets; everything works without make too.
 
-.PHONY: install test bench bench-smoke bench-ingest bench-search serve-smoke experiments examples lint clean
+.PHONY: install test bench bench-smoke bench-ingest bench-search serve-smoke chaos experiments examples lint clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -23,6 +23,10 @@ bench-search:          ## scan-vs-indexed search A/B; records BENCH_search.json
 
 serve-smoke:           ## boot the directory server on an ephemeral port, probe it, shut down
 	PYTHONPATH=src python -m repro serve --smoke
+
+chaos:                 ## resilience suite: fault injection, retry/breaker, journal crash-recovery
+	PYTHONPATH=src python -m pytest tests/test_resilience.py tests/test_journal.py tests/test_chaos.py -q
+	PYTHONPATH=src python -m repro serve --smoke --chaos 7
 
 bench-paper:           ## full paper protocol (20 CAFC-C trials per bench)
 	REPRO_BENCH_RUNS=20 pytest benchmarks/ --benchmark-only

@@ -209,6 +209,7 @@ def _build_serve_directory(args: argparse.Namespace):
         cache_size=args.cache_size,
         auto_recluster=not args.no_auto_recluster,
         index=args.index,
+        journal=getattr(args, "journal", None),
     )
     if args.snapshot:
         return FormDirectory.from_snapshot(args.snapshot, **knobs)
@@ -252,6 +253,16 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     import urllib.request
 
     from repro.service import serve_directory
+
+    if getattr(args, "chaos", None) is not None:
+        # Dev/soak mode: arm the canned chaos plan process-wide so the
+        # snapshot, vectorize and journal seams all misbehave — the
+        # server should stay up (degraded at worst).  docs/RESILIENCE.md.
+        from repro.resilience import FaultPlan, install_plan
+
+        plan = FaultPlan.default_chaos(args.chaos)
+        install_plan(plan)
+        print(f"chaos mode: {plan.describe()['specs']} (seed {args.chaos})")
 
     directory = _build_serve_directory(args)
     server = serve_directory(
@@ -460,6 +471,18 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument(
         "--request-timeout", type=float, default=30.0,
         help="per-connection socket timeout in seconds",
+    )
+    p_serve.add_argument(
+        "--journal", metavar="PATH",
+        help="write-ahead journal path: every add/remove/recluster is "
+             "fsynced there before it is applied, and an existing "
+             "journal is replayed on boot (crash recovery — "
+             "docs/RESILIENCE.md)",
+    )
+    p_serve.add_argument(
+        "--chaos", type=int, metavar="SEED",
+        help="arm the canned fault-injection plan with this seed "
+             "(deterministic chaos soak; docs/RESILIENCE.md)",
     )
     p_serve.add_argument(
         "--smoke", action="store_true",

@@ -10,6 +10,7 @@ import enum
 from dataclasses import dataclass, field
 
 from repro.parallel.config import ParallelConfig
+from repro.resilience.config import ResilienceConfig
 from repro.vsm.weights import LocationWeights
 
 
@@ -79,6 +80,11 @@ class CAFCConfig:
         the analysis cache) — see
         :class:`~repro.parallel.config.ParallelConfig` and
         docs/INGESTION.md.  Parallel output is bit-identical to serial.
+    resilience:
+        Retry/backoff, circuit-breaker and chaos knobs for the flaky
+        seams (the backlink API, request vectorization) — see
+        :class:`~repro.resilience.config.ResilienceConfig` and
+        docs/RESILIENCE.md.
     """
 
     k: int = 8
@@ -95,6 +101,7 @@ class CAFCConfig:
     backend: str = "auto"
     index: str = "auto"
     parallel: ParallelConfig = field(default_factory=ParallelConfig)
+    resilience: ResilienceConfig = field(default_factory=ResilienceConfig)
 
     def to_dict(self) -> dict:
         """All tunables as JSON-safe data (snapshot support)."""
@@ -113,6 +120,7 @@ class CAFCConfig:
             "backend": self.backend,
             "index": self.index,
             "parallel": self.parallel.to_dict(),
+            "resilience": self.resilience.to_dict(),
         }
 
     @classmethod
@@ -148,6 +156,9 @@ class CAFCConfig:
             backend=str(state.get("backend", defaults.backend)),
             index=str(state.get("index", defaults.index)),
             parallel=ParallelConfig.from_dict(dict(state.get("parallel", {}))),
+            resilience=ResilienceConfig.from_dict(
+                dict(state.get("resilience", {}))
+            ),
         )
 
     def __post_init__(self) -> None:

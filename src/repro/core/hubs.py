@@ -18,9 +18,11 @@ k-means.
 """
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, List, Sequence
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 from repro.core.form_page import FormPage, VectorPair, centroid_of
+from repro.resilience.flaky import ResilientSearchEngine
+from repro.resilience.retry import CircuitBreaker, RetryPolicy
 from repro.webgraph.urls import same_site
 
 
@@ -120,6 +122,45 @@ def build_hub_clusters(
     ]
     clusters.sort(key=lambda c: (-c.cardinality, c.hub_url))
     return clusters
+
+
+def backlink_coverage(pages: Sequence[FormPage]) -> float:
+    """Fraction of pages with at least one backlink — the paper's
+    harvest-quality number (they saw ~85% from AltaVista; a collapse
+    toward 0 means hub evidence is gone and CAFC-CH seeding should
+    yield to CAFC-C's random seeding).  Returns 0.0 for no pages."""
+    if not pages:
+        return 0.0
+    covered = sum(1 for page in pages if page.backlinks)
+    return covered / len(pages)
+
+
+def harvest_hub_evidence(
+    engine,
+    requests: Sequence[Tuple[str, str]],
+    policy: Optional[RetryPolicy] = None,
+    breaker: Optional[CircuitBreaker] = None,
+) -> Tuple[Dict[str, List[str]], "ResilientSearchEngine"]:
+    """Harvest backlinks for many form pages through the resilient
+    wrapper — the retry/backoff face of the Section 3.1 seam.
+
+    ``requests`` is ``(form_page_url, site_root_url)`` pairs;
+    transient/timeout/rate-limit failures are retried per ``policy``
+    (defaults apply when omitted), a shared ``breaker`` stops hammering
+    a downed engine, and pages whose queries still fail degrade to an
+    empty backlink list — never an exception.  Returns the per-URL
+    backlinks plus the wrapper itself (its ``report`` says how much
+    degradation happened).
+    """
+    resilient = (
+        engine
+        if isinstance(engine, ResilientSearchEngine)
+        else ResilientSearchEngine(engine, policy=policy, breaker=breaker)
+    )
+    harvested: Dict[str, List[str]] = {}
+    for url, root_url in requests:
+        harvested[url] = resilient.harvest_backlinks(url, root_url)
+    return harvested, resilient
 
 
 def homogeneity_rate(

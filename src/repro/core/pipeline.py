@@ -53,6 +53,9 @@ class CAFCResult:
     # Only populated by CAFC-CH runs:
     n_hub_clusters: int = 0
     seed_hub_urls: List[str] = field(default_factory=list)
+    # True when a CAFC-CH run gracefully degraded to CAFC-C random
+    # seeding (too few hub clusters — backlink coverage collapsed).
+    degraded: bool = False
     # Similarity-backend instrumentation for the run (``--profile``);
     # None for results loaded from disk or built without a backend.
     engine_stats: Optional[EngineStats] = None
@@ -139,21 +142,26 @@ class CAFCPipeline:
     ) -> CAFCResult:
         """Cluster already-vectorized form pages."""
         used_hubs = False
+        degraded = False
         n_hub_clusters = 0
         seed_hub_urls: List[str] = []
         iterations = 0
 
         if algorithm == "cafc-ch":
-            try:
-                ch_result = cafc_ch(pages, self.config, backend=self.backend)
-            except ValueError:
-                # Too few hub clusters: degrade to content-only CAFC-C.
-                km_result = cafc_c(pages, self.config, backend=self.backend)
+            # Too few hub clusters (backlink coverage collapsed) degrades
+            # to content-only CAFC-C inside cafc_ch — the paper's own
+            # fallback ordering — with a structured warning and a
+            # degraded_fallbacks counter bump, never an exception.
+            ch_result = cafc_ch(
+                pages, self.config, backend=self.backend, fallback=True
+            )
+            km_result = ch_result.kmeans
+            n_hub_clusters = len(ch_result.hub_clusters)
+            if ch_result.degraded:
+                degraded = True
                 algorithm = "cafc-c (hub fallback)"
             else:
-                km_result = ch_result.kmeans
                 used_hubs = True
-                n_hub_clusters = len(ch_result.hub_clusters)
                 seed_hub_urls = [seed.hub_url for seed in ch_result.selected_seeds]
             clustering = km_result.clustering
             iterations = km_result.iterations
@@ -198,6 +206,7 @@ class CAFCPipeline:
             used_hub_seeding=used_hubs,
             n_hub_clusters=n_hub_clusters,
             seed_hub_urls=seed_hub_urls,
+            degraded=degraded,
             engine_stats=self.backend.stats.snapshot(),
         )
 

@@ -11,6 +11,7 @@ from repro.datasets.store import (
     DatasetFormatError,
     atomic_write_json,
     dataset_info,
+    fsync_dir,
     load_dataset,
     read_json,
     save_dataset,
@@ -20,6 +21,7 @@ __all__ = [
     "DatasetFormatError",
     "atomic_write_json",
     "dataset_info",
+    "fsync_dir",
     "load_dataset",
     "read_json",
     "save_dataset",

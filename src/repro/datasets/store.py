@@ -37,16 +37,39 @@ class DatasetFormatError(ValueError):
         )
 
 
+def fsync_dir(path: Union[str, Path]) -> None:
+    """fsync a *directory*, making renames inside it durable.
+
+    ``os.replace`` updates the parent directory's entries; until the
+    directory inode itself is flushed, a crash can forget the rename
+    even though the file's bytes were fsynced.  Best-effort on
+    platforms that refuse directory fds (Windows raises; some network
+    filesystems return EINVAL) — those offer no stronger primitive.
+    """
+    try:
+        fd = os.open(str(path), os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
 def atomic_write_json(
     payload: object, path: Union[str, Path], compress: bool = False
 ) -> None:
     """Durably write ``payload`` as JSON to ``path``.
 
     The bytes land in ``<path>.tmp`` first and are fsynced *before* the
-    rename, so the replace is atomic on POSIX and the data is on disk
-    when it happens — a crashed run leaves either the old file or the
-    new one, never a torn half-write.  ``compress`` gzips the payload
-    (the convention: pass it for paths ending in ``.gz``).
+    rename, and the parent directory is fsynced *after* it — so the
+    replace is atomic on POSIX, the data is on disk when it happens,
+    and the rename itself survives a crash.  A crashed run leaves
+    either the old file or the new one, never a torn half-write.
+    ``compress`` gzips the payload (the convention: pass it for paths
+    ending in ``.gz``).
     """
     path = Path(path)
     tmp_path = path.with_suffix(path.suffix + ".tmp")
@@ -58,6 +81,7 @@ def atomic_write_json(
         handle.flush()
         os.fsync(handle.fileno())
     tmp_path.replace(path)
+    fsync_dir(path.parent)
 
 
 def read_json(path: Union[str, Path]) -> object:

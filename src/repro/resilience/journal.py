@@ -1,0 +1,213 @@
+"""A crash-safe write-ahead journal for the form directory.
+
+Snapshots make cold starts cheap, but everything between two snapshot
+builds used to live only in memory: kill the process and every ``add``
+and ``remove`` since the last build was silently gone.  The journal
+closes that window with classic WAL discipline:
+
+* every mutation is **appended before it is applied** — length- and
+  CRC-framed JSON, flushed and fsynced, so an acknowledged mutation is
+  on disk no matter when the process dies;
+* recovery replays ``snapshot + journal`` back to bit-identical
+  post-mutation state (the directory journals the *vectorized* page,
+  so replay re-does no parsing and reproduces the exact floats);
+* a crash mid-append leaves a **torn final record**; replay detects it
+  (short frame or CRC mismatch), drops exactly the tail, and truncates
+  the file so subsequent appends extend a valid log;
+* a snapshot build folds the log into the artifact and truncates it
+  (via the same fsynced atomic-replace discipline as every other
+  artifact, :mod:`repro.datasets.store`).
+
+Record frame: ``[length: u32 BE] [crc32(payload): u32 BE] [payload]``
+where payload is compact UTF-8 JSON with sorted keys.
+"""
+
+import binascii
+import json
+import os
+import struct
+import threading
+from pathlib import Path
+from typing import List, Optional, Tuple, Union
+
+from repro.resilience.faults import inject
+
+_HEADER = struct.Struct(">II")  # payload length, crc32(payload)
+
+#: Refuse absurd frames during replay: a length field beyond this is
+#: torn/garbage, not a record we ever wrote.
+MAX_RECORD_BYTES = 64 * 1024 * 1024
+
+
+class JournalError(ValueError):
+    """The journal file is not something this module wrote."""
+
+
+def encode_record(record: dict) -> bytes:
+    """One framed record (pure function; exercised by the fuzz tests)."""
+    payload = json.dumps(
+        record, sort_keys=True, separators=(",", ":")
+    ).encode("utf-8")
+    return _HEADER.pack(len(payload), binascii.crc32(payload)) + payload
+
+
+def decode_records(data: bytes) -> Tuple[List[dict], int]:
+    """Parse frames from ``data``; returns ``(records, valid_bytes)``.
+
+    Parsing stops at the first incomplete or corrupt frame — by the
+    WAL's append-only discipline that can only be a torn tail, so the
+    remainder is dropped and ``valid_bytes`` marks where a recovered
+    log should be truncated.  Never raises on torn input.
+    """
+    records: List[dict] = []
+    offset = 0
+    total = len(data)
+    while offset + _HEADER.size <= total:
+        length, crc = _HEADER.unpack_from(data, offset)
+        if length > MAX_RECORD_BYTES:
+            break
+        start = offset + _HEADER.size
+        end = start + length
+        if end > total:
+            break  # torn payload
+        payload = data[start:end]
+        if binascii.crc32(payload) != crc:
+            break  # torn or bit-rotted frame
+        try:
+            record = json.loads(payload.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            break
+        if not isinstance(record, dict):
+            break
+        records.append(record)
+        offset = end
+    return records, offset
+
+
+class DirectoryJournal:
+    """Append-only, fsynced journal of directory mutations.
+
+    Thread-safety: appends are serialized by an internal lock (the
+    directory additionally holds its write lock across journal+apply,
+    which is what keeps the log ordered like the mutations).
+    """
+
+    def __init__(self, path: Union[str, Path], fsync: bool = True) -> None:
+        self.path = Path(path)
+        self.fsync = fsync
+        self._lock = threading.Lock()
+        self._handle = None
+        self.n_records = 0
+        self.n_bytes = 0
+        self.torn_bytes_dropped = 0
+        self._recover()
+
+    # -- recovery ------------------------------------------------------
+
+    def _recover(self) -> None:
+        """Scan an existing file, truncating any torn tail in place."""
+        if not self.path.exists():
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            return
+        data = self.path.read_bytes()
+        records, valid = decode_records(data)
+        self.n_records = len(records)
+        self.n_bytes = valid
+        if valid < len(data):
+            self.torn_bytes_dropped = len(data) - valid
+            with open(self.path, "r+b") as handle:
+                handle.truncate(valid)
+                handle.flush()
+                if self.fsync:
+                    os.fsync(handle.fileno())
+
+    def replay(self) -> List[dict]:
+        """Every intact record, oldest first (tolerates a torn tail)."""
+        if not self.path.exists():
+            return []
+        records, _ = decode_records(self.path.read_bytes())
+        return records
+
+    # -- appending -----------------------------------------------------
+
+    def _open(self):
+        if self._handle is None:
+            self._handle = open(self.path, "ab")
+        return self._handle
+
+    def append(self, record: dict) -> None:
+        """Frame, append, flush, fsync — returns only once durable."""
+        frame = encode_record(record)
+        with self._lock:
+            inject("journal.append")
+            handle = self._open()
+            try:
+                handle.write(frame)
+                handle.flush()
+                if self.fsync:
+                    os.fsync(handle.fileno())
+            except OSError:
+                # A partial frame would tear the log here instead of at
+                # the tail; roll back to the last known-good boundary
+                # (best effort — replay truncates torn bytes anyway).
+                try:
+                    handle.truncate(self.n_bytes)
+                except OSError:
+                    pass
+                raise
+            self.n_records += 1
+            self.n_bytes += len(frame)
+
+    # -- folding into a snapshot --------------------------------------
+
+    def truncate(self) -> None:
+        """Empty the journal (its contents were folded into a snapshot).
+
+        Crash-ordering matters: the caller must have durably written the
+        snapshot *first* — this replaces the log with an empty file via
+        rename and fsyncs the directory, so a crash on either side of
+        the replace leaves snapshot+journal consistent.
+        """
+        with self._lock:
+            if self._handle is not None:
+                self._handle.close()
+                self._handle = None
+            tmp = self.path.with_suffix(self.path.suffix + ".tmp")
+            with open(tmp, "wb") as handle:
+                handle.flush()
+                if self.fsync:
+                    os.fsync(handle.fileno())
+            tmp.replace(self.path)
+            if self.fsync:
+                # Imported lazily: datasets pulls in the pipeline layer,
+                # and resilience must stay importable from core.config.
+                from repro.datasets.store import fsync_dir
+
+                fsync_dir(self.path.parent)
+            self.n_records = 0
+            self.n_bytes = 0
+
+    # -- lifecycle -----------------------------------------------------
+
+    def close(self) -> None:
+        with self._lock:
+            if self._handle is not None:
+                self._handle.close()
+                self._handle = None
+
+    def __enter__(self) -> "DirectoryJournal":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def open_journal(
+    path: Optional[Union[str, Path]], fsync: bool = True
+) -> Optional[DirectoryJournal]:
+    """``None``-propagating constructor (directory plumbing helper)."""
+    if path is None:
+        return None
+    if isinstance(path, DirectoryJournal):
+        return path
+    return DirectoryJournal(path, fsync=fsync)

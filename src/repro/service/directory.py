@@ -24,6 +24,22 @@ use:
 Vectorization (HTML parsing + Equation 1) happens *outside* every lock:
 it touches only the frozen corpus statistics, so requests pay the
 parsing cost in parallel and the locks protect just the cluster state.
+
+The resilience layer (docs/RESILIENCE.md) threads through here too:
+
+* an optional **write-ahead journal** records every add/remove/recluster
+  (fsynced, before the mutation) so ``snapshot + journal`` replays a
+  killed directory back to bit-identical state; :meth:`checkpoint` folds
+  the log into a fresh snapshot and truncates it;
+* the batching and drift-repair threads run under a
+  :class:`~repro.resilience.supervisor.SupervisedWorker` — a crash is
+  logged, counted (``worker_restarts_total``) and restarted with
+  backoff instead of silently killing the feature;
+* request vectorization is an injection seam (``"directory.vectorize"``)
+  guarded by the config's retry policy and a directory-owned circuit
+  breaker;
+* :meth:`health_state` grades the directory ``ok`` / ``degraded`` /
+  ``recovering`` for ``/healthz`` without touching the read lock.
 """
 
 import hashlib
@@ -39,11 +55,16 @@ from repro.core.incremental import IncrementalOrganizer
 from repro.core.pipeline import _label_terms
 from repro.core.similarity import BackendSpec
 from repro.index.directory_index import DirectoryIndex
+from repro.resilience.faults import inject
+from repro.resilience.journal import DirectoryJournal, JournalError, open_journal
+from repro.resilience.retry import CIRCUIT_OPEN
+from repro.resilience.stats import STATS
+from repro.resilience.supervisor import SupervisedWorker
 from repro.service.metrics import (
     DEFAULT_SIZE_BUCKETS,
     MetricsRegistry,
 )
-from repro.service.snapshot import Snapshot
+from repro.service.snapshot import Snapshot, _page_from_json, _page_to_json
 from repro.text.analyzer import TextAnalyzer
 from repro.vsm.vector import SparseVector, cosine_similarity
 
@@ -174,6 +195,13 @@ class FormDirectory:
         default) follows ``organizer.config.index``.  Even ``"off"``
         keeps the per-generation combined-centroid cache, so no query
         re-materializes centroid sums inside the read lock.
+    journal:
+        Write-ahead journal for crash safety: a path, an open
+        :class:`~repro.resilience.journal.DirectoryJournal`, or ``None``
+        (no journaling).  Existing records are replayed *before* the
+        directory serves — restarting from ``snapshot + journal``
+        reproduces the killed directory bit-identically (assignments,
+        generation, classify outputs).
     """
 
     def __init__(
@@ -184,7 +212,22 @@ class FormDirectory:
         auto_recluster: bool = True,
         metrics: Optional[MetricsRegistry] = None,
         index: Optional[str] = None,
+        journal: Union[str, DirectoryJournal, None] = None,
     ) -> None:
+        # Lifecycle state first, before anything that can raise:
+        # ``close()`` must be safe on a partially constructed directory.
+        self._closed = False
+        self._stopped = False
+        self._worker: Optional[SupervisedWorker] = None
+        self._journal: Optional[DirectoryJournal] = None
+        self._replaying = False
+        self._queue: List[_PendingClassify] = []
+        self._queue_cond = threading.Condition()
+        self._recluster_lock = threading.Lock()
+        self._recluster_running = False
+        self.n_reclusters = 0
+        self.n_replayed = 0
+
         if batch_window_ms is not None and batch_window_ms < 0:
             batch_window_ms = None
         self.organizer = organizer
@@ -194,6 +237,10 @@ class FormDirectory:
         self.auto_recluster = auto_recluster
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.started_unix = time.time()
+
+        resilience = organizer.config.resilience
+        self._retry_policy = resilience.policy()
+        self._breaker = resilience.breaker()
 
         self._rw = RWLock()
         self._generation = 0
@@ -208,20 +255,16 @@ class FormDirectory:
         )
         self._cache_lock = threading.Lock()
 
-        self._queue: List[_PendingClassify] = []
-        self._queue_cond = threading.Condition()
-        self._stopped = False
-        self._worker: Optional[threading.Thread] = None
+        self._journal = open_journal(journal)
+        if self._journal is not None:
+            self._replay_journal()
+
         if self.batch_window_ms is not None:
-            self._worker = threading.Thread(
-                target=self._flush_loop, name="repro-classify-batcher",
-                daemon=True,
+            self._worker = SupervisedWorker(
+                self._flush_loop, name="repro-classify-batcher",
+                backoff_base=0.01,
             )
             self._worker.start()
-
-        self._recluster_lock = threading.Lock()
-        self._recluster_running = False
-        self.n_reclusters = 0
 
         self._instrument()
 
@@ -250,6 +293,89 @@ class FormDirectory:
             backend=backend, drift_threshold=drift_threshold, index=index
         )
         return cls(organizer, index=index, **kwargs)
+
+    # ----------------------------------------------------------------
+    # Write-ahead journal: append-before-apply, replay on start.
+    # ----------------------------------------------------------------
+
+    def _journal_append(self, record: Dict[str, object]) -> None:
+        """Durably log a mutation *before* applying it.  Caller holds
+        the write lock (which is what keeps log order = apply order).
+        A failed append aborts the mutation — the client sees the error,
+        the state stays consistent, and recovery drops any torn bytes.
+        """
+        if self._journal is not None and not self._replaying:
+            self._journal.append(record)
+
+    def _apply_journal_record(self, record: Dict[str, object]) -> None:
+        """Re-apply one logged mutation through the live code paths.
+
+        Replay journals nothing (``_replaying`` guards the appends) and
+        schedules no drift repair: every repair that actually ran was
+        itself journaled as a ``recluster`` record, so replay reproduces
+        the original interleaving instead of re-deciding it.
+        """
+        op = record.get("op")
+        if op == "add":
+            page = _page_from_json(record["page"])
+            with self._rw.write_locked():
+                self.organizer.add_vectorized(page)
+                self._generation += 1
+                self._index.page_upsert(page)
+                self._index.sync_clusters(self.organizer, self._generation)
+        elif op == "remove":
+            with self._rw.write_locked():
+                if self.organizer.remove(str(record.get("url", ""))):
+                    self._generation += 1
+                    self._index.page_remove(str(record.get("url", "")))
+                    self._index.sync_clusters(
+                        self.organizer, self._generation
+                    )
+        elif op == "recluster":
+            with self._rw.write_locked():
+                self.organizer.recluster()
+                self._generation += 1
+                self._index.sync_clusters(self.organizer, self._generation)
+            self.n_reclusters += 1
+        else:
+            raise JournalError(f"unknown journal op {op!r}")
+
+    def _replay_journal(self) -> None:
+        """Roll the organizer forward through every intact record."""
+        records = self._journal.replay()
+        if not records:
+            return
+        self._replaying = True
+        try:
+            for record in records:
+                self._apply_journal_record(record)
+            self.n_replayed = len(records)
+            STATS.inc("journal_replays")
+        finally:
+            self._replaying = False
+
+    def checkpoint(
+        self, path, algorithm: str = "incremental"
+    ) -> Snapshot:
+        """Fold the journal into a durable snapshot.
+
+        Under the write lock (so no mutation lands between the two
+        steps): snapshot the live organizer, write it via the fsynced
+        atomic writer, *then* truncate the journal.  A crash before the
+        save keeps the old snapshot + full journal (the bit-identical
+        recovery pair); a crash between save and truncate replays
+        mutations the snapshot already contains, which re-inserts the
+        same pages and no-ops the removes — a consistent directory over
+        exactly the same page set.
+        """
+        with self._rw.write_locked():
+            snapshot = Snapshot.from_organizer(
+                self.organizer, algorithm=algorithm
+            )
+            snapshot.save(path)
+            if self._journal is not None:
+                self._journal.truncate()
+        return snapshot
 
     def _instrument(self) -> None:
         m = self.metrics
@@ -354,6 +480,41 @@ class FormDirectory:
             "index_pruning_ratio",
             "Fraction of scan work avoided by the index (1 - scored/total)",
         ).set_function(self._pruning_ratio)
+        # Resilience observability (docs/RESILIENCE.md).  The counters
+        # live in the process-wide resilience STATS bag (core code must
+        # not import the service metrics registry), surfaced here as
+        # function gauges — registration is idempotent and scraping
+        # never takes a directory lock.
+        for name, help_text in (
+            ("retry_attempts", "Retries performed by resilience policies"),
+            ("retry_giveups", "Calls that exhausted their retry budget"),
+            ("degraded_fallbacks", "CAFC-CH runs degraded to CAFC-C"),
+            ("worker_restarts", "Supervised worker restarts"),
+            ("faults_injected", "Faults fired by the armed chaos plan"),
+            ("circuit_opens", "Circuit-breaker trips to OPEN"),
+            ("journal_replays", "Journal recoveries performed"),
+        ):
+            m.gauge(f"{name}_total", help_text).set_function(
+                lambda name=name: STATS.get(name)
+            )
+        m.gauge(
+            "circuit_state",
+            "Vectorize-seam breaker: 0 closed / 1 half-open / 2 open",
+        ).set_function(lambda: self._breaker.state_code)
+        m.gauge(
+            "journal_records", "Intact records in the write-ahead journal"
+        ).set_function(
+            lambda: self._journal.n_records if self._journal else 0
+        )
+        m.gauge(
+            "journal_bytes", "Valid bytes in the write-ahead journal"
+        ).set_function(
+            lambda: self._journal.n_bytes if self._journal else 0
+        )
+        m.gauge(
+            "degraded_mode",
+            "Directory health: 0 ok / 1 degraded / 2 recovering",
+        ).set_function(self.health_code)
 
     def _retrieval_stats(self):
         """Roll up retrieval stats across the directory index and (when
@@ -430,16 +591,31 @@ class FormDirectory:
             top_terms=terms, cached=False, batch_size=batch_size,
         )
 
+    def _vectorize_once(self, raw: RawFormPage) -> FormPage:
+        """One vectorization attempt, crossing the injection seam."""
+        inject("directory.vectorize")
+        return self.vectorizer.transform_new(raw)
+
     def _vectorize_timed(self, raw: RawFormPage) -> FormPage:
         """``transform_new`` with latency observed into ``/metrics``.
 
         Vectorization happens outside every lock; repeat content (the
         retry path) hits the vectorizer's analysis cache and shows up in
-        the sub-millisecond buckets.
+        the sub-millisecond buckets.  The call runs through the
+        directory's circuit breaker and the config's retry policy:
+        transient faults at the ``"directory.vectorize"`` seam are
+        retried with backoff, exhaustion counts a breaker failure, and
+        an open breaker fails the request fast
+        (:class:`~repro.resilience.retry.CircuitOpenError` — surfaced
+        as HTTP 503).
         """
         started = time.perf_counter()
-        page = self.vectorizer.transform_new(raw)
-        self._m_vectorize_seconds.observe(time.perf_counter() - started)
+        try:
+            page = self._breaker.call(
+                self._retry_policy.call, self._vectorize_once, raw
+            )
+        finally:
+            self._m_vectorize_seconds.observe(time.perf_counter() - started)
         return page
 
     def _flush_loop(self) -> None:
@@ -526,6 +702,7 @@ class FormDirectory:
         new size)."""
         page = self._vectorize_timed(raw)
         with self._rw.write_locked():
+            self._journal_append({"op": "add", "page": _page_to_json(page)})
             index = self.organizer.add_vectorized(page)
             size = self.organizer.clusters[index].size
             self._generation += 1
@@ -538,6 +715,10 @@ class FormDirectory:
     def remove(self, url: str) -> bool:
         """Drop a source.  Returns False when the URL is not managed."""
         with self._rw.write_locked():
+            # Journaled even when the URL turns out unmanaged: replay of
+            # a no-op remove is itself a no-op, and append-before-apply
+            # stays unconditional.
+            self._journal_append({"op": "remove", "url": url})
             removed = self.organizer.remove(url)
             if removed:
                 self._generation += 1
@@ -558,21 +739,30 @@ class FormDirectory:
             if self._recluster_running:
                 return
             self._recluster_running = True
-        thread = threading.Thread(
-            target=self._recluster_worker, name="repro-recluster", daemon=True
-        )
-        thread.start()
+        # Supervised: a crash in the repair is logged, counted and
+        # retried with backoff rather than leaving drift unrepaired and
+        # nobody the wiser.  on_exit clears the in-flight flag on every
+        # way out (done, gave up, stopped).
+        SupervisedWorker(
+            self._recluster_once, name="repro-recluster",
+            backoff_base=0.05, max_restarts=3,
+            on_exit=self._recluster_done,
+        ).start()
 
-    def _recluster_worker(self) -> None:
-        try:
+    def _recluster_once(self) -> None:
+        if self.organizer.needs_reclustering:
             self.recluster()
-        finally:
-            with self._recluster_lock:
-                self._recluster_running = False
+
+    def _recluster_done(self) -> None:
+        with self._recluster_lock:
+            self._recluster_running = False
 
     def recluster(self) -> int:
         """Run drift repair now (blocking).  Returns pages moved."""
         with self._rw.write_locked():
+            # recluster() is deterministic given the organizer state, so
+            # an op marker is all replay needs to reproduce it exactly.
+            self._journal_append({"op": "recluster"})
             moved = self.organizer.recluster()
             self._generation += 1
             # Page vectors survive re-clustering (only membership moved,
@@ -746,11 +936,41 @@ class FormDirectory:
                 for index, cluster in enumerate(self.organizer.clusters)
             ]
 
+    #: health_state() -> degraded_mode gauge encoding.
+    _HEALTH_CODES = {"ok": 0, "degraded": 1, "recovering": 2}
+
+    def health_state(self) -> str:
+        """``"ok"`` / ``"degraded"`` / ``"recovering"`` — lock-free.
+
+        ``recovering``: journal replay or a drift repair is in flight
+        (the repair holds the write lock, which is exactly why this must
+        not take the read lock — /healthz keeps answering during it;
+        the HTTP layer turns it into 503 + Retry-After).  ``degraded``:
+        still serving, but impaired — the vectorize breaker is open,
+        the batching worker gave up, or drift passed the threshold with
+        no repair running.  Plain attribute reads only.
+        """
+        if self._replaying or self._recluster_running:
+            return "recovering"
+        worker = self._worker
+        if (
+            (worker is not None and worker.gave_up)
+            or self._breaker.state_code == CIRCUIT_OPEN
+            or self.organizer.needs_reclustering
+        ):
+            return "degraded"
+        return "ok"
+
+    def health_code(self) -> int:
+        """Numeric :meth:`health_state` (the ``degraded_mode`` gauge)."""
+        return self._HEALTH_CODES[self.health_state()]
+
     def stats(self) -> Dict[str, object]:
         """Health/staleness summary (the /healthz body)."""
         organizer = self.organizer
         with self._rw.read_locked():
             return {
+                "state": self.health_state(),
                 "pages": len(organizer),
                 "clusters": len(organizer.clusters),
                 "cohesion": organizer.cohesion,
@@ -773,6 +993,18 @@ class FormDirectory:
                     "cluster_postings": self._index.n_cluster_postings,
                     "page_postings": self._index.n_page_postings,
                 },
+                "resilience": {
+                    "circuit": self._breaker.state,
+                    "journaled": self._journal is not None,
+                    "journal_records": (
+                        self._journal.n_records if self._journal else 0
+                    ),
+                    "journal_bytes": (
+                        self._journal.n_bytes if self._journal else 0
+                    ),
+                    "replayed_records": self.n_replayed,
+                    **STATS.as_dict(),
+                },
             }
 
     # ----------------------------------------------------------------
@@ -780,12 +1012,24 @@ class FormDirectory:
     # ----------------------------------------------------------------
 
     def close(self) -> None:
-        """Stop the batching worker (pending requests are still served)."""
-        with self._queue_cond:
-            self._stopped = True
-            self._queue_cond.notify_all()
-        if self._worker is not None:
-            self._worker.join(timeout=5.0)
+        """Stop the batching worker and the journal.  Idempotent, and
+        safe on a directory whose ``__init__`` failed partway (the
+        lifecycle attributes are initialized before anything that can
+        raise); pending classify requests are still served."""
+        if getattr(self, "_closed", True):
+            return
+        self._closed = True
+        cond = getattr(self, "_queue_cond", None)
+        if cond is not None:
+            with cond:
+                self._stopped = True
+                cond.notify_all()
+        worker = getattr(self, "_worker", None)
+        if worker is not None:
+            worker.stop(timeout=5.0)
+        journal = getattr(self, "_journal", None)
+        if journal is not None:
+            journal.close()
 
     def __enter__(self) -> "FormDirectory":
         return self

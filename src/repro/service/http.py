@@ -32,6 +32,8 @@ from typing import Dict, List, Optional, Tuple
 from urllib.parse import parse_qs, urlsplit
 
 from repro.core.form_page import RawFormPage
+from repro.resilience.faults import FaultError
+from repro.resilience.retry import RetryError
 from repro.service.directory import FormDirectory
 
 #: Default cap on request bodies (form pages are HTML documents; 2 MiB
@@ -40,6 +42,10 @@ DEFAULT_MAX_REQUEST_BYTES = 2 * 1024 * 1024
 
 #: Default per-connection socket timeout (seconds).
 DEFAULT_REQUEST_TIMEOUT = 30.0
+
+#: ``Retry-After`` hint (seconds) sent with 503 while the directory is
+#: recovering (journal replay / drift repair in flight).
+RECOVERING_RETRY_AFTER = 1
 
 
 class ApiError(Exception):
@@ -204,6 +210,18 @@ class DirectoryRequestHandler(BaseHTTPRequestHandler):
         except TimeoutError as exc:
             status = 504
             self._send_error_json(ApiError(504, "timeout", str(exc)))
+        except (RetryError, FaultError) as exc:
+            # Resilience-layer failures (retries exhausted, permanent
+            # upstream fault, open circuit breaker): the request failed
+            # but the directory is intact — tell clients to back off.
+            status = 503
+            try:
+                self._send_error_json(
+                    ApiError(503, "upstream_unavailable",
+                             f"{type(exc).__name__}: {exc}")
+                )
+            except (BrokenPipeError, ConnectionResetError, socket.timeout):
+                pass
         except Exception as exc:  # structured 500, never a stack trace
             status = 500
             try:
@@ -218,7 +236,25 @@ class DirectoryRequestHandler(BaseHTTPRequestHandler):
     # -- GET handlers -------------------------------------------------
 
     def _get_healthz(self, query: dict) -> int:
-        self._send_json(200, {"ok": True, "status": "ok",
+        # Grade first, lock-free: during recovery (journal replay, a
+        # drift repair holding the write lock) ``stats()`` would block
+        # on the read lock — exactly when health probes must not hang.
+        state = self.directory.health_state()
+        if state == "recovering":
+            data = json.dumps(
+                {"ok": False, "status": state,
+                 "retry_after_seconds": RECOVERING_RETRY_AFTER}
+            ).encode("utf-8")
+            self.send_response(503)
+            self.send_header(
+                "Content-Type", "application/json; charset=utf-8"
+            )
+            self.send_header("Retry-After", str(RECOVERING_RETRY_AFTER))
+            self.send_header("Content-Length", str(len(data)))
+            self.end_headers()
+            self.wfile.write(data)
+            return 503
+        self._send_json(200, {"ok": True, "status": state,
                               **self.directory.stats()})
         return 200
 

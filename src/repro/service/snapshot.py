@@ -31,10 +31,11 @@ from typing import Dict, List, Optional, Union
 from repro.core.config import CAFCConfig
 from repro.core.form_page import FormPage
 from repro.core.incremental import IncrementalOrganizer
-from repro.core.pipeline import CAFCResult
+from repro.core.pipeline import CAFCResult, _label_terms
 from repro.core.similarity import BackendSpec
 from repro.core.vectorizer import FormPageVectorizer
 from repro.datasets.store import DatasetFormatError, atomic_write_json, read_json
+from repro.resilience.faults import inject
 from repro.vsm.vector import SparseVector
 
 SNAPSHOT_FORMAT_VERSION = 1
@@ -120,11 +121,53 @@ class Snapshot:
         )
 
     # ----------------------------------------------------------------
+    # Checkpointing.
+    # ----------------------------------------------------------------
+
+    @classmethod
+    def from_organizer(
+        cls,
+        organizer: IncrementalOrganizer,
+        algorithm: str = "incremental",
+        n_label_terms: int = 6,
+    ) -> "Snapshot":
+        """Snapshot a *live* organizer — the checkpoint the directory
+        writes before truncating its journal.
+
+        Pages are stored in each cluster's live order, and organizer
+        centroids are always full re-sums over that order
+        (``rebuild_centroid``), so :meth:`to_organizer` reproduces them
+        bit-identically.  The one exception is a cluster emptied by
+        ``recluster`` (it keeps its final k-means centroid under the
+        keep-previous convention, which a page-only snapshot cannot
+        carry); such a centroid reverts to zero on load and the cluster
+        re-earns pages from there.
+        """
+        return cls(
+            clusters=[list(cluster.pages) for cluster in organizer.clusters],
+            vectorizer_state=organizer.vectorizer.export_state(),
+            config=organizer.config,
+            top_terms=[
+                _label_terms(cluster.centroid, n_label_terms)
+                for cluster in organizer.clusters
+            ],
+            algorithm=algorithm,
+            created_unix=time.time(),
+        )
+
+    # ----------------------------------------------------------------
     # Persistence.
     # ----------------------------------------------------------------
 
     def save(self, path: Union[str, Path]) -> None:
-        """Write the snapshot (gzipped when ``path`` ends in ``.gz``)."""
+        """Write the snapshot (gzipped when ``path`` ends in ``.gz``).
+
+        The write is an injection seam (``"snapshot.save"``): an armed
+        chaos plan may fail it *before* any bytes are written, and the
+        atomic writer guarantees a failure mid-write leaves the previous
+        snapshot intact either way.
+        """
+        inject("snapshot.save")
         path = Path(path)
         payload = {
             "format_version": SNAPSHOT_FORMAT_VERSION,
@@ -155,7 +198,9 @@ class Snapshot:
 
         Raises :class:`~repro.datasets.store.DatasetFormatError` on an
         unknown format version and ValueError on structural problems.
+        ``"snapshot.load"`` is an injection seam.
         """
+        inject("snapshot.load")
         payload = read_json(path)
         if not isinstance(payload, dict):
             raise ValueError(f"{path}: expected a JSON object at top level")

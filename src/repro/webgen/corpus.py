@@ -83,6 +83,7 @@ class SyntheticWeb:
         use_root_backlinks: bool = True,
         include_anchor_text: bool = False,
         parallel: Optional[ParallelConfig] = None,
+        engine=None,
     ) -> List[RawFormPage]:
         """The clustering input: HTML + harvested backlinks + gold label.
 
@@ -98,11 +99,18 @@ class SyntheticWeb:
         concurrently; per-site assembly is an independent pure read of
         the graph and the engine's deterministic index, and results are
         collected in site order, so the output is identical to serial.
+
+        ``engine`` substitutes another ``link_query`` provider for the
+        cached simulated engine — chaos runs pass a
+        :class:`~repro.resilience.flaky.FlakySearchEngine` (or its
+        :class:`~repro.resilience.flaky.ResilientSearchEngine` wrapper)
+        here to exercise the backlink seam under injected faults.
         """
         from repro.link_analysis.anchor_text import harvest_anchor_texts
         from repro.parallel.ingest import parallel_map
 
-        engine = self.search_engine()
+        if engine is None:
+            engine = self.search_engine()
 
         def assemble(site: Site) -> RawFormPage:
             backlinks = engine.link_query(site.form_page_url)
