@@ -1,6 +1,6 @@
 # Convenience targets; everything works without make too.
 
-.PHONY: install test bench bench-smoke bench-ingest bench-search serve-smoke chaos experiments examples lint clean
+.PHONY: install test bench bench-smoke bench-ingest bench-search bench-ranking serve-smoke chaos experiments examples lint clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -20,6 +20,9 @@ bench-ingest:          ## ingestion executor/cache A/B; records BENCH_ingest.jso
 
 bench-search:          ## scan-vs-indexed search A/B; records BENCH_search.json
 	pytest benchmarks/test_bench_search.py -q -s --timeout=600
+
+bench-ranking:         ## weighting-scheme A/B (eq1/bm25/tf); records BENCH_ranking.json
+	pytest benchmarks/test_bench_ranking.py -q -s --timeout=600
 
 serve-smoke:           ## boot the directory server on an ephemeral port, probe it, shut down
 	PYTHONPATH=src python -m repro serve --smoke

@@ -86,7 +86,8 @@ def _cmd_organize(args: argparse.Namespace) -> int:
         raw_pages = generate_benchmark(seed=args.seed).raw_pages()
 
     pipeline = CAFCPipeline(CAFCConfig(
-        k=args.k, backend=args.backend, parallel=_parallel_config(args)
+        k=args.k, backend=args.backend, scheme=args.scheme,
+        parallel=_parallel_config(args)
     ))
     result = pipeline.organize(raw_pages, algorithm=args.algorithm)
     print(f"ingest: {pipeline.vectorizer.ingest_stats.describe()}")
@@ -176,7 +177,8 @@ def _cmd_snapshot_build(args: argparse.Namespace) -> int:
 
     raw_pages = _load_or_generate(args)
     pipeline = CAFCPipeline(CAFCConfig(
-        k=args.k, backend=args.backend, parallel=_parallel_config(args)
+        k=args.k, backend=args.backend, scheme=args.scheme,
+        parallel=_parallel_config(args)
     ))
     result = pipeline.organize(raw_pages, algorithm=args.algorithm)
     snapshot = build_snapshot(result, pipeline.vectorizer, pipeline.config)
@@ -212,7 +214,17 @@ def _build_serve_directory(args: argparse.Namespace):
         journal=getattr(args, "journal", None),
     )
     if args.snapshot:
-        return FormDirectory.from_snapshot(args.snapshot, **knobs)
+        directory = FormDirectory.from_snapshot(args.snapshot, **knobs)
+        requested = getattr(args, "scheme", "auto")
+        if requested != "auto" and requested != directory.scheme_name:
+            directory.close()
+            raise SystemExit(
+                f"--scheme {requested} conflicts with the snapshot's "
+                f"fitted scheme {directory.scheme_name!r}; re-weighting "
+                "needs a re-fit (repro snapshot build --scheme "
+                f"{requested})"
+            )
+        return directory
 
     from repro.core import CAFCConfig, CAFCPipeline
     from repro.service import build_snapshot
@@ -237,12 +249,16 @@ def _build_serve_directory(args: argparse.Namespace):
             seed=args.seed,
         )
         raw_pages = generate_benchmark(config=config).raw_pages()
-        pipeline = CAFCPipeline(
-            CAFCConfig(k=args.k, min_hub_cardinality=3, backend=args.backend)
-        )
+        pipeline = CAFCPipeline(CAFCConfig(
+            k=args.k, min_hub_cardinality=3, backend=args.backend,
+            scheme=getattr(args, "scheme", "auto"),
+        ))
     else:
         raw_pages = _load_or_generate(args)
-        pipeline = CAFCPipeline(CAFCConfig(k=args.k, backend=args.backend))
+        pipeline = CAFCPipeline(CAFCConfig(
+            k=args.k, backend=args.backend,
+            scheme=getattr(args, "scheme", "auto"),
+        ))
     result = pipeline.organize(raw_pages)
     snapshot = build_snapshot(result, pipeline.vectorizer, pipeline.config)
     return FormDirectory.from_snapshot(snapshot, **knobs)
@@ -368,6 +384,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="similarity backend (default: auto)",
     )
     p_org.add_argument(
+        "--scheme", choices=["auto", "off", "eq1", "bm25", "tf"],
+        default="auto",
+        help="term-weighting scheme (default: auto = Equation 1; "
+             "off = raw location-weighted TF — docs/RANKING.md)",
+    )
+    p_org.add_argument(
         "--profile", action="store_true",
         help="print similarity-engine statistics (build time, comparisons, "
              "cache hits)",
@@ -417,6 +439,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--backend", choices=["auto", "engine", "naive"], default="auto"
     )
     p_snap_build.add_argument(
+        "--scheme", choices=["auto", "off", "eq1", "bm25", "tf"],
+        default="auto",
+        help="term-weighting scheme baked into the snapshot "
+             "(default: auto = Equation 1)",
+    )
+    p_snap_build.add_argument(
         "--out", required=True,
         help="snapshot path (gzipped when it ends in .gz)",
     )
@@ -444,6 +472,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument(
         "--backend", choices=["auto", "engine", "naive"], default="auto",
         help="similarity backend for serving",
+    )
+    p_serve.add_argument(
+        "--scheme", choices=["auto", "off", "eq1", "bm25", "tf"],
+        default="auto",
+        help="term-weighting scheme for on-the-fly builds; with "
+             "--snapshot it must match the snapshot's fitted scheme",
     )
     p_serve.add_argument(
         "--index", choices=["auto", "on", "off"], default="auto",

@@ -9,6 +9,12 @@ backlinks per page.
 import enum
 from dataclasses import dataclass, field
 
+from repro.options import (
+    BACKEND_CHOICES,
+    INDEX_CHOICES,
+    SCHEME_CHOICES,
+    validate_option,
+)
 from repro.parallel.config import ParallelConfig
 from repro.resilience.config import ResilienceConfig
 from repro.vsm.weights import LocationWeights
@@ -75,6 +81,17 @@ class CAFCConfig:
         ``"off"`` (always full scans).  Indexed results are
         bit-identical to the scans — see docs/SERVING.md, "Indexed
         retrieval".
+    scheme:
+        Term-weighting scheme for vectorization: ``"auto"`` (default;
+        the paper's Equation 1), ``"eq1"``, ``"bm25"`` (Okapi BM25 with
+        per-space [0, 1] normalization), ``"tf"`` / ``"off"`` (plain
+        LOC-weighted TF, corpus weighting disabled).  Pass a
+        :class:`~repro.vsm.schemes.WeightingScheme` instance directly
+        to the vectorizer for tuned parameters.  See docs/RANKING.md.
+
+        ``backend`` / ``index`` / ``scheme`` share one convention —
+        ``"auto" | "off" | <name>`` — and one validator
+        (:mod:`repro.options`); the error names the offending field.
     parallel:
         Ingestion execution plan (workers, chunk size, executor, and
         the analysis cache) — see
@@ -100,6 +117,7 @@ class CAFCConfig:
     seed: int = 0
     backend: str = "auto"
     index: str = "auto"
+    scheme: str = "auto"
     parallel: ParallelConfig = field(default_factory=ParallelConfig)
     resilience: ResilienceConfig = field(default_factory=ResilienceConfig)
 
@@ -119,6 +137,7 @@ class CAFCConfig:
             "seed": self.seed,
             "backend": self.backend,
             "index": self.index,
+            "scheme": self.scheme,
             "parallel": self.parallel.to_dict(),
             "resilience": self.resilience.to_dict(),
         }
@@ -155,6 +174,7 @@ class CAFCConfig:
             seed=int(state.get("seed", defaults.seed)),
             backend=str(state.get("backend", defaults.backend)),
             index=str(state.get("index", defaults.index)),
+            scheme=str(state.get("scheme", defaults.scheme)),
             parallel=ParallelConfig.from_dict(dict(state.get("parallel", {}))),
             resilience=ResilienceConfig.from_dict(
                 dict(state.get("resilience", {}))
@@ -162,16 +182,9 @@ class CAFCConfig:
         )
 
     def __post_init__(self) -> None:
-        if self.backend not in ("auto", "engine", "naive"):
-            raise ValueError(
-                f"unknown backend {self.backend!r}; "
-                'expected "auto", "engine" or "naive"'
-            )
-        if self.index not in ("auto", "on", "off"):
-            raise ValueError(
-                f"unknown index mode {self.index!r}; "
-                'expected "auto", "on" or "off"'
-            )
+        validate_option("backend", self.backend, BACKEND_CHOICES)
+        validate_option("index", self.index, INDEX_CHOICES)
+        validate_option("scheme", self.scheme, SCHEME_CHOICES)
         if self.k < 1:
             raise ValueError("k must be positive")
         if self.page_weight < 0 or self.form_weight < 0:

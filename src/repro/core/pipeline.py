@@ -106,6 +106,7 @@ class CAFCPipeline:
             location_weights=self.config.location_weights,
             max_backlinks=self.config.max_backlinks,
             parallel=self.config.parallel,
+            scheme=self.config.scheme,
         )
         self.backend: SimilarityBackend = resolve_backend(backend, self.config)
 

@@ -14,9 +14,10 @@ on clusters (multi-document centroids), not individual pages — provided
 small clusters were pruned first (Section 3.3).
 
 The distance matrix is served by a similarity backend (one batched
-:meth:`~repro.core.similarity.SimilarityBackend.pairwise` call); passing
-a bare :class:`~repro.core.similarity.FormPageSimilarity` positionally is
-still accepted but deprecated.
+:meth:`~repro.core.similarity.SimilarityBackend.pairwise` call).  The
+old positional ``similarity=`` callable seam is gone: pass ``backend=``
+(a name, a backend instance, or ``None`` for the default) —
+``resolve_backend`` rejects bare callables with a migration hint.
 """
 
 from typing import List, Sequence
@@ -24,30 +25,21 @@ from typing import List, Sequence
 import numpy as np
 
 from repro.core.hubs import HubCluster
-from repro.core.similarity import BackendSpec, SimilarityBackend, resolve_backend
-
-
-def _resolve(similarity: BackendSpec, backend: BackendSpec) -> SimilarityBackend:
-    """Resolve the deprecated positional ``similarity`` or the ``backend``
-    keyword into a backend instance (``resolve_backend`` emits the
-    DeprecationWarning for bare callables)."""
-    if similarity is not None:
-        return resolve_backend(similarity)
-    return resolve_backend(backend)
+from repro.core.similarity import BackendSpec, resolve_backend
 
 
 def hub_distance_matrix(
     clusters: Sequence[HubCluster],
-    similarity: BackendSpec = None,
     *,
     backend: BackendSpec = None,
 ) -> np.ndarray:
     """Pairwise centroid distances (1 - similarity), symmetric, zero diag.
 
-    Pass ``backend=`` (a name or :class:`SimilarityBackend`); the
-    positional ``similarity`` callable is deprecated.
+    ``backend`` is a backend name, a
+    :class:`~repro.core.similarity.SimilarityBackend`, or ``None`` for
+    the default.
     """
-    resolved = _resolve(similarity, backend)
+    resolved = resolve_backend(backend)
     n = len(clusters)
     if n == 0:
         return np.zeros((0, 0), dtype=np.float64)
@@ -60,7 +52,6 @@ def hub_distance_matrix(
 def select_hub_clusters(
     clusters: Sequence[HubCluster],
     k: int,
-    similarity: BackendSpec = None,
     *,
     backend: BackendSpec = None,
 ) -> List[HubCluster]:
@@ -73,10 +64,9 @@ def select_hub_clusters(
     Determinism: ties in the greedy objective are broken by the clusters'
     order in ``clusters`` (which `build_hub_clusters` makes deterministic).
 
-    The similarity arithmetic comes from ``backend`` (a backend name,
-    a :class:`~repro.core.similarity.SimilarityBackend`, or ``None`` for
-    the default).  The positional ``similarity`` callable is deprecated:
-    it still works, wrapped in a NaiveBackend, but warns.
+    The similarity arithmetic comes from ``backend`` (a backend name, a
+    :class:`~repro.core.similarity.SimilarityBackend`, or ``None`` for
+    the default).
     """
     if k < 1:
         raise ValueError("k must be positive")
@@ -85,7 +75,7 @@ def select_hub_clusters(
             f"need at least {k} hub clusters, have {len(clusters)}; "
             "lower min_hub_cardinality or use random seeding"
         )
-    resolved = _resolve(similarity, backend)
+    resolved = resolve_backend(backend)
     if k == 1:
         return [clusters[0]]
 

@@ -24,14 +24,17 @@ they take a :class:`SimilarityBackend`:
   at a fraction of the cost.
 
 ``resolve_backend`` maps the ``CAFCConfig.backend`` string (``"auto"``,
-``"engine"``, ``"naive"``), an existing backend instance, or a legacy
-bare callable (deprecated) to a backend object.
+``"engine"``, ``"naive"``) or an existing backend instance to a backend
+object.  The pre-backend seam — passing a bare similarity callable where
+a backend is expected — was deprecated when the backend API landed and
+is now a hard :class:`TypeError`; wrap the callable in
+:class:`NaiveBackend` instead.
 """
 
-import warnings
 from typing import Callable, List, Optional, Protocol, Sequence, Union, runtime_checkable
 
 from repro.core.config import CAFCConfig, ContentMode
+from repro.options import BACKEND_CHOICES, validate_option
 from repro.core.simengine import EngineStats, SimilarityEngine
 from repro.vsm.vector import SparseVector, cosine_similarity
 
@@ -288,8 +291,6 @@ class EngineBackend:
 #: What users may put in ``CAFCConfig.backend`` / pass as ``backend=``.
 BackendSpec = Union[None, str, SimilarityBackend, Callable[..., float]]
 
-_BACKEND_NAMES = ("auto", "engine", "naive")
-
 
 def resolve_backend(
     spec: BackendSpec, config: Optional[CAFCConfig] = None
@@ -297,45 +298,33 @@ def resolve_backend(
     """Turn a backend spec into a backend instance.
 
     ``spec`` may be ``None`` (use ``config.backend``), one of the
-    strings ``"auto"`` / ``"engine"`` / ``"naive"``, an existing
-    :class:`SimilarityBackend`, or — deprecated — a bare similarity
-    callable, which is wrapped in a :class:`NaiveBackend` with a
-    :class:`DeprecationWarning`.  ``"auto"`` currently selects the
+    strings ``"auto"`` / ``"engine"`` / ``"naive"``, or an existing
+    :class:`SimilarityBackend`.  ``"auto"`` currently selects the
     engine (it is never slower on batch shapes and agrees to 1e-9);
     the name is reserved so future heuristics can pick per-workload.
+
+    Bare similarity callables (including :class:`FormPageSimilarity`
+    instances) were deprecated when the backend API landed and now
+    raise :class:`TypeError`: wrap them — ``NaiveBackend(similarity)``
+    — or pass a backend name.
     """
     config = config or CAFCConfig()
     if spec is None:
         spec = config.backend
     if isinstance(spec, str):
-        if spec not in _BACKEND_NAMES:
-            raise ValueError(
-                f"unknown backend {spec!r}; expected one of {_BACKEND_NAMES}"
-            )
+        validate_option("backend", spec, BACKEND_CHOICES)
         if spec == "naive":
             return NaiveBackend.from_config(config)
         return EngineBackend.from_config(config)
     if isinstance(spec, (NaiveBackend, EngineBackend)):
         return spec
-    if isinstance(spec, FormPageSimilarity):
-        warnings.warn(
-            "passing a bare FormPageSimilarity is deprecated; pass a "
-            "SimilarityBackend (e.g. NaiveBackend(similarity)) or a "
-            'backend name such as "engine"',
-            DeprecationWarning,
-            stacklevel=3,
-        )
-        return NaiveBackend(spec)
-    if callable(spec):
-        warnings.warn(
-            "passing a bare similarity callable is deprecated; wrap it in "
-            "NaiveBackend or pass a backend name",
-            DeprecationWarning,
-            stacklevel=3,
-        )
-        wrapper = NaiveBackend(FormPageSimilarity())
-        wrapper.similarity = spec  # type: ignore[assignment]
-        return wrapper
     if isinstance(spec, SimilarityBackend):
         return spec
+    if isinstance(spec, FormPageSimilarity) or callable(spec):
+        raise TypeError(
+            "bare similarity callables are no longer accepted as backends "
+            "(removed after a deprecation cycle); wrap the callable in "
+            "NaiveBackend(...) or pass a backend name such as "
+            '"engine" or "naive"'
+        )
     raise TypeError(f"cannot resolve similarity backend from {spec!r}")

@@ -8,7 +8,6 @@ ablation benches use, packaged for external use.
 
 import itertools
 import statistics
-import warnings
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
@@ -83,7 +82,8 @@ def sweep_configs(
         config, so grid overrides of ``content_mode`` or the Equation-3
         weights take effect; a backend *instance* is used as-is.
     similarity:
-        Deprecated alias for ``backend`` (bare callables warn).
+        Removed.  Passing it raises TypeError with a migration hint —
+        use ``backend=`` (finishing the SimilarityBackend deprecation).
 
     Raises
     ------
@@ -93,13 +93,11 @@ def sweep_configs(
     if algorithm not in ("cafc-ch", "cafc-c"):
         raise ValueError(f"unknown algorithm: {algorithm!r}")
     if similarity is not None:
-        warnings.warn(
-            "sweep_configs(similarity=...) is deprecated; pass backend= "
-            '(a backend name such as "engine" or a SimilarityBackend)',
-            DeprecationWarning,
-            stacklevel=2,
+        raise TypeError(
+            "sweep_configs(similarity=...) was removed after its "
+            "deprecation cycle; pass backend= (a backend name such as "
+            '"engine", or a SimilarityBackend instance)'
         )
-        backend = similarity
     base = base or CAFCConfig()
     for name in grid:
         if not hasattr(base, name):

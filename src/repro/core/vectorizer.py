@@ -1,4 +1,4 @@
-"""Vectorizing raw form pages — Equation 1 over the FC and PC spaces.
+"""Vectorizing raw form pages over the FC and PC feature spaces.
 
 The vectorizer performs the Section 2.1 construction:
 
@@ -6,16 +6,19 @@ The vectorizer performs the Section 2.1 construction:
    location (title / option / anchor / body) and whether it lies inside a
    ``<form>`` element;
 2. analyze the text (tokenize, drop stopwords, Porter-stem);
-3. build per-feature-space corpus statistics (document frequencies) over
-   the whole collection;
-4. emit, for every page, the LOC-weighted TF-IDF vectors for FC (terms
-   inside the form) and PC (all page terms).
+3. build per-feature-space corpus statistics over the whole collection
+   (document frequencies, plus whatever else the active
+   :class:`~repro.vsm.schemes.WeightingScheme` tracks);
+4. emit, for every page, the scheme's weight vectors for FC (terms
+   inside the form) and PC (all page terms) — Equation 1 under the
+   default :class:`~repro.vsm.schemes.Eq1Scheme`, BM25 under
+   :class:`~repro.vsm.schemes.BM25Scheme` (docs/RANKING.md).
 
-IDF is corpus-relative, so the vectorizer must see the full collection
-before any vector exists: call :meth:`FormPageVectorizer.fit_transform`
-once over the corpus, then (optionally) :meth:`transform_new` for pages
-that arrive later (Section 5: classifying new sources against built
-clusters).
+Corpus statistics are collection-relative, so the vectorizer must see
+the full collection before any vector exists: call
+:meth:`FormPageVectorizer.fit_transform` once over the corpus, then
+(optionally) :meth:`transform_new` for pages that arrive later
+(Section 5: classifying new sources against built clusters).
 
 Steps 1-2 (the CPU-heavy map phase) run through
 :mod:`repro.parallel.ingest` under the vectorizer's
@@ -46,11 +49,25 @@ from repro.parallel.ingest import (
 )
 from repro.text.analyzer import TextAnalyzer
 from repro.vsm.corpus import CorpusStats
-from repro.vsm.weights import LocationWeights, located_term_frequencies, tf_idf_vector
+from repro.vsm.schemes import (
+    SchemeSpec,
+    SpaceStats,
+    resolve_scheme,
+    scheme_from_dict,
+)
+from repro.vsm.weights import LocationWeights, located_term_frequencies
 
 
 class FormPageVectorizer:
-    """Builds FC/PC vectors for a collection of raw form pages."""
+    """Builds FC/PC vectors for a collection of raw form pages.
+
+    ``scheme`` selects the term-weighting formula — a name accepted by
+    :func:`~repro.vsm.schemes.resolve_scheme` (``"auto"`` / ``"off"`` /
+    ``"eq1"`` / ``"bm25"`` / ``"tf"``) or a
+    :class:`~repro.vsm.schemes.WeightingScheme` instance for tuned
+    parameters.  The default is Equation 1, bit-identical to the
+    pre-seam vectorizer.
+    """
 
     def __init__(
         self,
@@ -59,13 +76,20 @@ class FormPageVectorizer:
         max_backlinks: int = 100,
         parallel: Optional[ParallelConfig] = None,
         analysis_cache_size: int = 4096,
+        scheme: SchemeSpec = None,
     ) -> None:
         self.location_weights = location_weights or LocationWeights()
         self.analyzer = analyzer or TextAnalyzer()
         self.max_backlinks = max_backlinks
         self.parallel = parallel or ParallelConfig()
-        self.fc_corpus = CorpusStats()
-        self.pc_corpus = CorpusStats()
+        self.scheme = resolve_scheme(scheme)
+        self.fc_stats = SpaceStats()
+        self.pc_stats = SpaceStats()
+        # Per-space emit contexts (e.g. IDF maps), prepared after fit
+        # and invalidated by it; transform_new reuses them.
+        self._pc_context = None
+        self._fc_context = None
+        self._contexts_ready = False
         self._fitted = False
         # Per-page analysis memo (content-hash keyed): fit_transform
         # fills it, transform_new reuses it — the service /classify
@@ -83,6 +107,20 @@ class FormPageVectorizer:
         # HTTP server; the analysis cache locks itself, this lock keeps
         # the stats counters consistent.
         self._stats_lock = threading.Lock()
+
+    # ----------------------------------------------------------------
+    # Corpus-statistics views.
+    # ----------------------------------------------------------------
+
+    @property
+    def pc_corpus(self) -> CorpusStats:
+        """PC document frequencies (view into the PC space stats)."""
+        return self.pc_stats.corpus
+
+    @property
+    def fc_corpus(self) -> CorpusStats:
+        """FC document frequencies (view into the FC space stats)."""
+        return self.fc_stats.corpus
 
     # ----------------------------------------------------------------
     # Per-page text analysis.
@@ -143,21 +181,36 @@ class FormPageVectorizer:
             stats=self.ingest_stats,
         )
 
-        # Pass 1 — document frequencies per feature space.
+        # Pass 1 — per-space scheme statistics (document frequencies,
+        # plus e.g. BM25's length totals), folded in page order.
+        scheme = self.scheme
         for analysis in analyzed:
-            self.pc_corpus.add_document(term for term, _ in analysis.pc_terms)
-            self.fc_corpus.add_document(term for term, _ in analysis.fc_terms)
+            scheme.observe(
+                self.pc_stats, analysis.pc_terms, self.location_weights
+            )
+            scheme.observe(
+                self.fc_stats, analysis.fc_terms, self.location_weights
+            )
         self._fitted = True
 
-        # Pass 2 — Equation 1 vectors, over materialized IDF maps (same
-        # ``log(N / n_i)`` floats as per-term ``idf`` calls, minus the
-        # per-lookup method dispatch).
-        pc_idf = self.pc_corpus.idf_map()
-        fc_idf = self.fc_corpus.idf_map()
+        # Pass 2 — the scheme's weight vectors, over per-space emit
+        # contexts prepared once (for Equation 1: the materialized IDF
+        # map, the same ``log(N / n_i)`` floats as per-term ``idf``
+        # calls, minus the per-lookup method dispatch).
+        pc_context, fc_context = self._prepare_contexts()
         return [
-            self._build_form_page(raw, analysis, pc_idf=pc_idf, fc_idf=fc_idf)
+            self._build_form_page(
+                raw, analysis, pc_context=pc_context, fc_context=fc_context
+            )
             for raw, analysis in zip(raw_pages, analyzed)
         ]
+
+    def _prepare_contexts(self):
+        """(Re)build the per-space emit contexts after a fit or load."""
+        self._pc_context = self.scheme.prepare(self.pc_stats)
+        self._fc_context = self.scheme.prepare(self.fc_stats)
+        self._contexts_ready = True
+        return self._pc_context, self._fc_context
 
     # ----------------------------------------------------------------
     # State export / import (snapshot support).
@@ -172,14 +225,24 @@ class FormPageVectorizer:
     # ----------------------------------------------------------------
 
     def export_state(self) -> dict:
-        """The fitted state as JSON-safe data (for snapshots)."""
+        """The fitted state as JSON-safe data (for snapshots).
+
+        The ``pc_corpus`` / ``fc_corpus`` keys keep their pre-seam
+        shape, and a default-scheme export adds only the (ignorable)
+        ``scheme`` / length keys — so Equation-1 state stays loadable by
+        pre-seam readers, while non-default schemes are refused by them
+        at the snapshot layer's version gate.
+        """
         if not self._fitted:
             raise RuntimeError("vectorizer must be fitted before export_state")
         return {
             "max_backlinks": self.max_backlinks,
             "location_weights": self.location_weights.to_dict(),
+            "scheme": self.scheme.to_dict(),
             "pc_corpus": self.pc_corpus.to_dict(),
             "fc_corpus": self.fc_corpus.to_dict(),
+            "pc_total_weighted_length": self.pc_stats.total_weighted_length,
+            "fc_total_weighted_length": self.fc_stats.total_weighted_length,
         }
 
     @classmethod
@@ -189,7 +252,10 @@ class FormPageVectorizer:
         """Rebuild a fitted vectorizer from :meth:`export_state` data.
 
         The result classifies new pages (``transform_new``) exactly as
-        the original would; it must not be re-fitted.
+        the original would; it must not be re-fitted.  State without a
+        ``scheme`` entry (exported before the scheme seam) loads as
+        Equation 1 — which is exactly how it was built.  Unknown scheme
+        names raise :class:`~repro.vsm.schemes.UnknownSchemeError`.
         """
         vectorizer = cls(
             location_weights=LocationWeights.from_dict(
@@ -197,9 +263,16 @@ class FormPageVectorizer:
             ),
             max_backlinks=int(state.get("max_backlinks", 100)),
             parallel=parallel,
+            scheme=scheme_from_dict(dict(state.get("scheme", {"name": "eq1"}))),
         )
-        vectorizer.pc_corpus = CorpusStats.from_dict(state.get("pc_corpus", {}))
-        vectorizer.fc_corpus = CorpusStats.from_dict(state.get("fc_corpus", {}))
+        vectorizer.pc_stats = SpaceStats(
+            CorpusStats.from_dict(state.get("pc_corpus", {})),
+            float(state.get("pc_total_weighted_length", 0.0)),
+        )
+        vectorizer.fc_stats = SpaceStats(
+            CorpusStats.from_dict(state.get("fc_corpus", {})),
+            float(state.get("fc_total_weighted_length", 0.0)),
+        )
         vectorizer._fitted = True
         return vectorizer
 
@@ -214,21 +287,30 @@ class FormPageVectorizer:
         """
         if not self._fitted:
             raise RuntimeError("vectorizer must be fitted before transform_new")
-        return self._build_form_page(raw, self._analyze_page(raw))
+        if self._contexts_ready:
+            pc_context, fc_context = self._pc_context, self._fc_context
+        else:  # first transform after from_state: prepare once, reuse
+            pc_context, fc_context = self._prepare_contexts()
+        return self._build_form_page(
+            raw,
+            self._analyze_page(raw),
+            pc_context=pc_context,
+            fc_context=fc_context,
+        )
 
     def _build_form_page(
         self,
         raw: RawFormPage,
         analysis: PageAnalysis,
-        pc_idf: Optional[dict] = None,
-        fc_idf: Optional[dict] = None,
+        pc_context=None,
+        fc_context=None,
     ) -> FormPage:
         pc_tf = located_term_frequencies(analysis.pc_terms, self.location_weights)
         fc_tf = located_term_frequencies(analysis.fc_terms, self.location_weights)
         return FormPage(
             url=raw.url,
-            pc=tf_idf_vector(pc_tf, self.pc_corpus, idf_map=pc_idf),
-            fc=tf_idf_vector(fc_tf, self.fc_corpus, idf_map=fc_idf),
+            pc=self.scheme.vector(pc_tf, self.pc_stats, pc_context),
+            fc=self.scheme.vector(fc_tf, self.fc_stats, fc_context),
             backlinks=frozenset(raw.backlinks[: self.max_backlinks]),
             label=raw.label,
             form_term_count=len(analysis.fc_terms),

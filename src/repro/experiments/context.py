@@ -52,6 +52,7 @@ def get_context(
     uniform_weights: bool = False,
     workers: int = 1,
     use_cache: bool = True,
+    scheme: str = "auto",
 ) -> ExperimentContext:
     """Build (or fetch the cached) experiment context.
 
@@ -60,6 +61,9 @@ def get_context(
     the ingestion layer (see docs/INGESTION.md); vectors are
     bit-identical regardless, so every (seed, uniform_weights) pair
     yields the same experiment numbers at any worker count.
+    ``scheme`` vectorizes under an alternative weighting scheme
+    (``"bm25"``, ``"tf"`` — see docs/RANKING.md) for per-scheme A/B
+    runs; the default is the paper's Equation 1.
     """
     parallel = ParallelConfig(workers=workers, use_cache=use_cache)
     web = generate_benchmark(seed=seed)
@@ -68,7 +72,7 @@ def get_context(
         LocationWeights.uniform() if uniform_weights else LocationWeights()
     )
     vectorizer = FormPageVectorizer(
-        location_weights=location_weights, parallel=parallel
+        location_weights=location_weights, parallel=parallel, scheme=scheme
     )
     pages = vectorizer.fit_transform(raw)
     gold = [page.label or "?" for page in pages]
@@ -79,6 +83,6 @@ def get_context(
         pages=pages,
         gold_labels=gold,
         raw_hub_clusters=hub_clusters,
-        config=CAFCConfig(k=8),
+        config=CAFCConfig(k=8, scheme=scheme),
         ingest_summary=vectorizer.ingest_stats.describe(),
     )

@@ -36,6 +36,7 @@ from repro.index.retrieval import (
     combined_query_channel,
     top_k_exact,
 )
+from repro.options import INDEX_CHOICES, validate_option
 from repro.vsm.vector import SparseVector
 
 #: ``index="auto"`` turns indexed retrieval on at these sizes.  Below
@@ -45,15 +46,12 @@ from repro.vsm.vector import SparseVector
 INDEX_AUTO_MIN_CLUSTERS = 32
 INDEX_AUTO_MIN_PAGES = 256
 
-_MODES = ("auto", "on", "off")
-
 
 def validate_index_mode(mode: str) -> str:
-    if mode not in _MODES:
-        raise ValueError(
-            f"unknown index mode {mode!r}; expected one of {_MODES}"
-        )
-    return mode
+    """Shared-convention validation (:mod:`repro.options`) for the
+    index mode; the raised :class:`~repro.options.OptionError` names the
+    ``index`` field."""
+    return validate_option("index", mode, INDEX_CHOICES)
 
 
 class DirectoryIndex:

@@ -17,6 +17,12 @@ rebuilt per query.  The raw row vectors are kept because the retrieval
 layer's final scoring deliberately goes back through the *scalar*
 cosine path on them — that is what makes indexed results bit-identical
 to a full scan (see docs/SERVING.md, "Indexed retrieval").
+
+The index is **weighting-scheme agnostic**: bounds are computed from
+the *actual emitted vectors* (whatever :mod:`repro.vsm.schemes` scheme
+produced them), never re-derived from corpus statistics — so exact
+top-k pruning stays exact under Equation 1, BM25, or any future scheme
+without the index knowing which one is active (docs/RANKING.md).
 """
 
 from typing import Dict, Iterator, List, Tuple

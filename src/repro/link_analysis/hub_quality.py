@@ -110,5 +110,5 @@ def select_hub_clusters_quality_aware(
     keep = max(k, int(round(len(scored) * (1.0 - drop_fraction))))
     survivors = [quality.cluster for quality in scored[:keep]]
     # Same Equation-3 arithmetic as the scalar callable, via the backend
-    # API (passing the callable positionally is deprecated).
+    # API (``select_hub_clusters`` no longer takes bare callables).
     return select_hub_clusters(survivors, k, backend=NaiveBackend(similarity))

@@ -232,6 +232,9 @@ class FormDirectory:
             batch_window_ms = None
         self.organizer = organizer
         self.vectorizer = organizer.vectorizer
+        # Weighting-scheme label for metrics/healthz: which formula the
+        # served vectors (and every query-time transform) were built with.
+        self.scheme_name = getattr(self.vectorizer.scheme, "name", "eq1")
         self.batch_window_ms = batch_window_ms
         self.cache_size = max(0, int(cache_size))
         self.auto_recluster = auto_recluster
@@ -792,11 +795,12 @@ class FormDirectory:
 
     def _observe_search(self, scope: str, path: str, started: float) -> None:
         self.metrics.histogram(
-            "search_seconds", "Search latency", scope=scope
+            "search_seconds", "Search latency",
+            scope=scope, scheme=self.scheme_name,
         ).observe(time.perf_counter() - started)
         self.metrics.counter(
             "search_requests_total", "Search requests served",
-            scope=scope, path=path,
+            scope=scope, path=path, scheme=self.scheme_name,
         ).inc()
 
     def _cluster_hit(
@@ -979,6 +983,7 @@ class FormDirectory:
                 "n_removed": organizer.n_removed,
                 "n_reclusters": self.n_reclusters,
                 "generation": self._generation,
+                "scheme": self.scheme_name,
                 "batch_window_ms": self.batch_window_ms,
                 "cache_size": self.cache_size,
                 "uptime_seconds": time.time() - self.started_unix,

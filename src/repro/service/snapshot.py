@@ -36,11 +36,28 @@ from repro.core.similarity import BackendSpec
 from repro.core.vectorizer import FormPageVectorizer
 from repro.datasets.store import DatasetFormatError, atomic_write_json, read_json
 from repro.resilience.faults import inject
+from repro.vsm.schemes import UnknownSchemeError, scheme_from_dict
 from repro.vsm.vector import SparseVector
 
-SNAPSHOT_FORMAT_VERSION = 1
+#: The newest format this build writes and reads.  Version 1 is the
+#: pre-scheme-seam format, which is (and can only be) Equation-1 state;
+#: Equation-1 snapshots are still written as version 1 so older tooling
+#: keeps reading them.  Non-default weighting schemes bump the payload
+#: to version 2, so a version-1-only reader refuses them with a
+#: :class:`~repro.datasets.store.DatasetFormatError` instead of
+#: silently re-weighting with Equation 1.
+SNAPSHOT_FORMAT_VERSION = 2
+
+_SUPPORTED_FORMAT_VERSIONS = (1, 2)
 
 _KIND = "repro-directory-snapshot"
+
+
+def _scheme_name(vectorizer_state: dict) -> str:
+    scheme = vectorizer_state.get("scheme")
+    if isinstance(scheme, dict):
+        return str(scheme.get("name", "eq1"))
+    return "eq1"
 
 
 def _page_to_json(page: FormPage) -> dict:
@@ -169,8 +186,11 @@ class Snapshot:
         """
         inject("snapshot.save")
         path = Path(path)
+        # Equation-1 state keeps the pre-seam version so older readers
+        # stay compatible; any other scheme gates on version 2.
+        version = 1 if _scheme_name(self.vectorizer_state) == "eq1" else 2
         payload = {
-            "format_version": SNAPSHOT_FORMAT_VERSION,
+            "format_version": version,
             "kind": _KIND,
             "created_unix": self.created_unix or time.time(),
             "algorithm": self.algorithm,
@@ -210,8 +230,23 @@ class Snapshot:
                 f"(kind={payload.get('kind')!r})"
             )
         version = payload.get("format_version")
-        if version != SNAPSHOT_FORMAT_VERSION:
+        if version not in _SUPPORTED_FORMAT_VERSIONS:
             raise DatasetFormatError(path, version, SNAPSHOT_FORMAT_VERSION)
+        vectorizer_state = dict(payload.get("vectorizer", {}))
+        scheme_name = _scheme_name(vectorizer_state)
+        if version == 1 and scheme_name != "eq1":
+            # A version-1 reader would silently treat this state as
+            # Equation 1; refuse the mislabelled payload outright.
+            raise DatasetFormatError(
+                path, f"1 (scheme={scheme_name})", SNAPSHOT_FORMAT_VERSION
+            )
+        try:
+            scheme_from_dict(vectorizer_state.get("scheme", {"name": "eq1"}))
+        except UnknownSchemeError as exc:
+            raise DatasetFormatError(
+                path, f"{version} (scheme={exc.name!r})",
+                SNAPSHOT_FORMAT_VERSION,
+            ) from exc
         clusters_field = payload.get("clusters")
         if not isinstance(clusters_field, list) or not clusters_field:
             raise ValueError(f"{path}: 'clusters' must be a non-empty list")
@@ -229,7 +264,7 @@ class Snapshot:
                 ) from exc
         return cls(
             clusters=clusters,
-            vectorizer_state=dict(payload.get("vectorizer", {})),
+            vectorizer_state=vectorizer_state,
             config=CAFCConfig.from_dict(dict(payload.get("config", {}))),
             top_terms=top_terms,
             algorithm=str(payload.get("algorithm", "?")),
@@ -280,6 +315,7 @@ def snapshot_info(path: Union[str, Path]) -> Dict[str, object]:
         "algorithm": payload.get("algorithm"),
         "index": config.get("index", "auto") if isinstance(config, dict)
         else "auto",
+        "scheme": _scheme_name(vectorizer if isinstance(vectorizer, dict) else {}),
         "n_clusters": len(clusters),
         "n_pages": sum(sizes),
         "cluster_sizes": sizes,

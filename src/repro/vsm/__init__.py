@@ -1,17 +1,30 @@
 """Vector-space model substrate.
 
-Implements the pieces of Section 2.1:
+Implements the pieces of Section 2.1 plus the weighting-scheme seam:
 
-* :class:`repro.vsm.vector.SparseVector` — dictionary-backed sparse term
-  vectors with dot product, norm, scaling and cosine similarity (Eq. 2).
+* :class:`repro.vsm.vector.SparseVector` — sparse term vectors
+  (struct-of-arrays internally, interned term ids) with dot product,
+  norm, scaling and cosine similarity (Eq. 2).
 * :class:`repro.vsm.corpus.CorpusStats` — document frequencies and corpus
   size for IDF estimation.
 * :class:`repro.vsm.weights.LocationWeights` and
   :func:`repro.vsm.weights.tf_idf_vector` — Equation 1:
   ``w_i = LOC_i * TF_i * log(N / n_i)``.
+* :mod:`repro.vsm.schemes` — the :class:`WeightingScheme` protocol and
+  the built-in schemes (``eq1``, ``bm25``, ``tf``); see docs/RANKING.md.
 """
 
 from repro.vsm.corpus import CorpusStats
+from repro.vsm.schemes import (
+    BM25Scheme,
+    Eq1Scheme,
+    SpaceStats,
+    TFScheme,
+    UnknownSchemeError,
+    WeightingScheme,
+    resolve_scheme,
+    scheme_from_dict,
+)
 from repro.vsm.vector import SparseVector, cosine_similarity
 from repro.vsm.weights import LocationWeights, tf_idf_vector
 
@@ -21,4 +34,12 @@ __all__ = [
     "cosine_similarity",
     "LocationWeights",
     "tf_idf_vector",
+    "WeightingScheme",
+    "SpaceStats",
+    "Eq1Scheme",
+    "BM25Scheme",
+    "TFScheme",
+    "UnknownSchemeError",
+    "resolve_scheme",
+    "scheme_from_dict",
 ]

@@ -62,6 +62,11 @@ class CorpusStats:
             return 0.0
         return math.log(self._document_count / n_i)
 
+    def document_frequencies(self) -> Dict[str, int]:
+        """A live read-only view of ``term -> n_i`` (for weighting schemes
+        that derive their own IDF variant, e.g. BM25)."""
+        return self._document_frequency
+
     def idf_map(self) -> Dict[str, float]:
         """IDF for every known term (materialized once for tight loops)."""
         n = self._document_count

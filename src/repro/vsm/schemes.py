@@ -1,0 +1,353 @@
+"""Pluggable term-weighting schemes — the ranking seam behind the vectorizer.
+
+The paper hard-wires Equation 1 (location-boosted TF-IDF); this module
+turns the three moments where a weighting scheme acts into a protocol,
+so alternatives plug in without touching the vectorizer:
+
+1. **fit** — :meth:`WeightingScheme.observe` folds one document's
+   located terms into per-space :class:`SpaceStats` (document
+   frequencies, and whatever else the scheme needs — BM25 also tracks
+   total weighted length for ``avgdl``).  The vectorizer calls this in
+   page order in the parent process, so pooled map/reduce ingestion
+   merges scheme stats exactly like DF today (docs/INGESTION.md).
+2. **prepare** — after the whole collection is observed,
+   :meth:`WeightingScheme.prepare` materializes a per-space emit
+   context (e.g. the IDF map) used for both batch vectorization and
+   later ``transform_new`` calls.
+3. **emit** — :meth:`WeightingScheme.vector` turns one page's
+   LOC-weighted term frequencies into a :class:`SparseVector`.
+
+Schemes are named (``"eq1"``, ``"bm25"``, ``"tf"``) and serialize to
+JSON-safe dicts, so fitted state survives snapshots; ``"auto"`` resolves
+to Equation 1 and ``"off"`` to plain LOC-weighted TF (corpus weighting
+disabled).  :class:`Eq1Scheme` routes through the exact
+:func:`~repro.vsm.weights.tf_idf_vector` call sequence the vectorizer
+used before this seam existed, so the default is bit-identical —
+pinned by ``tests/test_schemes.py`` over the 454-page reference corpus.
+
+BM25 emits scores max-normalized to [0, 1] **per feature space** before
+the PC/FC combination, so Equation-3 mixing (and any cross-shard top-k
+merge) compares like with like; see docs/RANKING.md.
+"""
+
+import math
+from collections import Counter
+from typing import (
+    Any,
+    Dict,
+    Iterable,
+    Optional,
+    Protocol,
+    Tuple,
+    Union,
+    runtime_checkable,
+)
+
+from repro.html.text_extract import TextLocation
+from repro.options import SCHEME_CHOICES, resolve_auto, validate_option
+from repro.vsm.corpus import CorpusStats
+from repro.vsm.vector import SparseVector
+from repro.vsm.weights import LocationWeights, tf_idf_vector
+
+LocatedTerms = Iterable[Tuple[str, TextLocation]]
+
+
+class UnknownSchemeError(ValueError):
+    """A scheme name (from config, CLI, or snapshot state) is unknown.
+
+    Carries ``name`` so snapshot loaders can wrap it in their own
+    structured errors.
+    """
+
+    def __init__(self, name: object) -> None:
+        self.name = name
+        super().__init__(
+            f"unknown weighting scheme {name!r}; "
+            f"expected one of {SCHEME_CHOICES}"
+        )
+
+
+class SpaceStats:
+    """Fit-time statistics for one feature space (PC or FC).
+
+    Wraps the Equation-1 :class:`CorpusStats` (document count + DF) and
+    adds the total LOC-weighted document length BM25 needs for
+    ``avgdl``.  Counts are integers and the length a plain float, so a
+    JSON round trip reproduces every derived weight bit-for-bit.
+    """
+
+    __slots__ = ("corpus", "total_weighted_length")
+
+    def __init__(
+        self,
+        corpus: Optional[CorpusStats] = None,
+        total_weighted_length: float = 0.0,
+    ) -> None:
+        self.corpus = corpus if corpus is not None else CorpusStats()
+        self.total_weighted_length = float(total_weighted_length)
+
+    @property
+    def document_count(self) -> int:
+        return self.corpus.document_count
+
+    @property
+    def average_length(self) -> float:
+        """Mean LOC-weighted document length (0 when nothing observed)."""
+        n = self.corpus.document_count
+        if n == 0:
+            return 0.0
+        return self.total_weighted_length / n
+
+
+@runtime_checkable
+class WeightingScheme(Protocol):
+    """The three-phase weighting contract the vectorizer codes against."""
+
+    name: str
+
+    def observe(
+        self,
+        stats: SpaceStats,
+        located_terms: LocatedTerms,
+        location_weights: LocationWeights,
+    ) -> None:
+        """Fold one document's located terms into ``stats`` (fit time)."""
+        ...
+
+    def prepare(self, stats: SpaceStats) -> Any:
+        """Materialize the per-space emit context (e.g. an IDF map)."""
+        ...
+
+    def vector(
+        self,
+        weighted_tf: Counter,
+        stats: SpaceStats,
+        context: Any = None,
+    ) -> SparseVector:
+        """Emit one page's weight vector from its LOC-weighted TFs."""
+        ...
+
+    def to_dict(self) -> dict:
+        """Scheme identity + tunables as JSON-safe data (snapshots)."""
+        ...
+
+
+class Eq1Scheme:
+    """Equation 1 — ``w_i = LOC_i * TF_i * log(N / n_i)`` — the default.
+
+    Every call routes through the same :class:`CorpusStats` /
+    :func:`tf_idf_vector` sequence the vectorizer used before the
+    scheme seam, so vectors are bit-identical to the pre-seam build.
+    """
+
+    name = "eq1"
+
+    def observe(
+        self,
+        stats: SpaceStats,
+        located_terms: LocatedTerms,
+        location_weights: LocationWeights,
+    ) -> None:
+        # The exact pre-seam call: a generator of terms, locations
+        # dropped, no materialization — DF integers cannot drift.
+        stats.corpus.add_document(term for term, _ in located_terms)
+
+    def prepare(self, stats: SpaceStats) -> Dict[str, float]:
+        # idf_map() and per-term idf() compute log(N / n_i) from the
+        # same integers, so preparing once is bit-identical to the old
+        # per-term path transform_new used.
+        return stats.corpus.idf_map()
+
+    def vector(
+        self,
+        weighted_tf: Counter,
+        stats: SpaceStats,
+        context: Optional[Dict[str, float]] = None,
+    ) -> SparseVector:
+        if context is not None:
+            return tf_idf_vector(weighted_tf, stats.corpus, idf_map=context)
+        return tf_idf_vector(weighted_tf, stats.corpus)
+
+    def to_dict(self) -> dict:
+        return {"name": self.name}
+
+
+class BM25Scheme:
+    """Okapi BM25 over LOC-weighted term frequencies, normalized per space.
+
+    Per term: ``idf * tf * (k1 + 1) / (tf + k1 * (1 - b + b * dl/avgdl))``
+    with ``idf = log(1 + (N - n_i + 0.5) / (n_i + 0.5))`` (the
+    non-negative Lucene variant), ``tf`` the LOC-weighted frequency and
+    ``dl`` the page's total LOC-weighted length in that space.
+
+    Emitted vectors are max-normalized so every weight lies in (0, 1]
+    — per feature space, *before* the Equation-3 PC/FC combination —
+    which keeps the two spaces' contributions commensurable and makes
+    cross-shard top-k merges well-defined (cosine itself is
+    scale-invariant, so per-space similarities are unaffected).
+
+    Terms outside the fitted vocabulary drop out, like Equation 1's
+    frozen-vocabulary treatment of new pages.
+    """
+
+    name = "bm25"
+
+    def __init__(self, k1: float = 1.2, b: float = 0.75) -> None:
+        if k1 < 0:
+            raise ValueError("bm25 k1 must be non-negative")
+        if not 0.0 <= b <= 1.0:
+            raise ValueError("bm25 b must be in [0, 1]")
+        self.k1 = float(k1)
+        self.b = float(b)
+
+    def observe(
+        self,
+        stats: SpaceStats,
+        located_terms: LocatedTerms,
+        location_weights: LocationWeights,
+    ) -> None:
+        located = list(located_terms)
+        stats.corpus.add_document(term for term, _ in located)
+        factor = location_weights.factor
+        stats.total_weighted_length += sum(
+            factor(location) for _, location in located
+        )
+
+    def prepare(self, stats: SpaceStats) -> Dict[str, float]:
+        n = stats.corpus.document_count
+        if n == 0:
+            return {}
+        return {
+            term: math.log(1.0 + (n - df + 0.5) / (df + 0.5))
+            for term, df in stats.corpus.document_frequencies().items()
+        }
+
+    def vector(
+        self,
+        weighted_tf: Counter,
+        stats: SpaceStats,
+        context: Optional[Dict[str, float]] = None,
+    ) -> SparseVector:
+        idf = context if context is not None else self.prepare(stats)
+        dl = sum(weighted_tf.values())
+        if dl <= 0.0 or not idf:
+            return SparseVector()
+        avgdl = stats.average_length
+        # Degenerate corpus (no observed length): fall back to dl so the
+        # length ratio is 1 and the formula degrades to saturation-only.
+        length_norm = self.k1 * (
+            1.0 - self.b + self.b * (dl / avgdl if avgdl > 0.0 else 1.0)
+        )
+        weights: Dict[str, float] = {}
+        best = 0.0
+        for term, tf in weighted_tf.items():
+            term_idf = idf.get(term, 0.0)
+            if term_idf <= 0.0:
+                continue
+            score = term_idf * (tf * (self.k1 + 1.0)) / (tf + length_norm)
+            weights[term] = score
+            if score > best:
+                best = score
+        if best > 0.0:
+            # Divide (not multiply-by-inverse): the best term lands on
+            # exactly 1.0, so the (0, 1] range is tight.
+            weights = {term: score / best for term, score in weights.items()}
+        return SparseVector(weights)
+
+    def to_dict(self) -> dict:
+        return {"name": self.name, "k1": self.k1, "b": self.b}
+
+
+class TFScheme:
+    """Corpus weighting off: plain LOC-weighted term frequencies.
+
+    The ``"off"`` alias.  Still observes document frequencies (so a
+    fitted vectorizer reports vocabulary sizes and can be re-weighted
+    offline), but emission ignores them entirely — an ablation baseline
+    for the A/B harness.
+    """
+
+    name = "tf"
+
+    def observe(
+        self,
+        stats: SpaceStats,
+        located_terms: LocatedTerms,
+        location_weights: LocationWeights,
+    ) -> None:
+        stats.corpus.add_document(term for term, _ in located_terms)
+
+    def prepare(self, stats: SpaceStats) -> None:
+        return None
+
+    def vector(
+        self,
+        weighted_tf: Counter,
+        stats: SpaceStats,
+        context: Any = None,
+    ) -> SparseVector:
+        return SparseVector(dict(weighted_tf))
+
+    def to_dict(self) -> dict:
+        return {"name": self.name}
+
+
+#: What users may put in ``CAFCConfig.scheme`` / pass as ``scheme=``.
+SchemeSpec = Union[None, str, WeightingScheme]
+
+_SCHEME_CLASSES = {
+    Eq1Scheme.name: Eq1Scheme,
+    BM25Scheme.name: BM25Scheme,
+    TFScheme.name: TFScheme,
+}
+
+
+def resolve_scheme(spec: SchemeSpec) -> WeightingScheme:
+    """Turn a scheme spec into a scheme instance.
+
+    ``spec`` may be ``None`` or ``"auto"`` (Equation 1 — the paper's
+    default), ``"off"`` (plain LOC-weighted TF), one of the scheme
+    names (``"eq1"``, ``"bm25"``, ``"tf"``), or an existing
+    :class:`WeightingScheme` instance (passed through, which is how
+    tuned ``BM25Scheme(k1=..., b=...)`` objects are supplied).
+    """
+    if spec is None:
+        return Eq1Scheme()
+    if isinstance(spec, str):
+        validate_option("scheme", spec, SCHEME_CHOICES)
+        name = resolve_auto(spec, auto=Eq1Scheme.name, off=TFScheme.name)
+        return _SCHEME_CLASSES[name]()
+    if isinstance(spec, WeightingScheme):
+        return spec
+    raise TypeError(f"cannot resolve weighting scheme from {spec!r}")
+
+
+def scheme_from_dict(state: dict) -> WeightingScheme:
+    """Rebuild a scheme exported by ``to_dict`` (snapshot loading).
+
+    Raises :class:`UnknownSchemeError` for names this build does not
+    implement — the snapshot layer maps that to a structured
+    :class:`~repro.datasets.store.DatasetFormatError`.
+    """
+    name = dict(state).get("name", Eq1Scheme.name)
+    if name == BM25Scheme.name:
+        return BM25Scheme(
+            k1=float(state.get("k1", 1.2)), b=float(state.get("b", 0.75))
+        )
+    cls = _SCHEME_CLASSES.get(name)
+    if cls is None:
+        raise UnknownSchemeError(name)
+    return cls()
+
+
+__all__ = [
+    "SpaceStats",
+    "WeightingScheme",
+    "Eq1Scheme",
+    "BM25Scheme",
+    "TFScheme",
+    "SchemeSpec",
+    "UnknownSchemeError",
+    "resolve_scheme",
+    "scheme_from_dict",
+]

@@ -1,13 +1,26 @@
-"""Dictionary-backed sparse term vectors.
+"""Struct-of-arrays sparse term vectors over an interned vocabulary.
 
 Form-page vocabularies run to tens of thousands of terms while individual
-pages contain a few hundred, so sparse dictionaries beat dense arrays both
-in memory and in dot-product time (the dot product iterates the smaller
+pages contain a few hundred, so sparse storage beats dense arrays both in
+memory and in dot-product time (the dot product iterates the smaller
 vector only).
+
+Internally a vector is two parallel C-level arrays — interned term ids
+(``array('q')``, via the shared :data:`~repro.vsm.interning.VOCABULARY`
+table) and packed float weights (``array('d')``) — in insertion order,
+plus a lazily built ``id -> weight`` dict for the random-access paths.
+The public API is unchanged from the dict-backed layout, and every
+float-summation order (``dot``, ``norm``, ``accumulate``) is preserved
+exactly, so the re-layout is bit-identical to the old representation.
 """
 
 import math
-from typing import Dict, Iterable, Iterator, Mapping, Tuple
+from array import array
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Tuple
+
+from repro.vsm.interning import VOCABULARY
+
+_VOCAB = VOCABULARY
 
 
 class SparseVector:
@@ -18,49 +31,90 @@ class SparseVector:
     (for centroid computation, Equation 4).
     """
 
-    __slots__ = ("_weights", "_norm")
+    __slots__ = ("_ids", "_vals", "_lookup", "_norm")
 
     def __init__(self, weights: Mapping[str, float] = ()) -> None:
         # Zero entries are dropped so that sparsity invariants hold
         # (len() == number of non-zero coordinates).
-        self._weights: Dict[str, float] = {
-            term: weight for term, weight in dict(weights).items() if weight != 0.0
-        }
+        ids = array("q")
+        vals = array("d")
+        intern = _VOCAB.intern
+        for term, weight in dict(weights).items():
+            if weight != 0.0:
+                ids.append(intern(term))
+                vals.append(weight)
+        self._ids = ids
+        self._vals = vals
+        self._lookup: Optional[Dict[int, float]] = None
         self._norm: float = -1.0  # computed lazily
+
+    @classmethod
+    def _from_ids(cls, items: Iterable[Tuple[int, float]]) -> "SparseVector":
+        """Build from already-interned ``(id, weight)`` pairs (internal)."""
+        vector = cls.__new__(cls)
+        ids = array("q")
+        vals = array("d")
+        for tid, weight in items:
+            if weight != 0.0:
+                ids.append(tid)
+                vals.append(weight)
+        vector._ids = ids
+        vector._vals = vals
+        vector._lookup = None
+        vector._norm = -1.0
+        return vector
+
+    def _by_id(self) -> Dict[int, float]:
+        """The ``id -> weight`` dict, built on first random access."""
+        lookup = self._lookup
+        if lookup is None:
+            lookup = dict(zip(self._ids, self._vals))
+            self._lookup = lookup
+        return lookup
 
     # ----------------------------------------------------------------
     # Container protocol.
     # ----------------------------------------------------------------
 
     def __len__(self) -> int:
-        return len(self._weights)
+        return len(self._ids)
 
     def __bool__(self) -> bool:
-        return bool(self._weights)
+        return bool(self._ids)
 
     def __contains__(self, term: str) -> bool:
-        return term in self._weights
+        tid = _VOCAB.id_of(term)
+        return tid is not None and tid in self._by_id()
 
     def __getitem__(self, term: str) -> float:
-        return self._weights.get(term, 0.0)
+        tid = _VOCAB.id_of(term)
+        if tid is None:
+            return 0.0
+        return self._by_id().get(tid, 0.0)
 
     def __iter__(self) -> Iterator[str]:
-        return iter(self._weights)
+        return map(_VOCAB.term, self._ids)
 
-    def items(self) -> Iterable[Tuple[str, float]]:
-        return self._weights.items()
+    def items(self) -> List[Tuple[str, float]]:
+        term_of = _VOCAB.term
+        return [(term_of(tid), v) for tid, v in zip(self._ids, self._vals)]
 
-    def terms(self) -> Iterable[str]:
-        return self._weights.keys()
+    def terms(self) -> List[str]:
+        return [_VOCAB.term(tid) for tid in self._ids]
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, SparseVector):
             return NotImplemented
-        return self._weights == other._weights
+        return self._by_id() == other._by_id()
 
     def __repr__(self) -> str:
-        preview = sorted(self._weights.items(), key=lambda kv: -kv[1])[:3]
+        preview = sorted(self.items(), key=lambda kv: -kv[1])[:3]
         return f"SparseVector(nnz={len(self)}, top={preview})"
+
+    def __reduce__(self):
+        # Interned ids are process-local; pickle through term strings so
+        # a vector crossing a process boundary re-interns on arrival.
+        return (SparseVector, (dict(self.items()),))
 
     # ----------------------------------------------------------------
     # Algebra.
@@ -69,15 +123,20 @@ class SparseVector:
     def norm(self) -> float:
         """Euclidean length; cached after first computation."""
         if self._norm < 0.0:
-            self._norm = math.sqrt(sum(w * w for w in self._weights.values()))
+            self._norm = math.sqrt(sum(w * w for w in self._vals))
         return self._norm
 
     def dot(self, other: "SparseVector") -> float:
         """Dot product; iterates the sparser operand."""
-        a, b = self._weights, other._weights
-        if len(a) > len(b):
+        a, b = self, other
+        if len(a._ids) > len(b._ids):
             a, b = b, a
-        return sum(weight * b[term] for term, weight in a.items() if term in b)
+        lookup = b._by_id()
+        return sum(
+            w * lookup[tid]
+            for tid, w in zip(a._ids, a._vals)
+            if tid in lookup
+        )
 
     def dot_prenormed(self, weights: Mapping[str, float]) -> float:
         """Dot product against a plain pre-scaled ``{term: weight}`` map.
@@ -85,17 +144,30 @@ class SparseVector:
         The inverted-index accumulators (:mod:`repro.index`) carry
         queries as already-normalized plain dicts; this fast path skips
         SparseVector construction, zero filtering and norm bookkeeping
-        entirely.  Iterates the sparser side, like :meth:`dot`.
+        entirely.  Iterates the sparser side, like :meth:`dot`,
+        translating through the interned vocabulary.
         """
-        mine = self._weights
-        if len(mine) > len(weights):
-            return sum(w * mine[t] for t, w in weights.items() if t in mine)
-        return sum(w * weights[t] for t, w in mine.items() if t in weights)
+        if len(self._ids) > len(weights):
+            lookup = self._by_id()
+            id_of = _VOCAB.id_of
+            total = 0.0
+            for term, w in weights.items():
+                tid = id_of(term)
+                if tid is not None and tid in lookup:
+                    total += w * lookup[tid]
+            return total
+        term_of = _VOCAB.term
+        total = 0.0
+        for tid, w in zip(self._ids, self._vals):
+            term = term_of(tid)
+            if term in weights:
+                total += w * weights[term]
+        return total
 
     def scale(self, factor: float) -> "SparseVector":
         """Return a new vector scaled by ``factor``."""
-        return SparseVector(
-            {term: weight * factor for term, weight in self._weights.items()}
+        return SparseVector._from_ids(
+            (tid, w * factor) for tid, w in zip(self._ids, self._vals)
         )
 
     def add(self, other: "SparseVector") -> "SparseVector":
@@ -106,11 +178,11 @@ class SparseVector:
         PC+FC merge the two vocabularies barely overlap, so almost the
         whole sum happens inside the dict constructor.
         """
-        a, b = self._weights, other._weights
+        a, b = self._by_id(), other._by_id()
         summed = {**a, **b}
-        for term in a.keys() & b.keys():
-            summed[term] = a[term] + b[term]
-        return SparseVector(summed)
+        for tid in a.keys() & b.keys():
+            summed[tid] = a[tid] + b[tid]
+        return SparseVector._from_ids(summed.items())
 
     def normalized(self) -> "SparseVector":
         """Return a unit-length copy (or an empty vector if zero)."""
@@ -121,7 +193,7 @@ class SparseVector:
 
     def top_terms(self, n: int = 10) -> Iterable[Tuple[str, float]]:
         """The ``n`` heaviest terms, descending by weight (ties by term)."""
-        return sorted(self._weights.items(), key=lambda kv: (-kv[1], kv[0]))[:n]
+        return sorted(self.items(), key=lambda kv: (-kv[1], kv[0]))[:n]
 
 
 def cosine_similarity(a: SparseVector, b: SparseVector) -> float:
@@ -144,18 +216,17 @@ def accumulate(vectors: Iterable[SparseVector]) -> SparseVector:
     vectors pay a float add only for terms already present, so the
     common sparse-disjoint case stays in C-level dict operations.
     """
-    total: Dict[str, float] = {}
+    total: Dict[int, float] = {}
     for vector in vectors:
-        weights = vector._weights
         if not total:
-            total = dict(weights)
+            total = dict(zip(vector._ids, vector._vals))
             continue
-        for term, weight in weights.items():
-            if term in total:
-                total[term] = total[term] + weight
+        for tid, weight in zip(vector._ids, vector._vals):
+            if tid in total:
+                total[tid] = total[tid] + weight
             else:
-                total[term] = weight
-    return SparseVector(total)
+                total[tid] = weight
+    return SparseVector._from_ids(total.items())
 
 
 def mean_vector(vectors: Iterable[SparseVector]) -> SparseVector:

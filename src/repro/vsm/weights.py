@@ -1,4 +1,4 @@
-"""Location-weighted TF-IDF — Equation 1 of the paper.
+"""Location-weighted TF-IDF primitives — Equation 1 of the paper.
 
 ``w_i = LOC_i * TF_i * log(N / n_i)``
 
@@ -11,8 +11,23 @@ term" (Section 2.1).  The paper's concrete policy (Section 4.4):
 * page contents (PC): terms inside ``<title>`` get a *higher* weight than
   body terms.
 
-:class:`LocationWeights` captures the policy; ``uniform()`` reproduces the
-Section 4.4 ablation (all LOC factors = 1).
+:class:`LocationWeights` captures the LOC policy; ``uniform()`` reproduces
+the Section 4.4 ablation (all LOC factors = 1).
+
+This module supplies the *primitives*; which formula actually turns
+LOC-weighted TFs into a vector is decided one layer up, by the active
+:class:`~repro.vsm.schemes.WeightingScheme`:
+
+* :func:`located_term_frequencies` accumulates LOC-weighted TFs — the
+  scheme-independent first half of every scheme's emit phase;
+* :func:`tf_idf_vector` is the Equation-1 emission, which
+  :class:`~repro.vsm.schemes.Eq1Scheme` (the default, and the ``"auto"``
+  alias of ``CAFCConfig.scheme``) delegates to unchanged, keeping the
+  default bit-identical to the pre-seam vectorizer;
+* alternative schemes (:class:`~repro.vsm.schemes.BM25Scheme`,
+  :class:`~repro.vsm.schemes.TFScheme`) reuse the same TF primitive but
+  replace the emission formula.  See docs/RANKING.md for the protocol
+  and how to add a scheme.
 """
 
 from collections import Counter
@@ -22,6 +37,12 @@ from typing import Dict, Iterable, Optional, Tuple
 from repro.html.text_extract import TextLocation
 from repro.vsm.corpus import CorpusStats
 from repro.vsm.vector import SparseVector
+
+__all__ = [
+    "LocationWeights",
+    "located_term_frequencies",
+    "tf_idf_vector",
+]
 
 
 @dataclass(frozen=True)

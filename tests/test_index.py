@@ -430,8 +430,9 @@ class TestServiceSurfaces:
             directory.search_pages("flight airfare", n=3)
             text = directory.metrics.render()
             assert 'repro_search_requests_total{path="indexed",' \
-                'scope="clusters"} 1' in text
-            assert 'repro_search_seconds_count{scope="pages"} 1' in text
+                'scheme="eq1",scope="clusters"} 1' in text
+            assert 'repro_search_seconds_count{scheme="eq1",' \
+                'scope="pages"} 1' in text
             assert 'repro_index_postings{space="clusters"}' in text
             assert 'repro_index_terms{space="pages"}' in text
             assert "repro_index_pruning_ratio" in text
@@ -442,7 +443,7 @@ class TestServiceSurfaces:
             directory.search("flight airfare", n=3)
             text = directory.metrics.render()
             assert 'repro_search_requests_total{path="scan",' \
-                'scope="clusters"} 1' in text
+                'scheme="eq1",scope="clusters"} 1' in text
 
     def test_config_round_trip_and_snapshot_info(
         self, small_snapshot, tmp_path

@@ -6,7 +6,7 @@ import pytest
 from repro.core.form_page import VectorPair
 from repro.core.hubs import HubCluster
 from repro.core.seeds import hub_distance_matrix, select_hub_clusters
-from repro.core.similarity import FormPageSimilarity
+from repro.core.similarity import FormPageSimilarity, NaiveBackend
 from repro.vsm.vector import SparseVector
 
 
@@ -21,7 +21,7 @@ def cluster(hub_url, pc_terms, members=(0,)):
     )
 
 
-SIM = FormPageSimilarity()
+SIM = NaiveBackend(FormPageSimilarity())
 
 
 def make_clusters():
@@ -38,25 +38,25 @@ def make_clusters():
 class TestDistanceMatrix:
     def test_symmetric_zero_diagonal(self):
         clusters = make_clusters()
-        matrix = hub_distance_matrix(clusters, SIM)
+        matrix = hub_distance_matrix(clusters, backend=SIM)
         assert np.allclose(matrix, matrix.T)
         assert np.allclose(np.diag(matrix), 0.0)
 
     def test_orthogonal_centroids_distance_one(self):
         clusters = make_clusters()
-        matrix = hub_distance_matrix(clusters, SIM)
+        matrix = hub_distance_matrix(clusters, backend=SIM)
         assert matrix[2, 3] == pytest.approx(1.0)
 
     def test_similar_centroids_small_distance(self):
         clusters = make_clusters()
-        matrix = hub_distance_matrix(clusters, SIM)
+        matrix = hub_distance_matrix(clusters, backend=SIM)
         assert matrix[0, 1] < 0.05
 
 
 class TestSelection:
     def test_selects_diverse_clusters(self):
         clusters = make_clusters()
-        selected = select_hub_clusters(clusters, 3, SIM)
+        selected = select_hub_clusters(clusters, 3, backend=SIM)
         urls = {c.hub_url for c in selected}
         # One of each flavor; never both near-duplicate job hubs.
         assert not {"hub-job-1", "hub-job-2"} <= urls
@@ -65,36 +65,36 @@ class TestSelection:
 
     def test_k_equals_available(self):
         clusters = make_clusters()
-        selected = select_hub_clusters(clusters, 4, SIM)
+        selected = select_hub_clusters(clusters, 4, backend=SIM)
         assert len(selected) == 4
 
     def test_k_one(self):
         clusters = make_clusters()
-        assert len(select_hub_clusters(clusters, 1, SIM)) == 1
+        assert len(select_hub_clusters(clusters, 1, backend=SIM)) == 1
 
     def test_two_most_distant_first(self):
         clusters = make_clusters()
-        selected = select_hub_clusters(clusters, 2, SIM)
-        matrix = hub_distance_matrix(clusters, SIM)
+        selected = select_hub_clusters(clusters, 2, backend=SIM)
+        matrix = hub_distance_matrix(clusters, backend=SIM)
         best = matrix.max()
         indices = [clusters.index(c) for c in selected]
         assert matrix[indices[0], indices[1]] == pytest.approx(best)
 
     def test_too_few_clusters_raises(self):
         with pytest.raises(ValueError):
-            select_hub_clusters(make_clusters()[:2], 3, SIM)
+            select_hub_clusters(make_clusters()[:2], 3, backend=SIM)
 
     def test_k_zero_raises(self):
         with pytest.raises(ValueError):
-            select_hub_clusters(make_clusters(), 0, SIM)
+            select_hub_clusters(make_clusters(), 0, backend=SIM)
 
     def test_deterministic(self):
         clusters = make_clusters()
-        first = [c.hub_url for c in select_hub_clusters(clusters, 3, SIM)]
-        second = [c.hub_url for c in select_hub_clusters(clusters, 3, SIM)]
+        first = [c.hub_url for c in select_hub_clusters(clusters, 3, backend=SIM)]
+        second = [c.hub_url for c in select_hub_clusters(clusters, 3, backend=SIM)]
         assert first == second
 
     def test_no_duplicates_in_selection(self):
         clusters = make_clusters()
-        selected = select_hub_clusters(clusters, 4, SIM)
+        selected = select_hub_clusters(clusters, 4, backend=SIM)
         assert len({id(c) for c in selected}) == 4

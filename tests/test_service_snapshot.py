@@ -141,7 +141,11 @@ class TestValidation:
         _, _, snapshot = small_build
         info = snapshot_info(snapshot_path)
         assert info["kind"] == "repro-directory-snapshot"
-        assert info["format_version"] == SNAPSHOT_FORMAT_VERSION
+        # Equation-1 state keeps the pre-seam format version so older
+        # readers stay compatible (non-default schemes bump to
+        # SNAPSHOT_FORMAT_VERSION — see tests/test_schemes.py).
+        assert info["format_version"] == 1
+        assert info["scheme"] == "eq1"
         assert info["n_pages"] == snapshot.n_pages
         assert info["n_clusters"] == snapshot.n_clusters
         assert info["pc_vocabulary"] > 0

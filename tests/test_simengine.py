@@ -255,22 +255,22 @@ class TestResolveBackend:
         with pytest.raises(ValueError):
             CAFCConfig(backend="turbo")
 
-    def test_bare_similarity_object_deprecated(self):
-        with pytest.warns(DeprecationWarning):
-            backend = resolve_backend(FormPageSimilarity())
-        assert isinstance(backend, NaiveBackend)
+    def test_bare_similarity_object_rejected(self):
+        """The PR-1 deprecation is finished: bare callables hard-error."""
+        with pytest.raises(TypeError, match="NaiveBackend"):
+            resolve_backend(FormPageSimilarity())
 
-    def test_bare_callable_deprecated_but_used(self):
-        calls = []
-
+    def test_bare_callable_rejected_with_migration_hint(self):
         def fake_similarity(a, b):
-            calls.append((a, b))
             return 0.5
 
-        with pytest.warns(DeprecationWarning):
-            backend = resolve_backend(fake_similarity)
-        assert backend.pair(object(), object()) == 0.5
-        assert calls
+        with pytest.raises(TypeError, match="wrap the callable"):
+            resolve_backend(fake_similarity)
+
+    def test_wrapped_callable_still_works(self):
+        """The migration target: NaiveBackend(similarity) is accepted."""
+        backend = resolve_backend(NaiveBackend(FormPageSimilarity()))
+        assert isinstance(backend, NaiveBackend)
 
     def test_backends_satisfy_protocol(self):
         assert isinstance(NaiveBackend(FormPageSimilarity()), SimilarityBackend)
@@ -284,9 +284,10 @@ class TestResolveBackend:
         assert engine.content_mode is ContentMode.FC
         assert engine.form_weight == 3.0
 
-    def test_deprecated_path_still_selects_same_seeds(self):
-        """The deprecated positional similarity and the backend keyword
-        agree (seeds module)."""
+    def test_seeds_positional_similarity_removed(self):
+        """``select_hub_clusters`` lost its positional similarity seam;
+        the wrapped-backend migration path selects the same seeds as the
+        named backend."""
         from repro.core.hubs import HubCluster
         from repro.core.seeds import select_hub_clusters
 
@@ -300,10 +301,13 @@ class TestResolveBackend:
             )
             for i, page in enumerate(pages)
         ]
-        with pytest.warns(DeprecationWarning):
-            legacy = select_hub_clusters(clusters, 3, FormPageSimilarity())
+        with pytest.raises(TypeError):
+            select_hub_clusters(clusters, 3, FormPageSimilarity())
+        wrapped = select_hub_clusters(
+            clusters, 3, backend=NaiveBackend(FormPageSimilarity())
+        )
         modern = select_hub_clusters(clusters, 3, backend="naive")
-        assert [c.hub_url for c in legacy] == [c.hub_url for c in modern]
+        assert [c.hub_url for c in wrapped] == [c.hub_url for c in modern]
 
 
 class TestCafcSeedPathways:
