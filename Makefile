@@ -1,6 +1,6 @@
 # Convenience targets; everything works without make too.
 
-.PHONY: install test bench bench-smoke bench-ingest bench-search bench-ranking serve-smoke chaos experiments examples lint clean
+.PHONY: install test bench bench-smoke bench-ingest bench-search bench-ranking bench-shard serve-smoke shard-smoke chaos experiments examples lint clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -24,8 +24,14 @@ bench-search:          ## scan-vs-indexed search A/B; records BENCH_search.json
 bench-ranking:         ## weighting-scheme A/B (eq1/bm25/tf); records BENCH_ranking.json
 	pytest benchmarks/test_bench_ranking.py -q -s --timeout=600
 
+bench-shard:           ## single vs 2-/4-shard A/B + replica catch-up; records BENCH_shard.json
+	pytest benchmarks/test_bench_shard.py -q -s --timeout=600
+
 serve-smoke:           ## boot the directory server on an ephemeral port, probe it, shut down
 	PYTHONPATH=src python -m repro serve --smoke
+
+shard-smoke:           ## boot router + 2 shards + 1 replica in-process, round-trip, shut down
+	PYTHONPATH=src python -m repro router --smoke
 
 chaos:                 ## resilience suite: fault injection, retry/breaker, journal crash-recovery
 	PYTHONPATH=src python -m pytest tests/test_resilience.py tests/test_journal.py tests/test_chaos.py -q

@@ -1,0 +1,260 @@
+"""Sharding benchmark: 1 process vs 2- and 4-shard scatter-gather.
+
+Builds one snapshot over the 454-page corpus (k=32 so a 4-way split
+still leaves each shard real work), serves it three ways — a single
+``FormDirectory``, and cluster-placed routers over 2 and 4 in-process
+shards — and times merged ``/search`` for both scopes plus ``classify``
+fan-out.  Every sharded configuration is parity-checked first: its
+merged answers must be **bit-identical** (ids, scores, order) to the
+single process before its timing is allowed into the table.
+
+Also measured: replica catch-up — records/second a follower applies
+while tailing a journaled leader's sealed segments, and the lag left
+after the stream (the number the ``replication_lag_records`` gauge
+exports).
+
+Records ``BENCH_shard.json`` at the repo root.  No speedup is
+*required* of in-process sharding at this corpus size — scatter-gather
+pays thread-pool overhead per request, and honesty beats spin — but the
+parity gate and the catch-up throughput are hard assertions.
+"""
+
+import dataclasses
+import json
+import os
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.core.config import CAFCConfig
+from repro.core.pipeline import CAFCPipeline
+from repro.distrib import (
+    DirectoryRouter,
+    LocalShardClient,
+    ReplicaNode,
+    ShardNode,
+    split_snapshot,
+)
+from repro.service.directory import FormDirectory
+from repro.service.snapshot import build_snapshot
+from repro.webgen.corpus import generate_benchmark
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+RESULTS_PATH = REPO_ROOT / "BENCH_shard.json"
+SHARD_COUNTS = (2, 4)
+K = 32
+
+QUERIES = (
+    "flight airfare ticket",
+    "book novel author",
+    "job career salary engineer",
+    "movie theater actor",
+    "hotel room reservation",
+    "car rental pickup",
+)
+TOP_N = (1, 5, 25)
+
+DIRECTORY_KWARGS = dict(
+    journal=None, auto_recluster=False, batch_window_ms=None, cache_size=0
+)
+
+
+@pytest.fixture(scope="module")
+def raw_pages():
+    return generate_benchmark(seed=42).raw_pages()
+
+
+@pytest.fixture(scope="module")
+def snapshot(raw_pages):
+    pipeline = CAFCPipeline(CAFCConfig(k=K))
+    return build_snapshot(
+        pipeline.organize(raw_pages), pipeline.vectorizer, pipeline.config
+    )
+
+
+def make_router(snapshot, n_shards):
+    clients = [
+        LocalShardClient(ShardNode(part, **DIRECTORY_KWARGS))
+        for part in split_snapshot(snapshot, n_shards)
+    ]
+    return DirectoryRouter(clients)
+
+
+def strip_shard(hits):
+    return [{k: v for k, v in hit.items() if k != "shard"} for hit in hits]
+
+
+def assert_parity(single, router):
+    for query in QUERIES:
+        for n in TOP_N:
+            assert strip_shard(
+                router.search(query, n=n, scope="clusters")["hits"]
+            ) == single.search(query, n=n), (query, n, "clusters")
+            assert strip_shard(
+                router.search(query, n=n, scope="pages")["hits"]
+            ) == single.search_pages(query, n=n), (query, n, "pages")
+
+
+def timed(fn, rounds=5, inner=10):
+    """(cold, warm): first-call wall clock, then best-of repeats."""
+    start = time.perf_counter()
+    fn()
+    cold = time.perf_counter() - start
+    warm = float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter()
+        for _ in range(inner):
+            fn()
+        warm = min(warm, (time.perf_counter() - start) / inner)
+    return cold, warm
+
+
+def measure(label, scope, run, rows):
+    cold, warm = timed(run)
+    per_query = warm / len(QUERIES)
+    rows.append({
+        "config": label,
+        "scope": scope,
+        "cold_us": round(cold * 1e6, 1),
+        "warm_us": round(warm * 1e6, 1),
+        "per_query_us": round(per_query * 1e6, 1),
+        "throughput_qps": round(1.0 / per_query, 1),
+    })
+    print(
+        f"  {label:<18} {scope:<9} warm {warm * 1e6:8.0f}us "
+        f"({1.0 / per_query:8.0f} q/s)"
+    )
+
+
+def test_bench_shard_scatter_gather(snapshot, raw_pages):
+    rows = []
+    print(f"\n[{len(raw_pages)} pages, k={K}, {os.cpu_count()} cpu(s)]")
+    single = FormDirectory.from_snapshot(snapshot, **DIRECTORY_KWARGS)
+    routers = {n: make_router(snapshot, n) for n in SHARD_COUNTS}
+    try:
+        for n_shards, router in routers.items():
+            assert_parity(single, router)  # the gate before any timing
+
+        def run_single(scope):
+            search = single.search if scope == "clusters" else \
+                single.search_pages
+            for query in QUERIES:
+                search(query, n=5)
+
+        def run_router(router, scope):
+            for query in QUERIES:
+                router.search(query, n=5, scope=scope)
+
+        for scope in ("clusters", "pages"):
+            measure("single-process", scope,
+                    lambda scope=scope: run_single(scope), rows)
+            for n_shards, router in routers.items():
+                measure(
+                    f"{n_shards}-shard router", scope,
+                    lambda r=router, scope=scope: run_router(r, scope),
+                    rows,
+                )
+
+        probes = raw_pages[::61]
+
+        def classify_single():
+            for raw in probes:
+                single.classify(raw)
+
+        def classify_router(router):
+            for raw in probes:
+                router.classify(raw)
+
+        measure("single-process", "classify", classify_single, rows)
+        for n_shards, router in routers.items():
+            measure(f"{n_shards}-shard router", "classify",
+                    lambda r=router: classify_router(r), rows)
+    finally:
+        for router in routers.values():
+            router.close()
+        single.close()
+
+    RESULTS_PATH.write_text(json.dumps({
+        "benchmark": "shard",
+        "corpus_pages": len(raw_pages),
+        "k": K,
+        "cpu_count": os.cpu_count(),
+        "shard_counts": list(SHARD_COUNTS),
+        "rows": rows,
+        "note": (
+            "In-process shards behind the scatter-gather router vs one "
+            "FormDirectory, warm = best-of-5 x 10 repeats.  Every "
+            "sharded configuration passed a bit-identical merged-top-k "
+            "parity check before timing.  At 454 pages scatter-gather "
+            "overhead (thread pool + merge) is expected to outweigh the "
+            "smaller per-shard scans — the win sharding buys is "
+            "capacity and isolation, not single-query latency at toy "
+            "scale."
+        ),
+    }, indent=2) + "\n")
+
+
+def test_bench_replica_catch_up(snapshot, raw_pages, tmp_path):
+    """Throughput of the journal-shipping tail: a replica bootstraps,
+    the leader absorbs the corpus again under new URLs (rolling sealed
+    segments), and the replica applies the stream."""
+    parts = split_snapshot(snapshot, 2)
+    leader_node = ShardNode(
+        parts[0], journal=tmp_path / "leader.wal", segment_records=64,
+        **{k: v for k, v in DIRECTORY_KWARGS.items() if k != "journal"},
+    )
+    leader = LocalShardClient(leader_node, name="leader")
+    replica = ReplicaNode(
+        leader, name="replica-0", batch_window_ms=None, cache_size=0
+    )
+    try:
+        replica.bootstrap()
+        writes = [
+            dataclasses.replace(raw, url=f"{raw.url}?copy=1")
+            for raw in raw_pages[: len(raw_pages) // 2]
+        ]
+        start = time.perf_counter()
+        for raw in writes:
+            leader.add(raw)
+        write_seconds = time.perf_counter() - start
+
+        start = time.perf_counter()
+        lag_after = replica.catch_up()
+        catch_up_seconds = time.perf_counter() - start
+        applied = replica.applied
+        assert applied >= len(writes) - 64  # everything sealed is in
+        assert lag_after <= 64  # at most one unsealed segment behind
+
+        # The copy converged on everything shipped: sealed-segment
+        # replay used the same live apply paths as the leader.
+        leader_urls = set(leader_node.directory.organizer._by_url)
+        replica_urls = set(replica.node.directory.organizer._by_url)
+        missing = {
+            url for url in leader_urls - replica_urls
+            if "?copy=1" in url
+        }
+        assert len(missing) <= lag_after
+
+        rate = applied / catch_up_seconds if catch_up_seconds else 0.0
+        print(
+            f"\n[catch-up] {len(writes)} writes in {write_seconds:.2f}s; "
+            f"replica applied {applied} records in "
+            f"{catch_up_seconds:.2f}s ({rate:,.0f} rec/s), "
+            f"lag {lag_after} (unsealed tail)"
+        )
+        if RESULTS_PATH.exists():
+            payload = json.loads(RESULTS_PATH.read_text())
+            payload["replica_catch_up"] = {
+                "writes": len(writes),
+                "segment_records": 64,
+                "applied_records": applied,
+                "catch_up_seconds": round(catch_up_seconds, 3),
+                "records_per_second": round(rate, 1),
+                "lag_after_records": lag_after,
+                "bootstraps": replica.bootstraps,
+            }
+            RESULTS_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    finally:
+        replica.close()
+        leader_node.close()

@@ -335,6 +335,274 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _smoke_snapshot(seed: int = 42, k: int = 8):
+    """A small-corpus snapshot for the distrib smoke modes."""
+    from repro.core import CAFCConfig, CAFCPipeline
+    from repro.service import build_snapshot
+    from repro.webgen.config import GeneratorConfig
+    from repro.webgen.corpus import generate_benchmark
+
+    config = GeneratorConfig(
+        pages_per_domain={
+            "airfare": 9, "auto": 8, "book": 8, "hotel": 9,
+            "job": 8, "movie": 8, "music": 8, "rental": 6,
+        },
+        single_attribute_per_domain=2,
+        mixed_entertainment_pages=2,
+        small_hubs_per_domain=6,
+        medium_hubs_per_domain=3,
+        n_directories=15,
+        n_travel_portals=2,
+        seed=seed,
+    )
+    raw_pages = generate_benchmark(config=config).raw_pages()
+    pipeline = CAFCPipeline(CAFCConfig(k=k, min_hub_cardinality=3))
+    result = pipeline.organize(raw_pages)
+    return build_snapshot(result, pipeline.vectorizer, pipeline.config)
+
+
+def _cmd_shard(args: argparse.Namespace) -> int:
+    from repro.distrib import ShardNode, serve_shard, split_snapshot
+    from repro.service import Snapshot
+
+    if args.split:
+        import os
+
+        snapshot = Snapshot.load(args.snapshot)
+        parts = split_snapshot(snapshot, args.split, placement=args.placement)
+        os.makedirs(args.out_dir, exist_ok=True)
+        for part in parts:
+            shard_index = part.meta["shard"]
+            path = os.path.join(
+                args.out_dir, f"shard-{shard_index:02d}.json.gz"
+            )
+            part.save(path)
+            print(
+                f"shard {shard_index}: {part.n_pages} pages / "
+                f"{part.n_clusters} clusters -> {path}"
+            )
+        return 0
+
+    node = ShardNode(
+        args.snapshot,
+        journal=args.journal,
+        segment_records=args.segment_records,
+        batch_window_ms=(
+            args.batch_window_ms if args.batch_window_ms >= 0 else None
+        ),
+    )
+    server = serve_shard(node, host=args.host, port=args.port)
+    health = node.healthz()
+    print(
+        f"shard {health['shard']}/{health['n_shards']} "
+        f"({health['placement']} placement): {health['pages']} pages in "
+        f"{health['clusters']} clusters; journal "
+        f"{'on' if node.journal else 'off'}"
+    )
+    print(f"serving on {server.base_url} (Ctrl-C to stop)")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("\nshutting down")
+    finally:
+        server.shut_down()
+    return 0
+
+
+def _cmd_replica(args: argparse.Namespace) -> int:
+    import threading
+    import time as time_mod
+
+    from repro.distrib import (
+        HttpShardClient,
+        ReplicaNode,
+        ShardUnavailable,
+        serve_replica,
+    )
+
+    leader = HttpShardClient(args.leader, timeout=args.request_timeout)
+    replica = ReplicaNode(
+        leader, name=args.name, max_lag_records=args.max_lag,
+        batch_window_ms=None,
+    )
+    position = replica.bootstrap()
+    print(f"bootstrapped from {args.leader} at journal position {position}")
+    server = serve_replica(replica, host=args.host, port=args.port)
+
+    stop = threading.Event()
+
+    def tail() -> None:
+        misses = 0
+        while not stop.is_set():
+            try:
+                report = replica.poll()
+                misses = 0
+                if report["segments"]:
+                    print(
+                        f"applied {report['segments']} segment(s), "
+                        f"position {report['applied']}, lag {report['lag']}"
+                    )
+            except ShardUnavailable as exc:
+                misses += 1
+                if (
+                    args.leader_journal
+                    and args.promote_after
+                    and misses >= args.promote_after
+                    and not replica.promoted
+                ):
+                    print(f"leader gone ({exc}); promoting")
+                    replica.promote(args.leader_journal)
+                    print(
+                        "promoted: serving writes at position "
+                        f"{replica.applied}"
+                    )
+                    return
+            stop.wait(args.poll_ms / 1000.0)
+
+    tailer = threading.Thread(target=tail, name="repro-replica-tail",
+                              daemon=True)
+    tailer.start()
+    print(f"serving (read-only) on {server.base_url} (Ctrl-C to stop)")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("\nshutting down")
+    finally:
+        stop.set()
+        server.shut_down()
+    return 0
+
+
+def _cmd_router(args: argparse.Namespace) -> int:
+    from repro.distrib import DirectoryRouter, HttpShardClient, serve_router
+
+    if args.smoke:
+        return _router_smoke(args)
+    if not args.shard:
+        raise SystemExit("router needs at least one --shard (or --smoke)")
+    shards = []
+    for index, entry in enumerate(args.shard):
+        endpoints = [
+            HttpShardClient(
+                url.strip(), timeout=args.shard_timeout,
+                name=f"shard-{index}@{url.strip()}",
+            )
+            for url in entry.split(",")
+            if url.strip()
+        ]
+        if not endpoints:
+            raise SystemExit(f"--shard entry {index} has no URLs")
+        shards.append(endpoints)
+    router = DirectoryRouter(
+        shards, placement=args.placement, shard_timeout=args.shard_timeout
+    )
+    server = serve_router(router, host=args.host, port=args.port)
+    print(
+        f"router over {router.n_shards} shard(s), "
+        f"{args.placement} placement, per-shard timeout "
+        f"{args.shard_timeout}s"
+    )
+    print(f"serving on {server.base_url} (Ctrl-C to stop)")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("\nshutting down")
+    finally:
+        server.shut_down()
+    return 0
+
+
+def _router_smoke(args: argparse.Namespace) -> int:
+    """Boot router + 2 shards + 1 replica in-process over real sockets,
+    round-trip a query and a write, shut down — the CI shard smoke."""
+    import json
+    import tempfile
+    import urllib.request
+    from pathlib import Path
+
+    from repro.distrib import (
+        DirectoryRouter,
+        HttpShardClient,
+        ReplicaNode,
+        ShardNode,
+        serve_replica,
+        serve_router,
+        serve_shard,
+        split_snapshot,
+    )
+
+    snapshot = _smoke_snapshot(seed=args.seed)
+    servers = []
+    with tempfile.TemporaryDirectory(prefix="repro-shard-smoke-") as tmp:
+        try:
+            parts = split_snapshot(snapshot, 2, placement=args.placement)
+            clients = []
+            for part in parts:
+                index = part.meta["shard"]
+                node = ShardNode(
+                    part, journal=Path(tmp) / f"shard-{index}.wal",
+                    segment_records=8,
+                )
+                server = serve_shard(node)
+                server.serve_in_thread()
+                servers.append(server)
+                clients.append(
+                    HttpShardClient(server.base_url, name=f"shard-{index}")
+                )
+            replica = ReplicaNode(clients[0], name="replica-0",
+                                  batch_window_ms=None)
+            replica.bootstrap()
+            replica_server = serve_replica(replica)
+            replica_server.serve_in_thread()
+            servers.append(replica_server)
+            replica_client = HttpShardClient(
+                replica_server.base_url, name="replica-0"
+            )
+            router = DirectoryRouter(
+                [[clients[0], replica_client], [clients[1]]],
+                placement=args.placement,
+            )
+            router_server = serve_router(router)
+            router_server.serve_in_thread()
+            servers.append(router_server)
+            base = router_server.base_url
+
+            with urllib.request.urlopen(base + "/healthz", timeout=15) as r:
+                health = json.loads(r.read().decode("utf-8"))
+            assert health["status"] == "ok", health
+            with urllib.request.urlopen(
+                base + "/search?q=cheap+flight+ticket&n=3", timeout=15
+            ) as r:
+                search = json.loads(r.read().decode("utf-8"))
+            assert search["ok"] and search["hits"], search
+            assert not search["partial"], search
+            body = json.dumps({
+                "url": "http://smoke.example/form",
+                "html": "<html><title>flight search</title><body>"
+                        "<form><input name='from'><input name='to'></form>"
+                        "book cheap flights and airline tickets</body></html>",
+            }).encode("utf-8")
+            request = urllib.request.Request(
+                base + "/add", data=body,
+                headers={"Content-Type": "application/json"}, method="POST",
+            )
+            with urllib.request.urlopen(request, timeout=15) as r:
+                added = json.loads(r.read().decode("utf-8"))
+            assert added["ok"] and isinstance(added["cluster"], int), added
+            report = replica.poll()
+            print(
+                f"shard smoke ok: {base} merged "
+                f"{len(search['hits'])} hit(s) from "
+                f"{len(search['shards']['answered'])} shards; add landed "
+                f"on shard {added['shard']} cluster {added['cluster']}; "
+                f"replica lag {report['lag']}"
+            )
+        finally:
+            for server in servers:
+                server.shut_down()
+    return 0
+
+
 def _add_parallel_flags(parser: argparse.ArgumentParser) -> None:
     """The shared ingestion knobs (docs/INGESTION.md)."""
     parser.add_argument(
@@ -524,6 +792,111 @@ def build_parser() -> argparse.ArgumentParser:
              "shut down (CI self-check)",
     )
     p_serve.set_defaults(func=_cmd_serve)
+
+    p_shard = subparsers.add_parser(
+        "shard",
+        help="serve one shard of a split directory, or split a snapshot "
+             "into shards (docs/SHARDING.md)",
+    )
+    p_shard.add_argument(
+        "--snapshot", required=True,
+        help="shard snapshot to serve (or the full snapshot to --split)",
+    )
+    p_shard.add_argument(
+        "--split", type=int, metavar="N",
+        help="split mode: write N shard snapshots to --out-dir and exit",
+    )
+    p_shard.add_argument(
+        "--out-dir", default="shards",
+        help="directory for --split output (shard-NN.json.gz)",
+    )
+    p_shard.add_argument(
+        "--placement", choices=["cluster", "hash"], default="cluster",
+        help="partition assignment: 'cluster' keeps whole clusters "
+             "together (bit-identical merge parity), 'hash' balances "
+             "pages by sha256(url)",
+    )
+    p_shard.add_argument("--host", default="127.0.0.1")
+    p_shard.add_argument("--port", type=int, default=8081)
+    p_shard.add_argument(
+        "--journal", metavar="PATH",
+        help="write-ahead journal; rotation armed so sealed segments "
+             "feed replicas (/replication/*)",
+    )
+    p_shard.add_argument(
+        "--segment-records", type=int, default=64,
+        help="seal the active journal segment after this many records",
+    )
+    p_shard.add_argument(
+        "--batch-window-ms", type=float, default=5.0,
+        help="classify micro-batching window; negative disables batching",
+    )
+    p_shard.set_defaults(func=_cmd_shard)
+
+    p_replica = subparsers.add_parser(
+        "replica",
+        help="run a read replica tailing a shard's journal segments "
+             "(docs/SHARDING.md)",
+    )
+    p_replica.add_argument(
+        "--leader", required=True, metavar="URL",
+        help="base URL of the shard to follow (e.g. http://host:8081)",
+    )
+    p_replica.add_argument("--host", default="127.0.0.1")
+    p_replica.add_argument("--port", type=int, default=8082)
+    p_replica.add_argument("--name", default="replica")
+    p_replica.add_argument(
+        "--poll-ms", type=float, default=500.0,
+        help="how often to poll the leader's replication manifest",
+    )
+    p_replica.add_argument(
+        "--max-lag", type=int, default=256,
+        help="grade 'recovering' above this many unapplied records",
+    )
+    p_replica.add_argument(
+        "--request-timeout", type=float, default=10.0,
+        help="per-request timeout talking to the leader",
+    )
+    p_replica.add_argument(
+        "--leader-journal", metavar="PATH",
+        help="the leader's on-disk journal (shared storage); enables "
+             "automatic promotion when the leader stops answering",
+    )
+    p_replica.add_argument(
+        "--promote-after", type=int, default=3,
+        help="promote after this many consecutive failed polls "
+             "(needs --leader-journal; 0 disables)",
+    )
+    p_replica.set_defaults(func=_cmd_replica)
+
+    p_router = subparsers.add_parser(
+        "router",
+        help="scatter-gather front end over shard endpoints "
+             "(docs/SHARDING.md)",
+    )
+    p_router.add_argument(
+        "--shard", action="append", metavar="URL[,URL...]",
+        help="one logical shard as a failover list (leader first, "
+             "replicas after); repeat per shard, in shard order",
+    )
+    p_router.add_argument(
+        "--placement", choices=["cluster", "hash"], default="cluster",
+        help="must match how the snapshots were split (routes writes)",
+    )
+    p_router.add_argument("--host", default="127.0.0.1")
+    p_router.add_argument("--port", type=int, default=8080)
+    p_router.add_argument(
+        "--shard-timeout", type=float, default=5.0,
+        help="per-shard fan-out timeout; a slower shard is dropped from "
+             "the response (flagged partial), not waited for",
+    )
+    p_router.add_argument("--seed", type=int, default=42)
+    p_router.add_argument(
+        "--smoke", action="store_true",
+        help="boot router + 2 shards + 1 replica in-process, round-trip "
+             "/search, /add and /healthz, shut down (CI self-check)",
+    )
+    p_router.set_defaults(func=_cmd_router)
     return parser
 
 

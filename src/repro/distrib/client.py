@@ -1,0 +1,236 @@
+"""Shard clients — how the router and replicas talk to a shard.
+
+Two transports behind one duck-typed interface:
+
+* :class:`LocalShardClient` calls a :class:`~repro.distrib.shard.
+  ShardNode` in-process.  This is what the parity tests and the bench
+  harness use — no sockets, no serialization noise, the merged answer
+  is compared float-for-float against the single-node directory.
+* :class:`HttpShardClient` speaks the shard HTTP API
+  (:mod:`repro.distrib.http`) over ``urllib`` — the deployment
+  transport, exercised end-to-end by ``repro router --smoke``.
+
+Both raise :class:`ShardUnavailable` for anything that means "this
+endpoint cannot answer right now" (connection refused, 5xx, timeout,
+an injected fault) so the router's failover/partial-result logic has
+one exception type to catch.
+"""
+
+import json
+import socket
+import urllib.error
+import urllib.parse
+import urllib.request
+from typing import Dict, List, Optional
+
+from repro.core.form_page import RawFormPage
+from repro.distrib.shard import ShardNode
+from repro.resilience.faults import FaultError
+from repro.resilience.journal import JournalError
+from repro.resilience.retry import RetryError
+
+
+class ShardUnavailable(Exception):
+    """The shard endpoint cannot answer (dead, unreachable, or 5xx)."""
+
+    def __init__(self, name: str, reason: str) -> None:
+        super().__init__(f"shard {name}: {reason}")
+        self.name = name
+        self.reason = reason
+
+
+class SegmentGone(Exception):
+    """The requested sealed segment was folded into a snapshot — the
+    tailing replica must re-bootstrap instead of replaying a gap."""
+
+
+def raw_page_to_body(raw: RawFormPage) -> Dict[str, object]:
+    """The ``/classify`` / ``/add`` request body for a raw page."""
+    return {
+        "url": raw.url,
+        "html": raw.html,
+        "backlinks": list(raw.backlinks),
+        "anchor_texts": list(raw.anchor_texts),
+    }
+
+
+class LocalShardClient:
+    """In-process transport: a thin adapter over a :class:`ShardNode`.
+
+    ``alive`` lets failover tests kill a node without tearing down its
+    state: a dead client raises :class:`ShardUnavailable` on every call,
+    exactly like a refused connection.
+    """
+
+    def __init__(self, shard: ShardNode, name: Optional[str] = None) -> None:
+        self.shard = shard
+        self.name = name or shard.name
+        self.alive = True
+
+    def _check(self) -> None:
+        if not self.alive:
+            raise ShardUnavailable(self.name, "node is down")
+
+    def _guard(self, fn, *args, **kwargs):
+        self._check()
+        try:
+            return fn(*args, **kwargs)
+        except (FaultError, RetryError, TimeoutError) as exc:
+            raise ShardUnavailable(
+                self.name, f"{type(exc).__name__}: {exc}"
+            ) from exc
+
+    def kill(self) -> None:
+        """Simulate node death (state stays on 'disk' for promotion)."""
+        self.alive = False
+
+    def revive(self) -> None:
+        self.alive = True
+
+    # -- serving ------------------------------------------------------
+
+    def search(
+        self, query: str, n: int = 3, scope: str = "clusters"
+    ) -> List[Dict[str, object]]:
+        if scope == "pages":
+            return self._guard(self.shard.search_pages, query, n=n)
+        return self._guard(self.shard.search, query, n=n)
+
+    def classify(self, raw: RawFormPage) -> Dict[str, object]:
+        return self._guard(self.shard.classify, raw)
+
+    def add(self, raw: RawFormPage) -> Dict[str, object]:
+        return self._guard(self.shard.add, raw)
+
+    def remove(self, url: str) -> bool:
+        return self._guard(self.shard.remove, url)
+
+    def healthz(self) -> Dict[str, object]:
+        self._check()
+        return self.shard.healthz()
+
+    # -- replication --------------------------------------------------
+
+    def replication_manifest(self) -> Dict[str, object]:
+        return self._guard(self.shard.replication_manifest)
+
+    def replication_segment(self, seq: int) -> bytes:
+        self._check()
+        try:
+            return self.shard.replication_segment(seq)
+        except JournalError as exc:
+            raise SegmentGone(str(exc)) from exc
+        except (FaultError, RetryError, TimeoutError) as exc:
+            raise ShardUnavailable(
+                self.name, f"{type(exc).__name__}: {exc}"
+            ) from exc
+
+    def replication_snapshot(self) -> Dict[str, object]:
+        return self._guard(self.shard.replication_snapshot)
+
+
+class HttpShardClient:
+    """HTTP transport for a shard (or replica) endpoint."""
+
+    def __init__(
+        self, base_url: str, timeout: float = 10.0, name: Optional[str] = None
+    ) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+        self.name = name or self.base_url
+
+    # -- plumbing -----------------------------------------------------
+
+    def _request(
+        self,
+        path: str,
+        body: Optional[dict] = None,
+        query: Optional[dict] = None,
+        raw: bool = False,
+    ):
+        url = self.base_url + path
+        if query:
+            url += "?" + urllib.parse.urlencode(query)
+        data = None
+        headers = {}
+        if body is not None:
+            data = json.dumps(body).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(url, data=data, headers=headers)
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as resp:
+                payload = resp.read()
+        except urllib.error.HTTPError as exc:
+            detail = exc.read().decode("utf-8", "replace")[:200]
+            if exc.code == 404 and path.startswith("/replication/segment"):
+                raise SegmentGone(detail) from exc
+            raise ShardUnavailable(
+                self.name, f"HTTP {exc.code}: {detail}"
+            ) from exc
+        except (urllib.error.URLError, socket.timeout, OSError) as exc:
+            raise ShardUnavailable(self.name, str(exc)) from exc
+        if raw:
+            return payload
+        try:
+            return json.loads(payload.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ShardUnavailable(self.name, f"bad JSON reply: {exc}") from exc
+
+    # -- serving ------------------------------------------------------
+
+    def search(
+        self, query: str, n: int = 3, scope: str = "clusters"
+    ) -> List[Dict[str, object]]:
+        reply = self._request(
+            "/search", query={"q": query, "n": n, "scope": scope}
+        )
+        return reply.get("hits", [])
+
+    def classify(self, raw: RawFormPage) -> Dict[str, object]:
+        return self._request("/classify", body=raw_page_to_body(raw))
+
+    def add(self, raw: RawFormPage) -> Dict[str, object]:
+        return self._request("/add", body=raw_page_to_body(raw))
+
+    def remove(self, url: str) -> bool:
+        reply = self._request("/remove", body={"url": url})
+        return bool(reply.get("removed", False))
+
+    def healthz(self) -> Dict[str, object]:
+        url = self.base_url + "/healthz"
+        try:
+            with urllib.request.urlopen(url, timeout=self.timeout) as resp:
+                return json.loads(resp.read().decode("utf-8"))
+        except urllib.error.HTTPError as exc:
+            # 503-recovering still carries a JSON status body — that is
+            # an answer ("recovering"), not an unavailable endpoint.
+            try:
+                return json.loads(exc.read().decode("utf-8"))
+            except Exception:
+                raise ShardUnavailable(
+                    self.name, f"HTTP {exc.code}"
+                ) from exc
+        except (urllib.error.URLError, socket.timeout, OSError) as exc:
+            raise ShardUnavailable(self.name, str(exc)) from exc
+
+    # -- replication --------------------------------------------------
+
+    def replication_manifest(self) -> Dict[str, object]:
+        return self._request("/replication/manifest")
+
+    def replication_segment(self, seq: int) -> bytes:
+        return self._request(
+            "/replication/segment", query={"seq": seq}, raw=True
+        )
+
+    def replication_snapshot(self) -> Dict[str, object]:
+        return self._request("/replication/snapshot")
+
+
+__all__ = [
+    "HttpShardClient",
+    "LocalShardClient",
+    "SegmentGone",
+    "ShardUnavailable",
+    "raw_page_to_body",
+]

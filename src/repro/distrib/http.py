@@ -1,0 +1,383 @@
+"""HTTP faces of the distributed directory — shard, replica, router.
+
+All three reuse the single-node plumbing
+(:class:`~repro.service.http.DirectoryRequestHandler` — bounded bodies,
+socket timeouts, structured errors, request metrics) and swap the route
+tables:
+
+* **shard** (:func:`serve_shard`) — the full single-node API with
+  global cluster ids, plus the replication feed
+  (``/replication/manifest``, ``/replication/segment?seq=N`` as raw
+  crc-framed bytes, ``/replication/snapshot``);
+* **replica** (:func:`serve_replica`) — reads only (``/search``,
+  ``/classify``, ``/healthz``, ``/metrics``) until promoted; write
+  endpoints answer 403 so a misconfigured client cannot fork the copy;
+* **router** (:func:`serve_router`) — the public front: fan-out
+  ``/search`` / ``/classify`` / ``/add`` / ``/remove`` with partial
+  responses, aggregated ``/healthz``, and 503 + ``Retry-After`` when no
+  shard answers.
+"""
+
+from http.server import ThreadingHTTPServer
+from typing import Tuple
+
+from repro.distrib.replica import ReplicaNode
+from repro.distrib.router import (
+    ALL_SHARDS_RETRY_AFTER,
+    AllShardsUnavailable,
+    DirectoryRouter,
+)
+from repro.distrib.shard import ShardNode
+from repro.resilience.journal import JournalError
+from repro.service.http import (
+    DEFAULT_MAX_REQUEST_BYTES,
+    DEFAULT_REQUEST_TIMEOUT,
+    ApiError,
+    DirectoryHTTPServer,
+    DirectoryRequestHandler,
+    _raw_page_from_body,
+)
+
+
+class ShardRequestHandler(DirectoryRequestHandler):
+    """Single-node API in global ids + the replication feed."""
+
+    server_version = "repro-shard/1.0"
+
+    @property
+    def shard(self) -> ShardNode:
+        return self.server.shard
+
+    def get_routes(self) -> dict:
+        routes = super().get_routes()
+        routes.update(
+            {
+                "/replication/manifest": self._get_replication_manifest,
+                "/replication/segment": self._get_replication_segment,
+                "/replication/snapshot": self._get_replication_snapshot,
+            }
+        )
+        return routes
+
+    # -- reads in global ids ------------------------------------------
+
+    def _get_search(self, query: dict) -> int:
+        terms = query.get("q", [""])[0]
+        if not terms.strip():
+            raise ApiError(400, "bad_request", "missing query parameter 'q'")
+        n = self._int_param(query, "n", 3, low=1, high=100)
+        scope = query.get("scope", ["clusters"])[0]
+        if scope == "clusters":
+            hits = self.shard.search(terms, n=n)
+        elif scope == "pages":
+            hits = self.shard.search_pages(terms, n=n)
+        else:
+            raise ApiError(
+                400, "bad_request", "'scope' must be 'clusters' or 'pages'"
+            )
+        self._send_json(
+            200, {"ok": True, "query": terms, "scope": scope, "hits": hits}
+        )
+        return 200
+
+    def _post_classify(self) -> int:
+        raw = _raw_page_from_body(self._read_json_body())
+        self._send_json(200, {"ok": True, **self.shard.classify(raw)})
+        return 200
+
+    def _post_add(self) -> int:
+        raw = _raw_page_from_body(self._read_json_body())
+        self._send_json(200, {"ok": True, **self.shard.add(raw)})
+        return 200
+
+    # -- replication feed ---------------------------------------------
+
+    def _get_replication_manifest(self, query: dict) -> int:
+        self._send_json(
+            200, {"ok": True, **self.shard.replication_manifest()}
+        )
+        return 200
+
+    def _get_replication_segment(self, query: dict) -> int:
+        seq = self._int_param(query, "seq", -1, low=1, high=10**9)
+        if seq < 0:
+            raise ApiError(400, "bad_request", "missing parameter 'seq'")
+        try:
+            data = self.shard.replication_segment(seq)
+        except JournalError as exc:
+            # Folded away: the replica re-bootstraps from /snapshot.
+            raise ApiError(404, "segment_gone", str(exc))
+        self.send_response(200)
+        self.send_header("Content-Type", "application/octet-stream")
+        self.send_header("Content-Length", str(len(data)))
+        self.end_headers()
+        self.wfile.write(data)
+        return 200
+
+    def _get_replication_snapshot(self, query: dict) -> int:
+        self._send_json(200, self.shard.replication_snapshot())
+        return 200
+
+
+class ShardHTTPServer(DirectoryHTTPServer):
+    """One shard node behind the shard API."""
+
+    def __init__(
+        self,
+        shard: ShardNode,
+        address: Tuple[str, int] = ("127.0.0.1", 0),
+        max_request_bytes: int = DEFAULT_MAX_REQUEST_BYTES,
+        request_timeout: float = DEFAULT_REQUEST_TIMEOUT,
+    ) -> None:
+        self.shard = shard
+        self.directory = shard.directory
+        self.max_request_bytes = max_request_bytes
+        self.request_timeout = request_timeout
+        # Skip DirectoryHTTPServer.__init__ (it expects a bare
+        # directory); bind straight to the threading server.
+        ThreadingHTTPServer.__init__(self, address, ShardRequestHandler)
+
+    def shut_down(self) -> None:
+        self.shutdown()
+        self.server_close()
+        self.shard.close()
+
+
+class ReplicaRequestHandler(ShardRequestHandler):
+    """Read-only shard API over a tailing replica."""
+
+    server_version = "repro-replica/1.0"
+
+    @property
+    def replica(self) -> ReplicaNode:
+        return self.server.replica
+
+    @property
+    def shard(self) -> ShardNode:
+        node = self.replica.node
+        if node is None:
+            raise ApiError(
+                503, "recovering", "replica has not bootstrapped yet",
+                retry_after=1,
+            )
+        return node
+
+    @property
+    def directory(self):
+        return self.shard.directory
+
+    @property
+    def metrics_registry(self):
+        return self.replica.metrics
+
+    def post_routes(self) -> dict:
+        # Classify is read-only; mutations would fork the copy.
+        return {
+            "/classify": self._post_classify,
+            "/add": self._post_refuse_write,
+            "/remove": self._post_refuse_write,
+        }
+
+    def _post_refuse_write(self) -> int:
+        if self.replica.promoted:
+            # Promotion makes this a leader; serve the write normally.
+            endpoint = self.path.split("?")[0].rstrip("/")
+            handler = super().post_routes()[endpoint]
+            return handler()
+        raise ApiError(
+            403, "read_only_replica",
+            "this node is a read replica; write to the leader",
+        )
+
+    def _get_healthz(self, query: dict) -> int:
+        record = self.replica.healthz()
+        if record["status"] == "recovering":
+            self._send_json(
+                503, {"ok": False, **record},
+                extra_headers=(("Retry-After", "1"),),
+            )
+            return 503
+        self._send_json(200, {"ok": True, **record})
+        return 200
+
+
+class ReplicaHTTPServer(DirectoryHTTPServer):
+    """A replica node behind the read-only API."""
+
+    def __init__(
+        self,
+        replica: ReplicaNode,
+        address: Tuple[str, int] = ("127.0.0.1", 0),
+        max_request_bytes: int = DEFAULT_MAX_REQUEST_BYTES,
+        request_timeout: float = DEFAULT_REQUEST_TIMEOUT,
+    ) -> None:
+        self.replica = replica
+        self.max_request_bytes = max_request_bytes
+        self.request_timeout = request_timeout
+        ThreadingHTTPServer.__init__(self, address, ReplicaRequestHandler)
+
+    def shut_down(self) -> None:
+        self.shutdown()
+        self.server_close()
+        self.replica.close()
+
+
+class RouterRequestHandler(DirectoryRequestHandler):
+    """The public scatter-gather front end."""
+
+    server_version = "repro-router/1.0"
+
+    @property
+    def router(self) -> DirectoryRouter:
+        return self.server.router
+
+    @property
+    def metrics_registry(self):
+        return self.router.metrics
+
+    def get_routes(self) -> dict:
+        return {
+            "/healthz": self._get_healthz,
+            "/metrics": self._get_metrics,
+            "/search": self._get_search,
+        }
+
+    def post_routes(self) -> dict:
+        return {
+            "/classify": self._post_classify,
+            "/add": self._post_add,
+            "/remove": self._post_remove,
+        }
+
+    @staticmethod
+    def _unavailable(exc: AllShardsUnavailable) -> ApiError:
+        return ApiError(
+            503, "all_shards_unavailable", str(exc),
+            retry_after=ALL_SHARDS_RETRY_AFTER,
+        )
+
+    def _get_metrics(self, query: dict) -> int:
+        data = self.router.metrics.render().encode("utf-8")
+        self.send_response(200)
+        self.send_header(
+            "Content-Type", "text/plain; version=0.0.4; charset=utf-8"
+        )
+        self.send_header("Content-Length", str(len(data)))
+        self.end_headers()
+        self.wfile.write(data)
+        return 200
+
+    def _get_healthz(self, query: dict) -> int:
+        try:
+            record = self.router.healthz()
+        except AllShardsUnavailable as exc:
+            raise self._unavailable(exc)
+        self._send_json(
+            200 if record["status"] == "ok" else 200,
+            {"ok": record["status"] == "ok", **record},
+        )
+        return 200
+
+    def _get_search(self, query: dict) -> int:
+        terms = query.get("q", [""])[0]
+        if not terms.strip():
+            raise ApiError(400, "bad_request", "missing query parameter 'q'")
+        n = self._int_param(query, "n", 3, low=1, high=100)
+        scope = query.get("scope", ["clusters"])[0]
+        if scope not in ("clusters", "pages"):
+            raise ApiError(
+                400, "bad_request", "'scope' must be 'clusters' or 'pages'"
+            )
+        try:
+            reply = self.router.search(terms, n=n, scope=scope)
+        except AllShardsUnavailable as exc:
+            raise self._unavailable(exc)
+        self._send_json(200, {"ok": True, **reply})
+        return 200
+
+    def _post_classify(self) -> int:
+        raw = _raw_page_from_body(self._read_json_body())
+        try:
+            reply = self.router.classify(raw)
+        except AllShardsUnavailable as exc:
+            raise self._unavailable(exc)
+        self._send_json(200, {"ok": True, **reply})
+        return 200
+
+    def _post_add(self) -> int:
+        raw = _raw_page_from_body(self._read_json_body())
+        try:
+            reply = self.router.add(raw)
+        except AllShardsUnavailable as exc:
+            raise self._unavailable(exc)
+        self._send_json(200, {"ok": True, **reply})
+        return 200
+
+    def _post_remove(self) -> int:
+        body = self._read_json_body()
+        url = body.get("url")
+        if not isinstance(url, str) or not url:
+            raise ApiError(
+                400, "bad_request", "'url' must be a non-empty string"
+            )
+        try:
+            reply = self.router.remove(url)
+        except AllShardsUnavailable as exc:
+            raise self._unavailable(exc)
+        self._send_json(200, {"ok": True, **reply})
+        return 200
+
+
+class RouterHTTPServer(DirectoryHTTPServer):
+    """The router behind the public API."""
+
+    def __init__(
+        self,
+        router: DirectoryRouter,
+        address: Tuple[str, int] = ("127.0.0.1", 0),
+        max_request_bytes: int = DEFAULT_MAX_REQUEST_BYTES,
+        request_timeout: float = DEFAULT_REQUEST_TIMEOUT,
+    ) -> None:
+        self.router = router
+        self.max_request_bytes = max_request_bytes
+        self.request_timeout = request_timeout
+        ThreadingHTTPServer.__init__(self, address, RouterRequestHandler)
+
+    def shut_down(self) -> None:
+        self.shutdown()
+        self.server_close()
+        self.router.close()
+
+
+def serve_shard(
+    shard: ShardNode, host: str = "127.0.0.1", port: int = 0, **kwargs
+) -> ShardHTTPServer:
+    """Bind a shard server (port 0 picks an ephemeral port)."""
+    return ShardHTTPServer(shard, (host, port), **kwargs)
+
+
+def serve_replica(
+    replica: ReplicaNode, host: str = "127.0.0.1", port: int = 0, **kwargs
+) -> ReplicaHTTPServer:
+    """Bind a replica server."""
+    return ReplicaHTTPServer(replica, (host, port), **kwargs)
+
+
+def serve_router(
+    router: DirectoryRouter, host: str = "127.0.0.1", port: int = 0, **kwargs
+) -> RouterHTTPServer:
+    """Bind a router server."""
+    return RouterHTTPServer(router, (host, port), **kwargs)
+
+
+__all__ = [
+    "ReplicaHTTPServer",
+    "ReplicaRequestHandler",
+    "RouterHTTPServer",
+    "RouterRequestHandler",
+    "ShardHTTPServer",
+    "ShardRequestHandler",
+    "serve_replica",
+    "serve_router",
+    "serve_shard",
+]

@@ -1,0 +1,152 @@
+"""Partition assignment — which shard owns which part of the directory.
+
+Two placements, both **stable** (a pure function of the key and the
+shard count, never of arrival order or shard liveness):
+
+``"cluster"`` (the default)
+    Whole clusters are assigned round-robin by global cluster id
+    (``global_id % n_shards``).  Every page of a cluster lives on one
+    shard, so each shard's centroids sum exactly the pages the
+    single-node directory would sum, in the same stored order — the
+    centroid floats are **bit-identical** to the unsharded directory's,
+    which is what makes the router's merged answers bit-identical for
+    *both* search scopes (the acceptance criterion in
+    docs/SHARDING.md).
+
+``"hash"``
+    Pages are assigned by a stable content-independent URL hash
+    (``sha256(url) % n_shards``).  Every shard keeps all cluster slots
+    (with a subset of pages), so cluster centroids are partial sums:
+    page-scope search still merges bit-identically (page scores depend
+    only on the page's own vector), cluster-scope answers are
+    per-shard approximations.  Use it when per-shard balance matters
+    more than cluster-scope parity.
+
+Global cluster ids are simply the single-node cluster indices
+(``0..k-1``): a shard remembers which globals it holds
+(``Snapshot.meta["global_clusters"]``) and remaps its local indices on
+the way out, so "cluster 5" means the same thing on every node and in
+every merged response.
+"""
+
+import hashlib
+from typing import List
+
+from repro.options import validate_option
+from repro.service.snapshot import Snapshot
+
+#: Allowed ``placement`` values (see module docstring for semantics).
+PLACEMENT_CHOICES = ("cluster", "hash")
+
+
+def validate_placement(value: str) -> str:
+    """Validate a placement name (raises ``OptionError`` otherwise)."""
+    return validate_option("placement", value, PLACEMENT_CHOICES)
+
+
+def shard_for_cluster(global_id: int, n_shards: int) -> int:
+    """Owner shard of a cluster under ``"cluster"`` placement."""
+    return int(global_id) % int(n_shards)
+
+
+def shard_for_url(url: str, n_shards: int) -> int:
+    """Owner shard of a page under ``"hash"`` placement.
+
+    sha256, not ``hash()``: Python salts string hashes per process, and
+    placement must agree across every node of the deployment.
+    """
+    digest = hashlib.sha256(url.encode("utf-8", "replace")).digest()
+    return int.from_bytes(digest[:8], "big") % int(n_shards)
+
+
+def _shard_meta(
+    shard: int, n_shards: int, placement: str, global_clusters: List[int]
+) -> dict:
+    return {
+        "shard": shard,
+        "n_shards": n_shards,
+        "placement": placement,
+        "global_clusters": list(global_clusters),
+    }
+
+
+def split_snapshot(
+    snapshot: Snapshot, n_shards: int, placement: str = "cluster"
+) -> List[Snapshot]:
+    """Partition a single-node snapshot into ``n_shards`` shard snapshots.
+
+    Every shard snapshot carries the **full** fitted vectorizer state
+    and config: query/page vectorization (and therefore every score,
+    Eq-1 or BM25) uses global corpus statistics on every shard, which
+    is what keeps cross-shard scores comparable in the router's merge.
+    The partition itself — which clusters/pages a shard holds — is
+    recorded in ``Snapshot.meta`` so a shard knows its own placement
+    after a cold start.
+    """
+    validate_placement(placement)
+    n_shards = int(n_shards)
+    if n_shards < 1:
+        raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+    k = len(snapshot.clusters)
+    terms = list(snapshot.top_terms)
+    while len(terms) < k:
+        terms.append([])
+
+    shards: List[Snapshot] = []
+    if placement == "cluster":
+        if n_shards > k:
+            raise ValueError(
+                f"cluster placement cannot spread {k} clusters over "
+                f"{n_shards} shards (some shards would be empty)"
+            )
+        for shard in range(n_shards):
+            # Ascending global order — a shard's local index order IS
+            # its global id order, so per-shard sorted runs stay sorted
+            # under the router's (-score, global id) merge key.
+            globals_ = [
+                g for g in range(k) if shard_for_cluster(g, n_shards) == shard
+            ]
+            shards.append(
+                Snapshot(
+                    clusters=[list(snapshot.clusters[g]) for g in globals_],
+                    vectorizer_state=snapshot.vectorizer_state,
+                    config=snapshot.config,
+                    top_terms=[list(terms[g]) for g in globals_],
+                    algorithm=snapshot.algorithm,
+                    created_unix=snapshot.created_unix,
+                    meta=_shard_meta(shard, n_shards, placement, globals_),
+                )
+            )
+        return shards
+
+    # Hash placement: all shards keep every cluster slot (local == global)
+    # with the pages the URL hash routes to them.
+    for shard in range(n_shards):
+        shards.append(
+            Snapshot(
+                clusters=[
+                    [
+                        page
+                        for page in members
+                        if shard_for_url(page.url, n_shards) == shard
+                    ]
+                    for members in snapshot.clusters
+                ],
+                vectorizer_state=snapshot.vectorizer_state,
+                config=snapshot.config,
+                top_terms=[list(t) for t in terms],
+                algorithm=snapshot.algorithm,
+                created_unix=snapshot.created_unix,
+                meta=_shard_meta(shard, n_shards, placement, list(range(k))),
+            )
+        )
+    return shards
+
+
+__all__ = [
+    "PLACEMENT_CHOICES",
+    "shard_for_cluster",
+    "shard_for_url",
+    "split_snapshot",
+    "validate_placement",
+]

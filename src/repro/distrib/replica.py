@@ -1,0 +1,293 @@
+"""Read replicas — journal-shipping followers that can take over.
+
+A :class:`ReplicaNode` follows one shard ("the leader") through three
+states:
+
+1. **bootstrap** — fetch the leader's ``/replication/snapshot``
+   (state + the journal position it includes), materialize a
+   :class:`~repro.service.directory.FormDirectory` from it.  The
+   replica's directory has **no journal** and **no auto-recluster**:
+   every mutation it applies came out of the leader's log, including
+   the leader's drift repairs, so re-deciding either locally would
+   diverge the copy.
+2. **tail** — poll the leader's manifest, fetch sealed segments past
+   the applied position, and replay their records through
+   :meth:`FormDirectory.apply_replicated` (the same live code paths as
+   crash recovery, so the copy is bit-identical, not approximate).
+   A replica that falls so far behind that the leader folded the
+   segments it needs (``SegmentGone``) re-bootstraps from a fresh
+   snapshot instead of replaying a gap.
+3. **promote** — on leader death, drain the leader's *on-disk* journal
+   from the applied position (acknowledged = fsynced there, so this is
+   exactly the set of acked writes the tail hadn't shipped yet), then
+   adopt that journal for new writes.  Zero acknowledged writes lost —
+   the failover soak in ``tests/test_distrib_failover.py`` asserts it
+   under seeded chaos.
+
+Health uses the existing grading: ``recovering`` until bootstrapped
+(and again while re-bootstrapping or lagging past ``max_lag_records``),
+then the directory's own ok/degraded states.
+"""
+
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+from repro.distrib.client import SegmentGone, ShardUnavailable
+from repro.distrib.shard import DEFAULT_SEGMENT_RECORDS, ShardNode
+from repro.resilience.journal import decode_records, open_journal
+from repro.resilience.stats import STATS
+from repro.service.directory import FormDirectory
+from repro.service.metrics import MetricsRegistry
+from repro.service.snapshot import Snapshot
+
+
+class ReplicaNode:
+    """A tailing copy of one shard, promotable to leader.
+
+    Parameters
+    ----------
+    leader:
+        A shard client (:class:`~repro.distrib.client.LocalShardClient`
+        or :class:`~repro.distrib.client.HttpShardClient`) for the node
+        being followed.
+    max_lag_records:
+        Above this many unapplied records the replica grades itself
+        ``recovering`` (routers stop reading from it until it catches
+        up).
+    """
+
+    def __init__(
+        self,
+        leader,
+        name: str = "replica",
+        max_lag_records: int = DEFAULT_SEGMENT_RECORDS * 4,
+        metrics: Optional[MetricsRegistry] = None,
+        **directory_kwargs,
+    ) -> None:
+        self.leader = leader
+        self.name = name
+        self.max_lag_records = max_lag_records
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._directory_kwargs = directory_kwargs
+        self.node: Optional[ShardNode] = None
+        self.applied = 0          # global journal position applied through
+        self.last_lag = 0         # records behind at the last poll
+        self.bootstraps = 0
+        self.segments_applied = 0
+        self.promoted = False
+        self._instrument()
+
+    @property
+    def directory(self) -> Optional[FormDirectory]:
+        return self.node.directory if self.node is not None else None
+
+    def _instrument(self) -> None:
+        m = self.metrics
+        m.gauge(
+            "replication_applied_records",
+            "Global journal position this replica has applied through",
+            replica=self.name,
+        ).set_function(lambda: self.applied)
+        m.gauge(
+            "replication_lag_records",
+            "Records behind the leader at the last poll",
+            replica=self.name,
+        ).set_function(lambda: self.last_lag)
+        m.gauge(
+            "replication_bootstraps",
+            "Snapshot bootstraps performed (1 + re-bootstraps after gaps)",
+            replica=self.name,
+        ).set_function(lambda: self.bootstraps)
+        m.gauge(
+            "promotions_total", "Replica promotions (process-wide)"
+        ).set_function(lambda: STATS.get("promotions"))
+
+    # ----------------------------------------------------------------
+    # Bootstrap.
+    # ----------------------------------------------------------------
+
+    def bootstrap(self) -> int:
+        """Materialize (or re-materialize) from the leader's snapshot.
+        Returns the journal position the snapshot includes."""
+        payload = self.leader.replication_snapshot()
+        snapshot = Snapshot.from_payload(
+            payload, source=f"{self.name}<-{getattr(self.leader, 'name', '?')}"
+        )
+        position = int(snapshot.meta.get("journal_position", 0))
+        old = self.node
+        directory = FormDirectory.from_snapshot(
+            snapshot,
+            journal=None,
+            auto_recluster=False,
+            metrics=self.metrics,
+            **self._directory_kwargs,
+        )
+        self.node = ShardNode.from_directory(
+            directory, snapshot.meta, name=self.name
+        )
+        self.applied = position
+        self.bootstraps += 1
+        if old is not None:
+            old.close()
+        return position
+
+    # ----------------------------------------------------------------
+    # Tailing.
+    # ----------------------------------------------------------------
+
+    def poll(self) -> Dict[str, int]:
+        """One catch-up round: fetch and apply every sealed segment past
+        the applied position.  Returns ``{"applied", "lag", "segments"}``.
+
+        Leader unreachable → :class:`ShardUnavailable` propagates (the
+        caller decides whether that means retry or promote).
+        """
+        if self.node is None:
+            self.bootstrap()
+        manifest = self.leader.replication_manifest()
+        fetched = 0
+        for segment in manifest.get("sealed", []):
+            base = int(segment["base_record"])
+            end = base + int(segment["records"])
+            if end <= self.applied:
+                continue
+            if base > self.applied:
+                # The records between applied and base were folded away
+                # before we shipped them — replaying from here would
+                # skip mutations.  Start over from a fresh snapshot.
+                self.bootstrap()
+                return self.poll()
+            try:
+                data = self.leader.replication_segment(int(segment["seq"]))
+            except SegmentGone:
+                self.bootstrap()
+                return self.poll()
+            records, _ = decode_records(data)
+            for record in records[self.applied - base:]:
+                self.node.directory.apply_replicated(record)
+            self.applied = end
+            fetched += 1
+            self.segments_applied += 1
+        next_record = int(manifest.get("next_record", self.applied))
+        if next_record < self.applied:
+            # The leader's log restarted behind us (e.g. a full
+            # truncate): re-sync from its current snapshot.
+            self.bootstrap()
+            next_record = self.applied
+        self.last_lag = next_record - self.applied
+        return {
+            "applied": self.applied,
+            "lag": self.last_lag,
+            "segments": fetched,
+        }
+
+    def catch_up(self, max_polls: int = 100) -> int:
+        """Poll until only the (unsealed) active tail remains or the
+        sealed feed stops advancing.  Returns the remaining lag."""
+        for _ in range(max_polls):
+            report = self.poll()
+            if report["segments"] == 0:
+                break
+        return self.last_lag
+
+    # ----------------------------------------------------------------
+    # Promotion.
+    # ----------------------------------------------------------------
+
+    def promote(
+        self,
+        leader_journal: Union[str, Path],
+        segment_records: int = DEFAULT_SEGMENT_RECORDS,
+    ) -> ShardNode:
+        """Take over from a dead leader.
+
+        ``leader_journal`` is the dead leader's on-disk journal (the
+        shared-storage failover model: the log survives the process).
+        Opening it runs the normal recovery — sealed segments plus the
+        active tail, torn final record truncated — and every record at
+        or past the replica's applied position is drained through the
+        live apply paths *before* the journal is adopted for new writes
+        (adopting first would re-append the drained records).
+
+        An acknowledged write is by definition fsynced into this log,
+        so after the drain the promoted node's state contains every
+        acknowledged write: none lost.
+        """
+        if self.node is None:
+            raise RuntimeError("replica must bootstrap before promotion")
+        if self.promoted:
+            raise RuntimeError("replica already promoted")
+        journal = open_journal(
+            leader_journal, max_segment_records=segment_records
+        )
+        drained = 0
+        for position, record in enumerate(
+            journal.replay(), start=journal.base_record
+        ):
+            if position >= self.applied:
+                self.node.directory.apply_replicated(record)
+                drained += 1
+        self.applied = journal.next_record
+        self.last_lag = 0
+        self.node.directory.attach_journal(journal)
+        # The leader's drift repairs arrived through its log; as leader,
+        # this node decides (and journals) its own from here on.
+        self.node.directory.auto_recluster = True
+        self.promoted = True
+        self.drained_on_promotion = drained
+        STATS.inc("promotions")
+        return self.node
+
+    # ----------------------------------------------------------------
+    # Serving (reads while tailing; everything once promoted).
+    # ----------------------------------------------------------------
+
+    def _serving_node(self) -> ShardNode:
+        if self.node is None:
+            raise ShardUnavailable(self.name, "replica not bootstrapped yet")
+        return self.node
+
+    def search(self, query: str, n: int = 3):
+        return self._serving_node().search(query, n=n)
+
+    def search_pages(self, query: str, n: int = 3):
+        return self._serving_node().search_pages(query, n=n)
+
+    def classify(self, raw):
+        return self._serving_node().classify(raw)
+
+    def health_state(self) -> str:
+        """``recovering`` until bootstrapped / while lagging past the
+        threshold; otherwise the underlying directory's grade."""
+        if self.node is None:
+            return "recovering"
+        if not self.promoted and self.last_lag > self.max_lag_records:
+            return "recovering"
+        return self.node.directory.health_state()
+
+    def healthz(self) -> Dict[str, object]:
+        record: Dict[str, object] = {
+            "status": self.health_state(),
+            "name": self.name,
+            "role": "leader" if self.promoted else "replica",
+            "applied": self.applied,
+            "lag": self.last_lag,
+            "bootstraps": self.bootstraps,
+        }
+        if self.node is not None:
+            record["shard"] = self.node.shard_index
+            record["generation"] = self.node.directory.generation
+        return record
+
+    def close(self) -> None:
+        if self.node is not None:
+            self.node.close()
+
+    def __enter__(self) -> "ReplicaNode":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+__all__ = ["ReplicaNode"]

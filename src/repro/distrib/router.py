@@ -1,0 +1,355 @@
+"""The scatter-gather router — one front door over N shards.
+
+:class:`DirectoryRouter` fans ``/search`` and ``/classify`` out to
+every logical shard, merges the per-shard runs with the deterministic
+k-way heap from :mod:`repro.index.merge`, and degrades instead of
+failing:
+
+* each logical shard is a **failover list** of endpoints (leader
+  first, replicas after) — the first endpoint that answers wins;
+* every fan-out leg runs under a **per-shard timeout**; a leg that
+  misses it (or whose endpoints are all down) is recorded, not raised:
+  the response carries ``"partial": true`` plus exactly which shards
+  answered and which failed, so callers can tell a complete answer
+  from a best-effort one;
+* only when **no** shard answers does the router raise
+  (:class:`AllShardsUnavailable` → HTTP 503 + ``Retry-After``).
+
+Determinism: the merge key is ``(-score, global id)`` / ``(-score,
+url)`` — a total order over globally-unique ids — so the merged top-k
+never depends on which shard answered first.  With cluster placement,
+per-shard scores are bit-identical to the single-node directory's
+(see :mod:`repro.distrib.placement`), making the merged answer
+bit-identical too; ``tests/test_distrib.py`` pins that over the full
+benchmark corpus for both scopes and both weighting schemes.
+
+Writes route by placement: ``"hash"`` sends a page to
+``sha256(url) % n``; ``"cluster"`` classifies everywhere first and
+sends the add to the shard owning the globally best cluster — the
+same first-max tie-break (lowest global id) the single-node argmax
+uses, so the sharded directory and the single-node one assign every
+page identically.
+"""
+
+import time
+from concurrent.futures import ThreadPoolExecutor, wait
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.core.form_page import RawFormPage
+from repro.distrib.client import ShardUnavailable
+from repro.distrib.placement import shard_for_url, validate_placement
+from repro.index.merge import cluster_hit_key, merge_ranked, page_hit_key
+from repro.resilience.faults import inject
+from repro.service.metrics import DEFAULT_SIZE_BUCKETS, MetricsRegistry
+
+#: Retry-After hint (seconds) when every shard is unavailable.
+ALL_SHARDS_RETRY_AFTER = 1
+
+
+class AllShardsUnavailable(Exception):
+    """Every logical shard failed — the request cannot be served at all
+    (per-shard failures short of this degrade to partial results)."""
+
+    def __init__(self, operation: str, failures: Dict[int, str]) -> None:
+        detail = "; ".join(
+            f"shard {index}: {reason}" for index, reason in failures.items()
+        )
+        super().__init__(f"{operation}: no shard answered ({detail})")
+        self.operation = operation
+        self.failures = failures
+
+
+class DirectoryRouter:
+    """Scatter-gather front end over logical shards.
+
+    Parameters
+    ----------
+    shards:
+        One entry per logical shard: either a single shard client or a
+        failover sequence of clients (leader first, then replicas).
+    placement:
+        How writes route (must match how the snapshots were split).
+    shard_timeout:
+        Seconds a fan-out leg may take before it is counted failed for
+        this request (the leg is abandoned, not cancelled).
+    """
+
+    def __init__(
+        self,
+        shards: Sequence,
+        placement: str = "cluster",
+        shard_timeout: float = 5.0,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        if not shards:
+            raise ValueError("router needs at least one shard")
+        self.shards: List[List[object]] = [
+            list(entry) if isinstance(entry, (list, tuple)) else [entry]
+            for entry in shards
+        ]
+        for index, endpoints in enumerate(self.shards):
+            if not endpoints:
+                raise ValueError(f"logical shard {index} has no endpoints")
+        self.placement = validate_placement(placement)
+        self.shard_timeout = shard_timeout
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.started_unix = time.time()
+        self._pool = ThreadPoolExecutor(
+            max_workers=max(4, 2 * len(self.shards)),
+            thread_name_prefix="repro-router",
+        )
+        self._instrument()
+
+    @property
+    def n_shards(self) -> int:
+        return len(self.shards)
+
+    def _instrument(self) -> None:
+        m = self.metrics
+        m.gauge("router_shards", "Logical shards configured").set_function(
+            lambda: self.n_shards
+        )
+        self._m_fanout = m.histogram(
+            "router_fanout_shards",
+            "Shards that answered per fanned-out request",
+            buckets=DEFAULT_SIZE_BUCKETS,
+        )
+        self._m_partial = m.counter(
+            "router_partial_responses_total",
+            "Requests answered with a subset of shards",
+        )
+        self._m_shard_failures = m.counter(
+            "router_shard_failures_total",
+            "Fan-out legs that failed (all endpoints down or timed out)",
+        )
+
+    # ----------------------------------------------------------------
+    # Fan-out machinery.
+    # ----------------------------------------------------------------
+
+    def _call_shard(self, index: int, call: Callable) -> object:
+        """Run ``call(client)`` against shard ``index``, failing over
+        down the endpoint list.  ``"router.fanout"`` is an injection
+        seam per endpoint attempt — an injected fault fails over like a
+        dead endpoint."""
+        failures = []
+        for endpoint in self.shards[index]:
+            try:
+                inject("router.fanout")
+                return call(endpoint)
+            except ShardUnavailable as exc:
+                failures.append(exc.reason)
+            except Exception as exc:  # an endpoint bug must not kill fan-out
+                failures.append(f"{type(exc).__name__}: {exc}")
+        raise ShardUnavailable(
+            f"shard-{index}", " / ".join(failures) or "no endpoints"
+        )
+
+    def _fan_out(
+        self, operation: str, call: Callable, indices: Optional[Sequence[int]] = None
+    ):
+        """Run ``call(client)`` on every logical shard concurrently.
+
+        Returns ``(results, failed)``: per-shard results for the legs
+        that answered within the timeout, reasons for the ones that
+        didn't.  Raises :class:`AllShardsUnavailable` when nothing
+        answered.
+        """
+        indices = list(indices) if indices is not None else list(
+            range(self.n_shards)
+        )
+        futures = {
+            self._pool.submit(self._call_shard, index, call): index
+            for index in indices
+        }
+        done, not_done = wait(futures, timeout=self.shard_timeout)
+        results: Dict[int, object] = {}
+        failed: Dict[int, str] = {}
+        for future in done:
+            index = futures[future]
+            error = future.exception()
+            if error is None:
+                results[index] = future.result()
+            else:
+                failed[index] = str(error)
+        for future in not_done:
+            # Left running in the pool; its shard just misses this
+            # response (partial-result degradation, not cancellation).
+            failed[futures[future]] = (
+                f"timed out after {self.shard_timeout}s"
+            )
+        self._m_fanout.observe(len(results))
+        if failed:
+            self._m_shard_failures.inc(len(failed))
+        if not results:
+            raise AllShardsUnavailable(operation, failed)
+        return results, failed
+
+    @staticmethod
+    def _shard_report(
+        results: Dict[int, object], failed: Dict[int, str]
+    ) -> Dict[str, object]:
+        return {
+            "answered": sorted(results),
+            "failed": {str(index): failed[index] for index in sorted(failed)},
+        }
+
+    # ----------------------------------------------------------------
+    # Reads.
+    # ----------------------------------------------------------------
+
+    def search(
+        self, query: str, n: int = 3, scope: str = "clusters"
+    ) -> Dict[str, object]:
+        """Merged global top-``n`` over every answering shard."""
+        if scope not in ("clusters", "pages"):
+            raise ValueError("'scope' must be 'clusters' or 'pages'")
+        started = time.perf_counter()
+        results, failed = self._fan_out(
+            "search", lambda c: c.search(query, n=n, scope=scope)
+        )
+        key = cluster_hit_key if scope == "clusters" else page_hit_key
+        # Ascending shard order only for reproducible *input* order; the
+        # key is a total order, so any order merges to the same bytes.
+        runs = [results[index] for index in sorted(results)]
+        hits = merge_ranked(runs, n, key)
+        partial = bool(failed)
+        if partial:
+            self._m_partial.inc()
+        self.metrics.histogram(
+            "search_seconds", "Merged search latency", scope=scope,
+            shard="router",
+        ).observe(time.perf_counter() - started)
+        return {
+            "query": query,
+            "scope": scope,
+            "hits": hits,
+            "partial": partial,
+            "shards": self._shard_report(results, failed),
+        }
+
+    def classify(self, raw: RawFormPage) -> Dict[str, object]:
+        """Global argmax over per-shard classifications.
+
+        Ties break to the lowest global cluster id — the single-node
+        ``max(range(k), key=scores.__getitem__)`` picks the *first*
+        maximum, and global ids are ascending cluster indices, so the
+        distributed pick is identical.
+        """
+        results, failed = self._fan_out("classify", lambda c: c.classify(raw))
+        best = min(
+            results.values(),
+            key=lambda r: (-float(r["similarity"]), int(r["cluster"])),
+        )
+        partial = bool(failed)
+        if partial:
+            self._m_partial.inc()
+        return {
+            "url": best["url"],
+            "cluster": int(best["cluster"]),
+            "similarity": float(best["similarity"]),
+            "top_terms": list(best.get("top_terms", [])),
+            "partial": partial,
+            "shards": self._shard_report(results, failed),
+        }
+
+    # ----------------------------------------------------------------
+    # Writes.
+    # ----------------------------------------------------------------
+
+    def add(self, raw: RawFormPage) -> Dict[str, object]:
+        """Route an insert to the shard that owns the page.
+
+        Cluster placement classifies on **all** shards first: routing on
+        a partial view could send the page to a merely-local optimum, so
+        an incomplete classify fan-out fails the write (a 503 the client
+        retries) rather than silently mis-placing it.
+        """
+        if self.placement == "hash":
+            owner = shard_for_url(raw.url, self.n_shards)
+        else:
+            results, failed = self._fan_out(
+                "classify-for-add", lambda c: c.classify(raw)
+            )
+            if failed:
+                raise AllShardsUnavailable(
+                    "add (needs every shard's classify answer to route "
+                    "deterministically)",
+                    failed,
+                )
+            best = min(
+                results.values(),
+                key=lambda r: (-float(r["similarity"]), int(r["cluster"])),
+            )
+            owner = int(best["shard"])
+        reply = self._call_shard(owner, lambda c: c.add(raw))
+        return dict(reply)
+
+    def remove(self, url: str) -> Dict[str, object]:
+        """Drop a page wherever it lives.
+
+        Hash placement knows the owner; cluster placement broadcasts
+        (membership is assignment-dependent).  A failed shard *might*
+        have held the page, so the response flags partiality instead of
+        claiming a clean miss.
+        """
+        if self.placement == "hash":
+            owner = shard_for_url(url, self.n_shards)
+            removed = bool(self._call_shard(owner, lambda c: c.remove(url)))
+            return {"url": url, "removed": removed, "partial": False,
+                    "shards": {"answered": [owner], "failed": {}}}
+        results, failed = self._fan_out("remove", lambda c: c.remove(url))
+        partial = bool(failed)
+        if partial:
+            self._m_partial.inc()
+        return {
+            "url": url,
+            "removed": any(bool(value) for value in results.values()),
+            "partial": partial,
+            "shards": self._shard_report(results, failed),
+        }
+
+    # ----------------------------------------------------------------
+    # Aggregated observability.
+    # ----------------------------------------------------------------
+
+    def healthz(self) -> Dict[str, object]:
+        """Cluster-wide health: per-shard records plus a worst-of grade
+        (``ok`` → every shard answered ok; ``degraded`` → anything
+        less).  Raises :class:`AllShardsUnavailable` when no shard
+        answers at all."""
+        results, failed = self._fan_out("healthz", lambda c: c.healthz())
+        states = [str(r.get("status", "?")) for r in results.values()]
+        status = "ok" if not failed and all(s == "ok" for s in states) \
+            else "degraded"
+        shard_records = {
+            str(index): results[index] for index in sorted(results)
+        }
+        for index in sorted(failed):
+            shard_records[str(index)] = {
+                "status": "unreachable", "error": failed[index],
+            }
+        return {
+            "status": status,
+            "role": "router",
+            "n_shards": self.n_shards,
+            "placement": self.placement,
+            "uptime_seconds": time.time() - self.started_unix,
+            "shards": shard_records,
+        }
+
+    def close(self) -> None:
+        self._pool.shutdown(wait=False)
+
+    def __enter__(self) -> "DirectoryRouter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+__all__ = [
+    "ALL_SHARDS_RETRY_AFTER",
+    "AllShardsUnavailable",
+    "DirectoryRouter",
+]

@@ -1,0 +1,287 @@
+"""A shard node — one partition of the directory, replication-ready.
+
+:class:`ShardNode` wraps a :class:`~repro.service.directory.
+FormDirectory` built from a *shard snapshot* (one element of
+:func:`~repro.distrib.placement.split_snapshot`) and adds the two
+things a partition needs that a single-node directory doesn't:
+
+* **global identity** — the shard knows which global cluster ids it
+  holds and remaps its local indices on every response, so the router
+  can merge hits from different shards without a translation table;
+* **a replication feed** — the shard's write-ahead journal rotates into
+  sealed segments (:mod:`repro.resilience.journal`), and the node
+  serves the manifest / segment bytes / bootstrap snapshot that a
+  :class:`~repro.distrib.replica.ReplicaNode` tails.
+
+Durability contract: a write is acknowledged only after the journal
+fsync (append-before-apply, inherited from ``FormDirectory``), and the
+promotion protocol drains the on-disk journal from the replica's
+applied position — which together are what "zero acknowledged writes
+lost" means under the chaos plans (tests/test_distrib_failover.py).
+"""
+
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from repro.core.form_page import RawFormPage
+from repro.resilience.faults import inject
+from repro.resilience.journal import DirectoryJournal, open_journal
+from repro.resilience.stats import STATS
+from repro.service.directory import FormDirectory
+from repro.service.metrics import MetricsRegistry
+from repro.service.snapshot import Snapshot
+
+#: Default rotation threshold for shard journals: small enough that a
+#: replica's catch-up unit stays cheap to ship, large enough that the
+#: manifest stays short.  (The single-node ``repro serve`` journal keeps
+#: the unsegmented default.)
+DEFAULT_SEGMENT_RECORDS = 64
+
+
+class ShardNode:
+    """One partition of the distributed directory.
+
+    Parameters
+    ----------
+    snapshot:
+        A shard snapshot (``meta`` carries shard index / count /
+        placement / global cluster ids).  A plain single-node snapshot
+        also works — it becomes shard 0 of 1, which is how the bench
+        harness compares sharded vs. unsharded answers.
+    journal:
+        Path or open journal for this shard's WAL.  A plain path is
+        opened with segment rotation armed
+        (``max_segment_records=segment_records``) — the leader side of
+        journal shipping.  ``None`` disables journaling (parity tests).
+    """
+
+    def __init__(
+        self,
+        snapshot: Union[Snapshot, str],
+        journal: Union[str, Path, DirectoryJournal, None] = None,
+        segment_records: int = DEFAULT_SEGMENT_RECORDS,
+        metrics: Optional[MetricsRegistry] = None,
+        name: Optional[str] = None,
+        **directory_kwargs,
+    ) -> None:
+        if not isinstance(snapshot, Snapshot):
+            snapshot = Snapshot.load(snapshot)
+        meta = snapshot.meta or {}
+        self.shard_index = int(meta.get("shard", 0))
+        self.n_shards = int(meta.get("n_shards", 1))
+        self.placement = str(meta.get("placement", "cluster"))
+        self.global_ids: List[int] = [
+            int(g)
+            for g in meta.get(
+                "global_clusters", range(len(snapshot.clusters))
+            )
+        ]
+        self.name = name or f"shard-{self.shard_index}"
+        if isinstance(journal, (str, Path)):
+            journal = open_journal(
+                journal, max_segment_records=segment_records
+            )
+        self.directory = FormDirectory.from_snapshot(
+            snapshot, journal=journal, metrics=metrics, **directory_kwargs
+        )
+        self._instrument()
+
+    @classmethod
+    def from_directory(
+        cls,
+        directory: FormDirectory,
+        meta: Dict[str, object],
+        name: Optional[str] = None,
+    ) -> "ShardNode":
+        """Wrap an already-running directory as a shard node — the
+        promotion path: a replica's tailed directory takes over serving
+        under the dead leader's placement ``meta``."""
+        node = cls.__new__(cls)
+        node.shard_index = int(meta.get("shard", 0))
+        node.n_shards = int(meta.get("n_shards", 1))
+        node.placement = str(meta.get("placement", "cluster"))
+        node.global_ids = [
+            int(g)
+            for g in meta.get(
+                "global_clusters",
+                range(len(directory.organizer.clusters)),
+            )
+        ]
+        node.name = name or f"shard-{node.shard_index}"
+        node.directory = directory
+        node._instrument()
+        return node
+
+    def _instrument(self) -> None:
+        m = self.directory.metrics
+        m.gauge(
+            "shard_index", "This node's shard number", shard=self.name
+        ).set_function(lambda: self.shard_index)
+        m.gauge(
+            "shard_count", "Shards in the deployment", shard=self.name
+        ).set_function(lambda: self.n_shards)
+        m.gauge(
+            "shard_clusters_held", "Global clusters this shard owns",
+            shard=self.name,
+        ).set_function(lambda: len(self.global_ids))
+        m.gauge(
+            "segments_shipped_total",
+            "Sealed journal segments served to replicas (process-wide)",
+        ).set_function(lambda: STATS.get("segments_shipped"))
+
+    # ----------------------------------------------------------------
+    # Global-id remapping.
+    # ----------------------------------------------------------------
+
+    def to_global(self, local_index: int) -> int:
+        return self.global_ids[local_index]
+
+    def _remap(self, hits: List[Dict[str, object]]) -> List[Dict[str, object]]:
+        for hit in hits:
+            hit["cluster"] = self.to_global(int(hit["cluster"]))
+            hit["shard"] = self.shard_index
+        return hits
+
+    # ----------------------------------------------------------------
+    # Serving — the same operations as FormDirectory, in global ids.
+    # ----------------------------------------------------------------
+
+    def search(self, query: str, n: int = 3) -> List[Dict[str, object]]:
+        """Cluster-scope hits with **global** cluster ids.
+
+        Within a shard, local index order equals global-id order (the
+        split assigns globals ascending), so the remapped run is sorted
+        by the router's ``(-score, global id)`` merge key already.
+        """
+        return self._remap(self.directory.search(query, n=n))
+
+    def search_pages(self, query: str, n: int = 3) -> List[Dict[str, object]]:
+        """Page-scope hits (cluster field remapped to global)."""
+        return self._remap(self.directory.search_pages(query, n=n))
+
+    def classify(self, raw: RawFormPage) -> Dict[str, object]:
+        """Classify against this shard's clusters (global id out).
+
+        The similarity is computed against exactly the centroids the
+        single-node directory holds for these clusters (cluster
+        placement), so the router picking the max over shards
+        reproduces the single-node argmax bit-for-bit.
+        """
+        outcome = self.directory.classify(raw)
+        return {
+            "url": outcome.url,
+            "cluster": self.to_global(outcome.cluster),
+            "similarity": outcome.similarity,
+            "top_terms": outcome.top_terms,
+            "cached": outcome.cached,
+            "shard": self.shard_index,
+        }
+
+    def add(self, raw: RawFormPage) -> Dict[str, object]:
+        """Insert a page this shard owns.  Returns global assignment."""
+        local, size = self.directory.add(raw)
+        return {
+            "url": raw.url,
+            "cluster": self.to_global(local),
+            "cluster_size": size,
+            "shard": self.shard_index,
+        }
+
+    def remove(self, url: str) -> bool:
+        return self.directory.remove(url)
+
+    def healthz(self) -> Dict[str, object]:
+        """Shard-identified health record (the router aggregates these)."""
+        return {
+            "status": self.directory.health_state(),
+            "shard": self.shard_index,
+            "name": self.name,
+            "n_shards": self.n_shards,
+            "placement": self.placement,
+            "generation": self.directory.generation,
+            "pages": len(self.directory.organizer),
+            "clusters": len(self.global_ids),
+        }
+
+    # ----------------------------------------------------------------
+    # Replication feed (what replicas poll).
+    # ----------------------------------------------------------------
+
+    @property
+    def journal(self) -> Optional[DirectoryJournal]:
+        return self.directory.journal
+
+    def replication_manifest(self) -> Dict[str, object]:
+        """Journal shipping state: sealed segments + global positions."""
+        journal = self.journal
+        if journal is None:
+            manifest: Dict[str, object] = {
+                "base_record": 0, "next_record": 0,
+                "active_records": 0, "sealed": [],
+            }
+        else:
+            manifest = journal.manifest()
+        manifest["shard"] = self.shard_index
+        manifest["generation"] = self.directory.generation
+        return manifest
+
+    def replication_segment(self, seq: int) -> bytes:
+        """Raw bytes of one sealed segment.  ``"replication.ship"`` is
+        an injection seam — chaos plans simulate a flaky ship path and
+        the replica retries on its next poll.  Raises
+        :class:`~repro.resilience.journal.JournalError` when the
+        segment was folded away (the replica re-bootstraps)."""
+        inject("replication.ship")
+        journal = self.journal
+        if journal is None:
+            from repro.resilience.journal import JournalError
+
+            raise JournalError("shard has no journal to ship from")
+        data = journal.segment_bytes(seq)
+        STATS.inc("segments_shipped")
+        return data
+
+    def replication_snapshot(self) -> Dict[str, object]:
+        """Bootstrap payload: the live state as a snapshot payload whose
+        ``meta`` records this shard's placement and the journal position
+        the state includes."""
+        snapshot = self.directory.snapshot(
+            meta={
+                "shard": self.shard_index,
+                "n_shards": self.n_shards,
+                "placement": self.placement,
+                "global_clusters": list(self.global_ids),
+            }
+        )
+        return snapshot.to_payload()
+
+    # ----------------------------------------------------------------
+    # Lifecycle.
+    # ----------------------------------------------------------------
+
+    def checkpoint(self, path, scope: str = "sealed") -> Snapshot:
+        """Checkpoint this shard.  Defaults to ``scope="sealed"`` — the
+        replication-friendly fold that leaves the active tail in place
+        (see :meth:`FormDirectory.checkpoint`)."""
+        return self.directory.checkpoint(
+            path,
+            scope=scope,
+            meta={
+                "shard": self.shard_index,
+                "n_shards": self.n_shards,
+                "placement": self.placement,
+                "global_clusters": list(self.global_ids),
+            },
+        )
+
+    def close(self) -> None:
+        self.directory.close()
+
+    def __enter__(self) -> "ShardNode":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+__all__ = ["DEFAULT_SEGMENT_RECORDS", "ShardNode"]

@@ -19,6 +19,12 @@ from repro.index.directory_index import (
     DirectoryIndex,
     validate_index_mode,
 )
+from repro.index.merge import (
+    assert_sorted,
+    cluster_hit_key,
+    merge_ranked,
+    page_hit_key,
+)
 from repro.index.postings import SpaceIndex
 from repro.index.retrieval import (
     Channel,
@@ -35,7 +41,11 @@ __all__ = [
     "DirectoryIndex",
     "RetrievalStats",
     "SpaceIndex",
+    "assert_sorted",
+    "cluster_hit_key",
     "combined_query_channel",
+    "merge_ranked",
+    "page_hit_key",
     "top_k_exact",
     "validate_index_mode",
 ]

@@ -1,0 +1,89 @@
+"""Deterministic k-way merging of scored, ordered result runs.
+
+The scatter-gather router (:mod:`repro.distrib.router`) receives one
+ranked hit list per shard and must produce *the* global top-k — not "a"
+top-k: the acceptance criterion for the distributed directory is that
+an N-shard merge is bit-identical to the single-process answer, every
+time, regardless of which shard responds first.
+
+That only works if ordering is a pure function of the hits themselves.
+Both retrieval paths already sort by ``(-score, id)`` — cluster index
+for cluster search, URL for page search (:func:`repro.index.retrieval.
+top_k_exact` and the scan paths in :class:`~repro.service.directory.
+FormDirectory`) — and ids are globally unique, so the composite key is
+a total order with no ambiguity left for arrival timing to resolve.
+:func:`merge_ranked` is the k-way heap merge over that key; it never
+compares hits beyond the key, so two runs merging the same inputs
+produce the same bytes.
+
+``tests/test_merge.py`` pins the determinism property: for random
+scored runs with forced score ties, merging any shard partition of a
+collection equals sorting the whole collection — bit for bit.
+"""
+
+import heapq
+from itertools import islice
+from typing import Callable, Dict, Iterable, List, Sequence, Tuple
+
+#: A hit as the service layer ships it: a JSON-safe dict carrying at
+#: least a ``"score"`` plus its identity field.
+Hit = Dict[str, object]
+
+
+def cluster_hit_key(hit: Hit) -> Tuple[float, int]:
+    """Total order for cluster-scope hits: score descending, then the
+    *global* cluster id ascending — the exact key the single-process
+    scan path sorts by."""
+    return (-float(hit["score"]), int(hit["cluster"]))
+
+
+def page_hit_key(hit: Hit) -> Tuple[float, str]:
+    """Total order for page-scope hits: score descending, then URL
+    ascending (URLs are globally unique across shards)."""
+    return (-float(hit["score"]), str(hit["url"]))
+
+
+def merge_ranked(
+    runs: Sequence[Iterable[Hit]],
+    n: int,
+    key: Callable[[Hit], object],
+) -> List[Hit]:
+    """Merge already-sorted result runs into the global top-``n``.
+
+    Each run must be sorted by ``key`` ascending (which, with the keys
+    above, means best hit first).  The merge is a lazy k-way heap —
+    O(total * log(runs)) worst case, but it stops after ``n`` outputs,
+    so with per-shard top-``n`` inputs it touches at most ``n *
+    len(runs)`` hits.
+
+    Determinism: ``key`` must be a total order over the union of the
+    runs (globally-unique ids guarantee it).  ``heapq.merge`` breaks
+    equal keys by input order, so a key collision would leak shard
+    numbering into the result — the scope keys make that impossible,
+    and :func:`assert_sorted` exists for callers merging custom runs.
+    """
+    if n <= 0:
+        return []
+    return list(islice(heapq.merge(*runs, key=key), n))
+
+
+def assert_sorted(run: Sequence[Hit], key: Callable[[Hit], object]) -> None:
+    """Raise ``ValueError`` if ``run`` is not sorted by ``key`` —
+    a shard shipping an unsorted run would silently corrupt the merge's
+    determinism guarantee, so routers validate in paranoid paths."""
+    keys = [key(hit) for hit in run]
+    for index in range(1, len(keys)):
+        if keys[index - 1] > keys[index]:
+            raise ValueError(
+                f"run not sorted at position {index}: "
+                f"{keys[index - 1]!r} > {keys[index]!r}"
+            )
+
+
+__all__ = [
+    "Hit",
+    "assert_sorted",
+    "cluster_hit_key",
+    "merge_ranked",
+    "page_hit_key",
+]

@@ -1,4 +1,4 @@
-"""A crash-safe write-ahead journal for the form directory.
+"""A crash-safe, segmented write-ahead journal for the form directory.
 
 Snapshots make cold starts cheap, but everything between two snapshot
 builds used to live only in memory: kill the process and every ``add``
@@ -18,6 +18,18 @@ closes that window with classic WAL discipline:
   (via the same fsynced atomic-replace discipline as every other
   artifact, :mod:`repro.datasets.store`).
 
+Segmentation (the replication substrate — docs/SHARDING.md): with
+``max_segment_records`` / ``max_segment_bytes`` set, the *active* file
+rolls over into **immutable, numbered segments** (``dir.wal.000001``,
+``dir.wal.000002``, …) listed in a manifest (``dir.wal.manifest``).
+Sealed segments never change, which is what makes them shippable: a
+read replica downloads each sealed segment exactly once, replays its
+records, and is caught up to the leader minus the (bounded) active
+tail.  Every record has a stable **global position** — ``base_record``
+counts records dropped by folds, so positions stay monotonic across
+checkpoints and a replica's "applied through position P" survives the
+leader folding its history.
+
 Record frame: ``[length: u32 BE] [crc32(payload): u32 BE] [payload]``
 where payload is compact UTF-8 JSON with sorted keys.
 """
@@ -27,8 +39,9 @@ import json
 import os
 import struct
 import threading
+from dataclasses import dataclass
 from pathlib import Path
-from typing import List, Optional, Tuple, Union
+from typing import Dict, List, Optional, Tuple, Union
 
 from repro.resilience.faults import inject
 
@@ -37,6 +50,11 @@ _HEADER = struct.Struct(">II")  # payload length, crc32(payload)
 #: Refuse absurd frames during replay: a length field beyond this is
 #: torn/garbage, not a record we ever wrote.
 MAX_RECORD_BYTES = 64 * 1024 * 1024
+
+#: Sealed-segment filename suffix width (``dir.wal.000001``).
+_SEQ_WIDTH = 6
+
+_MANIFEST_KIND = "repro-journal-manifest"
 
 
 class JournalError(ValueError):
@@ -84,35 +102,137 @@ def decode_records(data: bytes) -> Tuple[List[dict], int]:
     return records, offset
 
 
+@dataclass(frozen=True)
+class SegmentInfo:
+    """One sealed, immutable journal segment.
+
+    ``base_record`` is the global position of the segment's first
+    record; a replica applied through position P needs exactly the
+    segments with ``base_record + n_records > P``.
+    """
+
+    seq: int
+    base_record: int
+    n_records: int
+    n_bytes: int
+    path: Path
+
+
 class DirectoryJournal:
     """Append-only, fsynced journal of directory mutations.
 
     Thread-safety: appends are serialized by an internal lock (the
     directory additionally holds its write lock across journal+apply,
     which is what keeps the log ordered like the mutations).
+
+    Parameters
+    ----------
+    path:
+        The *active* segment file.  Sealed segments and the manifest
+        live alongside it (``<name>.000001``, ``<name>.manifest``).
+    fsync:
+        Fsync after every append (and around seals/folds).  Turn off
+        only in tests.
+    max_segment_records / max_segment_bytes:
+        Roll the active file into a sealed segment once it holds this
+        many records / bytes (whichever trips first; ``None`` disables
+        — the default, which is the pre-segmentation single-file WAL).
     """
 
-    def __init__(self, path: Union[str, Path], fsync: bool = True) -> None:
+    def __init__(
+        self,
+        path: Union[str, Path],
+        fsync: bool = True,
+        max_segment_records: Optional[int] = None,
+        max_segment_bytes: Optional[int] = None,
+    ) -> None:
         self.path = Path(path)
         self.fsync = fsync
+        self.max_segment_records = max_segment_records
+        self.max_segment_bytes = max_segment_bytes
         self._lock = threading.Lock()
         self._handle = None
-        self.n_records = 0
-        self.n_bytes = 0
+        #: Global position of the first *retained* record (sealed or
+        #: active) — records folded into snapshots advance it.
+        self.base_record = 0
+        self._segments: List[SegmentInfo] = []
+        self.active_records = 0
+        self.active_bytes = 0
         self.torn_bytes_dropped = 0
         self._recover()
+
+    # -- derived counters ---------------------------------------------
+
+    @property
+    def n_records(self) -> int:
+        """Records retained on disk (sealed segments + active file)."""
+        return sum(s.n_records for s in self._segments) + self.active_records
+
+    @property
+    def n_bytes(self) -> int:
+        """Bytes retained on disk (sealed segments + active file)."""
+        return sum(s.n_bytes for s in self._segments) + self.active_bytes
+
+    @property
+    def n_segments(self) -> int:
+        return len(self._segments)
+
+    @property
+    def next_record(self) -> int:
+        """Global position the next appended record will get."""
+        return self.base_record + self.n_records
+
+    @property
+    def active_base_record(self) -> int:
+        """Global position of the active file's first record."""
+        return self.base_record + sum(s.n_records for s in self._segments)
+
+    # -- naming -------------------------------------------------------
+
+    def _segment_path(self, seq: int) -> Path:
+        return self.path.with_name(f"{self.path.name}.{seq:0{_SEQ_WIDTH}d}")
+
+    @property
+    def manifest_path(self) -> Path:
+        return self.path.with_name(self.path.name + ".manifest")
 
     # -- recovery ------------------------------------------------------
 
     def _recover(self) -> None:
-        """Scan an existing file, truncating any torn tail in place."""
+        """Reconstruct state from disk, truncating any torn active tail.
+
+        The manifest is advisory (its ``base_record``); the sealed
+        segment *files* are authoritative — a crash between sealing a
+        segment and rewriting the manifest leaves the file in place, and
+        recovery picks it up by name.  Sealed segments must decode
+        completely: they were fully fsynced while still the active file,
+        so a torn one is corruption, not a crash artifact.
+        """
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        manifest = self._read_manifest()
+        self.base_record = int(manifest.get("base_record", 0))
+
+        base = self.base_record
+        self._segments = []
+        for seq, seg_path in self._scan_segment_files():
+            data = seg_path.read_bytes()
+            records, valid = decode_records(data)
+            if valid != len(data):
+                raise JournalError(
+                    f"sealed segment {seg_path} is torn at byte {valid} "
+                    f"of {len(data)} — sealed segments are immutable"
+                )
+            self._segments.append(
+                SegmentInfo(seq, base, len(records), len(data), seg_path)
+            )
+            base += len(records)
+
         if not self.path.exists():
-            self.path.parent.mkdir(parents=True, exist_ok=True)
             return
         data = self.path.read_bytes()
         records, valid = decode_records(data)
-        self.n_records = len(records)
-        self.n_bytes = valid
+        self.active_records = len(records)
+        self.active_bytes = valid
         if valid < len(data):
             self.torn_bytes_dropped = len(data) - valid
             with open(self.path, "r+b") as handle:
@@ -121,11 +241,91 @@ class DirectoryJournal:
                 if self.fsync:
                     os.fsync(handle.fileno())
 
+    def _scan_segment_files(self) -> List[Tuple[int, Path]]:
+        found = []
+        prefix = self.path.name + "."
+        for candidate in self.path.parent.glob(prefix + "*"):
+            suffix = candidate.name[len(prefix):]
+            if len(suffix) == _SEQ_WIDTH and suffix.isdigit():
+                found.append((int(suffix), candidate))
+        found.sort()
+        return found
+
+    def _read_manifest(self) -> dict:
+        path = self.manifest_path
+        if not path.exists():
+            return {}
+        try:
+            payload = json.loads(path.read_text("utf-8"))
+        except (OSError, UnicodeDecodeError, json.JSONDecodeError):
+            return {}  # advisory; the files speak for themselves
+        if not isinstance(payload, dict) or payload.get("kind") != _MANIFEST_KIND:
+            return {}
+        return payload
+
+    def _write_manifest(self) -> None:
+        """Atomically replace the manifest (tmp + rename + dir fsync)."""
+        payload = {
+            "kind": _MANIFEST_KIND,
+            "base_record": self.base_record,
+            "sealed": [
+                {
+                    "seq": s.seq,
+                    "base_record": s.base_record,
+                    "records": s.n_records,
+                    "bytes": s.n_bytes,
+                }
+                for s in self._segments
+            ],
+        }
+        tmp = self.manifest_path.with_suffix(".manifest.tmp")
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, sort_keys=True)
+            handle.flush()
+            if self.fsync:
+                os.fsync(handle.fileno())
+        tmp.replace(self.manifest_path)
+        self._fsync_parent()
+
+    def _fsync_parent(self) -> None:
+        if self.fsync:
+            # Imported lazily: datasets pulls in the pipeline layer,
+            # and resilience must stay importable from core.config.
+            from repro.datasets.store import fsync_dir
+
+            fsync_dir(self.path.parent)
+
+    # -- reading -------------------------------------------------------
+
     def replay(self) -> List[dict]:
-        """Every intact record, oldest first (tolerates a torn tail)."""
-        if not self.path.exists():
-            return []
-        records, _ = decode_records(self.path.read_bytes())
+        """Every intact retained record, oldest first — sealed segments
+        in sequence order, then the active tail (torn tail tolerated)."""
+        records: List[dict] = []
+        for segment in self._segments:
+            records.extend(self.segment_records(segment.seq))
+        if self.path.exists():
+            active, _ = decode_records(self.path.read_bytes())
+            records.extend(active)
+        return records
+
+    def segments(self) -> List[SegmentInfo]:
+        """The sealed segments, oldest first (a stable copy)."""
+        with self._lock:
+            return list(self._segments)
+
+    def segment_bytes(self, seq: int) -> bytes:
+        """Raw crc-framed bytes of sealed segment ``seq`` — the unit a
+        replica streams.  Raises :class:`JournalError` when the segment
+        was already folded away (the replica re-bootstraps)."""
+        with self._lock:
+            for segment in self._segments:
+                if segment.seq == seq:
+                    return segment.path.read_bytes()
+        raise JournalError(f"no sealed segment {seq} (folded or never cut)")
+
+    def segment_records(self, seq: int) -> List[dict]:
+        """Decoded records of sealed segment ``seq``."""
+        records, _ = decode_records(self.segment_bytes(seq))
         return records
 
     # -- appending -----------------------------------------------------
@@ -136,7 +336,9 @@ class DirectoryJournal:
         return self._handle
 
     def append(self, record: dict) -> None:
-        """Frame, append, flush, fsync — returns only once durable."""
+        """Frame, append, flush, fsync — returns only once durable.
+        Rolls the active file into a sealed segment when a rotation
+        threshold trips."""
         frame = encode_record(record)
         with self._lock:
             inject("journal.append")
@@ -151,12 +353,79 @@ class DirectoryJournal:
                 # the tail; roll back to the last known-good boundary
                 # (best effort — replay truncates torn bytes anyway).
                 try:
-                    handle.truncate(self.n_bytes)
+                    handle.truncate(self.active_bytes)
                 except OSError:
                     pass
                 raise
-            self.n_records += 1
-            self.n_bytes += len(frame)
+            self.active_records += 1
+            self.active_bytes += len(frame)
+            if self._should_roll():
+                self._roll_locked()
+
+    def _should_roll(self) -> bool:
+        if (
+            self.max_segment_records is not None
+            and self.active_records >= self.max_segment_records
+        ):
+            return True
+        return (
+            self.max_segment_bytes is not None
+            and self.active_bytes >= self.max_segment_bytes
+        )
+
+    # -- segment rotation ---------------------------------------------
+
+    def roll(self) -> Optional[SegmentInfo]:
+        """Seal the active file into an immutable numbered segment.
+
+        No-op (returns ``None``) when the active file is empty.  The
+        rename is atomic and the content was fsynced by the appends, so
+        a crash at any point leaves either the old layout or the new —
+        recovery reconciles from the files, not the manifest.
+        """
+        with self._lock:
+            return self._roll_locked()
+
+    def _roll_locked(self) -> Optional[SegmentInfo]:
+        if self.active_records == 0:
+            return None
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+        seq = (self._segments[-1].seq + 1) if self._segments else 1
+        segment = SegmentInfo(
+            seq=seq,
+            base_record=self.active_base_record,
+            n_records=self.active_records,
+            n_bytes=self.active_bytes,
+            path=self._segment_path(seq),
+        )
+        self.path.replace(segment.path)
+        self._segments.append(segment)
+        self.active_records = 0
+        self.active_bytes = 0
+        self._write_manifest()
+        return segment
+
+    def drop_sealed(self, upto_seq: Optional[int] = None) -> int:
+        """Delete sealed segments (all, or through ``upto_seq``) whose
+        records were folded into a durable snapshot.  Advances
+        ``base_record`` so global positions stay monotonic.  Returns the
+        number of records dropped."""
+        with self._lock:
+            keep: List[SegmentInfo] = []
+            dropped = 0
+            for segment in self._segments:
+                if upto_seq is not None and segment.seq > upto_seq:
+                    keep.append(segment)
+                    continue
+                dropped += segment.n_records
+                segment.path.unlink(missing_ok=True)
+            self._segments = keep
+            if dropped:
+                self.base_record += dropped
+                self._write_manifest()
+            return dropped
 
     # -- folding into a snapshot --------------------------------------
 
@@ -164,28 +433,52 @@ class DirectoryJournal:
         """Empty the journal (its contents were folded into a snapshot).
 
         Crash-ordering matters: the caller must have durably written the
-        snapshot *first* — this replaces the log with an empty file via
-        rename and fsyncs the directory, so a crash on either side of
-        the replace leaves snapshot+journal consistent.
+        snapshot *first* — this replaces the active log with an empty
+        file via rename, deletes every sealed segment, and fsyncs the
+        directory, so a crash on either side of the replace leaves
+        snapshot+journal consistent.  ``base_record`` advances past the
+        dropped records.
         """
         with self._lock:
             if self._handle is not None:
                 self._handle.close()
                 self._handle = None
+            dropped = self.n_records
+            for segment in self._segments:
+                segment.path.unlink(missing_ok=True)
+            self._segments = []
             tmp = self.path.with_suffix(self.path.suffix + ".tmp")
             with open(tmp, "wb") as handle:
                 handle.flush()
                 if self.fsync:
                     os.fsync(handle.fileno())
             tmp.replace(self.path)
-            if self.fsync:
-                # Imported lazily: datasets pulls in the pipeline layer,
-                # and resilience must stay importable from core.config.
-                from repro.datasets.store import fsync_dir
+            self._fsync_parent()
+            self.base_record += dropped
+            self.active_records = 0
+            self.active_bytes = 0
+            self._write_manifest()
 
-                fsync_dir(self.path.parent)
-            self.n_records = 0
-            self.n_bytes = 0
+    # -- observability -------------------------------------------------
+
+    def manifest(self) -> Dict[str, object]:
+        """The shipping manifest a replica polls: sealed segments with
+        their global positions, plus where the log currently ends."""
+        with self._lock:
+            return {
+                "base_record": self.base_record,
+                "next_record": self.next_record,
+                "active_records": self.active_records,
+                "sealed": [
+                    {
+                        "seq": s.seq,
+                        "base_record": s.base_record,
+                        "records": s.n_records,
+                        "bytes": s.n_bytes,
+                    }
+                    for s in self._segments
+                ],
+            }
 
     # -- lifecycle -----------------------------------------------------
 
@@ -203,11 +496,11 @@ class DirectoryJournal:
 
 
 def open_journal(
-    path: Optional[Union[str, Path]], fsync: bool = True
+    path: Optional[Union[str, Path]], fsync: bool = True, **kwargs
 ) -> Optional[DirectoryJournal]:
     """``None``-propagating constructor (directory plumbing helper)."""
     if path is None:
         return None
     if isinstance(path, DirectoryJournal):
         return path
-    return DirectoryJournal(path, fsync=fsync)
+    return DirectoryJournal(path, fsync=fsync, **kwargs)

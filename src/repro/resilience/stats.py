@@ -26,6 +26,8 @@ class ResilienceStats:
         "faults_injected",      # FaultPlan fires (chaos only)
         "circuit_opens",        # circuit-breaker CLOSED -> OPEN trips
         "journal_replays",      # directory recoveries that replayed a WAL
+        "segments_shipped",     # sealed journal segments served to replicas
+        "promotions",           # replica -> leader promotions
     )
 
     def __init__(self) -> None:

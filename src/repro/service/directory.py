@@ -357,27 +357,118 @@ class FormDirectory:
         finally:
             self._replaying = False
 
+    def apply_replicated(self, record: Dict[str, object]) -> None:
+        """Apply one mutation record shipped from a leader's journal.
+
+        The replication path (:mod:`repro.distrib.replica`): records go
+        through the same live code paths as journal replay, and — like
+        replay — are never re-journaled here (a tailing replica has no
+        journal of its own; it adopts the leader's via
+        :meth:`attach_journal` only at promotion, *after* draining).
+        Raises :class:`~repro.resilience.journal.JournalError` on an
+        unknown op.
+        """
+        self._apply_journal_record(record)
+
+    def attach_journal(
+        self, journal: Union[str, DirectoryJournal]
+    ) -> DirectoryJournal:
+        """Adopt a journal for subsequent writes (replica promotion).
+
+        The journal's existing records must already be applied — the
+        promoting replica drains them with :meth:`apply_replicated`
+        first; attaching does **not** replay (replaying here would
+        double-apply what the tail already delivered).
+        """
+        with self._rw.write_locked():
+            if self._journal is not None:
+                raise RuntimeError(
+                    "directory already has a write-ahead journal"
+                )
+            self._journal = open_journal(journal)
+        return self._journal
+
+    @property
+    def journal(self) -> Optional[DirectoryJournal]:
+        """The attached write-ahead journal (``None`` when unjournaled
+        — e.g. a tailing replica)."""
+        return self._journal
+
+    def snapshot(
+        self,
+        algorithm: str = "incremental",
+        meta: Optional[Dict[str, object]] = None,
+    ) -> Snapshot:
+        """Snapshot the live state in memory (no file, journal intact).
+
+        The ``/replication/snapshot`` bootstrap payload: under the write
+        lock so the captured state and the recorded ``journal_position``
+        (the global record position the state includes) are consistent —
+        a replica materializing this snapshot resumes tailing from
+        exactly that position.
+        """
+        with self._rw.write_locked():
+            snapshot_meta = dict(meta) if meta else {}
+            if self._journal is not None:
+                snapshot_meta.setdefault(
+                    "journal_position", self._journal.next_record
+                )
+            return Snapshot.from_organizer(
+                self.organizer, algorithm=algorithm, meta=snapshot_meta
+            )
+
     def checkpoint(
-        self, path, algorithm: str = "incremental"
+        self,
+        path,
+        algorithm: str = "incremental",
+        scope: str = "all",
+        meta: Optional[Dict[str, object]] = None,
     ) -> Snapshot:
         """Fold the journal into a durable snapshot.
 
         Under the write lock (so no mutation lands between the two
         steps): snapshot the live organizer, write it via the fsynced
-        atomic writer, *then* truncate the journal.  A crash before the
+        atomic writer, *then* shrink the journal.  A crash before the
         save keeps the old snapshot + full journal (the bit-identical
-        recovery pair); a crash between save and truncate replays
+        recovery pair); a crash between save and shrink replays
         mutations the snapshot already contains, which re-inserts the
         same pages and no-ops the removes — a consistent directory over
         exactly the same page set.
+
+        ``scope`` picks what gets folded away:
+
+        * ``"all"`` (default) — truncate the whole journal, sealed
+          segments and active tail alike (the single-node behavior).
+        * ``"sealed"`` — drop only sealed segments; the active tail
+          stays on disk and replays idempotently over the snapshot on
+          restart.  This is the replication-friendly mode: the log
+          never quiesces, and a leader can checkpoint while replicas
+          keep tailing the active segment's eventual seal
+          (docs/SHARDING.md).
+
+        The snapshot's ``meta`` records ``journal_position`` — the
+        global record position the snapshot state includes — so a
+        replica bootstrapping from it knows where to resume tailing.
         """
+        if scope not in ("all", "sealed"):
+            raise ValueError(
+                f"checkpoint scope must be 'all' or 'sealed', got {scope!r}"
+            )
         with self._rw.write_locked():
+            snapshot_meta = dict(meta) if meta else {}
+            if self._journal is not None:
+                snapshot_meta.setdefault(
+                    "journal_position", self._journal.next_record
+                )
             snapshot = Snapshot.from_organizer(
-                self.organizer, algorithm=algorithm
+                self.organizer, algorithm=algorithm, meta=snapshot_meta
             )
             snapshot.save(path)
             if self._journal is not None:
-                self._journal.truncate()
+                if scope == "sealed":
+                    self._journal.drop_sealed()
+                else:
+                    self._journal.truncate()
         return snapshot
 
     def _instrument(self) -> None:
@@ -513,6 +604,11 @@ class FormDirectory:
             "journal_bytes", "Valid bytes in the write-ahead journal"
         ).set_function(
             lambda: self._journal.n_bytes if self._journal else 0
+        )
+        m.gauge(
+            "journal_segments", "Sealed (shippable) journal segments"
+        ).set_function(
+            lambda: self._journal.n_segments if self._journal else 0
         )
         m.gauge(
             "degraded_mode",
@@ -1006,6 +1102,12 @@ class FormDirectory:
                     ),
                     "journal_bytes": (
                         self._journal.n_bytes if self._journal else 0
+                    ),
+                    "journal_segments": (
+                        self._journal.n_segments if self._journal else 0
+                    ),
+                    "journal_next_record": (
+                        self._journal.next_record if self._journal else 0
                     ),
                     "replayed_records": self.n_replayed,
                     **STATS.as_dict(),

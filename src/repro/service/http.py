@@ -49,13 +49,21 @@ RECOVERING_RETRY_AFTER = 1
 
 
 class ApiError(Exception):
-    """An error with a wire representation."""
+    """An error with a wire representation.  ``retry_after`` (seconds)
+    adds a ``Retry-After`` header — back-pressure errors (503) use it."""
 
-    def __init__(self, status: int, code: str, message: str) -> None:
+    def __init__(
+        self,
+        status: int,
+        code: str,
+        message: str,
+        retry_after: Optional[int] = None,
+    ) -> None:
         super().__init__(message)
         self.status = status
         self.code = code
         self.message = message
+        self.retry_after = retry_after
 
 
 def _raw_page_from_body(body: dict) -> RawFormPage:
@@ -107,8 +115,14 @@ class DirectoryRequestHandler(BaseHTTPRequestHandler):
     def directory(self) -> FormDirectory:
         return self.server.directory
 
+    @property
+    def metrics_registry(self):
+        """Where request metrics go — the directory's registry here;
+        subclasses without a directory (the distrib router) override."""
+        return self.directory.metrics
+
     def _observe(self, endpoint: str, status: int, started: float) -> None:
-        metrics = self.directory.metrics
+        metrics = self.metrics_registry
         elapsed = self._now() - started
         metrics.histogram(
             "http_request_seconds", "Request latency", endpoint=endpoint
@@ -122,19 +136,28 @@ class DirectoryRequestHandler(BaseHTTPRequestHandler):
     def _now() -> float:
         return time.perf_counter()
 
-    def _send_json(self, status: int, payload: dict) -> None:
+    def _send_json(
+        self, status: int, payload: dict,
+        extra_headers: Tuple[Tuple[str, str], ...] = (),
+    ) -> None:
         data = json.dumps(payload).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json; charset=utf-8")
         self.send_header("Content-Length", str(len(data)))
+        for name, value in extra_headers:
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(data)
 
     def _send_error_json(self, error: ApiError) -> None:
+        headers: Tuple[Tuple[str, str], ...] = ()
+        if error.retry_after is not None:
+            headers = (("Retry-After", str(error.retry_after)),)
         self._send_json(
             error.status,
             {"ok": False,
              "error": {"code": error.code, "message": error.message}},
+            extra_headers=headers,
         )
 
     def _read_json_body(self) -> dict:
@@ -164,30 +187,32 @@ class DirectoryRequestHandler(BaseHTTPRequestHandler):
 
     # -- dispatch -----------------------------------------------------
 
+    def get_routes(self) -> dict:
+        """GET route table; subclasses extend (e.g. the distrib shard's
+        ``/replication/*`` endpoints)."""
+        return {
+            "/healthz": self._get_healthz,
+            "/metrics": self._get_metrics,
+            "/clusters": self._get_clusters,
+            "/search": self._get_search,
+        }
+
+    def post_routes(self) -> dict:
+        """POST route table; subclasses extend."""
+        return {
+            "/classify": self._post_classify,
+            "/add": self._post_add,
+            "/remove": self._post_remove,
+        }
+
     def do_GET(self) -> None:  # noqa: N802 (stdlib naming)
         split = urlsplit(self.path)
         endpoint = split.path.rstrip("/") or "/"
-        self._dispatch(
-            endpoint,
-            {
-                "/healthz": self._get_healthz,
-                "/metrics": self._get_metrics,
-                "/clusters": self._get_clusters,
-                "/search": self._get_search,
-            },
-            query=parse_qs(split.query),
-        )
+        self._dispatch(endpoint, self.get_routes(), query=parse_qs(split.query))
 
     def do_POST(self) -> None:  # noqa: N802
         endpoint = urlsplit(self.path).path.rstrip("/")
-        self._dispatch(
-            endpoint,
-            {
-                "/classify": self._post_classify,
-                "/add": self._post_add,
-                "/remove": self._post_remove,
-            },
-        )
+        self._dispatch(endpoint, self.post_routes())
 
     def _dispatch(self, endpoint: str, routes: dict, **kwargs) -> None:
         started = self._now()

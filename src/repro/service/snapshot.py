@@ -97,6 +97,12 @@ class Snapshot:
     top_terms: List[List[str]] = field(default_factory=list)
     algorithm: str = "?"
     created_unix: float = 0.0
+    #: Free-form carrier for deployment context the core directory does
+    #: not interpret — the distrib layer stores the shard's placement
+    #: and the journal position the snapshot folds through, so a replica
+    #: bootstrapping from ``/replication/snapshot`` knows where to start
+    #: tailing (docs/SHARDING.md).
+    meta: Dict[str, object] = field(default_factory=dict)
 
     @property
     def n_pages(self) -> int:
@@ -147,6 +153,7 @@ class Snapshot:
         organizer: IncrementalOrganizer,
         algorithm: str = "incremental",
         n_label_terms: int = 6,
+        meta: Optional[Dict[str, object]] = None,
     ) -> "Snapshot":
         """Snapshot a *live* organizer — the checkpoint the directory
         writes before truncating its journal.
@@ -170,22 +177,18 @@ class Snapshot:
             ],
             algorithm=algorithm,
             created_unix=time.time(),
+            meta=dict(meta) if meta else {},
         )
 
     # ----------------------------------------------------------------
     # Persistence.
     # ----------------------------------------------------------------
 
-    def save(self, path: Union[str, Path]) -> None:
-        """Write the snapshot (gzipped when ``path`` ends in ``.gz``).
-
-        The write is an injection seam (``"snapshot.save"``): an armed
-        chaos plan may fail it *before* any bytes are written, and the
-        atomic writer guarantees a failure mid-write leaves the previous
-        snapshot intact either way.
-        """
-        inject("snapshot.save")
-        path = Path(path)
+    def to_payload(self) -> dict:
+        """The versioned JSON payload :meth:`save` writes — also what
+        the shard's ``/replication/snapshot`` endpoint ships over the
+        wire, so replicas bootstrap from the exact bytes a file-based
+        cold start would read."""
         # Equation-1 state keeps the pre-seam version so older readers
         # stay compatible; any other scheme gates on version 2.
         version = 1 if _scheme_name(self.vectorizer_state) == "eq1" else 2
@@ -204,7 +207,23 @@ class Snapshot:
                 for members, terms in zip(self.clusters, self._padded_terms())
             ],
         }
-        atomic_write_json(payload, path, compress=path.name.endswith(".gz"))
+        if self.meta:
+            payload["meta"] = dict(self.meta)
+        return payload
+
+    def save(self, path: Union[str, Path]) -> None:
+        """Write the snapshot (gzipped when ``path`` ends in ``.gz``).
+
+        The write is an injection seam (``"snapshot.save"``): an armed
+        chaos plan may fail it *before* any bytes are written, and the
+        atomic writer guarantees a failure mid-write leaves the previous
+        snapshot intact either way.
+        """
+        inject("snapshot.save")
+        path = Path(path)
+        atomic_write_json(
+            self.to_payload(), path, compress=path.name.endswith(".gz")
+        )
 
     def _padded_terms(self) -> List[List[str]]:
         terms = list(self.top_terms)
@@ -222,6 +241,16 @@ class Snapshot:
         """
         inject("snapshot.load")
         payload = read_json(path)
+        return cls.from_payload(payload, source=path)
+
+    @classmethod
+    def from_payload(
+        cls, payload: object, source: Union[str, Path] = "<payload>"
+    ) -> "Snapshot":
+        """Validate and materialize a snapshot payload (file contents or
+        a ``/replication/snapshot`` response body).  ``source`` names the
+        origin in error messages."""
+        path = source
         if not isinstance(payload, dict):
             raise ValueError(f"{path}: expected a JSON object at top level")
         if payload.get("kind") != _KIND:
@@ -262,6 +291,7 @@ class Snapshot:
                 raise ValueError(
                     f"{path}: malformed cluster entry {index}: {exc}"
                 ) from exc
+        meta = payload.get("meta", {})
         return cls(
             clusters=clusters,
             vectorizer_state=vectorizer_state,
@@ -269,6 +299,7 @@ class Snapshot:
             top_terms=top_terms,
             algorithm=str(payload.get("algorithm", "?")),
             created_unix=float(payload.get("created_unix", 0.0)),
+            meta=dict(meta) if isinstance(meta, dict) else {},
         )
 
 

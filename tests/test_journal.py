@@ -444,3 +444,255 @@ class TestCheckpoint:
         path.write_bytes(data[: len(data) // 2])
         with pytest.raises(ValueError):
             Snapshot.load(path)
+
+
+# ---------------------------------------------------------------------
+# Segment rotation: the WAL as a shippable series of sealed files.
+# ---------------------------------------------------------------------
+
+
+class TestSegmentRotation:
+    def test_rollover_by_record_count(self, tmp_path):
+        path = tmp_path / "dir.wal"
+        journal = DirectoryJournal(path, max_segment_records=2)
+        for record in RECORDS[:5]:
+            journal.append(record)
+        # 5 appends at 2/segment: two sealed segments + 1 active record.
+        assert journal.n_segments == 2
+        assert journal.n_records == 5
+        assert journal.next_record == 5
+        assert [s.n_records for s in journal.segments()] == [2, 2]
+        assert [s.base_record for s in journal.segments()] == [0, 2]
+        assert journal.replay() == RECORDS[:5]
+        journal.close()
+        # Totals and order survive reopen.
+        reopened = DirectoryJournal(path, max_segment_records=2)
+        assert reopened.n_segments == 2
+        assert reopened.replay() == RECORDS[:5]
+        reopened.close()
+
+    def test_rollover_by_bytes(self, tmp_path):
+        frame = len(encode_record(RECORDS[0]))
+        journal = DirectoryJournal(
+            tmp_path / "dir.wal", max_segment_bytes=frame
+        )
+        for _ in range(3):
+            journal.append(RECORDS[0])
+        assert journal.n_segments == 3  # each append fills a segment
+        assert journal.replay() == [RECORDS[0]] * 3
+        journal.close()
+
+    def test_segment_bytes_round_trip(self, tmp_path):
+        journal = DirectoryJournal(
+            tmp_path / "dir.wal", max_segment_records=3
+        )
+        for record in RECORDS:
+            journal.append(record)
+        for info in journal.segments():
+            records, valid = decode_records(journal.segment_bytes(info.seq))
+            assert records == RECORDS[
+                info.base_record: info.base_record + info.n_records
+            ]
+            assert valid == info.n_bytes
+        journal.close()
+
+    def test_drop_sealed_preserves_global_positions(self, tmp_path):
+        path = tmp_path / "dir.wal"
+        journal = DirectoryJournal(path, max_segment_records=2)
+        for record in RECORDS[:5]:
+            journal.append(record)
+        assert journal.drop_sealed() == 4  # records, not segments
+        assert journal.n_segments == 0
+        assert journal.base_record == 4
+        assert journal.next_record == 5  # global position unchanged
+        assert journal.replay() == [RECORDS[4]]  # only the active tail
+        with pytest.raises(JournalError):
+            journal.segment_bytes(1)  # folded away
+        journal.close()
+        reopened = DirectoryJournal(path, max_segment_records=2)
+        assert reopened.base_record == 4
+        assert reopened.next_record == 5
+        reopened.close()
+
+    def test_torn_sealed_segment_raises(self, tmp_path):
+        path = tmp_path / "dir.wal"
+        journal = DirectoryJournal(path, max_segment_records=2)
+        for record in RECORDS[:4]:
+            journal.append(record)
+        seg = journal.segments()[0].path
+        journal.close()
+        data = seg.read_bytes()
+        seg.write_bytes(data[:-3])  # sealed files are immutable: corrupt
+        with pytest.raises(JournalError, match="sealed"):
+            DirectoryJournal(path, max_segment_records=2)
+
+    def test_manifest_is_advisory_segments_authoritative(self, tmp_path):
+        """Crash windows around a roll can leave the manifest stale in
+        either direction; recovery always reconciles from the files."""
+        path = tmp_path / "dir.wal"
+        journal = DirectoryJournal(path, max_segment_records=2)
+        for record in RECORDS[:5]:
+            journal.append(record)
+        manifest_path = journal.manifest_path
+        journal.close()
+
+        # Stale: manifest deleted outright.
+        manifest_path.unlink()
+        recovered = DirectoryJournal(path, max_segment_records=2)
+        assert recovered.n_segments == 2
+        assert recovered.replay() == RECORDS[:5]
+        recovered.close()
+
+        # Stale: manifest garbage.
+        manifest_path.write_text("{not json")
+        recovered = DirectoryJournal(path, max_segment_records=2)
+        assert recovered.replay() == RECORDS[:5]
+        recovered.close()
+
+    def test_crash_at_every_active_byte_with_sealed_history(self, tmp_path):
+        """The segment-boundary extension of the byte-boundary fuzz: two
+        sealed segments stay intact, the active tail is cut at every
+        byte, and recovery = sealed records + a prefix of the tail."""
+        sealed = RECORDS[:4]
+        tail_frames = [encode_record(r) for r in RECORDS[4:]]
+        tail = b"".join(tail_frames)
+        boundaries = [0]
+        for frame in tail_frames:
+            boundaries.append(boundaries[-1] + len(frame))
+        for cut in range(len(tail) + 1):
+            path = tmp_path / f"cut-{cut}.wal"
+            journal = DirectoryJournal(
+                path, fsync=False, max_segment_records=2
+            )
+            for record in sealed:
+                journal.append(record)
+            journal.close()
+            path.write_bytes(tail[:cut])
+            recovered = DirectoryJournal(
+                path, fsync=False, max_segment_records=2
+            )
+            whole = [b for b in boundaries if b <= cut]
+            n_tail = len(whole) - 1
+            assert recovered.n_segments == 2
+            assert recovered.n_records == 4 + n_tail
+            assert recovered.replay() == sealed + RECORDS[4: 4 + n_tail]
+            # The log stays appendable — and can still roll.
+            recovered.append({"op": "recluster"})
+            recovered.append({"op": "recluster"})
+            recovered.close()
+            reread = DirectoryJournal(
+                path, fsync=False, max_segment_records=2
+            )
+            assert reread.replay() == (
+                sealed + RECORDS[4: 4 + n_tail]
+                + [{"op": "recluster"}] * 2
+            )
+            reread.close()
+
+    def test_randomized_rotation_crash_fuzz(self, seed_corpus, tmp_path):
+        """The directory-level crash property, now with rotation armed:
+        random mutations roll segments mid-stream, a torn frame lands on
+        the active tail, and the restart is still bit-identical."""
+        snapshot, pool = seed_corpus
+        probe = pool[-1]
+        for seed in range(25):
+            rng = random.Random(1000 + seed)
+            path = tmp_path / f"rot-{seed}.wal"
+            journal = DirectoryJournal(
+                path, fsync=False,
+                max_segment_records=rng.randint(1, 4),
+            )
+            live = make_directory(snapshot, journal=journal)
+            for _ in range(rng.randint(3, 8)):
+                roll = rng.random()
+                managed = list(live.organizer._by_url)
+                if roll < 0.5:
+                    live.add(rng.choice(pool[:-1]))
+                elif roll < 0.85 and managed:
+                    live.remove(rng.choice(managed))
+                else:
+                    live.recluster()
+            live_state = directory_state(live)
+            live_outcome = live.classify(probe)
+            n_segments = journal.n_segments
+            live.close()
+
+            if rng.random() < 0.8:
+                frame = encode_record({"op": "recluster"})
+                with open(path, "ab") as handle:
+                    handle.write(frame[: rng.randrange(1, len(frame))])
+
+            restarted = make_directory(
+                snapshot,
+                journal=DirectoryJournal(
+                    path, fsync=False, max_segment_records=4
+                ),
+            )
+            assert restarted._journal.n_segments == n_segments, f"seed {seed}"
+            assert directory_state(restarted) == live_state, f"seed {seed}"
+            outcome = restarted.classify(probe)
+            assert outcome.cluster == live_outcome.cluster, f"seed {seed}"
+            assert outcome.similarity == live_outcome.similarity, (
+                f"seed {seed}"
+            )
+            restarted.close()
+
+
+class TestSealedCheckpoint:
+    """checkpoint(scope="sealed"): fold the shipped history, keep the
+    active tail — the replication-friendly variant."""
+
+    def test_sealed_scope_keeps_the_active_tail(self, seed_corpus, tmp_path):
+        snapshot, pool = seed_corpus
+        wal = tmp_path / "dir.wal"
+        journal = DirectoryJournal(wal, max_segment_records=2)
+        live = make_directory(snapshot, journal=journal)
+        for raw in pool[:5]:
+            live.add(raw)
+        assert journal.n_segments == 2
+        active_before = journal.n_records - sum(
+            s.n_records for s in journal.segments()
+        )
+        checkpoint_path = tmp_path / "sealed.json.gz"
+        saved = live.checkpoint(checkpoint_path, scope="sealed")
+        # Sealed history folded, active tail untouched.
+        assert journal.n_segments == 0
+        assert journal.n_records == active_before
+        assert saved.meta["journal_position"] == 5
+
+        # Restart from checkpoint + remaining journal: replaying the
+        # tail over the (already-inclusive) snapshot converges.
+        live_urls = sorted(live.organizer._by_url)
+        live_outcome = live.classify(pool[5])
+        live.close()
+        restarted = make_directory(
+            str(checkpoint_path),
+            journal=DirectoryJournal(wal, max_segment_records=2),
+        )
+        assert sorted(restarted.organizer._by_url) == live_urls
+        outcome = restarted.classify(pool[5])
+        assert outcome.cluster == live_outcome.cluster
+        assert outcome.similarity == live_outcome.similarity
+        restarted.close()
+
+    def test_all_scope_still_truncates(self, seed_corpus, tmp_path):
+        snapshot, pool = seed_corpus
+        wal = tmp_path / "dir.wal"
+        live = make_directory(
+            snapshot,
+            journal=DirectoryJournal(wal, max_segment_records=2),
+        )
+        for raw in pool[:5]:
+            live.add(raw)
+        live.checkpoint(tmp_path / "all.json.gz", scope="all")
+        assert live._journal.n_records == 0
+        assert live._journal.n_segments == 0
+        assert live._journal.next_record == 5  # global position kept
+        live.close()
+
+    def test_bad_scope_rejected(self, seed_corpus, tmp_path):
+        snapshot, _ = seed_corpus
+        live = make_directory(snapshot, journal=str(tmp_path / "w.wal"))
+        with pytest.raises(ValueError, match="scope"):
+            live.checkpoint(tmp_path / "x.json.gz", scope="sideways")
+        live.close()

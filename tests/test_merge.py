@@ -1,0 +1,130 @@
+"""Deterministic k-way merge: the property the router's parity rests on.
+
+The pinned property: for random scored collections with *forced score
+ties*, merging ANY partition of the collection into sorted runs equals
+sorting the whole collection — bit for bit, independent of how many
+shards, which hits they got, and what order the runs arrive in.
+"""
+
+import random
+
+import pytest
+
+from repro.index import (
+    assert_sorted,
+    cluster_hit_key,
+    merge_ranked,
+    page_hit_key,
+)
+
+N_SEEDS = 50
+
+
+def random_cluster_hits(rng, n):
+    """Scored cluster hits with globally unique ids and many ties —
+    scores drawn from a tiny grid so equal scores are the norm."""
+    ids = rng.sample(range(n * 4), n)
+    return [
+        {"cluster": cid, "score": rng.choice([0.0, 0.25, 0.5, 0.5, 1.0]),
+         "label": f"c{cid}"}
+        for cid in ids
+    ]
+
+
+def random_page_hits(rng, n):
+    urls = rng.sample(range(n * 4), n)
+    return [
+        {"url": f"http://site-{u}.example/form",
+         "score": rng.choice([0.1, 0.1, 0.3, 0.9]),
+         "cluster": rng.randrange(8)}
+        for u in urls
+    ]
+
+
+def partition(rng, items, n_parts):
+    """Random disjoint partition (some parts may be empty — a shard can
+    legitimately hold nothing matching the query)."""
+    parts = [[] for _ in range(n_parts)]
+    for item in items:
+        parts[rng.randrange(n_parts)].append(item)
+    return parts
+
+
+class TestMergeProperty:
+    @pytest.mark.parametrize("scope,maker,key", [
+        ("clusters", random_cluster_hits, cluster_hit_key),
+        ("pages", random_page_hits, page_hit_key),
+    ])
+    def test_any_partition_merges_to_the_global_sort(
+        self, scope, maker, key
+    ):
+        for seed in range(N_SEEDS):
+            rng = random.Random(seed)
+            collection = maker(rng, rng.randint(1, 40))
+            reference = sorted(collection, key=key)
+            for n_parts in (1, 2, 3, 5):
+                runs = [
+                    sorted(part, key=key)
+                    for part in partition(rng, collection, n_parts)
+                ]
+                # Arrival order must not matter: shuffle the runs.
+                rng.shuffle(runs)
+                for n in (1, 3, len(collection), len(collection) + 5):
+                    merged = merge_ranked(runs, n, key)
+                    assert merged == reference[:n], (
+                        f"seed {seed}, scope {scope}, parts {n_parts}, "
+                        f"n {n}"
+                    )
+
+    def test_merge_is_bytewise_stable_across_repeats(self):
+        """Same inputs → same *bytes* (float scores compared exactly)."""
+        import json
+
+        rng = random.Random(7)
+        collection = random_page_hits(rng, 30)
+        runs = [sorted(p, key=page_hit_key)
+                for p in partition(rng, collection, 3)]
+        first = json.dumps(merge_ranked(runs, 10, page_hit_key))
+        for _ in range(5):
+            shuffled = list(runs)
+            rng.shuffle(shuffled)
+            assert json.dumps(
+                merge_ranked(shuffled, 10, page_hit_key)
+            ) == first
+
+
+class TestMergeEdges:
+    def test_n_zero_and_negative(self):
+        run = [{"cluster": 1, "score": 1.0}]
+        assert merge_ranked([run], 0, cluster_hit_key) == []
+        assert merge_ranked([run], -3, cluster_hit_key) == []
+
+    def test_empty_runs(self):
+        assert merge_ranked([], 5, cluster_hit_key) == []
+        assert merge_ranked([[], []], 5, cluster_hit_key) == []
+
+    def test_single_run_passthrough(self):
+        run = sorted(
+            random_cluster_hits(random.Random(1), 10), key=cluster_hit_key
+        )
+        assert merge_ranked([run], 4, cluster_hit_key) == run[:4]
+
+    def test_key_is_score_desc_then_id_asc(self):
+        hits = [
+            {"cluster": 3, "score": 0.5},
+            {"cluster": 1, "score": 0.5},
+            {"cluster": 2, "score": 0.9},
+        ]
+        merged = merge_ranked(
+            [sorted(hits, key=cluster_hit_key)], 3, cluster_hit_key
+        )
+        assert [h["cluster"] for h in merged] == [2, 1, 3]
+
+    def test_assert_sorted_accepts_and_rejects(self):
+        good = sorted(
+            random_page_hits(random.Random(2), 8), key=page_hit_key
+        )
+        assert_sorted(good, page_hit_key)
+        bad = list(reversed(good))
+        with pytest.raises(ValueError, match="not sorted"):
+            assert_sorted(bad, page_hit_key)
