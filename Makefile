@@ -1,6 +1,6 @@
 # Convenience targets; everything works without make too.
 
-.PHONY: install test bench bench-smoke bench-ingest bench-search bench-ranking bench-shard serve-smoke shard-smoke chaos experiments examples lint clean
+.PHONY: install test bench bench-smoke bench-ingest bench-search bench-ranking bench-shard bench-serve serve-smoke shard-smoke chaos experiments examples lint clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -27,8 +27,12 @@ bench-ranking:         ## weighting-scheme A/B (eq1/bm25/tf); records BENCH_rank
 bench-shard:           ## single vs 2-/4-shard A/B + replica catch-up; records BENCH_shard.json
 	pytest benchmarks/test_bench_shard.py -q -s --timeout=600
 
-serve-smoke:           ## boot the directory server on an ephemeral port, probe it, shut down
-	PYTHONPATH=src python -m repro serve --smoke
+bench-serve:           ## threaded vs asyncio transport A/B (byte parity gated) + 429 saturation; records BENCH_serve.json
+	pytest benchmarks/test_bench_serve.py -q -s --timeout=600
+
+serve-smoke:           ## boot the directory server on an ephemeral port, probe it, shut down (both transports)
+	PYTHONPATH=src python -m repro serve --smoke --transport asyncio
+	PYTHONPATH=src python -m repro serve --smoke --transport threaded
 
 shard-smoke:           ## boot router + 2 shards + 1 replica in-process, round-trip, shut down
 	PYTHONPATH=src python -m repro router --smoke

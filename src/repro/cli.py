@@ -264,6 +264,54 @@ def _build_serve_directory(args: argparse.Namespace):
     return FormDirectory.from_snapshot(snapshot, **knobs)
 
 
+def _admission_from_args(args: argparse.Namespace):
+    """An AdmissionConfig from the CLI knobs (asyncio transport only)."""
+    if getattr(args, "transport", "threaded") != "asyncio":
+        return None
+    from repro.service.aio import AdmissionConfig
+
+    config = AdmissionConfig()
+    if getattr(args, "max_inflight", None) is not None:
+        config.max_inflight = args.max_inflight
+    if getattr(args, "max_connections", None) is not None:
+        config.max_connections = args.max_connections
+    if getattr(args, "header_timeout", None) is not None:
+        config.header_timeout = args.header_timeout
+    if getattr(args, "idle_timeout", None) is not None:
+        config.idle_timeout = args.idle_timeout
+    return config
+
+
+def _add_transport_args(parser) -> None:
+    parser.add_argument(
+        "--transport", choices=["threaded", "asyncio"], default="asyncio",
+        help="connection layer: 'asyncio' (event loop, keep-alive + "
+             "pipelining, admission control with 429 shedding) or "
+             "'threaded' (the classic thread-per-connection server); "
+             "responses are byte-identical (docs/SERVING.md)",
+    )
+    parser.add_argument(
+        "--max-inflight", type=int, default=None, metavar="N",
+        help="asyncio only: concurrent heavy requests before 429 "
+             "shedding (default 64)",
+    )
+    parser.add_argument(
+        "--max-connections", type=int, default=None, metavar="N",
+        help="asyncio only: open-socket cap; newcomers beyond it get "
+             "429 + close (default 4096)",
+    )
+    parser.add_argument(
+        "--header-timeout", type=float, default=None, metavar="SECONDS",
+        help="asyncio only: reap a connection whose request frame "
+             "stalls this long (slowloris defense; default 5)",
+    )
+    parser.add_argument(
+        "--idle-timeout", type=float, default=None, metavar="SECONDS",
+        help="asyncio only: close idle keep-alive connections after "
+             "this long (default 60)",
+    )
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     import json
     import urllib.request
@@ -287,12 +335,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         port=0 if args.smoke else args.port,
         max_request_bytes=args.max_request_bytes,
         request_timeout=args.request_timeout,
+        transport=args.transport,
+        admission=_admission_from_args(args),
     )
     stats = directory.stats()
     print(
         f"form directory: {stats['pages']} pages in {stats['clusters']} "
         f"clusters; batch window "
-        f"{directory.batch_window_ms if directory.batch_window_ms is not None else 'off'} ms"
+        f"{directory.batch_window_ms if directory.batch_window_ms is not None else 'off'} ms; "
+        f"transport {args.transport}"
     )
 
     if args.smoke:
@@ -391,7 +442,10 @@ def _cmd_shard(args: argparse.Namespace) -> int:
             args.batch_window_ms if args.batch_window_ms >= 0 else None
         ),
     )
-    server = serve_shard(node, host=args.host, port=args.port)
+    server = serve_shard(
+        node, host=args.host, port=args.port,
+        transport=args.transport, admission=_admission_from_args(args),
+    )
     health = node.healthz()
     print(
         f"shard {health['shard']}/{health['n_shards']} "
@@ -427,7 +481,10 @@ def _cmd_replica(args: argparse.Namespace) -> int:
     )
     position = replica.bootstrap()
     print(f"bootstrapped from {args.leader} at journal position {position}")
-    server = serve_replica(replica, host=args.host, port=args.port)
+    server = serve_replica(
+        replica, host=args.host, port=args.port,
+        transport=args.transport, admission=_admission_from_args(args),
+    )
 
     stop = threading.Event()
 
@@ -496,7 +553,10 @@ def _cmd_router(args: argparse.Namespace) -> int:
     router = DirectoryRouter(
         shards, placement=args.placement, shard_timeout=args.shard_timeout
     )
-    server = serve_router(router, host=args.host, port=args.port)
+    server = serve_router(
+        router, host=args.host, port=args.port,
+        transport=args.transport, admission=_admission_from_args(args),
+    )
     print(
         f"router over {router.n_shards} shard(s), "
         f"{args.placement} placement, per-shard timeout "
@@ -532,6 +592,7 @@ def _router_smoke(args: argparse.Namespace) -> int:
     )
 
     snapshot = _smoke_snapshot(seed=args.seed)
+    transport = getattr(args, "transport", "threaded")
     servers = []
     with tempfile.TemporaryDirectory(prefix="repro-shard-smoke-") as tmp:
         try:
@@ -543,7 +604,7 @@ def _router_smoke(args: argparse.Namespace) -> int:
                     part, journal=Path(tmp) / f"shard-{index}.wal",
                     segment_records=8,
                 )
-                server = serve_shard(node)
+                server = serve_shard(node, transport=transport)
                 server.serve_in_thread()
                 servers.append(server)
                 clients.append(
@@ -552,7 +613,7 @@ def _router_smoke(args: argparse.Namespace) -> int:
             replica = ReplicaNode(clients[0], name="replica-0",
                                   batch_window_ms=None)
             replica.bootstrap()
-            replica_server = serve_replica(replica)
+            replica_server = serve_replica(replica, transport=transport)
             replica_server.serve_in_thread()
             servers.append(replica_server)
             replica_client = HttpShardClient(
@@ -562,7 +623,7 @@ def _router_smoke(args: argparse.Namespace) -> int:
                 [[clients[0], replica_client], [clients[1]]],
                 placement=args.placement,
             )
-            router_server = serve_router(router)
+            router_server = serve_router(router, transport=transport)
             router_server.serve_in_thread()
             servers.append(router_server)
             base = router_server.base_url
@@ -591,7 +652,7 @@ def _router_smoke(args: argparse.Namespace) -> int:
             assert added["ok"] and isinstance(added["cluster"], int), added
             report = replica.poll()
             print(
-                f"shard smoke ok: {base} merged "
+                f"shard smoke ok ({transport}): {base} merged "
                 f"{len(search['hits'])} hit(s) from "
                 f"{len(search['shards']['answered'])} shards; add landed "
                 f"on shard {added['shard']} cluster {added['cluster']}; "
@@ -791,6 +852,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="boot on an ephemeral port, probe /healthz and /classify, "
              "shut down (CI self-check)",
     )
+    _add_transport_args(p_serve)
     p_serve.set_defaults(func=_cmd_serve)
 
     p_shard = subparsers.add_parser(
@@ -831,6 +893,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--batch-window-ms", type=float, default=5.0,
         help="classify micro-batching window; negative disables batching",
     )
+    _add_transport_args(p_shard)
     p_shard.set_defaults(func=_cmd_shard)
 
     p_replica = subparsers.add_parser(
@@ -867,6 +930,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="promote after this many consecutive failed polls "
              "(needs --leader-journal; 0 disables)",
     )
+    _add_transport_args(p_replica)
     p_replica.set_defaults(func=_cmd_replica)
 
     p_router = subparsers.add_parser(
@@ -896,6 +960,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="boot router + 2 shards + 1 replica in-process, round-trip "
              "/search, /add and /healthz, shut down (CI self-check)",
     )
+    _add_transport_args(p_router)
     p_router.set_defaults(func=_cmd_router)
     return parser
 

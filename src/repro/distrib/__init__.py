@@ -29,8 +29,11 @@ from repro.distrib.client import (
     ShardUnavailable,
 )
 from repro.distrib.http import (
+    ReplicaApp,
     ReplicaHTTPServer,
+    RouterApp,
     RouterHTTPServer,
+    ShardApp,
     ShardHTTPServer,
     serve_replica,
     serve_router,
@@ -54,10 +57,13 @@ __all__ = [
     "HttpShardClient",
     "LocalShardClient",
     "PLACEMENT_CHOICES",
+    "ReplicaApp",
     "ReplicaHTTPServer",
     "ReplicaNode",
+    "RouterApp",
     "RouterHTTPServer",
     "SegmentGone",
+    "ShardApp",
     "ShardHTTPServer",
     "ShardNode",
     "ShardUnavailable",

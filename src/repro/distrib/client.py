@@ -7,8 +7,10 @@ Two transports behind one duck-typed interface:
   harness use — no sockets, no serialization noise, the merged answer
   is compared float-for-float against the single-node directory.
 * :class:`HttpShardClient` speaks the shard HTTP API
-  (:mod:`repro.distrib.http`) over ``urllib`` — the deployment
-  transport, exercised end-to-end by ``repro router --smoke``.
+  (:mod:`repro.distrib.http`) over pooled persistent
+  ``http.client.HTTPConnection`` keep-alive sockets (reconnect-on-
+  stale) — the deployment transport, exercised end-to-end by
+  ``repro router --smoke``.
 
 Both raise :class:`ShardUnavailable` for anything that means "this
 endpoint cannot answer right now" (connection refused, 5xx, timeout,
@@ -16,12 +18,12 @@ an injected fault) so the router's failover/partial-result logic has
 one exception type to catch.
 """
 
+import http.client
 import json
 import socket
-import urllib.error
+import threading
 import urllib.parse
-import urllib.request
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.core.form_page import RawFormPage
 from repro.distrib.shard import ShardNode
@@ -130,16 +132,86 @@ class LocalShardClient:
 
 
 class HttpShardClient:
-    """HTTP transport for a shard (or replica) endpoint."""
+    """HTTP transport for a shard (or replica) endpoint.
+
+    Connections are *pooled and persistent*: each request borrows an
+    ``http.client.HTTPConnection`` from a small per-client stack,
+    speaks keep-alive HTTP/1.1, and returns it for the next call — the
+    scatter-gather fan-out no longer pays a TCP handshake per shard per
+    request.  A borrowed connection that turns out to be stale (the
+    server closed the keep-alive socket between requests) is discarded
+    and the request retried once on a fresh connection; fresh-connection
+    failures surface immediately as :class:`ShardUnavailable`.
+    ``pooled=False`` restores the legacy open-per-call behavior (the
+    A/B baseline in ``benchmarks/test_bench_shard.py``).
+    """
 
     def __init__(
-        self, base_url: str, timeout: float = 10.0, name: Optional[str] = None
+        self,
+        base_url: str,
+        timeout: float = 10.0,
+        name: Optional[str] = None,
+        pooled: bool = True,
+        pool_size: int = 4,
     ) -> None:
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
         self.name = name or self.base_url
+        self.pooled = pooled
+        self.pool_size = max(1, int(pool_size))
+        split = urllib.parse.urlsplit(self.base_url)
+        if split.scheme != "http" or not split.hostname:
+            raise ValueError(
+                f"HttpShardClient needs an http:// base URL, got "
+                f"{base_url!r}"
+            )
+        self._host = split.hostname
+        self._port = split.port or 80
+        self._prefix = split.path.rstrip("/")
+        self._pool: List[http.client.HTTPConnection] = []
+        self._pool_lock = threading.Lock()
+
+    # -- connection pool ----------------------------------------------
+
+    def _acquire(self) -> Tuple[http.client.HTTPConnection, bool]:
+        """(connection, was_reused) — pooled connections may be stale."""
+        if self.pooled:
+            with self._pool_lock:
+                if self._pool:
+                    return self._pool.pop(), True
+        conn = http.client.HTTPConnection(
+            self._host, self._port, timeout=self.timeout
+        )
+        return conn, False
+
+    def _release(self, conn: http.client.HTTPConnection) -> None:
+        if self.pooled:
+            with self._pool_lock:
+                if len(self._pool) < self.pool_size:
+                    self._pool.append(conn)
+                    return
+        conn.close()
+
+    def close(self) -> None:
+        """Close every pooled connection (idempotent)."""
+        with self._pool_lock:
+            pool, self._pool = self._pool, []
+        for conn in pool:
+            conn.close()
 
     # -- plumbing -----------------------------------------------------
+
+    #: Failures that mean "the keep-alive socket went stale between
+    #: requests" — safe to retry once on a fresh connection, but only
+    #: when the failed connection was a *reused* one.
+    _STALE_ERRORS = (
+        http.client.BadStatusLine,
+        http.client.CannotSendRequest,
+        http.client.ResponseNotReady,
+        ConnectionResetError,
+        BrokenPipeError,
+        ConnectionAbortedError,
+    )
 
     def _request(
         self,
@@ -147,34 +219,75 @@ class HttpShardClient:
         body: Optional[dict] = None,
         query: Optional[dict] = None,
         raw: bool = False,
+        error_body_is_answer: bool = False,
     ):
-        url = self.base_url + path
+        target = self._prefix + path
         if query:
-            url += "?" + urllib.parse.urlencode(query)
+            target += "?" + urllib.parse.urlencode(query)
         data = None
         headers = {}
         if body is not None:
             data = json.dumps(body).encode("utf-8")
             headers["Content-Type"] = "application/json"
-        request = urllib.request.Request(url, data=data, headers=headers)
-        try:
-            with urllib.request.urlopen(request, timeout=self.timeout) as resp:
+
+        for attempt in (0, 1):
+            conn, reused = self._acquire()
+            try:
+                conn.request(
+                    "POST" if data is not None else "GET",
+                    target, body=data, headers=headers,
+                )
+                resp = conn.getresponse()
                 payload = resp.read()
-        except urllib.error.HTTPError as exc:
-            detail = exc.read().decode("utf-8", "replace")[:200]
-            if exc.code == 404 and path.startswith("/replication/segment"):
-                raise SegmentGone(detail) from exc
-            raise ShardUnavailable(
-                self.name, f"HTTP {exc.code}: {detail}"
-            ) from exc
-        except (urllib.error.URLError, socket.timeout, OSError) as exc:
-            raise ShardUnavailable(self.name, str(exc)) from exc
+            except self._STALE_ERRORS as exc:
+                conn.close()
+                if reused and attempt == 0:
+                    continue  # reconnect-on-stale: one fresh retry
+                raise ShardUnavailable(self.name, str(exc)) from exc
+            except (socket.timeout, OSError,
+                    http.client.HTTPException) as exc:
+                conn.close()
+                raise ShardUnavailable(self.name, str(exc)) from exc
+            if resp.will_close:
+                conn.close()
+            else:
+                self._release(conn)
+            return self._interpret(
+                path, resp.status, payload, raw, error_body_is_answer
+            )
+        raise ShardUnavailable(self.name, "unreachable")  # pragma: no cover
+
+    def _interpret(
+        self,
+        path: str,
+        status: int,
+        payload: bytes,
+        raw: bool,
+        error_body_is_answer: bool,
+    ):
+        if status >= 400:
+            if status == 404 and path.startswith("/replication/segment"):
+                raise SegmentGone(
+                    payload.decode("utf-8", "replace")[:200]
+                )
+            if error_body_is_answer:
+                # 503-recovering still carries a JSON status body — that
+                # is an answer ("recovering"), not an unavailable
+                # endpoint.
+                try:
+                    return json.loads(payload.decode("utf-8"))
+                except (UnicodeDecodeError, json.JSONDecodeError):
+                    raise ShardUnavailable(self.name, f"HTTP {status}")
+            detail = payload.decode("utf-8", "replace")[:200]
+            raise ShardUnavailable(self.name, f"HTTP {status}: {detail}")
         if raw:
             return payload
         try:
             return json.loads(payload.decode("utf-8"))
         except (UnicodeDecodeError, json.JSONDecodeError) as exc:
-            raise ShardUnavailable(self.name, f"bad JSON reply: {exc}") from exc
+            raise ShardUnavailable(
+                self.name, f"bad JSON reply: {exc}"
+            ) from exc
 
     # -- serving ------------------------------------------------------
 
@@ -197,21 +310,7 @@ class HttpShardClient:
         return bool(reply.get("removed", False))
 
     def healthz(self) -> Dict[str, object]:
-        url = self.base_url + "/healthz"
-        try:
-            with urllib.request.urlopen(url, timeout=self.timeout) as resp:
-                return json.loads(resp.read().decode("utf-8"))
-        except urllib.error.HTTPError as exc:
-            # 503-recovering still carries a JSON status body — that is
-            # an answer ("recovering"), not an unavailable endpoint.
-            try:
-                return json.loads(exc.read().decode("utf-8"))
-            except Exception:
-                raise ShardUnavailable(
-                    self.name, f"HTTP {exc.code}"
-                ) from exc
-        except (urllib.error.URLError, socket.timeout, OSError) as exc:
-            raise ShardUnavailable(self.name, str(exc)) from exc
+        return self._request("/healthz", error_body_is_answer=True)
 
     # -- replication --------------------------------------------------
 

@@ -1,9 +1,12 @@
 """HTTP faces of the distributed directory — shard, replica, router.
 
-All three reuse the single-node plumbing
-(:class:`~repro.service.http.DirectoryRequestHandler` — bounded bodies,
-socket timeouts, structured errors, request metrics) and swap the route
-tables:
+All three are transport-neutral apps (:class:`ShardApp`,
+:class:`ReplicaApp`, :class:`RouterApp`) over the single-node plumbing
+(:class:`~repro.service.app.DirectoryApp` — bounded bodies, structured
+errors, request metrics), so every node kind runs on *either* connection
+layer: the classic threaded server or the :mod:`repro.service.aio`
+event-loop transport with admission control (``transport="asyncio"`` on
+the ``serve_*`` factories, ``--transport`` on the CLI).
 
 * **shard** (:func:`serve_shard`) — the full single-node API with
   global cluster ids, plus the replication feed
@@ -19,7 +22,7 @@ tables:
 """
 
 from http.server import ThreadingHTTPServer
-from typing import Tuple
+from typing import Callable, Dict, Optional, Tuple
 
 from repro.distrib.replica import ReplicaNode
 from repro.distrib.router import (
@@ -29,26 +32,46 @@ from repro.distrib.router import (
 )
 from repro.distrib.shard import ShardNode
 from repro.resilience.journal import JournalError
-from repro.service.http import (
+from repro.service.aio import AdmissionConfig, AsyncHTTPServer
+from repro.service.app import (
+    ApiError,
+    BaseApp,
     DEFAULT_MAX_REQUEST_BYTES,
     DEFAULT_REQUEST_TIMEOUT,
-    ApiError,
-    DirectoryHTTPServer,
-    DirectoryRequestHandler,
+    DirectoryApp,
+    METRICS_CONTENT_TYPE,
+    Response,
     _raw_page_from_body,
+    json_response,
 )
+from repro.service.http import DirectoryHTTPServer, DirectoryRequestHandler
 
 
-class ShardRequestHandler(DirectoryRequestHandler):
+class ShardApp(DirectoryApp):
     """Single-node API in global ids + the replication feed."""
 
     server_version = "repro-shard/1.0"
 
+    def __init__(
+        self,
+        shard: ShardNode,
+        request_timeout: float = DEFAULT_REQUEST_TIMEOUT,
+    ) -> None:
+        BaseApp.__init__(self, request_timeout)
+        self._shard = shard
+
     @property
     def shard(self) -> ShardNode:
-        return self.server.shard
+        return self._shard
 
-    def get_routes(self) -> dict:
+    @property
+    def directory(self):
+        return self.shard.directory
+
+    def close(self) -> None:
+        self.shard.close()
+
+    def get_routes(self) -> Dict[str, Callable]:
         routes = super().get_routes()
         routes.update(
             {
@@ -61,44 +84,32 @@ class ShardRequestHandler(DirectoryRequestHandler):
 
     # -- reads in global ids ------------------------------------------
 
-    def _get_search(self, query: dict) -> int:
-        terms = query.get("q", [""])[0]
-        if not terms.strip():
-            raise ApiError(400, "bad_request", "missing query parameter 'q'")
-        n = self._int_param(query, "n", 3, low=1, high=100)
-        scope = query.get("scope", ["clusters"])[0]
+    def _get_search(self, query: dict) -> Response:
+        terms, n, scope = self._search_params(query)
         if scope == "clusters":
             hits = self.shard.search(terms, n=n)
-        elif scope == "pages":
-            hits = self.shard.search_pages(terms, n=n)
         else:
-            raise ApiError(
-                400, "bad_request", "'scope' must be 'clusters' or 'pages'"
-            )
-        self._send_json(
+            hits = self.shard.search_pages(terms, n=n)
+        return json_response(
             200, {"ok": True, "query": terms, "scope": scope, "hits": hits}
         )
-        return 200
 
-    def _post_classify(self) -> int:
-        raw = _raw_page_from_body(self._read_json_body())
-        self._send_json(200, {"ok": True, **self.shard.classify(raw)})
-        return 200
+    def _post_classify(self, body: dict) -> Response:
+        raw = _raw_page_from_body(body)
+        return json_response(200, {"ok": True, **self.shard.classify(raw)})
 
-    def _post_add(self) -> int:
-        raw = _raw_page_from_body(self._read_json_body())
-        self._send_json(200, {"ok": True, **self.shard.add(raw)})
-        return 200
+    def _post_add(self, body: dict) -> Response:
+        raw = _raw_page_from_body(body)
+        return json_response(200, {"ok": True, **self.shard.add(raw)})
 
     # -- replication feed ---------------------------------------------
 
-    def _get_replication_manifest(self, query: dict) -> int:
-        self._send_json(
+    def _get_replication_manifest(self, query: dict) -> Response:
+        return json_response(
             200, {"ok": True, **self.shard.replication_manifest()}
         )
-        return 200
 
-    def _get_replication_segment(self, query: dict) -> int:
+    def _get_replication_segment(self, query: dict) -> Response:
         seq = self._int_param(query, "seq", -1, low=1, high=10**9)
         if seq < 0:
             raise ApiError(400, "bad_request", "missing parameter 'seq'")
@@ -107,50 +118,24 @@ class ShardRequestHandler(DirectoryRequestHandler):
         except JournalError as exc:
             # Folded away: the replica re-bootstraps from /snapshot.
             raise ApiError(404, "segment_gone", str(exc))
-        self.send_response(200)
-        self.send_header("Content-Type", "application/octet-stream")
-        self.send_header("Content-Length", str(len(data)))
-        self.end_headers()
-        self.wfile.write(data)
-        return 200
+        return Response(200, data, content_type="application/octet-stream")
 
-    def _get_replication_snapshot(self, query: dict) -> int:
-        self._send_json(200, self.shard.replication_snapshot())
-        return 200
+    def _get_replication_snapshot(self, query: dict) -> Response:
+        return json_response(200, self.shard.replication_snapshot())
 
 
-class ShardHTTPServer(DirectoryHTTPServer):
-    """One shard node behind the shard API."""
-
-    def __init__(
-        self,
-        shard: ShardNode,
-        address: Tuple[str, int] = ("127.0.0.1", 0),
-        max_request_bytes: int = DEFAULT_MAX_REQUEST_BYTES,
-        request_timeout: float = DEFAULT_REQUEST_TIMEOUT,
-    ) -> None:
-        self.shard = shard
-        self.directory = shard.directory
-        self.max_request_bytes = max_request_bytes
-        self.request_timeout = request_timeout
-        # Skip DirectoryHTTPServer.__init__ (it expects a bare
-        # directory); bind straight to the threading server.
-        ThreadingHTTPServer.__init__(self, address, ShardRequestHandler)
-
-    def shut_down(self) -> None:
-        self.shutdown()
-        self.server_close()
-        self.shard.close()
-
-
-class ReplicaRequestHandler(ShardRequestHandler):
+class ReplicaApp(ShardApp):
     """Read-only shard API over a tailing replica."""
 
     server_version = "repro-replica/1.0"
 
-    @property
-    def replica(self) -> ReplicaNode:
-        return self.server.replica
+    def __init__(
+        self,
+        replica: ReplicaNode,
+        request_timeout: float = DEFAULT_REQUEST_TIMEOUT,
+    ) -> None:
+        BaseApp.__init__(self, request_timeout)
+        self.replica = replica
 
     @property
     def shard(self) -> ShardNode:
@@ -163,86 +148,70 @@ class ReplicaRequestHandler(ShardRequestHandler):
         return node
 
     @property
-    def directory(self):
-        return self.shard.directory
-
-    @property
     def metrics_registry(self):
         return self.replica.metrics
 
-    def post_routes(self) -> dict:
+    def close(self) -> None:
+        self.replica.close()
+
+    def post_routes(self) -> Dict[str, Callable]:
         # Classify is read-only; mutations would fork the copy.
         return {
             "/classify": self._post_classify,
-            "/add": self._post_refuse_write,
-            "/remove": self._post_refuse_write,
+            "/add": self._refusing(super().post_routes()["/add"]),
+            "/remove": self._refusing(super().post_routes()["/remove"]),
         }
 
-    def _post_refuse_write(self) -> int:
-        if self.replica.promoted:
-            # Promotion makes this a leader; serve the write normally.
-            endpoint = self.path.split("?")[0].rstrip("/")
-            handler = super().post_routes()[endpoint]
-            return handler()
-        raise ApiError(
-            403, "read_only_replica",
-            "this node is a read replica; write to the leader",
-        )
+    def _refusing(self, inner: Callable) -> Callable:
+        def refuse_unless_promoted(body: dict) -> Response:
+            if self.replica.promoted:
+                # Promotion makes this a leader; serve the write normally.
+                return inner(body)
+            raise ApiError(
+                403, "read_only_replica",
+                "this node is a read replica; write to the leader",
+            )
 
-    def _get_healthz(self, query: dict) -> int:
+        return refuse_unless_promoted
+
+    def _get_healthz(self, query: dict) -> Response:
         record = self.replica.healthz()
         if record["status"] == "recovering":
-            self._send_json(
+            return json_response(
                 503, {"ok": False, **record},
                 extra_headers=(("Retry-After", "1"),),
             )
-            return 503
-        self._send_json(200, {"ok": True, **record})
-        return 200
+        return json_response(200, {"ok": True, **record})
 
 
-class ReplicaHTTPServer(DirectoryHTTPServer):
-    """A replica node behind the read-only API."""
-
-    def __init__(
-        self,
-        replica: ReplicaNode,
-        address: Tuple[str, int] = ("127.0.0.1", 0),
-        max_request_bytes: int = DEFAULT_MAX_REQUEST_BYTES,
-        request_timeout: float = DEFAULT_REQUEST_TIMEOUT,
-    ) -> None:
-        self.replica = replica
-        self.max_request_bytes = max_request_bytes
-        self.request_timeout = request_timeout
-        ThreadingHTTPServer.__init__(self, address, ReplicaRequestHandler)
-
-    def shut_down(self) -> None:
-        self.shutdown()
-        self.server_close()
-        self.replica.close()
-
-
-class RouterRequestHandler(DirectoryRequestHandler):
+class RouterApp(BaseApp):
     """The public scatter-gather front end."""
 
     server_version = "repro-router/1.0"
 
-    @property
-    def router(self) -> DirectoryRouter:
-        return self.server.router
+    def __init__(
+        self,
+        router: DirectoryRouter,
+        request_timeout: float = DEFAULT_REQUEST_TIMEOUT,
+    ) -> None:
+        super().__init__(request_timeout)
+        self.router = router
 
     @property
     def metrics_registry(self):
         return self.router.metrics
 
-    def get_routes(self) -> dict:
+    def close(self) -> None:
+        self.router.close()
+
+    def get_routes(self) -> Dict[str, Callable]:
         return {
             "/healthz": self._get_healthz,
             "/metrics": self._get_metrics,
             "/search": self._get_search,
         }
 
-    def post_routes(self) -> dict:
+    def post_routes(self) -> Dict[str, Callable]:
         return {
             "/classify": self._post_classify,
             "/add": self._post_add,
@@ -256,29 +225,23 @@ class RouterRequestHandler(DirectoryRequestHandler):
             retry_after=ALL_SHARDS_RETRY_AFTER,
         )
 
-    def _get_metrics(self, query: dict) -> int:
-        data = self.router.metrics.render().encode("utf-8")
-        self.send_response(200)
-        self.send_header(
-            "Content-Type", "text/plain; version=0.0.4; charset=utf-8"
+    def _get_metrics(self, query: dict) -> Response:
+        return Response(
+            200,
+            self.router.metrics.render().encode("utf-8"),
+            content_type=METRICS_CONTENT_TYPE,
         )
-        self.send_header("Content-Length", str(len(data)))
-        self.end_headers()
-        self.wfile.write(data)
-        return 200
 
-    def _get_healthz(self, query: dict) -> int:
+    def _get_healthz(self, query: dict) -> Response:
         try:
             record = self.router.healthz()
         except AllShardsUnavailable as exc:
             raise self._unavailable(exc)
-        self._send_json(
-            200 if record["status"] == "ok" else 200,
-            {"ok": record["status"] == "ok", **record},
+        return json_response(
+            200, {"ok": record["status"] == "ok", **record}
         )
-        return 200
 
-    def _get_search(self, query: dict) -> int:
+    def _get_search(self, query: dict) -> Response:
         terms = query.get("q", [""])[0]
         if not terms.strip():
             raise ApiError(400, "bad_request", "missing query parameter 'q'")
@@ -292,29 +255,25 @@ class RouterRequestHandler(DirectoryRequestHandler):
             reply = self.router.search(terms, n=n, scope=scope)
         except AllShardsUnavailable as exc:
             raise self._unavailable(exc)
-        self._send_json(200, {"ok": True, **reply})
-        return 200
+        return json_response(200, {"ok": True, **reply})
 
-    def _post_classify(self) -> int:
-        raw = _raw_page_from_body(self._read_json_body())
+    def _post_classify(self, body: dict) -> Response:
+        raw = _raw_page_from_body(body)
         try:
             reply = self.router.classify(raw)
         except AllShardsUnavailable as exc:
             raise self._unavailable(exc)
-        self._send_json(200, {"ok": True, **reply})
-        return 200
+        return json_response(200, {"ok": True, **reply})
 
-    def _post_add(self) -> int:
-        raw = _raw_page_from_body(self._read_json_body())
+    def _post_add(self, body: dict) -> Response:
+        raw = _raw_page_from_body(body)
         try:
             reply = self.router.add(raw)
         except AllShardsUnavailable as exc:
             raise self._unavailable(exc)
-        self._send_json(200, {"ok": True, **reply})
-        return 200
+        return json_response(200, {"ok": True, **reply})
 
-    def _post_remove(self) -> int:
-        body = self._read_json_body()
+    def _post_remove(self, body: dict) -> Response:
         url = body.get("url")
         if not isinstance(url, str) or not url:
             raise ApiError(
@@ -324,11 +283,71 @@ class RouterRequestHandler(DirectoryRequestHandler):
             reply = self.router.remove(url)
         except AllShardsUnavailable as exc:
             raise self._unavailable(exc)
-        self._send_json(200, {"ok": True, **reply})
-        return 200
+        return json_response(200, {"ok": True, **reply})
 
 
-class RouterHTTPServer(DirectoryHTTPServer):
+class _NodeHTTPServer(DirectoryHTTPServer):
+    """Threaded server over an arbitrary app (shard/replica/router):
+    the single-node server minus the bare-directory assumption."""
+
+    def __init__(
+        self,
+        app: BaseApp,
+        address: Tuple[str, int],
+        max_request_bytes: int,
+        request_timeout: float,
+    ) -> None:
+        self.app = app
+        self.max_request_bytes = max_request_bytes
+        self.request_timeout = request_timeout
+        self.shutting_down = False
+        # Skip DirectoryHTTPServer.__init__ (it expects a bare
+        # directory); bind straight to the threading server.
+        ThreadingHTTPServer.__init__(self, address, DirectoryRequestHandler)
+
+    def shut_down(self) -> None:
+        self.shutting_down = True
+        self.shutdown()
+        self.server_close()
+        self.app.close()
+
+
+class ShardHTTPServer(_NodeHTTPServer):
+    """One shard node behind the shard API."""
+
+    def __init__(
+        self,
+        shard: ShardNode,
+        address: Tuple[str, int] = ("127.0.0.1", 0),
+        max_request_bytes: int = DEFAULT_MAX_REQUEST_BYTES,
+        request_timeout: float = DEFAULT_REQUEST_TIMEOUT,
+    ) -> None:
+        self.shard = shard
+        self.directory = shard.directory
+        super().__init__(
+            ShardApp(shard, request_timeout=request_timeout),
+            address, max_request_bytes, request_timeout,
+        )
+
+
+class ReplicaHTTPServer(_NodeHTTPServer):
+    """A replica node behind the read-only API."""
+
+    def __init__(
+        self,
+        replica: ReplicaNode,
+        address: Tuple[str, int] = ("127.0.0.1", 0),
+        max_request_bytes: int = DEFAULT_MAX_REQUEST_BYTES,
+        request_timeout: float = DEFAULT_REQUEST_TIMEOUT,
+    ) -> None:
+        self.replica = replica
+        super().__init__(
+            ReplicaApp(replica, request_timeout=request_timeout),
+            address, max_request_bytes, request_timeout,
+        )
+
+
+class RouterHTTPServer(_NodeHTTPServer):
     """The router behind the public API."""
 
     def __init__(
@@ -339,44 +358,101 @@ class RouterHTTPServer(DirectoryHTTPServer):
         request_timeout: float = DEFAULT_REQUEST_TIMEOUT,
     ) -> None:
         self.router = router
-        self.max_request_bytes = max_request_bytes
-        self.request_timeout = request_timeout
-        ThreadingHTTPServer.__init__(self, address, RouterRequestHandler)
+        super().__init__(
+            RouterApp(router, request_timeout=request_timeout),
+            address, max_request_bytes, request_timeout,
+        )
 
-    def shut_down(self) -> None:
-        self.shutdown()
-        self.server_close()
-        self.router.close()
+
+def _serve(
+    app: BaseApp,
+    on_close: Callable[[], None],
+    threaded_cls,
+    node,
+    host: str,
+    port: int,
+    transport: str,
+    admission: Optional[AdmissionConfig],
+    **kwargs,
+):
+    if transport == "asyncio":
+        return AsyncHTTPServer(
+            app,
+            (host, port),
+            max_request_bytes=kwargs.get(
+                "max_request_bytes", DEFAULT_MAX_REQUEST_BYTES
+            ),
+            admission=admission,
+            on_close=on_close,
+        )
+    if transport != "threaded":
+        raise ValueError(
+            f"unknown transport {transport!r}; pick 'threaded' or 'asyncio'"
+        )
+    return threaded_cls(node, (host, port), **kwargs)
 
 
 def serve_shard(
-    shard: ShardNode, host: str = "127.0.0.1", port: int = 0, **kwargs
-) -> ShardHTTPServer:
+    shard: ShardNode,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    transport: str = "threaded",
+    admission: Optional[AdmissionConfig] = None,
+    **kwargs,
+):
     """Bind a shard server (port 0 picks an ephemeral port)."""
-    return ShardHTTPServer(shard, (host, port), **kwargs)
+    app = ShardApp(
+        shard,
+        request_timeout=kwargs.get("request_timeout",
+                                   DEFAULT_REQUEST_TIMEOUT),
+    )
+    return _serve(app, shard.close, ShardHTTPServer, shard,
+                  host, port, transport, admission, **kwargs)
 
 
 def serve_replica(
-    replica: ReplicaNode, host: str = "127.0.0.1", port: int = 0, **kwargs
-) -> ReplicaHTTPServer:
+    replica: ReplicaNode,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    transport: str = "threaded",
+    admission: Optional[AdmissionConfig] = None,
+    **kwargs,
+):
     """Bind a replica server."""
-    return ReplicaHTTPServer(replica, (host, port), **kwargs)
+    app = ReplicaApp(
+        replica,
+        request_timeout=kwargs.get("request_timeout",
+                                   DEFAULT_REQUEST_TIMEOUT),
+    )
+    return _serve(app, replica.close, ReplicaHTTPServer, replica,
+                  host, port, transport, admission, **kwargs)
 
 
 def serve_router(
-    router: DirectoryRouter, host: str = "127.0.0.1", port: int = 0, **kwargs
-) -> RouterHTTPServer:
+    router: DirectoryRouter,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    transport: str = "threaded",
+    admission: Optional[AdmissionConfig] = None,
+    **kwargs,
+):
     """Bind a router server."""
-    return RouterHTTPServer(router, (host, port), **kwargs)
+    app = RouterApp(
+        router,
+        request_timeout=kwargs.get("request_timeout",
+                                   DEFAULT_REQUEST_TIMEOUT),
+    )
+    return _serve(app, router.close, RouterHTTPServer, router,
+                  host, port, transport, admission, **kwargs)
 
 
 __all__ = [
+    "ReplicaApp",
     "ReplicaHTTPServer",
-    "ReplicaRequestHandler",
+    "RouterApp",
     "RouterHTTPServer",
-    "RouterRequestHandler",
+    "ShardApp",
     "ShardHTTPServer",
-    "ShardRequestHandler",
     "serve_replica",
     "serve_router",
     "serve_shard",

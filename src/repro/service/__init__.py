@@ -12,8 +12,13 @@ long-running directory service:
   :class:`~repro.core.incremental.IncrementalOrganizer` with
   micro-batched classification, an LRU result cache, and
   drift-triggered background re-clustering;
-* :mod:`repro.service.http` — a stdlib ``ThreadingHTTPServer`` JSON
-  API (classify / add / remove / search / clusters / healthz / metrics);
+* :mod:`repro.service.app` — the transport-neutral JSON application
+  (classify / add / remove / search / clusters / healthz / metrics);
+* :mod:`repro.service.http` — the threaded ``ThreadingHTTPServer``
+  transport over that app;
+* :mod:`repro.service.aio` — the ``asyncio`` event-loop transport:
+  keep-alive + pipelining, admission control with structured
+  ``429 + Retry-After`` load shedding, slowloris/idle reaping;
 * :mod:`repro.service.metrics` — latency histograms, batch/cache
   counters and engine-stats rollups in Prometheus text format.
 
@@ -21,6 +26,12 @@ Everything is standard library only (the similarity engine's optional
 NumPy fast path keeps working underneath).
 """
 
+from repro.service.aio import (
+    AdmissionConfig,
+    AsyncHTTPServer,
+    serve_directory_async,
+)
+from repro.service.app import ApiError, BaseApp, DirectoryApp, Response
 from repro.service.directory import ClassifyOutcome, FormDirectory
 from repro.service.http import DirectoryHTTPServer, serve_directory
 from repro.service.metrics import MetricsRegistry
@@ -34,10 +45,17 @@ from repro.service.snapshot import (
 )
 
 __all__ = [
+    "AdmissionConfig",
+    "ApiError",
+    "AsyncHTTPServer",
+    "BaseApp",
     "ClassifyOutcome",
+    "DirectoryApp",
     "FormDirectory",
     "DirectoryHTTPServer",
+    "Response",
     "serve_directory",
+    "serve_directory_async",
     "MetricsRegistry",
     "SNAPSHOT_FORMAT_VERSION",
     "Snapshot",

@@ -1,0 +1,475 @@
+"""The transport-neutral JSON application layer.
+
+Every HTTP face of the directory (single node, shard, replica, router)
+is a table of routes over some serving object.  This module factors the
+*application* out of the *transport*: a :class:`BaseApp` maps one parsed
+request — ``(method, target, body)`` — to a :class:`Response`, with the
+same structured-error mapping, request metrics, and JSON encoding no
+matter which connection layer carried the bytes.
+
+Two transports drive apps today:
+
+* :mod:`repro.service.http` — the original ``ThreadingHTTPServer``
+  (one thread per connection);
+* :mod:`repro.service.aio` — the ``asyncio.Protocol`` front end with
+  admission control and load shedding.
+
+Because both call :meth:`BaseApp.handle` and both serialize through
+:func:`json_bytes`, the JSON bodies they produce are byte-identical by
+construction — ``tests/test_service_aio.py`` pins that across every
+endpoint.
+
+Handlers *return* :class:`Response` objects; they never touch a socket.
+Transport concerns (reading the body off the wire, ``Connection``
+header handling, write errors) stay in the transports, but the
+Content-Length admission checks (411/400/413) live here so the two
+transports reject malformed framing with the same structured bodies.
+"""
+
+import json
+import time
+from typing import Callable, Dict, List, Optional, Tuple
+from urllib.parse import parse_qs, urlsplit
+
+from repro.core.form_page import RawFormPage
+from repro.resilience.faults import FaultError
+from repro.resilience.retry import RetryError
+
+#: Default cap on request bodies (form pages are HTML documents; 2 MiB
+#: holds anything reasonable and stops accidental uploads).
+DEFAULT_MAX_REQUEST_BYTES = 2 * 1024 * 1024
+
+#: Default per-request timeout (seconds) — the classify wait bound and,
+#: on the threaded transport, the per-connection socket timeout.
+DEFAULT_REQUEST_TIMEOUT = 30.0
+
+#: ``Retry-After`` hint (seconds) sent with 503 while the directory is
+#: recovering (journal replay / drift repair in flight).
+RECOVERING_RETRY_AFTER = 1
+
+JSON_CONTENT_TYPE = "application/json; charset=utf-8"
+METRICS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+class ClientDisconnected(Exception):
+    """Raised by a transport's ``read_body`` callable when the client
+    vanished mid-request (reset, broken pipe, read timeout).  The app
+    observes the request as status 499 and re-raises so the transport
+    can drop the connection without writing anything."""
+
+
+class ApiError(Exception):
+    """An error with a wire representation.  ``retry_after`` (seconds)
+    adds a ``Retry-After`` header — back-pressure errors (429/503) use
+    it."""
+
+    def __init__(
+        self,
+        status: int,
+        code: str,
+        message: str,
+        retry_after: Optional[int] = None,
+    ) -> None:
+        super().__init__(message)
+        self.status = status
+        self.code = code
+        self.message = message
+        self.retry_after = retry_after
+
+
+class Response:
+    """One finished response: status, body bytes, and headers the
+    transport must write (it adds its own framing headers on top)."""
+
+    __slots__ = ("status", "body", "content_type", "extra_headers")
+
+    def __init__(
+        self,
+        status: int,
+        body: bytes,
+        content_type: str = JSON_CONTENT_TYPE,
+        extra_headers: Tuple[Tuple[str, str], ...] = (),
+    ) -> None:
+        self.status = status
+        self.body = body
+        self.content_type = content_type
+        self.extra_headers = tuple(extra_headers)
+
+
+def json_bytes(payload: dict) -> bytes:
+    """The one JSON serializer every transport shares (byte parity)."""
+    return json.dumps(payload).encode("utf-8")
+
+
+def json_response(
+    status: int,
+    payload: dict,
+    extra_headers: Tuple[Tuple[str, str], ...] = (),
+) -> Response:
+    return Response(status, json_bytes(payload), extra_headers=extra_headers)
+
+
+def error_response(error: ApiError) -> Response:
+    headers: Tuple[Tuple[str, str], ...] = ()
+    if error.retry_after is not None:
+        headers = (("Retry-After", str(error.retry_after)),)
+    return json_response(
+        error.status,
+        {"ok": False,
+         "error": {"code": error.code, "message": error.message}},
+        extra_headers=headers,
+    )
+
+
+def check_content_length(
+    length_header: Optional[str], max_request_bytes: int
+) -> int:
+    """Validate a request's Content-Length before any body byte is
+    read.  Shared by both transports so 411/400/413 carry identical
+    structured bodies."""
+    if length_header is None:
+        raise ApiError(411, "length_required", "Content-Length required")
+    try:
+        length = int(length_header)
+    except ValueError:
+        raise ApiError(400, "bad_request", "malformed Content-Length")
+    if length < 0:
+        raise ApiError(400, "bad_request", "malformed Content-Length")
+    if length > max_request_bytes:
+        raise ApiError(
+            413, "payload_too_large",
+            f"request body {length} bytes exceeds limit "
+            f"{max_request_bytes}",
+        )
+    return length
+
+
+def parse_json_body(data: bytes) -> dict:
+    try:
+        body = json.loads(data.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ApiError(400, "bad_request", f"invalid JSON body: {exc}")
+    if not isinstance(body, dict):
+        raise ApiError(400, "bad_request", "body must be a JSON object")
+    return body
+
+
+def _raw_page_from_body(body: dict) -> RawFormPage:
+    url = body.get("url")
+    html = body.get("html")
+    if not isinstance(url, str) or not url:
+        raise ApiError(400, "bad_request", "'url' must be a non-empty string")
+    if not isinstance(html, str) or not html:
+        raise ApiError(400, "bad_request", "'html' must be a non-empty string")
+    backlinks = body.get("backlinks", [])
+    anchor_texts = body.get("anchor_texts", [])
+    if not isinstance(backlinks, list) or not all(
+        isinstance(item, str) for item in backlinks
+    ):
+        raise ApiError(400, "bad_request", "'backlinks' must be a string list")
+    if not isinstance(anchor_texts, list) or not all(
+        isinstance(item, str) for item in anchor_texts
+    ):
+        raise ApiError(
+            400, "bad_request", "'anchor_texts' must be a string list"
+        )
+    return RawFormPage(
+        url=url,
+        html=html,
+        backlinks=list(backlinks),
+        label=None,
+        anchor_texts=list(anchor_texts),
+    )
+
+
+class BaseApp:
+    """Route tables + dispatch + error mapping, transport-free.
+
+    Subclasses provide ``get_routes()`` / ``post_routes()`` (endpoint →
+    handler), a ``metrics_registry`` property, and a ``server_version``
+    string for the transport's ``Server`` header.  GET handlers take the
+    parsed query dict; POST handlers take the parsed JSON body dict.
+    Both return a :class:`Response`.
+    """
+
+    server_version = "repro-app/1.0"
+
+    #: Routes that must stay answerable while the heavy routes saturate
+    #: — the asyncio transport gives them their own concurrency budget.
+    CHEAP_ROUTES = frozenset({"/healthz", "/metrics"})
+
+    def __init__(
+        self, request_timeout: float = DEFAULT_REQUEST_TIMEOUT
+    ) -> None:
+        self.request_timeout = request_timeout
+
+    # -- to be provided by subclasses ---------------------------------
+
+    @property
+    def metrics_registry(self):
+        raise NotImplementedError
+
+    def get_routes(self) -> Dict[str, Callable]:
+        return {}
+
+    def post_routes(self) -> Dict[str, Callable]:
+        return {}
+
+    # -- dispatch -----------------------------------------------------
+
+    @staticmethod
+    def split_target(target: str) -> Tuple[str, str]:
+        """``target`` ("/search?q=x") → (normalized endpoint, query)."""
+        split = urlsplit(target)
+        return split.path.rstrip("/") or "/", split.query
+
+    def route_class(self, endpoint: str) -> str:
+        """``"cheap"`` (health/metrics) or ``"heavy"`` (everything
+        else) — the admission-control budget this endpoint draws from."""
+        return "cheap" if endpoint in self.CHEAP_ROUTES else "heavy"
+
+    @staticmethod
+    def _now() -> float:
+        return time.perf_counter()
+
+    def observe(self, endpoint: str, status: int, started: float) -> None:
+        metrics = self.metrics_registry
+        elapsed = self._now() - started
+        metrics.histogram(
+            "http_request_seconds", "Request latency", endpoint=endpoint
+        ).observe(elapsed)
+        metrics.counter(
+            "http_requests_total", "Requests served",
+            endpoint=endpoint, status=str(status),
+        ).inc()
+
+    def handle(
+        self,
+        method: str,
+        target: str,
+        read_body: Optional[Callable[[], bytes]] = None,
+    ) -> Response:
+        """One request → one :class:`Response`.  Never raises: every
+        failure maps to the structured-error body the threaded server
+        always produced (``{"ok": false, "error": {code, message}}``).
+
+        ``read_body`` supplies the raw body bytes for POSTs; it may
+        raise :class:`ApiError` (the threaded transport's Content-Length
+        checks run inside it, so 411/413 observe like any other error).
+        """
+        started = self._now()
+        endpoint, query_string = self.split_target(target)
+        try:
+            if method == "GET":
+                handler = self.get_routes().get(endpoint)
+                if handler is None:
+                    raise ApiError(
+                        404, "not_found", f"no such endpoint: {endpoint!r}"
+                    )
+                response = handler(parse_qs(query_string))
+            elif method == "POST":
+                handler = self.post_routes().get(endpoint)
+                if handler is None:
+                    raise ApiError(
+                        404, "not_found", f"no such endpoint: {endpoint!r}"
+                    )
+                data = read_body() if read_body is not None else b""
+                response = handler(parse_json_body(data))
+            else:
+                raise ApiError(
+                    405, "method_not_allowed",
+                    f"unsupported method {method!r}",
+                )
+        except ClientDisconnected:
+            self.observe(endpoint.lstrip("/") or "root", 499, started)
+            raise
+        except ApiError as error:
+            response = error_response(error)
+        except TimeoutError as exc:
+            response = error_response(ApiError(504, "timeout", str(exc)))
+        except (RetryError, FaultError) as exc:
+            # Resilience-layer failures (retries exhausted, permanent
+            # upstream fault, open circuit breaker): the request failed
+            # but the directory is intact — tell clients to back off.
+            response = error_response(
+                ApiError(503, "upstream_unavailable",
+                         f"{type(exc).__name__}: {exc}")
+            )
+        except Exception as exc:  # structured 500, never a stack trace
+            response = error_response(
+                ApiError(500, "internal", f"{type(exc).__name__}: {exc}")
+            )
+        self.observe(endpoint.lstrip("/") or "root", response.status, started)
+        return response
+
+    # -- shared parameter helpers -------------------------------------
+
+    @staticmethod
+    def _int_param(query: dict, name: str, default: int,
+                   low: int, high: int) -> int:
+        values = query.get(name)
+        if not values:
+            return default
+        try:
+            value = int(values[0])
+        except ValueError:
+            raise ApiError(400, "bad_request", f"'{name}' must be an integer")
+        if not low <= value <= high:
+            raise ApiError(
+                400, "bad_request", f"'{name}' must be in [{low}, {high}]"
+            )
+        return value
+
+
+class DirectoryApp(BaseApp):
+    """The single-node form-directory API over a
+    :class:`~repro.service.directory.FormDirectory`."""
+
+    server_version = "repro-directory/1.0"
+
+    def __init__(
+        self,
+        directory,
+        request_timeout: float = DEFAULT_REQUEST_TIMEOUT,
+    ) -> None:
+        super().__init__(request_timeout)
+        self._directory = directory
+
+    @property
+    def directory(self):
+        return self._directory
+
+    @property
+    def metrics_registry(self):
+        return self.directory.metrics
+
+    def close(self) -> None:
+        self.directory.close()
+
+    def get_routes(self) -> Dict[str, Callable]:
+        return {
+            "/healthz": self._get_healthz,
+            "/metrics": self._get_metrics,
+            "/clusters": self._get_clusters,
+            "/search": self._get_search,
+        }
+
+    def post_routes(self) -> Dict[str, Callable]:
+        return {
+            "/classify": self._post_classify,
+            "/add": self._post_add,
+            "/remove": self._post_remove,
+        }
+
+    # -- GET handlers -------------------------------------------------
+
+    def _get_healthz(self, query: dict) -> Response:
+        # Grade first, lock-free: during recovery (journal replay, a
+        # drift repair holding the write lock) ``stats()`` would block
+        # on the read lock — exactly when health probes must not hang.
+        state = self.directory.health_state()
+        if state == "recovering":
+            return json_response(
+                503,
+                {"ok": False, "status": state,
+                 "retry_after_seconds": RECOVERING_RETRY_AFTER},
+                extra_headers=(
+                    ("Retry-After", str(RECOVERING_RETRY_AFTER)),
+                ),
+            )
+        return json_response(
+            200, {"ok": True, "status": state, **self.directory.stats()}
+        )
+
+    def _get_metrics(self, query: dict) -> Response:
+        return Response(
+            200,
+            self.metrics_registry.render().encode("utf-8"),
+            content_type=METRICS_CONTENT_TYPE,
+        )
+
+    def _get_clusters(self, query: dict) -> Response:
+        max_urls = self._int_param(query, "max_urls", 5, low=0, high=100)
+        return json_response(
+            200,
+            {"ok": True,
+             "clusters": self.directory.clusters_summary(max_urls=max_urls)},
+        )
+
+    def _search_params(self, query: dict) -> Tuple[str, int, str]:
+        terms = query.get("q", [""])[0]
+        if not terms.strip():
+            raise ApiError(400, "bad_request", "missing query parameter 'q'")
+        n = self._int_param(query, "n", 3, low=1, high=100)
+        scope = query.get("scope", ["clusters"])[0]
+        if scope not in ("clusters", "pages"):
+            raise ApiError(
+                400, "bad_request", "'scope' must be 'clusters' or 'pages'"
+            )
+        return terms, n, scope
+
+    def _get_search(self, query: dict) -> Response:
+        terms, n, scope = self._search_params(query)
+        if scope == "clusters":
+            hits = self.directory.search(terms, n=n)
+        else:
+            hits = self.directory.search_pages(terms, n=n)
+        return json_response(
+            200, {"ok": True, "query": terms, "scope": scope, "hits": hits}
+        )
+
+    # -- POST handlers ------------------------------------------------
+
+    def _post_classify(self, body: dict) -> Response:
+        raw = _raw_page_from_body(body)
+        outcome = self.directory.classify(raw, timeout=self.request_timeout)
+        return json_response(
+            200,
+            {
+                "ok": True,
+                "url": outcome.url,
+                "cluster": outcome.cluster,
+                "similarity": outcome.similarity,
+                "top_terms": outcome.top_terms,
+                "cached": outcome.cached,
+                "batch_size": outcome.batch_size,
+            },
+        )
+
+    def _post_add(self, body: dict) -> Response:
+        raw = _raw_page_from_body(body)
+        cluster, size = self.directory.add(raw)
+        return json_response(
+            200,
+            {"ok": True, "url": raw.url, "cluster": cluster,
+             "cluster_size": size},
+        )
+
+    def _post_remove(self, body: dict) -> Response:
+        url = body.get("url")
+        if not isinstance(url, str) or not url:
+            raise ApiError(400, "bad_request",
+                           "'url' must be a non-empty string")
+        removed = self.directory.remove(url)
+        return json_response(
+            200, {"ok": True, "url": url, "removed": removed}
+        )
+
+
+__all__ = [
+    "ApiError",
+    "BaseApp",
+    "DEFAULT_MAX_REQUEST_BYTES",
+    "DEFAULT_REQUEST_TIMEOUT",
+    "DirectoryApp",
+    "JSON_CONTENT_TYPE",
+    "METRICS_CONTENT_TYPE",
+    "RECOVERING_RETRY_AFTER",
+    "Response",
+    "ClientDisconnected",
+    "check_content_length",
+    "error_response",
+    "json_bytes",
+    "json_response",
+    "parse_json_body",
+]

@@ -1,4 +1,4 @@
-"""The form-directory HTTP API — stdlib ``ThreadingHTTPServer``.
+"""The form-directory HTTP API — threaded transport.
 
 Endpoints (all JSON unless noted):
 
@@ -16,89 +16,53 @@ GET       ``/healthz``    liveness + staleness stats
 GET       ``/metrics``    Prometheus text format (not JSON)
 ========  ==============  ====================================================
 
+Request handling lives in the transport-neutral
+:class:`repro.service.app.DirectoryApp`; this module is the classic
+``ThreadingHTTPServer`` adapter around it (one thread per connection).
+The :mod:`repro.service.aio` event-loop transport drives the *same* app
+object, so both transports produce byte-identical JSON — pick one with
+``serve_directory(..., transport=...)`` or ``repro serve --transport``.
+
 Every response is either ``{"ok": true, ...}`` or a structured error
 ``{"ok": false, "error": {"code", "message"}}`` with a matching HTTP
 status.  Requests are bounded: bodies above ``max_request_bytes`` are
 rejected with 413 before being read into memory, and each connection
 gets a socket timeout so a stalled client cannot pin a handler thread.
+Connections honor ``Connection: close`` request headers, and once
+``shut_down()`` has begun every response carries ``Connection: close``
+so keep-alive clients aren't left waiting on a half-closed socket.
 """
 
-import json
 import socket
 import threading
-import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Dict, List, Optional, Tuple
-from urllib.parse import parse_qs, urlsplit
+from typing import Optional, Tuple
 
-from repro.core.form_page import RawFormPage
-from repro.resilience.faults import FaultError
-from repro.resilience.retry import RetryError
+from repro.service.app import (
+    ApiError,
+    BaseApp,
+    ClientDisconnected,
+    DEFAULT_MAX_REQUEST_BYTES,
+    DEFAULT_REQUEST_TIMEOUT,
+    DirectoryApp,
+    RECOVERING_RETRY_AFTER,
+    Response,
+    _raw_page_from_body,  # noqa: F401  (re-export: distrib + old imports)
+    check_content_length,
+    error_response,
+)
 from repro.service.directory import FormDirectory
-
-#: Default cap on request bodies (form pages are HTML documents; 2 MiB
-#: holds anything reasonable and stops accidental uploads).
-DEFAULT_MAX_REQUEST_BYTES = 2 * 1024 * 1024
-
-#: Default per-connection socket timeout (seconds).
-DEFAULT_REQUEST_TIMEOUT = 30.0
-
-#: ``Retry-After`` hint (seconds) sent with 503 while the directory is
-#: recovering (journal replay / drift repair in flight).
-RECOVERING_RETRY_AFTER = 1
-
-
-class ApiError(Exception):
-    """An error with a wire representation.  ``retry_after`` (seconds)
-    adds a ``Retry-After`` header — back-pressure errors (503) use it."""
-
-    def __init__(
-        self,
-        status: int,
-        code: str,
-        message: str,
-        retry_after: Optional[int] = None,
-    ) -> None:
-        super().__init__(message)
-        self.status = status
-        self.code = code
-        self.message = message
-        self.retry_after = retry_after
-
-
-def _raw_page_from_body(body: dict) -> RawFormPage:
-    url = body.get("url")
-    html = body.get("html")
-    if not isinstance(url, str) or not url:
-        raise ApiError(400, "bad_request", "'url' must be a non-empty string")
-    if not isinstance(html, str) or not html:
-        raise ApiError(400, "bad_request", "'html' must be a non-empty string")
-    backlinks = body.get("backlinks", [])
-    anchor_texts = body.get("anchor_texts", [])
-    if not isinstance(backlinks, list) or not all(
-        isinstance(item, str) for item in backlinks
-    ):
-        raise ApiError(400, "bad_request", "'backlinks' must be a string list")
-    if not isinstance(anchor_texts, list) or not all(
-        isinstance(item, str) for item in anchor_texts
-    ):
-        raise ApiError(
-            400, "bad_request", "'anchor_texts' must be a string list"
-        )
-    return RawFormPage(
-        url=url,
-        html=html,
-        backlinks=list(backlinks),
-        label=None,
-        anchor_texts=list(anchor_texts),
-    )
 
 
 class DirectoryRequestHandler(BaseHTTPRequestHandler):
-    """Routes requests onto the server's :class:`FormDirectory`."""
+    """Thin adapter: parse one request, hand it to ``server.app``,
+    write the :class:`Response` back with keep-alive bookkeeping."""
 
-    server_version = "repro-directory/1.0"
     protocol_version = "HTTP/1.1"
+    # Small JSON responses with Nagle + delayed ACK cost ~40ms per
+    # request on keep-alive sockets; asyncio transports set TCP_NODELAY
+    # by default, so match it here.
+    disable_nagle_algorithm = True
 
     # -- plumbing -----------------------------------------------------
 
@@ -111,276 +75,97 @@ class DirectoryRequestHandler(BaseHTTPRequestHandler):
         # real errors only.
         pass
 
-    @property
-    def directory(self) -> FormDirectory:
-        return self.server.directory
+    def version_string(self) -> str:
+        return self.server.app.server_version
 
     @property
-    def metrics_registry(self):
-        """Where request metrics go — the directory's registry here;
-        subclasses without a directory (the distrib router) override."""
-        return self.directory.metrics
+    def app(self) -> BaseApp:
+        return self.server.app
 
-    def _observe(self, endpoint: str, status: int, started: float) -> None:
-        metrics = self.metrics_registry
-        elapsed = self._now() - started
-        metrics.histogram(
-            "http_request_seconds", "Request latency", endpoint=endpoint
-        ).observe(elapsed)
-        metrics.counter(
-            "http_requests_total", "Requests served",
-            endpoint=endpoint, status=str(status),
-        ).inc()
-
-    @staticmethod
-    def _now() -> float:
-        return time.perf_counter()
-
-    def _send_json(
-        self, status: int, payload: dict,
-        extra_headers: Tuple[Tuple[str, str], ...] = (),
-    ) -> None:
-        data = json.dumps(payload).encode("utf-8")
-        self.send_response(status)
-        self.send_header("Content-Type", "application/json; charset=utf-8")
-        self.send_header("Content-Length", str(len(data)))
-        for name, value in extra_headers:
-            self.send_header(name, value)
-        self.end_headers()
-        self.wfile.write(data)
-
-    def _send_error_json(self, error: ApiError) -> None:
-        headers: Tuple[Tuple[str, str], ...] = ()
-        if error.retry_after is not None:
-            headers = (("Retry-After", str(error.retry_after)),)
-        self._send_json(
-            error.status,
-            {"ok": False,
-             "error": {"code": error.code, "message": error.message}},
-            extra_headers=headers,
-        )
-
-    def _read_json_body(self) -> dict:
-        length_header = self.headers.get("Content-Length")
-        if length_header is None:
-            raise ApiError(411, "length_required", "Content-Length required")
-        try:
-            length = int(length_header)
-        except ValueError:
-            raise ApiError(400, "bad_request", "malformed Content-Length")
-        if length < 0:
-            raise ApiError(400, "bad_request", "malformed Content-Length")
-        if length > self.server.max_request_bytes:
-            raise ApiError(
-                413, "payload_too_large",
-                f"request body {length} bytes exceeds limit "
-                f"{self.server.max_request_bytes}",
-            )
-        data = self.rfile.read(length)
-        try:
-            body = json.loads(data.decode("utf-8"))
-        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
-            raise ApiError(400, "bad_request", f"invalid JSON body: {exc}")
-        if not isinstance(body, dict):
-            raise ApiError(400, "bad_request", "body must be a JSON object")
-        return body
-
-    # -- dispatch -----------------------------------------------------
-
-    def get_routes(self) -> dict:
-        """GET route table; subclasses extend (e.g. the distrib shard's
-        ``/replication/*`` endpoints)."""
-        return {
-            "/healthz": self._get_healthz,
-            "/metrics": self._get_metrics,
-            "/clusters": self._get_clusters,
-            "/search": self._get_search,
-        }
-
-    def post_routes(self) -> dict:
-        """POST route table; subclasses extend."""
-        return {
-            "/classify": self._post_classify,
-            "/add": self._post_add,
-            "/remove": self._post_remove,
-        }
+    # -- request cycle ------------------------------------------------
 
     def do_GET(self) -> None:  # noqa: N802 (stdlib naming)
-        split = urlsplit(self.path)
-        endpoint = split.path.rstrip("/") or "/"
-        self._dispatch(endpoint, self.get_routes(), query=parse_qs(split.query))
+        self._handle("GET")
 
     def do_POST(self) -> None:  # noqa: N802
-        endpoint = urlsplit(self.path).path.rstrip("/")
-        self._dispatch(endpoint, self.post_routes())
+        self._handle("POST")
 
-    def _dispatch(self, endpoint: str, routes: dict, **kwargs) -> None:
-        started = self._now()
-        status = 500
+    def _handle(self, method: str) -> None:
+        # True while the announced request body has been fully consumed
+        # off the socket; if a handler rejects the request before the
+        # body was read (411/413), the unread bytes would be parsed as
+        # the next request's head — the connection must close instead.
+        self._body_consumed = True
+        if getattr(self.server, "shutting_down", False):
+            # A keep-alive client racing shutdown: answer 503 with
+            # Connection: close instead of leaving it waiting on a
+            # half-closed socket (the listener is already gone).
+            self.close_connection = True
+            try:
+                self._respond(error_response(ApiError(
+                    503, "shutting_down",
+                    "server is shutting down; connection closing",
+                    retry_after=1,
+                )))
+            except (BrokenPipeError, ConnectionResetError, socket.timeout,
+                    TimeoutError):
+                pass
+            return
+        read_body = self._make_body_reader() if method == "POST" else None
         try:
-            handler = routes.get(endpoint)
-            if handler is None:
-                raise ApiError(
-                    404, "not_found", f"no such endpoint: {endpoint!r}"
-                )
-            status = handler(**kwargs)
-        except ApiError as error:
-            status = error.status
-            try:
-                self._send_error_json(error)
-            except (BrokenPipeError, ConnectionResetError, socket.timeout):
-                pass
-        except (BrokenPipeError, ConnectionResetError, socket.timeout):
-            status = 499  # client went away; nothing to send
-        except TimeoutError as exc:
-            status = 504
-            self._send_error_json(ApiError(504, "timeout", str(exc)))
-        except (RetryError, FaultError) as exc:
-            # Resilience-layer failures (retries exhausted, permanent
-            # upstream fault, open circuit breaker): the request failed
-            # but the directory is intact — tell clients to back off.
-            status = 503
-            try:
-                self._send_error_json(
-                    ApiError(503, "upstream_unavailable",
-                             f"{type(exc).__name__}: {exc}")
-                )
-            except (BrokenPipeError, ConnectionResetError, socket.timeout):
-                pass
-        except Exception as exc:  # structured 500, never a stack trace
-            status = 500
-            try:
-                self._send_error_json(
-                    ApiError(500, "internal", f"{type(exc).__name__}: {exc}")
-                )
-            except (BrokenPipeError, ConnectionResetError, socket.timeout):
-                pass
-        finally:
-            self._observe(endpoint.lstrip("/") or "root", status, started)
+            response = self.app.handle(method, self.path, read_body)
+        except ClientDisconnected:
+            self.close_connection = True
+            return
+        try:
+            self._respond(response)
+        except (BrokenPipeError, ConnectionResetError, socket.timeout,
+                TimeoutError):
+            self.close_connection = True
 
-    # -- GET handlers -------------------------------------------------
+    def _make_body_reader(self):
+        length_header = self.headers.get("Content-Length")
 
-    def _get_healthz(self, query: dict) -> int:
-        # Grade first, lock-free: during recovery (journal replay, a
-        # drift repair holding the write lock) ``stats()`` would block
-        # on the read lock — exactly when health probes must not hang.
-        state = self.directory.health_state()
-        if state == "recovering":
-            data = json.dumps(
-                {"ok": False, "status": state,
-                 "retry_after_seconds": RECOVERING_RETRY_AFTER}
-            ).encode("utf-8")
-            self.send_response(503)
-            self.send_header(
-                "Content-Type", "application/json; charset=utf-8"
+        def read_body() -> bytes:
+            # Unconsumed until proven otherwise: a 411/413 raised here
+            # leaves announced body bytes on the socket, and reusing the
+            # connection would parse them as the next request's head.
+            self._body_consumed = False
+            length = check_content_length(
+                length_header, self.server.max_request_bytes
             )
-            self.send_header("Retry-After", str(RECOVERING_RETRY_AFTER))
-            self.send_header("Content-Length", str(len(data)))
-            self.end_headers()
-            self.wfile.write(data)
-            return 503
-        self._send_json(200, {"ok": True, "status": state,
-                              **self.directory.stats()})
-        return 200
+            try:
+                data = self.rfile.read(length)
+            except (BrokenPipeError, ConnectionResetError, socket.timeout,
+                    TimeoutError) as exc:
+                raise ClientDisconnected(str(exc)) from exc
+            if len(data) < length:
+                raise ClientDisconnected("short body read")
+            self._body_consumed = True
+            return data
 
-    def _get_metrics(self, query: dict) -> int:
-        data = self.directory.metrics.render().encode("utf-8")
-        self.send_response(200)
-        self.send_header(
-            "Content-Type", "text/plain; version=0.0.4; charset=utf-8"
+        return read_body
+
+    def _respond(self, response: Response) -> None:
+        # Close when the client asked for it (parse_request already set
+        # close_connection from the request's Connection header), when
+        # the server is draining toward shutdown, or when unread body
+        # bytes would desynchronize keep-alive framing.
+        must_close = (
+            self.close_connection
+            or getattr(self.server, "shutting_down", False)
+            or not self._body_consumed
         )
-        self.send_header("Content-Length", str(len(data)))
+        self.send_response(response.status)
+        self.send_header("Content-Type", response.content_type)
+        self.send_header("Content-Length", str(len(response.body)))
+        for name, value in response.extra_headers:
+            self.send_header(name, value)
+        if must_close:
+            self.send_header("Connection", "close")
+            self.close_connection = True
         self.end_headers()
-        self.wfile.write(data)
-        return 200
-
-    def _get_clusters(self, query: dict) -> int:
-        max_urls = self._int_param(query, "max_urls", 5, low=0, high=100)
-        self._send_json(
-            200,
-            {"ok": True,
-             "clusters": self.directory.clusters_summary(max_urls=max_urls)},
-        )
-        return 200
-
-    def _get_search(self, query: dict) -> int:
-        terms = query.get("q", [""])[0]
-        if not terms.strip():
-            raise ApiError(400, "bad_request", "missing query parameter 'q'")
-        n = self._int_param(query, "n", 3, low=1, high=100)
-        scope = query.get("scope", ["clusters"])[0]
-        if scope == "clusters":
-            hits = self.directory.search(terms, n=n)
-        elif scope == "pages":
-            hits = self.directory.search_pages(terms, n=n)
-        else:
-            raise ApiError(
-                400, "bad_request",
-                "'scope' must be 'clusters' or 'pages'",
-            )
-        self._send_json(
-            200, {"ok": True, "query": terms, "scope": scope, "hits": hits}
-        )
-        return 200
-
-    @staticmethod
-    def _int_param(query: dict, name: str, default: int,
-                   low: int, high: int) -> int:
-        values = query.get(name)
-        if not values:
-            return default
-        try:
-            value = int(values[0])
-        except ValueError:
-            raise ApiError(400, "bad_request", f"'{name}' must be an integer")
-        if not low <= value <= high:
-            raise ApiError(
-                400, "bad_request", f"'{name}' must be in [{low}, {high}]"
-            )
-        return value
-
-    # -- POST handlers ------------------------------------------------
-
-    def _post_classify(self) -> int:
-        body = self._read_json_body()
-        raw = _raw_page_from_body(body)
-        outcome = self.directory.classify(
-            raw, timeout=self.server.request_timeout
-        )
-        self._send_json(
-            200,
-            {
-                "ok": True,
-                "url": outcome.url,
-                "cluster": outcome.cluster,
-                "similarity": outcome.similarity,
-                "top_terms": outcome.top_terms,
-                "cached": outcome.cached,
-                "batch_size": outcome.batch_size,
-            },
-        )
-        return 200
-
-    def _post_add(self) -> int:
-        body = self._read_json_body()
-        raw = _raw_page_from_body(body)
-        cluster, size = self.directory.add(raw)
-        self._send_json(
-            200,
-            {"ok": True, "url": raw.url, "cluster": cluster,
-             "cluster_size": size},
-        )
-        return 200
-
-    def _post_remove(self) -> int:
-        body = self._read_json_body()
-        url = body.get("url")
-        if not isinstance(url, str) or not url:
-            raise ApiError(400, "bad_request",
-                           "'url' must be a non-empty string")
-        removed = self.directory.remove(url)
-        self._send_json(200, {"ok": True, "url": url, "removed": removed})
-        return 200
+        self.wfile.write(response.body)
 
 
 class DirectoryHTTPServer(ThreadingHTTPServer):
@@ -401,8 +186,10 @@ class DirectoryHTTPServer(ThreadingHTTPServer):
         request_timeout: float = DEFAULT_REQUEST_TIMEOUT,
     ) -> None:
         self.directory = directory
+        self.app = DirectoryApp(directory, request_timeout=request_timeout)
         self.max_request_bytes = max_request_bytes
         self.request_timeout = request_timeout
+        self.shutting_down = False
         super().__init__(address, DirectoryRequestHandler)
 
     @property
@@ -423,7 +210,13 @@ class DirectoryHTTPServer(ThreadingHTTPServer):
         return thread
 
     def shut_down(self) -> None:
-        """Stop serving and release the socket and batch worker."""
+        """Stop serving and release the socket and batch worker.
+
+        Raising ``shutting_down`` first makes every in-flight response
+        carry ``Connection: close``, so keep-alive clients learn the
+        socket is going away instead of stalling on their next request.
+        """
+        self.shutting_down = True
         self.shutdown()
         self.server_close()
         self.directory.close()
@@ -435,8 +228,34 @@ def serve_directory(
     port: int = 0,
     max_request_bytes: int = DEFAULT_MAX_REQUEST_BYTES,
     request_timeout: float = DEFAULT_REQUEST_TIMEOUT,
-) -> DirectoryHTTPServer:
-    """Bind a server for ``directory`` (port 0 picks an ephemeral port)."""
+    transport: str = "threaded",
+    admission: Optional[object] = None,
+):
+    """Bind a server for ``directory`` (port 0 picks an ephemeral port).
+
+    ``transport`` selects the connection layer: ``"threaded"`` (this
+    module, one thread per connection) or ``"asyncio"`` (the
+    :mod:`repro.service.aio` event-loop front end with admission
+    control).  Both serve the same :class:`DirectoryApp`, so responses
+    are byte-identical; ``admission`` (an
+    :class:`repro.service.aio.AdmissionConfig`) only applies to the
+    asyncio transport.
+    """
+    if transport == "asyncio":
+        from repro.service.aio import serve_directory_async
+
+        return serve_directory_async(
+            directory,
+            host=host,
+            port=port,
+            max_request_bytes=max_request_bytes,
+            request_timeout=request_timeout,
+            admission=admission,
+        )
+    if transport != "threaded":
+        raise ValueError(
+            f"unknown transport {transport!r}; pick 'threaded' or 'asyncio'"
+        )
     return DirectoryHTTPServer(
         directory,
         (host, port),
@@ -449,6 +268,7 @@ __all__ = [
     "ApiError",
     "DEFAULT_MAX_REQUEST_BYTES",
     "DEFAULT_REQUEST_TIMEOUT",
+    "RECOVERING_RETRY_AFTER",
     "DirectoryHTTPServer",
     "DirectoryRequestHandler",
     "serve_directory",

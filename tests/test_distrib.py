@@ -26,6 +26,7 @@ from repro.distrib import (
     LocalShardClient,
     ReplicaNode,
     ShardNode,
+    ShardUnavailable,
     serve_replica,
     serve_router,
     serve_shard,
@@ -467,3 +468,78 @@ class TestHttpFaces:
         assert json.loads(info.value.read())["error"]["code"] == (
             "all_shards_unavailable"
         )
+
+
+class TestPooledHttpClient:
+    """The pooled persistent-connection shard client."""
+
+    def _shard_server(self, small_snapshot, port=0, transport="asyncio"):
+        part = split_snapshot(small_snapshot, 1)[0]
+        node = ShardNode(part, **DIRECTORY_KWARGS)
+        server = serve_shard(
+            node, port=port, transport=transport
+        )
+        server.serve_in_thread()
+        return server
+
+    def test_pooled_client_reuses_one_connection(self, small_snapshot):
+        server = self._shard_server(small_snapshot)
+        client = HttpShardClient(server.base_url)
+        try:
+            baseline = server.admission.connections_total
+            for query in QUERIES[:5]:
+                assert client.search(query, n=3) is not None
+            assert server.admission.connections_total == baseline + 1
+        finally:
+            client.close()
+            server.shut_down()
+
+    def test_unpooled_client_opens_per_call(self, small_snapshot):
+        server = self._shard_server(small_snapshot)
+        client = HttpShardClient(server.base_url, pooled=False)
+        try:
+            baseline = server.admission.connections_total
+            for query in QUERIES[:3]:
+                client.search(query, n=3)
+            assert server.admission.connections_total == baseline + 3
+        finally:
+            client.close()
+            server.shut_down()
+
+    def test_reconnect_on_stale_after_server_restart(self, small_snapshot):
+        first = self._shard_server(small_snapshot)
+        port = first.port
+        client = HttpShardClient(first.base_url)
+        try:
+            hits = client.search(QUERIES[0], n=3)
+            # The connection that served this is now parked in the pool;
+            # restarting the server on the same port makes it stale.
+            first.shut_down()
+            second = self._shard_server(small_snapshot, port=port)
+            try:
+                assert client.search(QUERIES[0], n=3) == hits
+            finally:
+                second.shut_down()
+        finally:
+            client.close()
+
+    def test_fresh_connection_failure_does_not_retry(self, small_snapshot):
+        server = self._shard_server(small_snapshot)
+        base = server.base_url
+        server.shut_down()
+        client = HttpShardClient(base)
+        try:
+            with pytest.raises(ShardUnavailable):
+                client.search(QUERIES[0], n=3)
+        finally:
+            client.close()
+
+    def test_pooled_client_against_threaded_transport(self, small_snapshot):
+        server = self._shard_server(small_snapshot, transport="threaded")
+        client = HttpShardClient(server.base_url)
+        try:
+            first = client.search(QUERIES[0], n=3)
+            assert client.search(QUERIES[0], n=3) == first
+        finally:
+            client.close()
+            server.shut_down()
