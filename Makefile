@@ -1,6 +1,6 @@
 # Convenience targets; everything works without make too.
 
-.PHONY: install test bench bench-smoke bench-ingest bench-search bench-ranking bench-shard bench-serve serve-smoke shard-smoke chaos experiments examples lint clean
+.PHONY: install test bench bench-smoke bench-ingest bench-search bench-ranking bench-shard bench-serve bench-stream serve-smoke shard-smoke stream-smoke chaos experiments examples lint clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -29,6 +29,12 @@ bench-shard:           ## single vs 2-/4-shard A/B + replica catch-up; records B
 
 bench-serve:           ## threaded vs asyncio transport A/B (byte parity gated) + 429 saturation; records BENCH_serve.json
 	pytest benchmarks/test_bench_serve.py -q -s --timeout=600
+
+bench-stream:          ## 100k-page streamed ingest (RSS ceiling + batch-parity gate); records BENCH_stream.json
+	pytest benchmarks/test_bench_stream.py -q -s --timeout=1200
+
+stream-smoke:          ## 20k-page streamed ingest under an RSS cap + batch-parity gate on the reference corpus
+	PYTHONPATH=src python -m repro ingest --stream --smoke
 
 serve-smoke:           ## boot the directory server on an ephemeral port, probe it, shut down (both transports)
 	PYTHONPATH=src python -m repro serve --smoke --transport asyncio

@@ -57,9 +57,14 @@ def _timed_fit(raw_pages, parallel, rounds=1, prime=None):
     return best, vectorizer
 
 
-def _row(name, seconds, n_pages, stats):
+def _row(name, seconds, n_pages, stats, mode="batch"):
+    # ``mode`` keeps rows comparable across trajectories now that the
+    # streaming path (benchmarks/test_bench_stream.py) records ingestion
+    # numbers too: "batch" rows see the whole corpus before vectorizing,
+    # "stream" rows pay the drift-gated re-weight policy instead.
     return {
         "config": name,
+        "mode": mode,
         "seconds": round(seconds, 4),
         "pages_per_sec": round(n_pages / seconds, 1),
         "executor": stats.executor,
@@ -119,6 +124,24 @@ def test_bench_ingest_executors_and_cache(benchmark, raw_pages, tmp_path):
     rows.append(_row(
         "warm memory cache x4", memory_time, n, memory_vec.ingest_stats
     ))
+
+    # Streamed ingestion on the same corpus (cold, serial): what the
+    # drift-gated observe → re-weight → emit path costs relative to the
+    # two-pass batch fit.  Recorded for trajectory comparison only; the
+    # streaming acceptance gates live in test_bench_stream.py.
+    from repro.stream import StreamConfig, StreamingIngestor
+
+    start = time.perf_counter()
+    ingestor = StreamingIngestor(StreamConfig())
+    for _ in ingestor.ingest(iter(raw_pages)):
+        pass
+    stream_time = time.perf_counter() - start
+    stream_row = _row(
+        "stream cold", stream_time, n,
+        ingestor.vectorizer.ingest_stats, mode="stream",
+    )
+    stream_row["reweights"] = ingestor.stats.reweights
+    rows.append(stream_row)
 
     cached_speedup = serial_time / disk_time
     print(f"\n[{n} pages, {os.cpu_count()} cpu(s)]")

@@ -373,6 +373,149 @@ def test_bench_serve_transports(snapshot, context):
     print(f"  wrote {RESULTS_PATH.name}")
 
 
+# ---------------------------------------------------------------------------
+# Open-loop load (fixed arrival rate).
+# ---------------------------------------------------------------------------
+
+
+async def _run_open_loop(host, port, targets, rate_rps, duration_s):
+    """Issue requests on a fixed schedule, regardless of completions.
+
+    The closed-loop client above can only offer load as fast as
+    responses return, so a slow server quietly throttles its own
+    benchmark (coordinated omission).  Here every request has a planned
+    arrival time fixed up front; latency is measured from that *planned*
+    instant to completion, so queueing delay the server causes is
+    charged to the server.  Each request uses its own connection — an
+    arrival is an independent client, not a turn on a shared pipe.
+    """
+    loop = asyncio.get_running_loop()
+    n_requests = int(rate_rps * duration_s)
+    latencies = []
+    statuses = []
+    start = loop.time()
+
+    async def one(i):
+        planned = start + i / rate_rps
+        delay = planned - loop.time()
+        if delay > 0:
+            await asyncio.sleep(delay)
+        target = targets[i % len(targets)]
+        try:
+            reader, writer = await asyncio.open_connection(host, port)
+        except OSError:
+            statuses.append(0)
+            return
+        try:
+            request = (
+                f"GET {target} HTTP/1.1\r\nHost: bench\r\n"
+                f"Connection: close\r\n\r\n"
+            ).encode("ascii")
+            writer.write(request)
+            await writer.drain()
+            status, _, _ = await asyncio.wait_for(
+                _read_response(reader), timeout=120
+            )
+        except (ConnectionError, asyncio.IncompleteReadError,
+                asyncio.TimeoutError, OSError):
+            statuses.append(0)
+            return
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+        latencies.append(loop.time() - planned)
+        statuses.append(status)
+
+    await asyncio.gather(*(one(i) for i in range(n_requests)))
+    elapsed = loop.time() - start
+    return {
+        "latencies": latencies,
+        "statuses": statuses,
+        "elapsed": elapsed,
+        "sent": n_requests,
+    }
+
+
+def test_bench_serve_open_loop(snapshot, context):
+    """Fixed-arrival-rate levels against the asyncio transport.
+
+    Appends an ``open_loop`` block to ``BENCH_serve.json`` (the
+    closed-loop rows stay untouched so trajectories remain comparable).
+    """
+    print(f"\n[open-loop /search, {os.cpu_count()} cpu(s)]")
+    admission = AdmissionConfig(
+        max_inflight=2048, cheap_inflight=64, max_connections=4096
+    )
+    server = serve_directory_async(
+        FormDirectory.from_snapshot(snapshot, **DIRECTORY_KWARGS),
+        admission=admission,
+    )
+    server.serve_in_thread()
+    rows = []
+    try:
+        for rate in (50, 200, 400):
+            outcome = asyncio.run(_run_open_loop(
+                "127.0.0.1", server.port, _search_targets(),
+                rate_rps=rate, duration_s=4.0,
+            ))
+            latencies = sorted(outcome["latencies"])
+            ok = sum(1 for s in outcome["statuses"] if s == 200)
+            shed = sum(1 for s in outcome["statuses"] if s == 429)
+            broken = sum(1 for s in outcome["statuses"] if s == 0)
+
+            def pct(q):
+                if not latencies:
+                    return float("nan")
+                return latencies[min(len(latencies) - 1,
+                                     int(q * (len(latencies) - 1)))]
+
+            row = {
+                "offered_rps": rate,
+                "requests_sent": outcome["sent"],
+                "requests_ok": ok,
+                "requests_shed": shed,
+                "requests_broken": broken,
+                "achieved_rps": round(ok / outcome["elapsed"], 1),
+                "p50_ms": round(pct(0.50) * 1e3, 2),
+                "p99_ms": round(pct(0.99) * 1e3, 2),
+                "wall_seconds": round(outcome["elapsed"], 2),
+            }
+            rows.append(row)
+            print(
+                f"  offered {rate:>4} req/s: {ok}/{outcome['sent']} ok  "
+                f"p50 {row['p50_ms']:7.2f}ms  p99 {row['p99_ms']:8.2f}ms  "
+                f"achieved {row['achieved_rps']:6.1f} req/s"
+            )
+            # Open-loop soundness: every arrival is accounted for, and
+            # nothing died to a reset (shedding, if any, is structured).
+            assert ok + shed + broken == outcome["sent"]
+            assert broken == 0, f"{broken} open-loop requests broke"
+    finally:
+        server.shut_down()
+
+    payload = (
+        json.loads(RESULTS_PATH.read_text()) if RESULTS_PATH.exists()
+        else {"benchmark": "serve"}
+    )
+    payload["open_loop"] = {
+        "transport": "asyncio",
+        "endpoint": "/search?q=...&n=5 (one connection per request)",
+        "duration_seconds": 4.0,
+        "rows": rows,
+        "note": (
+            "Arrivals on a fixed schedule independent of completions; "
+            "latency measured from the planned arrival instant, so "
+            "server-induced queueing is charged to the server "
+            "(no coordinated omission)."
+        ),
+    }
+    RESULTS_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"  wrote {RESULTS_PATH.name} (open_loop block)")
+
+
 def _saturation_run(snapshot):
     admission = AdmissionConfig(max_inflight=4, heavy_workers=4)
     server = serve_directory_async(

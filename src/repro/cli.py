@@ -73,6 +73,85 @@ def _cmd_corpus(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_ingest(args: argparse.Namespace) -> int:
+    """Streamed ingestion over generated pages (docs/INGESTION.md)."""
+    import json
+    import resource
+    import time
+
+    from repro.stream import StreamConfig, run_stream
+    from repro.webgen import stream_pages
+
+    if not args.stream:
+        raise SystemExit(
+            "batch ingestion lives under `repro organize`; "
+            "pass --stream for the streaming path"
+        )
+    n_pages = 20_000 if args.smoke else args.pages
+    config = StreamConfig(
+        batch_size=args.batch_size,
+        drift_threshold=args.drift_threshold,
+        reservoir_size=args.reservoir_size,
+        vocab_budget=args.vocab_budget,
+        min_df=args.min_df,
+        spill_dir=args.spill_dir,
+    )
+    started = time.monotonic()
+    run = run_stream(
+        stream_pages(n_pages, seed=args.seed),
+        n_clusters=args.k,
+        config=config,
+    )
+    elapsed = time.monotonic() - started
+    stats = run.stats
+    peak_rss_mb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0
+    report = {
+        "pages": stats.pages,
+        "batches": stats.batches,
+        "reweights": stats.reweights,
+        "pc_vocab": stats.pc_vocab,
+        "fc_vocab": stats.fc_vocab,
+        "terms_pruned": stats.pc_pruned + stats.fc_pruned,
+        "pages_per_s": round(stats.pages / elapsed, 1) if elapsed else None,
+        "elapsed_s": round(elapsed, 1),
+        "peak_rss_mb": round(peak_rss_mb, 1),
+        "clusters": len(run.organizer.centroid_pairs()),
+    }
+    if run.spill_index is not None:
+        report["spilled_rows"] = run.spill_index.n_spilled
+        report["segments"] = len(run.spill_index.segments)
+    print(json.dumps(report, indent=2))
+
+    if args.smoke:
+        # CI gates: flat memory (the whole point of streaming) and
+        # clustering quality within tolerance of the batch organizer on
+        # the reference corpus (benchmarks/test_bench_stream.py pins the
+        # same bounds before timing).
+        from repro.stream import reference_parity
+
+        rss_cap_mb = args.rss_cap_mb
+        if peak_rss_mb > rss_cap_mb:
+            raise SystemExit(
+                f"stream smoke FAILED: peak RSS {peak_rss_mb:.0f} MB "
+                f"exceeds the {rss_cap_mb} MB cap"
+            )
+        parity = reference_parity(seed=args.seed)
+        if parity["delta_entropy"] > 0.25 or parity["delta_f"] > 0.10:
+            raise SystemExit(
+                "stream smoke FAILED: parity gap vs batch too wide "
+                f"(delta_entropy={parity['delta_entropy']:.3f}, "
+                f"delta_f={parity['delta_f']:.3f})"
+            )
+        print(
+            "stream smoke ok: "
+            f"{stats.pages} pages at {report['pages_per_s']} pages/s, "
+            f"peak RSS {peak_rss_mb:.0f} MB (cap {rss_cap_mb}), "
+            f"entropy {parity['stream']['entropy']:.3f} vs batch "
+            f"{parity['batch']['entropy']:.3f}"
+        )
+    return 0
+
+
 def _cmd_organize(args: argparse.Namespace) -> int:
     from repro.core import CAFCConfig, CAFCPipeline
 
@@ -697,6 +776,47 @@ def build_parser() -> argparse.ArgumentParser:
     p_corpus.add_argument("--seed", type=int, default=42)
     p_corpus.add_argument("--save", help="write the dataset to this JSON path")
     p_corpus.set_defaults(func=_cmd_corpus)
+
+    p_ingest = subparsers.add_parser(
+        "ingest",
+        help="streamed ingestion over generated pages (bounded memory)",
+    )
+    p_ingest.add_argument(
+        "--stream", action="store_true",
+        help="use the streaming path (required; batch = `repro organize`)",
+    )
+    p_ingest.add_argument("--pages", type=int, default=100_000,
+                          help="pages to stream (default 100k)")
+    p_ingest.add_argument("--seed", type=int, default=42)
+    p_ingest.add_argument("--k", type=int, default=8,
+                          help="number of clusters")
+    p_ingest.add_argument("--batch-size", type=int, default=256,
+                          help="pages per mini-batch")
+    p_ingest.add_argument(
+        "--drift-threshold", type=float, default=0.1,
+        help="re-weight when the IDF drift bound exceeds this "
+             "(0 = exact prefix statistics every batch)",
+    )
+    p_ingest.add_argument("--reservoir-size", type=int, default=512,
+                          help="re-clustering reservoir capacity")
+    p_ingest.add_argument(
+        "--vocab-budget", type=int, default=150_000,
+        help="prune rare terms when a space's DF table exceeds this",
+    )
+    p_ingest.add_argument("--min-df", type=int, default=2,
+                          help="frequency floor for vocabulary pruning")
+    p_ingest.add_argument("--spill-dir",
+                          help="spill posting-list segments to this directory")
+    p_ingest.add_argument(
+        "--rss-cap-mb", type=int, default=400,
+        help="--smoke fails if peak RSS exceeds this many MB",
+    )
+    p_ingest.add_argument(
+        "--smoke", action="store_true",
+        help="20k-page streamed ingest under the RSS cap, then a "
+             "batch-parity gate on the reference corpus (CI self-check)",
+    )
+    p_ingest.set_defaults(func=_cmd_ingest)
 
     p_org = subparsers.add_parser("organize", help="cluster a form-page dataset")
     p_org.add_argument("--dataset", help="JSON dataset path (default: benchmark)")

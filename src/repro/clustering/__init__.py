@@ -15,6 +15,7 @@ The paper builds on two classic strategies (Section 2.2 and Section 4.3):
 
 from repro.clustering.hac import Linkage, hac
 from repro.clustering.kmeans import KMeansResult, kmeans
+from repro.clustering.minibatch import MiniBatchKMeans, ReservoirSample
 from repro.clustering.seeding import hac_seed_groups, random_seed_indices
 from repro.clustering.types import Clustering
 
@@ -23,6 +24,8 @@ __all__ = [
     "hac",
     "KMeansResult",
     "kmeans",
+    "MiniBatchKMeans",
+    "ReservoirSample",
     "hac_seed_groups",
     "random_seed_indices",
     "Clustering",

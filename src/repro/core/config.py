@@ -17,6 +17,7 @@ from repro.options import (
 )
 from repro.parallel.config import ParallelConfig
 from repro.resilience.config import ResilienceConfig
+from repro.stream.config import StreamConfig
 from repro.vsm.weights import LocationWeights
 
 
@@ -102,6 +103,13 @@ class CAFCConfig:
         seams (the backlink API, request vectorization) — see
         :class:`~repro.resilience.config.ResilienceConfig` and
         docs/RESILIENCE.md.
+    stream:
+        Streaming-ingestion knobs (batch size, IDF drift threshold,
+        reservoir, vocabulary budget, spill-to-disk) — see
+        :class:`~repro.stream.config.StreamConfig` and
+        docs/INGESTION.md, "Streaming ingestion".  Only the streaming
+        path (``repro ingest --stream``) reads these; batch runs are
+        unaffected.
     """
 
     k: int = 8
@@ -120,6 +128,7 @@ class CAFCConfig:
     scheme: str = "auto"
     parallel: ParallelConfig = field(default_factory=ParallelConfig)
     resilience: ResilienceConfig = field(default_factory=ResilienceConfig)
+    stream: StreamConfig = field(default_factory=StreamConfig)
 
     def to_dict(self) -> dict:
         """All tunables as JSON-safe data (snapshot support)."""
@@ -140,6 +149,7 @@ class CAFCConfig:
             "scheme": self.scheme,
             "parallel": self.parallel.to_dict(),
             "resilience": self.resilience.to_dict(),
+            "stream": self.stream.to_dict(),
         }
 
     @classmethod
@@ -179,6 +189,7 @@ class CAFCConfig:
             resilience=ResilienceConfig.from_dict(
                 dict(state.get("resilience", {}))
             ),
+            stream=StreamConfig.from_dict(dict(state.get("stream", {}))),
         )
 
     def __post_init__(self) -> None:

@@ -213,6 +213,83 @@ class FormPageVectorizer:
         return self._pc_context, self._fc_context
 
     # ----------------------------------------------------------------
+    # Streaming ingestion hooks (repro.stream; docs/INGESTION.md).
+    #
+    # The batch contract above observes the *whole* collection before
+    # any vector exists.  The streaming path splits the three phases
+    # apart: ``stream_observe`` folds documents into the per-space
+    # stats online, ``reprepare`` refreshes the frozen emit contexts at
+    # re-weight events (the drift policy decides when), and
+    # ``emit_vectors`` emits against whatever context is current —
+    # deliberately NOT auto-refreshing, because the staleness between
+    # re-weights is the quantified relaxation the drift tracker bounds.
+    # ----------------------------------------------------------------
+
+    @property
+    def contexts_ready(self) -> bool:
+        """Whether prepared emit contexts exist (streaming can emit)."""
+        return self._contexts_ready
+
+    def stream_observe(self, analysis: PageAnalysis) -> None:
+        """Fold one analyzed page into the per-space statistics without
+        touching the prepared emit contexts."""
+        self.scheme.observe(
+            self.pc_stats, analysis.pc_terms, self.location_weights
+        )
+        self.scheme.observe(
+            self.fc_stats, analysis.fc_terms, self.location_weights
+        )
+        self._fitted = True
+
+    def reprepare(self, min_df: int = 1, vocab_budget: int = 0):
+        """Refresh the emit contexts from the current statistics.
+
+        ``min_df`` > 1 first prunes rarer terms from both DF tables when
+        a table exceeds ``vocab_budget`` entries (0 = always prune) —
+        the streaming vocabulary floor that keeps the prepared contexts,
+        and hence the interned vocabulary, from growing with hapax terms
+        (site brands) an unbounded stream produces at O(pages).
+        Returns ``(pc_context, fc_context)``.
+        """
+        if min_df > 1:
+            for stats in (self.pc_stats, self.fc_stats):
+                table = stats.corpus.document_frequencies()
+                if vocab_budget <= 0 or len(table) > vocab_budget:
+                    stats.corpus.prune_rare(min_df)
+        return self._prepare_contexts()
+
+    def emit_vectors(self, pc_tf, fc_tf):
+        """Emit one page's (pc, fc) vectors from LOC-weighted TF counters
+        against the *current frozen* contexts.
+
+        Raises unless :meth:`reprepare` (or a batch fit) ran first —
+        emitting without a context would silently fall back to
+        per-emission exact statistics, which both costs O(vocab) per
+        page and breaks the drift-bound contract.
+        """
+        if not self._contexts_ready:
+            raise RuntimeError(
+                "no prepared emit contexts; call reprepare() before emitting"
+            )
+        return (
+            self.scheme.vector(pc_tf, self.pc_stats, self._pc_context),
+            self.scheme.vector(fc_tf, self.fc_stats, self._fc_context),
+        )
+
+    def stream_emit(self, raw: RawFormPage, analysis: PageAnalysis) -> FormPage:
+        """Build a :class:`FormPage` against the current frozen contexts."""
+        if not self._contexts_ready:
+            raise RuntimeError(
+                "no prepared emit contexts; call reprepare() before emitting"
+            )
+        return self._build_form_page(
+            raw,
+            analysis,
+            pc_context=self._pc_context,
+            fc_context=self._fc_context,
+        )
+
+    # ----------------------------------------------------------------
     # State export / import (snapshot support).
     #
     # Everything :meth:`transform_new` consumes is exported: the two

@@ -32,6 +32,7 @@ from repro.index.retrieval import (
     combined_query_channel,
     top_k_exact,
 )
+from repro.index.spill import SpillingSpaceIndex, SpillSegment
 
 __all__ = [
     "INDEX_AUTO_MIN_CLUSTERS",
@@ -41,6 +42,8 @@ __all__ = [
     "DirectoryIndex",
     "RetrievalStats",
     "SpaceIndex",
+    "SpillSegment",
+    "SpillingSpaceIndex",
     "assert_sorted",
     "cluster_hit_key",
     "combined_query_channel",

@@ -546,6 +546,20 @@ class FormDirectory:
             "ingest_vectorize_seconds",
             "Per-request vectorization latency (parse + Equation 1)",
         )
+        # Vocabulary observability: the process-wide interning table
+        # every SparseVector points into.  Terms only ever grow on the
+        # batch path, so a climbing gauge is the early signal that an
+        # unbounded corpus needs the streaming path's vocabulary budget
+        # (docs/INGESTION.md, "Streaming ingestion").
+        from repro.vsm.interning import VOCABULARY
+
+        m.gauge(
+            "vocab_terms", "Interned terms in the process-wide term table"
+        ).set_function(lambda: len(VOCABULARY))
+        m.gauge(
+            "vocab_bytes_estimate",
+            "Approximate resident bytes of the interning table",
+        ).set_function(lambda: VOCABULARY.stats()["bytes_estimate"])
         # Inverted-index observability: structure sizes plus the pruning
         # ratio (exactly-scored rows as a fraction of what full scans
         # would have scored — lower is better; 1.0 means no saving).

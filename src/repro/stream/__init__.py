@@ -1,0 +1,49 @@
+"""repro.stream — bounded-memory streaming ingestion (docs/INGESTION.md).
+
+Pages arrive as a *generator*; the pipeline never holds the corpus:
+
+* :class:`~repro.stream.ingest.StreamingIngestor` — per-batch observe →
+  drift-gated re-weight → emit, with the ``LOC*TF*threshold`` weight
+  error bound;
+* :class:`~repro.stream.organizer.StreamOrganizer` — mini-batch k-means
+  over a deterministic reservoir, re-vectorized at re-weight events;
+* :func:`~repro.stream.runner.run_stream` /
+  :func:`~repro.stream.runner.reference_parity` — the end-to-end driver
+  and the batch-parity acceptance gate;
+* :class:`~repro.stream.config.StreamConfig` — the knobs, embedded in
+  :class:`~repro.core.config.CAFCConfig`.
+
+Exports resolve lazily: ``repro.core.config`` imports
+:mod:`repro.stream.config` (a leaf), while the ingestor/organizer/runner
+import ``repro.core`` — eager imports here would complete that cycle.
+"""
+
+_EXPORTS = {
+    "StreamConfig": ("repro.stream.config", "StreamConfig"),
+    "StreamedPage": ("repro.stream.ingest", "StreamedPage"),
+    "StreamStats": ("repro.stream.ingest", "StreamStats"),
+    "StreamingIngestor": ("repro.stream.ingest", "StreamingIngestor"),
+    "StreamOrganizer": ("repro.stream.organizer", "StreamOrganizer"),
+    "StreamRunResult": ("repro.stream.runner", "StreamRunResult"),
+    "final_labeling": ("repro.stream.runner", "final_labeling"),
+    "reference_parity": ("repro.stream.runner", "reference_parity"),
+    "run_stream": ("repro.stream.runner", "run_stream"),
+}
+
+__all__ = sorted(_EXPORTS)
+
+
+def __getattr__(name):
+    try:
+        module_name, attr = _EXPORTS[name]
+    except KeyError:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}"
+        ) from None
+    import importlib
+
+    return getattr(importlib.import_module(module_name), attr)
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_EXPORTS))

@@ -1,0 +1,72 @@
+"""Streaming-ingestion knobs.
+
+A leaf module: :class:`~repro.core.config.CAFCConfig` embeds a
+:class:`StreamConfig`, so nothing here may import from ``repro.core``
+(or anything that does).
+"""
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+
+@dataclass
+class StreamConfig:
+    """Configuration for the streaming ingestion path (``repro.stream``).
+
+    ``drift_threshold`` is the quantified relaxation at the heart of
+    streaming Eq-1: emitted weights may differ from the exact
+    prefix-statistics weights by at most ``LOC * TF * drift_threshold``
+    per term (see :class:`~repro.vsm.schemes.IdfDriftTracker`).  ``0``
+    re-prepares contexts every batch — exact, but O(batches) re-weights.
+
+    ``vocab_budget`` / ``min_df`` bound the per-space DF tables: when a
+    re-weight finds more than ``vocab_budget`` distinct terms in a
+    space, terms with document frequency below ``min_df`` are pruned
+    before the new contexts are prepared.  ``vocab_budget=0`` prunes at
+    every re-weight; ``min_df<=1`` disables pruning entirely.
+
+    ``spill_dir=None`` keeps the page index fully resident (fine below
+    ~10k pages); a path enables spill-to-disk segments of
+    ``spill_segment_rows`` rows each.
+    """
+
+    batch_size: int = 256
+    drift_threshold: float = 0.1
+    reservoir_size: int = 512
+    reservoir_seed: int = 0
+    vocab_budget: int = 150_000
+    min_df: int = 2
+    spill_dir: Optional[str] = None
+    spill_segment_rows: int = 4096
+
+    def __post_init__(self) -> None:
+        if self.batch_size < 1:
+            raise ValueError("batch_size must be positive")
+        if self.drift_threshold < 0.0:
+            raise ValueError("drift_threshold must be >= 0")
+        if self.reservoir_size < 1:
+            raise ValueError("reservoir_size must be positive")
+        if self.vocab_budget < 0:
+            raise ValueError("vocab_budget must be >= 0")
+        if self.spill_segment_rows < 1:
+            raise ValueError("spill_segment_rows must be positive")
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "batch_size": self.batch_size,
+            "drift_threshold": self.drift_threshold,
+            "reservoir_size": self.reservoir_size,
+            "reservoir_seed": self.reservoir_seed,
+            "vocab_budget": self.vocab_budget,
+            "min_df": self.min_df,
+            "spill_dir": self.spill_dir,
+            "spill_segment_rows": self.spill_segment_rows,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "StreamConfig":
+        known = set(cls.__dataclass_fields__)
+        return cls(**{k: v for k, v in payload.items() if k in known})
+
+
+__all__ = ["StreamConfig"]

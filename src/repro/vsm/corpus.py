@@ -33,6 +33,27 @@ class CorpusStats:
         distinct: Set[str] = set(terms)
         self._document_frequency.update(distinct)
 
+    def prune_rare(self, min_df: int) -> int:
+        """Drop terms with document frequency below ``min_df``.
+
+        The streaming path's vocabulary floor: hapax terms (site brands,
+        typos) dominate an unbounded stream's vocabulary but can never
+        weigh much — Equation 1 gives them the *largest* IDF, yet they
+        appear in one document, so they only ever inflate that one
+        page's self-similarity.  Pruning them from the DF table removes
+        them from every later ``idf_map`` (so emitted vectors never
+        intern them) while leaving ``N`` and all surviving frequencies
+        untouched — surviving IDFs do not move.  Returns how many terms
+        were dropped.  ``min_df <= 1`` is a no-op.
+        """
+        if min_df <= 1:
+            return 0
+        df = self._document_frequency
+        doomed = [term for term, count in df.items() if count < min_df]
+        for term in doomed:
+            del df[term]
+        return len(doomed)
+
     # ----------------------------------------------------------------
     # Queries.
     # ----------------------------------------------------------------

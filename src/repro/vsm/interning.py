@@ -14,6 +14,7 @@ ids are meaningless outside the process, which is why
 strings.
 """
 
+import sys
 import threading
 from typing import Dict, List, Optional
 
@@ -57,6 +58,126 @@ class TermTable:
     def term(self, tid: int) -> str:
         """The term string behind ``tid``."""
         return self._terms[tid]
+
+    def bytes_estimate(self) -> int:
+        """Approximate resident bytes of the table (strings + dict + list).
+
+        String payloads are exact (``sys.getsizeof`` per term, counted
+        once — the dict key and list entry are the same object); the
+        dict/list overheads are the containers' own ``getsizeof`` plus
+        8 bytes per reference for the int values.  Good enough for the
+        ``vocab_bytes_estimate`` gauge to show growth, which is the
+        point — unbounded interning must at least be *visible*.
+        """
+        terms = self._terms
+        string_bytes = sum(sys.getsizeof(term) for term in terms)
+        return (
+            string_bytes
+            + sys.getsizeof(self._ids)
+            + sys.getsizeof(terms)
+            + 8 * len(terms)  # int values in the id dict
+        )
+
+    def stats(self) -> Dict[str, int]:
+        """``{"terms": ..., "bytes_estimate": ...}`` for gauges and CLIs."""
+        return {"terms": len(self), "bytes_estimate": self.bytes_estimate()}
+
+
+class BoundedTermTable(TermTable):
+    """A :class:`TermTable` that can shed rarely used terms.
+
+    The process-global :data:`VOCABULARY` must stay append-only — live
+    :class:`~repro.vsm.vector.SparseVector` ids point into it — but
+    *scratch* vocabularies (the streaming ingestor's per-run term
+    bookkeeping, short-lived analysis tables) have no such liability
+    and should not grow with an unbounded stream.  This variant counts
+    :meth:`intern` calls per term and supports frequency-floor
+    compaction: :meth:`compact` drops every term used fewer than
+    ``min_count`` times and reassigns dense ids to the survivors,
+    returning the ``old id -> new id`` remap so any caller-held ids can
+    be rewritten (or discarded).
+
+    ``max_terms`` arms automatic compaction: when interning would grow
+    the table past the cap, :meth:`compact` runs first with an adaptive
+    floor (the smallest ``min_count`` that frees space).  Ids are only
+    stable between compactions — that is the contract callers accept in
+    exchange for bounded memory.
+    """
+
+    __slots__ = ("_counts", "max_terms", "n_compactions", "n_dropped")
+
+    def __init__(self, max_terms: int = 0) -> None:
+        super().__init__()
+        if max_terms < 0:
+            raise ValueError("max_terms must be non-negative")
+        self._counts: List[int] = []
+        self.max_terms = max_terms
+        self.n_compactions = 0
+        self.n_dropped = 0
+
+    def intern(self, term: str) -> int:
+        tid = self._ids.get(term)
+        if tid is not None:
+            self._counts[tid] += 1
+            return tid
+        with self._lock:
+            tid = self._ids.get(term)
+            if tid is not None:
+                self._counts[tid] += 1
+                return tid
+            if self.max_terms and len(self._terms) >= self.max_terms:
+                self._compact_locked(self._adaptive_floor())
+            tid = len(self._terms)
+            self._terms.append(term)
+            self._counts.append(1)
+            self._ids[term] = tid
+            return tid
+
+    def count(self, term: str) -> int:
+        """How many times ``term`` was interned since it last survived
+        (0 when absent)."""
+        tid = self._ids.get(term)
+        return self._counts[tid] if tid is not None else 0
+
+    def _adaptive_floor(self) -> int:
+        """The smallest frequency floor that frees at least a quarter of
+        the table (so compaction is amortized, not per-intern)."""
+        target = max(1, self.max_terms // 4)
+        floor = 2
+        counts = self._counts
+        while sum(1 for c in counts if c < floor) < target:
+            floor *= 2
+            if floor > max(counts, default=1):
+                break
+        return floor
+
+    def compact(self, min_count: int = 2) -> Dict[int, int]:
+        """Drop terms interned fewer than ``min_count`` times; densify ids.
+
+        Returns ``{old id: new id}`` for the survivors — anything absent
+        was dropped.  Survivor counts reset to 1 so long-lived terms must
+        keep earning their slot across compaction epochs.
+        """
+        with self._lock:
+            return self._compact_locked(min_count)
+
+    def _compact_locked(self, min_count: int) -> Dict[int, int]:
+        remap: Dict[int, int] = {}
+        new_terms: List[str] = []
+        new_counts: List[int] = []
+        new_ids: Dict[str, int] = {}
+        for tid, (term, count) in enumerate(zip(self._terms, self._counts)):
+            if count >= min_count:
+                remap[tid] = len(new_terms)
+                new_ids[term] = len(new_terms)
+                new_terms.append(term)
+                new_counts.append(1)
+        self.n_dropped += len(self._terms) - len(new_terms)
+        self._terms = new_terms
+        self._counts = new_counts
+        self._ids = new_ids
+        self.n_compactions += 1
+        return remap
 
 
 #: The process-wide vocabulary every :class:`~repro.vsm.vector.SparseVector`

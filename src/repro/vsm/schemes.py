@@ -99,6 +99,69 @@ class SpaceStats:
         return self.total_weighted_length / n
 
 
+class IdfDriftTracker:
+    """An upper bound on per-term IDF drift since the last re-weight.
+
+    The streaming relaxation (docs/INGESTION.md): pages are emitted
+    against the IDF map *prepared* at the last re-weight, while the
+    per-space :class:`SpaceStats` keep absorbing documents.  For a term
+    in the prepared map, the frozen-vs-current error is
+
+        ``idf0 - idf = log(df/df0) - log(N/N0)``
+
+    whose two parts are both non-negative (document counts only grow),
+    so ``|idf0 - idf| <= max(log(N/N0), max_t log(df_t/df0_t))`` — the
+    quantity :meth:`drift` maintains.  Both parts update in O(distinct
+    terms per document): :meth:`absorb` is called right after the
+    scheme's ``observe`` folded a document in, and :meth:`rearm`
+    re-snapshots after every ``prepare``.
+
+    The re-weight policy — re-prepare when :meth:`drift` exceeds a
+    threshold *before* emitting a batch — therefore guarantees that
+    every emitted in-vocabulary weight ``LOC*TF*idf0`` is within
+    ``LOC*TF*threshold`` of the exact Equation-1 weight over all
+    documents observed so far.  Terms first seen after the snapshot are
+    absent from the frozen map and drop out of emission entirely (the
+    same frozen-vocabulary treatment ``transform_new`` applies); the
+    next re-weight admits them.
+    """
+
+    __slots__ = ("_n0", "_df0", "_max_log_ratio")
+
+    def __init__(self) -> None:
+        self._n0 = 0
+        self._df0: Dict[str, int] = {}
+        self._max_log_ratio = 0.0
+
+    def rearm(self, stats: SpaceStats) -> None:
+        """Snapshot the stats a ``prepare`` was just run over."""
+        self._n0 = stats.corpus.document_count
+        self._df0 = dict(stats.corpus.document_frequencies())
+        self._max_log_ratio = 0.0
+
+    def absorb(self, stats: SpaceStats, distinct_terms: Iterable[str]) -> None:
+        """Fold one just-observed document's distinct terms in."""
+        df0 = self._df0
+        if not df0:
+            return
+        corpus = stats.corpus
+        worst = self._max_log_ratio
+        for term in distinct_terms:
+            base = df0.get(term)
+            if base:
+                ratio = math.log(corpus.document_frequency(term) / base)
+                if ratio > worst:
+                    worst = ratio
+        self._max_log_ratio = worst
+
+    def drift(self, stats: SpaceStats) -> float:
+        """The current bound on any prepared term's ``|idf0 - idf|``."""
+        n = stats.corpus.document_count
+        if self._n0 <= 0:
+            return float("inf") if n > 0 else 0.0
+        return max(math.log(n / self._n0), self._max_log_ratio)
+
+
 @runtime_checkable
 class WeightingScheme(Protocol):
     """The three-phase weighting contract the vectorizer codes against."""
@@ -341,6 +404,7 @@ def scheme_from_dict(state: dict) -> WeightingScheme:
 
 
 __all__ = [
+    "IdfDriftTracker",
     "SpaceStats",
     "WeightingScheme",
     "Eq1Scheme",

@@ -23,6 +23,7 @@ Entry point: :func:`repro.webgen.corpus.generate_benchmark`.
 from repro.webgen.config import GeneratorConfig
 from repro.webgen.corpus import SyntheticWeb, generate_benchmark
 from repro.webgen.domains import DOMAINS, DomainSpec, domain_by_name
+from repro.webgen.stream import PageChunk, page_at, stream_chunks, stream_pages
 
 __all__ = [
     "GeneratorConfig",
@@ -31,4 +32,8 @@ __all__ = [
     "DOMAINS",
     "DomainSpec",
     "domain_by_name",
+    "PageChunk",
+    "page_at",
+    "stream_chunks",
+    "stream_pages",
 ]

@@ -1,0 +1,220 @@
+"""Streaming synthetic-page emission — 100k+ pages without a corpus.
+
+:func:`~repro.webgen.corpus.generate_benchmark` materializes the whole
+web (sites, hubs, a simulated search engine) because the paper's
+evaluation needs backlinks and gold hub structure.  The streaming
+ingestion path (:mod:`repro.stream`) needs something else entirely: an
+*unbounded, restartable* source of form pages that never holds more
+than the page being emitted.
+
+:func:`page_at` is a pure function of ``(seed, index)``: every page is
+generated from its own :class:`random.Random` seeded with a string key,
+so emission order does not matter, any sub-range can be regenerated
+independently (restart after a crash, or fan a range out over
+:mod:`repro.parallel` executors via :func:`stream_chunks`), and two
+processes asking for the same index get byte-identical HTML.
+
+Streamed pages reuse the batch generator's domain specs, form builders
+and page assembly (:func:`~repro.webgen.pages_gen.build_form_page`), so
+their statistical profile — Table-1 prose budgets, label heterogeneity,
+crosstalk prose, keyword forms — matches the 454-page reference corpus.
+They carry no backlinks (a streaming crawler has not harvested links
+yet), which is exactly the FC/PC-only regime the mini-batch organizer
+clusters in.  URL uniqueness is structural: the host embeds the decimal
+page index, and host syllables are alphabetic, so no two indices can
+collide.
+"""
+
+import random
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from repro.core.form_page import RawFormPage
+from repro.webgen.config import GeneratorConfig
+from repro.webgen.domains import DOMAINS, DomainSpec, domain_by_name
+from repro.webgen.forms_gen import (
+    keyword_form,
+    mixed_entertainment_form,
+    multi_attribute_form,
+)
+from repro.webgen.pages_gen import build_form_page
+from repro.webgen.vocab import MISC_FLAVOR, brand_name
+
+# Size-class mix for multi-attribute forms (same Table-1 coverage as the
+# batch generator's corpus orchestration).
+_SIZE_CLASSES: Tuple[Tuple[str, float], ...] = (
+    ("small", 0.30), ("medium", 0.40), ("large", 0.30),
+)
+
+# Prose cross-talk siblings (cross-selling pages), mirroring the batch
+# corpus: travel domains mention each other, entertainment overlaps.
+_CROSSTALK: dict = {
+    "airfare": ("hotel", "rental"),
+    "hotel": ("airfare", "rental"),
+    "rental": ("airfare", "hotel", "auto"),
+    "auto": ("rental",),
+    "music": ("movie",),
+    "movie": ("music",),
+    "book": ("movie", "music"),
+}
+
+# Fraction of a domain budget that carries a single-attribute keyword
+# form — the reference corpus ships 56/454.
+_KEYWORD_FRACTION = 56.0 / 454.0
+
+
+def _domain_table(config: GeneratorConfig) -> Tuple[List[DomainSpec], List[float]]:
+    """Domains with cumulative pick weights matching the corpus profile."""
+    domains: List[DomainSpec] = []
+    cumulative: List[float] = []
+    total = float(sum(config.pages_per_domain.values())) or 1.0
+    running = 0.0
+    for name, budget in sorted(config.pages_per_domain.items()):
+        domains.append(domain_by_name(name))
+        running += budget / total
+        cumulative.append(running)
+    if not domains:
+        domains = list(DOMAINS)
+        cumulative = [(i + 1) / len(domains) for i in range(len(domains))]
+    cumulative[-1] = 1.0
+    return domains, cumulative
+
+
+def _pick_domain(
+    roll: float, domains: Sequence[DomainSpec], cumulative: Sequence[float]
+) -> DomainSpec:
+    for domain, bound in zip(domains, cumulative):
+        if roll < bound:
+            return domain
+    return domains[-1]
+
+
+def page_at(
+    index: int,
+    seed: int = 42,
+    config: Optional[GeneratorConfig] = None,
+) -> RawFormPage:
+    """The ``index``-th streamed page — a pure function of ``(seed, index)``.
+
+    The per-page RNG is seeded with a string key (Python hashes string
+    seeds with SHA-512, independent of ``PYTHONHASHSEED``), so any index
+    can be regenerated in isolation and chunked emission is
+    embarrassingly parallel.
+    """
+    if index < 0:
+        raise ValueError("page index must be non-negative")
+    config = config or GeneratorConfig()
+    rng = random.Random(f"repro.stream:{seed}:{index}")
+    domains, cumulative = _domain_table(config)
+    domain = _pick_domain(rng.random(), domains, cumulative)
+
+    brand = brand_name(rng)
+    prefix = rng.choice(domain.site_words) if domain.site_words else ""
+    host = f"www.{prefix}{brand}{index}.com"
+    url = f"http://{host}/search.html"
+    site_flavor = rng.sample(MISC_FLAVOR, rng.randint(4, 8))
+
+    extra_topic: Sequence[str] = ()
+    extra_rate = 0.5
+    keyword_hint = None
+    force_domain_title = False
+    roll = rng.random()
+    if roll < _KEYWORD_FRACTION:
+        form = keyword_form(domain, rng)
+        keyword_hint = domain.keyword_hint
+    elif domain.name in ("music", "movie") and roll < _KEYWORD_FRACTION + 0.1:
+        other = domain_by_name("movie" if domain.name == "music" else "music")
+        form = mixed_entertainment_form(domain, other, rng)
+        extra_topic = other.topic_words
+    else:
+        size_roll = rng.random()
+        size_class = _SIZE_CLASSES[-1][0]
+        running = 0.0
+        for name, weight in _SIZE_CLASSES:
+            running += weight
+            if size_roll < running:
+                size_class = name
+                break
+        form = multi_attribute_form(domain, rng, size_class=size_class)
+        siblings = _CROSSTALK.get(domain.name, ())
+        if siblings and rng.random() < config.crosstalk_fraction:
+            extra_topic = domain_by_name(rng.choice(siblings)).topic_words
+            force_domain_title = True
+
+    blueprint = build_form_page(
+        domain,
+        brand,
+        form,
+        config,
+        rng,
+        extra_topic=extra_topic,
+        extra_rate=extra_rate,
+        include_newsletter=rng.random() < 0.12,
+        keyword_hint=keyword_hint,
+        site_flavor=site_flavor,
+        force_domain_title=force_domain_title,
+    )
+    return RawFormPage(
+        url=url,
+        html=blueprint.html,
+        backlinks=[],
+        label=domain.name,
+    )
+
+
+def stream_pages(
+    n_pages: int,
+    seed: int = 42,
+    start: int = 0,
+    config: Optional[GeneratorConfig] = None,
+) -> Iterator[RawFormPage]:
+    """Yield ``n_pages`` pages lazily, starting at index ``start``.
+
+    Memory is O(1) in ``n_pages``: each page is built, yielded, and
+    dropped.  ``stream_pages(n, seed, start=k)`` resumes a crashed run
+    exactly where it stopped.
+    """
+    config = config or GeneratorConfig()
+    for index in range(start, start + n_pages):
+        yield page_at(index, seed=seed, config=config)
+
+
+@dataclass(frozen=True)
+class PageChunk:
+    """A contiguous, independently regenerable slice of the stream.
+
+    Chunks are plain picklable data, so a :func:`repro.parallel.ingest.
+    parallel_map` over chunk specs regenerates and analyzes ranges
+    concurrently without ever shipping page HTML between processes.
+    """
+
+    seed: int
+    start: int
+    count: int
+
+    def pages(self, config: Optional[GeneratorConfig] = None) -> Iterator[RawFormPage]:
+        return stream_pages(
+            self.count, seed=self.seed, start=self.start, config=config
+        )
+
+
+def stream_chunks(
+    n_pages: int,
+    chunk_size: int,
+    seed: int = 42,
+    start: int = 0,
+) -> List[PageChunk]:
+    """Split ``[start, start + n_pages)`` into :class:`PageChunk` specs."""
+    if chunk_size < 1:
+        raise ValueError("chunk_size must be positive")
+    chunks: List[PageChunk] = []
+    index = start
+    end = start + n_pages
+    while index < end:
+        count = min(chunk_size, end - index)
+        chunks.append(PageChunk(seed=seed, start=index, count=count))
+        index += count
+    return chunks
+
+
+__all__ = ["PageChunk", "page_at", "stream_chunks", "stream_pages"]
