@@ -1,6 +1,6 @@
 # Convenience targets; everything works without make too.
 
-.PHONY: install test bench bench-smoke bench-ingest bench-search bench-ranking bench-shard bench-serve bench-stream serve-smoke shard-smoke stream-smoke chaos experiments examples lint clean
+.PHONY: install test bench bench-smoke bench-ingest bench-search bench-ranking bench-shard bench-serve bench-stream serve-smoke shard-smoke stream-smoke chaos failover-chaos experiments examples lint clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -46,6 +46,9 @@ shard-smoke:           ## boot router + 2 shards + 1 replica in-process, round-t
 chaos:                 ## resilience suite: fault injection, retry/breaker, journal crash-recovery
 	PYTHONPATH=src python -m pytest tests/test_resilience.py tests/test_journal.py tests/test_chaos.py -q
 	PYTHONPATH=src python -m repro serve --smoke --chaos 7
+
+failover-chaos:        ## epoch-fencing soak: 25+ seeded kill/pause schedules (zombie-leader invariant) + failover suite
+	PYTHONPATH=src REPRO_FENCING_SEEDS=25 python -m pytest tests/test_fencing.py tests/test_distrib_failover.py -q
 
 bench-paper:           ## full paper protocol (20 CAFC-C trials per bench)
 	REPRO_BENCH_RUNS=20 pytest benchmarks/ --benchmark-only

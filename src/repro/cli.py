@@ -491,8 +491,16 @@ def _smoke_snapshot(seed: int = 42, k: int = 8):
     return build_snapshot(result, pipeline.vectorizer, pipeline.config)
 
 
+def _lease_path(lease_dir: str, shard_index: int) -> str:
+    """The per-shard lease file inside a shared --lease-dir."""
+    import os
+
+    os.makedirs(lease_dir, exist_ok=True)
+    return os.path.join(lease_dir, f"shard-{shard_index:02d}.lease")
+
+
 def _cmd_shard(args: argparse.Namespace) -> int:
-    from repro.distrib import ShardNode, serve_shard, split_snapshot
+    from repro.distrib import LeaseStore, ShardNode, serve_shard, split_snapshot
     from repro.service import Snapshot
 
     if args.split:
@@ -513,10 +521,18 @@ def _cmd_shard(args: argparse.Namespace) -> int:
             )
         return 0
 
+    snapshot = Snapshot.load(args.snapshot)
+    lease_store = None
+    if args.lease_dir:
+        shard_index = int((snapshot.meta or {}).get("shard", 0))
+        lease_store = LeaseStore(_lease_path(args.lease_dir, shard_index))
     node = ShardNode(
-        args.snapshot,
+        snapshot,
         journal=args.journal,
         segment_records=args.segment_records,
+        lease_store=lease_store,
+        lease_ttl=args.lease_ttl,
+        epoch=args.epoch,
         batch_window_ms=(
             args.batch_window_ms if args.batch_window_ms >= 0 else None
         ),
@@ -530,7 +546,8 @@ def _cmd_shard(args: argparse.Namespace) -> int:
         f"shard {health['shard']}/{health['n_shards']} "
         f"({health['placement']} placement): {health['pages']} pages in "
         f"{health['clusters']} clusters; journal "
-        f"{'on' if node.journal else 'off'}"
+        f"{'on' if node.journal else 'off'}; epoch {node.epoch}"
+        + (f"; lease {lease_store.path}" if lease_store else "")
     )
     print(f"serving on {server.base_url} (Ctrl-C to stop)")
     try:
@@ -587,10 +604,16 @@ def _cmd_replica(args: argparse.Namespace) -> int:
                     and not replica.promoted
                 ):
                     print(f"leader gone ({exc}); promoting")
-                    replica.promote(args.leader_journal)
+                    promote_kwargs = {}
+                    if args.lease_dir and replica.node is not None:
+                        promote_kwargs["lease_store"] = _lease_path(
+                            args.lease_dir, replica.node.shard_index
+                        )
+                        promote_kwargs["lease_ttl"] = args.lease_ttl
+                    replica.promote(args.leader_journal, **promote_kwargs)
                     print(
                         "promoted: serving writes at position "
-                        f"{replica.applied}"
+                        f"{replica.applied}, epoch {replica.epoch}"
                     )
                     return
             stop.wait(args.poll_ms / 1000.0)
@@ -741,6 +764,57 @@ def _router_smoke(args: argparse.Namespace) -> int:
             for server in servers:
                 server.shut_down()
     return 0
+
+
+def _cmd_failover(args: argparse.Namespace) -> int:
+    """Watch a leader's lease (or health) and auto-promote a replica —
+    the operational face of :class:`repro.distrib.fence.
+    FailoverCoordinator` (docs/SHARDING.md, "Automatic failover")."""
+    import json
+
+    from repro.distrib import FailoverCoordinator, HttpShardClient, LeaseStore
+
+    leader = HttpShardClient(
+        args.leader, timeout=args.request_timeout, name="leader"
+    )
+    replicas = [
+        HttpShardClient(
+            url, timeout=args.request_timeout, name=f"replica-{index}"
+        )
+        for index, url in enumerate(args.replica)
+    ]
+    lease_store = None
+    if args.lease_dir:
+        lease_store = LeaseStore(
+            _lease_path(args.lease_dir, args.shard_index)
+        )
+    coordinator = FailoverCoordinator(
+        leader,
+        replicas,
+        args.leader_journal,
+        lease_store=lease_store,
+        shard_index=args.shard_index,
+        miss_threshold=args.miss_threshold,
+    )
+    mode = (
+        f"lease {lease_store.path}" if lease_store else "health probes"
+    )
+    print(
+        f"watching {args.leader} via {mode}; "
+        f"{len(replicas)} candidate replica(s), "
+        f"promote after {args.miss_threshold} miss(es)"
+    )
+    if args.once:
+        event = coordinator.tick()
+    else:
+        try:
+            coordinator.run(interval=args.interval)
+        except KeyboardInterrupt:
+            print("\nstopping")
+            return 0
+        event = coordinator.last_event or {"action": "stopped"}
+    print(json.dumps(event, sort_keys=True))
+    return 0 if event.get("action") in ("promoted", "alive", "suspect") else 1
 
 
 def _add_parallel_flags(parser: argparse.ArgumentParser) -> None:
@@ -1013,6 +1087,22 @@ def build_parser() -> argparse.ArgumentParser:
         "--batch-window-ms", type=float, default=5.0,
         help="classify micro-batching window; negative disables batching",
     )
+    p_shard.add_argument(
+        "--lease-dir", metavar="DIR",
+        help="shared lease directory (one shard-NN.lease file per "
+             "shard); writes are acknowledged only while this node "
+             "holds a live lease at its epoch (docs/SHARDING.md)",
+    )
+    p_shard.add_argument(
+        "--lease-ttl", type=float, default=10.0,
+        help="leader lease time-to-live in seconds (renewed at "
+             "half-life)",
+    )
+    p_shard.add_argument(
+        "--epoch", type=int, default=0,
+        help="starting epoch floor for the journal (recovered epoch "
+             "wins if higher); normally left at 0",
+    )
     _add_transport_args(p_shard)
     p_shard.set_defaults(func=_cmd_shard)
 
@@ -1050,6 +1140,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="promote after this many consecutive failed polls "
              "(needs --leader-journal; 0 disables)",
     )
+    p_replica.add_argument(
+        "--lease-dir", metavar="DIR",
+        help="shared lease directory; on promotion the new leader "
+             "takes the shard's lease at its bumped epoch, fencing "
+             "the old one",
+    )
+    p_replica.add_argument(
+        "--lease-ttl", type=float, default=10.0,
+        help="lease time-to-live the promoted leader renews under",
+    )
     _add_transport_args(p_replica)
     p_replica.set_defaults(func=_cmd_replica)
 
@@ -1082,6 +1182,52 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_transport_args(p_router)
     p_router.set_defaults(func=_cmd_router)
+
+    p_failover = subparsers.add_parser(
+        "failover",
+        help="watch a shard leader and auto-promote the most-caught-up "
+             "replica when it dies (docs/SHARDING.md)",
+    )
+    p_failover.add_argument(
+        "--leader", required=True, metavar="URL",
+        help="base URL of the leader being watched",
+    )
+    p_failover.add_argument(
+        "--replica", action="append", required=True, metavar="URL",
+        help="candidate replica base URL; repeat per replica",
+    )
+    p_failover.add_argument(
+        "--leader-journal", required=True, metavar="PATH",
+        help="the leader's on-disk journal (shared storage) the "
+             "promoted replica drains and adopts",
+    )
+    p_failover.add_argument(
+        "--lease-dir", metavar="DIR",
+        help="shared lease directory: leader death = missing/expired "
+             "lease (without it, failed health probes)",
+    )
+    p_failover.add_argument(
+        "--shard-index", type=int, default=0,
+        help="logical shard being supervised (picks the lease file)",
+    )
+    p_failover.add_argument(
+        "--miss-threshold", type=int, default=3,
+        help="consecutive dead observations before promoting",
+    )
+    p_failover.add_argument(
+        "--interval", type=float, default=1.0,
+        help="seconds between detection ticks",
+    )
+    p_failover.add_argument(
+        "--request-timeout", type=float, default=10.0,
+        help="per-request timeout talking to nodes",
+    )
+    p_failover.add_argument(
+        "--once", action="store_true",
+        help="run a single detection tick and print its event (cron "
+             "mode)",
+    )
+    p_failover.set_defaults(func=_cmd_failover)
     return parser
 
 

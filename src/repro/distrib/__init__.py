@@ -15,6 +15,11 @@ and put a scatter-gather router in front.
   writes lost;
 * :mod:`~repro.distrib.router` — deterministic k-way merged fan-out
   with per-shard timeouts and partial-result degradation;
+* :mod:`~repro.distrib.fence` — epoch-fenced leadership: the
+  file-backed leader :class:`~repro.distrib.fence.LeaseStore` and the
+  :class:`~repro.distrib.fence.FailoverCoordinator` that detects a
+  dead leader, promotes the most-caught-up replica, and repoints the
+  router (``repro failover``);
 * :mod:`~repro.distrib.client` / :mod:`~repro.distrib.http` — the
   in-process and HTTP transports (``repro shard`` / ``repro replica``
   / ``repro router``).
@@ -27,6 +32,14 @@ from repro.distrib.client import (
     LocalShardClient,
     SegmentGone,
     ShardUnavailable,
+)
+from repro.distrib.fence import (
+    DEFAULT_LEASE_TTL,
+    FailoverCoordinator,
+    Lease,
+    LeaseHeld,
+    LeaseStore,
+    StaleEpochError,
 )
 from repro.distrib.http import (
     ReplicaApp,
@@ -52,11 +65,17 @@ from repro.distrib.shard import DEFAULT_SEGMENT_RECORDS, ShardNode
 
 __all__ = [
     "AllShardsUnavailable",
+    "DEFAULT_LEASE_TTL",
     "DEFAULT_SEGMENT_RECORDS",
     "DirectoryRouter",
+    "FailoverCoordinator",
     "HttpShardClient",
+    "Lease",
+    "LeaseHeld",
+    "LeaseStore",
     "LocalShardClient",
     "PLACEMENT_CHOICES",
+    "StaleEpochError",
     "ReplicaApp",
     "ReplicaHTTPServer",
     "ReplicaNode",

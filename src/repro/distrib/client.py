@@ -23,12 +23,13 @@ import json
 import socket
 import threading
 import urllib.parse
+from contextlib import contextmanager
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.form_page import RawFormPage
 from repro.distrib.shard import ShardNode
 from repro.resilience.faults import FaultError
-from repro.resilience.journal import JournalError
+from repro.resilience.journal import JournalError, StaleEpochError
 from repro.resilience.retry import RetryError
 
 
@@ -77,6 +78,11 @@ class LocalShardClient:
         self._check()
         try:
             return fn(*args, **kwargs)
+        except StaleEpochError:
+            # Not an availability problem: the node answered, and the
+            # answer is "I am fenced".  The router failovers on it and
+            # the HTTP face maps it to 409.
+            raise
         except (FaultError, RetryError, TimeoutError) as exc:
             raise ShardUnavailable(
                 self.name, f"{type(exc).__name__}: {exc}"
@@ -88,6 +94,13 @@ class LocalShardClient:
 
     def revive(self) -> None:
         self.alive = True
+
+    @contextmanager
+    def deadline(self, seconds: float):
+        """Deadline-budget seam (no-op in-process: local calls cannot
+        be socket-capped; the router's fan-out ``wait`` still bounds
+        them)."""
+        yield
 
     # -- serving ------------------------------------------------------
 
@@ -110,6 +123,20 @@ class LocalShardClient:
     def healthz(self) -> Dict[str, object]:
         self._check()
         return self.shard.healthz()
+
+    def promote(self, leader_journal: str, **kwargs) -> Dict[str, object]:
+        """Promote the wrapped replica (duck-typed: only meaningful
+        when this client wraps a :class:`~repro.distrib.replica.
+        ReplicaNode`).  Returns the structured reply the coordinator
+        and the HTTP ``POST /promote`` route share."""
+        node = self._guard(self.shard.promote, leader_journal, **kwargs)
+        return {
+            "ok": True,
+            "name": self.name,
+            "epoch": node.epoch,
+            "applied": getattr(self.shard, "applied", 0),
+            "drained": getattr(self.shard, "drained_on_promotion", 0),
+        }
 
     # -- replication --------------------------------------------------
 
@@ -170,17 +197,49 @@ class HttpShardClient:
         self._prefix = split.path.rstrip("/")
         self._pool: List[http.client.HTTPConnection] = []
         self._pool_lock = threading.Lock()
+        self._budget = threading.local()
+
+    # -- deadline budget ----------------------------------------------
+
+    @contextmanager
+    def deadline(self, seconds: float):
+        """Cap this thread's requests at ``seconds`` — the caller's
+        *remaining* budget, not the constructor's fixed timeout.
+
+        The router's scatter-gather enters each failover attempt under
+        the leg's remaining deadline, so the second endpoint of a
+        failover list is tried with whatever time the first one left,
+        instead of a full fresh ``timeout`` that could blow the
+        request's overall budget.  Thread-local, so concurrent fan-out
+        legs sharing a client cannot clobber each other.
+        """
+        previous = getattr(self._budget, "timeout", None)
+        self._budget.timeout = max(0.001, float(seconds))
+        try:
+            yield
+        finally:
+            self._budget.timeout = previous
+
+    @property
+    def effective_timeout(self) -> float:
+        override = getattr(self._budget, "timeout", None)
+        return self.timeout if override is None else override
 
     # -- connection pool ----------------------------------------------
 
     def _acquire(self) -> Tuple[http.client.HTTPConnection, bool]:
         """(connection, was_reused) — pooled connections may be stale."""
+        timeout = self.effective_timeout
         if self.pooled:
             with self._pool_lock:
                 if self._pool:
-                    return self._pool.pop(), True
+                    conn = self._pool.pop()
+                    conn.timeout = timeout
+                    if conn.sock is not None:
+                        conn.sock.settimeout(timeout)
+                    return conn, True
         conn = http.client.HTTPConnection(
-            self._host, self._port, timeout=self.timeout
+            self._host, self._port, timeout=timeout
         )
         return conn, False
 
@@ -270,6 +329,23 @@ class HttpShardClient:
                 raise SegmentGone(
                     payload.decode("utf-8", "replace")[:200]
                 )
+            if status == 409:
+                # The structured fencing rejection: surface it as the
+                # same exception the in-process transport raises, with
+                # the server's current epoch attached, so callers can
+                # re-resolve the leader instead of retrying a zombie.
+                try:
+                    error = json.loads(payload.decode("utf-8")).get(
+                        "error", {}
+                    )
+                except (UnicodeDecodeError, json.JSONDecodeError):
+                    error = {}
+                if error.get("code") == "stale_epoch":
+                    raise StaleEpochError(
+                        int(error.get("epoch", 0)),
+                        int(error.get("offered", 0)),
+                        str(error.get("message", "")),
+                    )
             if error_body_is_answer:
                 # 503-recovering still carries a JSON status body — that
                 # is an answer ("recovering"), not an unavailable
@@ -311,6 +387,27 @@ class HttpShardClient:
 
     def healthz(self) -> Dict[str, object]:
         return self._request("/healthz", error_body_is_answer=True)
+
+    def promote(
+        self,
+        leader_journal: str,
+        lease_store=None,
+        lease_ttl: Optional[float] = None,
+        **kwargs,
+    ) -> Dict[str, object]:
+        """Ask a replica endpoint to take over (``POST /promote``).
+
+        ``lease_store`` may be a path or a LeaseStore — only its path
+        crosses the wire (the lease *file* is the shared-storage
+        contract, exactly like the journal path).
+        """
+        body: Dict[str, object] = {"leader_journal": str(leader_journal)}
+        if lease_store is not None:
+            body["lease_file"] = str(getattr(lease_store, "path", lease_store))
+        if lease_ttl is not None:
+            body["lease_ttl"] = float(lease_ttl)
+        body.update(kwargs)
+        return self._request("/promote", body=body)
 
     # -- replication --------------------------------------------------
 

@@ -1,0 +1,413 @@
+"""Epoch-fenced leadership: leases, zombie rejection, automatic failover.
+
+PR 7 shipped replication with a *manual* ``promote()`` and an honest
+gap in docs/SHARDING.md: nothing stopped a paused-and-resumed leader
+(a **zombie**) from acknowledging writes a promoted replica never
+sees — silent split-brain.  This module closes the gap with the two
+classic pieces, plus the supervisor that drives them:
+
+* :class:`LeaseStore` — a file-backed leader lease.  A ShardNode must
+  hold a live lease to acknowledge writes; the lease file records the
+  holder **and the epoch**, and acquiring with a *higher* epoch fences
+  every lower one: a deposed leader's renew comes back
+  :class:`~repro.resilience.journal.StaleEpochError`, which the HTTP
+  face turns into ``409 stale_epoch`` and the router turns into
+  failover.  The clock is injectable and every store operation crosses
+  a named fault seam (``lease.acquire`` / ``lease.renew`` /
+  ``lease.read``), so chaos schedules are deterministic.
+* :class:`FailoverCoordinator` — watches the lease (or, storeless, the
+  leader's health endpoint); after ``miss_threshold`` consecutive dead
+  observations it picks the most-caught-up replica — highest
+  ``(epoch, applied)`` from the replicas' health records — promotes it
+  (which bumps the journal epoch, fsyncs the marker, and takes the
+  lease at the new epoch), and rotates the router's failover list so
+  the promoted node serves first.  Runs one :meth:`tick` at a time
+  (tests drive it with a fake clock) or continuously under a
+  :class:`~repro.resilience.supervisor.SupervisedWorker`
+  (``repro failover``).
+
+The epoch half of the fence lives in the journal
+(:meth:`~repro.resilience.journal.DirectoryJournal.bump_epoch`) and in
+``FormDirectory.apply_replicated`` — see docs/SHARDING.md for the full
+protocol and the zombie-leader post-mortem walkthrough.
+"""
+
+import json
+import os
+import threading
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Union
+
+from repro.resilience.faults import FaultError, inject
+from repro.resilience.journal import StaleEpochError
+from repro.resilience.stats import STATS
+from repro.resilience.supervisor import SupervisedWorker
+
+_LEASE_KIND = "repro-lease"
+
+#: Default lease time-to-live (seconds).  Writes renew at half-life, so
+#: a leader misses at most ``ttl`` of writes before self-demoting.
+DEFAULT_LEASE_TTL = 10.0
+
+
+class LeaseHeld(Exception):
+    """Another node holds a live lease at an epoch at least as high —
+    the caller must wait for expiry (or present a higher epoch)."""
+
+    def __init__(self, holder: str, epoch: int, remaining: float) -> None:
+        super().__init__(
+            f"lease held by {holder!r} (epoch {epoch}, "
+            f"{remaining:.3f}s remaining)"
+        )
+        self.holder = holder
+        self.epoch = epoch
+        self.remaining = remaining
+
+
+@dataclass(frozen=True)
+class Lease:
+    """One granted lease: who leads, at which epoch, until when."""
+
+    holder: str
+    epoch: int
+    expires_at: float
+    ttl: float
+
+    def remaining(self, now: float) -> float:
+        return self.expires_at - now
+
+    def expired(self, now: float) -> bool:
+        return now >= self.expires_at
+
+
+class LeaseStore:
+    """A file-backed leader lease with epoch fencing.
+
+    One JSON file per logical shard (shared storage — the same model
+    the promotion drain already assumes for the journal).  Writes are
+    atomic (tmp + rename); reads tolerate a torn/garbage file by
+    treating it as "no lease".
+
+    Grant rules (``acquire``):
+
+    * a **higher epoch always wins** — that is the fence: promotion
+      acquires at ``epoch + 1`` and instantly invalidates the deposed
+      leader's lease, expired or not;
+    * at the *same* epoch, the current holder may re-acquire/renew any
+      time, and anyone may take an **expired** lease;
+    * a **lower** epoch is refused with :class:`StaleEpochError` — a
+      zombie can never lease its way back in.
+
+    Parameters
+    ----------
+    path:
+        The lease file.
+    clock:
+        Injectable time source (seconds).  Defaults to ``time.time`` —
+        wall clock, because the file is shared *between processes*;
+        tests inject a fake for deterministic pause/resume schedules.
+    """
+
+    def __init__(
+        self,
+        path: Union[str, Path],
+        clock: Callable[[], float] = time.time,
+    ) -> None:
+        self.path = Path(path)
+        self.clock = clock
+        self._lock = threading.Lock()
+
+    # -- plumbing -----------------------------------------------------
+
+    def _load(self) -> Optional[Lease]:
+        try:
+            payload = json.loads(self.path.read_text("utf-8"))
+        except (OSError, UnicodeDecodeError, json.JSONDecodeError):
+            return None
+        if not isinstance(payload, dict) or payload.get("kind") != _LEASE_KIND:
+            return None
+        try:
+            return Lease(
+                holder=str(payload["holder"]),
+                epoch=int(payload["epoch"]),
+                expires_at=float(payload["expires_at"]),
+                ttl=float(payload.get("ttl", 0.0)),
+            )
+        except (KeyError, TypeError, ValueError):
+            return None
+
+    def _store(self, lease: Lease) -> None:
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = self.path.with_name(self.path.name + ".tmp")
+        tmp.write_text(
+            json.dumps(
+                {
+                    "kind": _LEASE_KIND,
+                    "holder": lease.holder,
+                    "epoch": lease.epoch,
+                    "expires_at": lease.expires_at,
+                    "ttl": lease.ttl,
+                },
+                sort_keys=True,
+            ),
+            "utf-8",
+        )
+        tmp.replace(self.path)
+
+    # -- operations ---------------------------------------------------
+
+    def read(self) -> Optional[Lease]:
+        """The current lease record (may be expired), or ``None``.
+        Crosses the ``lease.read`` seam."""
+        inject("lease.read")
+        with self._lock:
+            return self._load()
+
+    def acquire(self, holder: str, epoch: int, ttl: float) -> Lease:
+        """Take the lease at ``epoch`` for ``ttl`` seconds.
+
+        Raises :class:`StaleEpochError` when the stored epoch is
+        higher, :class:`LeaseHeld` when another holder's same-epoch
+        lease is still live.  Crosses the ``lease.acquire`` seam.
+        """
+        inject("lease.acquire")
+        with self._lock:
+            return self._grant(holder, int(epoch), float(ttl))
+
+    def renew(self, holder: str, epoch: int, ttl: float) -> Lease:
+        """Extend the holder's lease (same grant rules — a renew from a
+        deposed epoch fails exactly like an acquire would).  Crosses
+        the ``lease.renew`` seam."""
+        inject("lease.renew")
+        with self._lock:
+            return self._grant(holder, int(epoch), float(ttl))
+
+    def _grant(self, holder: str, epoch: int, ttl: float) -> Lease:
+        now = self.clock()
+        current = self._load()
+        if current is not None:
+            if epoch < current.epoch:
+                raise StaleEpochError(
+                    current.epoch, epoch,
+                    f"lease held by {current.holder!r}",
+                )
+            if (
+                epoch == current.epoch
+                and current.holder != holder
+                and not current.expired(now)
+            ):
+                raise LeaseHeld(
+                    current.holder, current.epoch, current.remaining(now)
+                )
+        lease = Lease(
+            holder=holder, epoch=epoch, expires_at=now + ttl, ttl=ttl
+        )
+        self._store(lease)
+        return lease
+
+    def release(self, holder: str) -> bool:
+        """Drop the lease if ``holder`` owns it (clean shutdown)."""
+        with self._lock:
+            current = self._load()
+            if current is None or current.holder != holder:
+                return False
+            try:
+                os.unlink(self.path)
+            except OSError:
+                return False
+            return True
+
+
+class FailoverCoordinator:
+    """Detect a dead leader, promote the best replica, repoint the
+    router — deterministically.
+
+    Works over *clients* (anything with ``healthz()`` and, for
+    replicas, ``promote(leader_journal)``), so the same coordinator
+    drives in-process chaos tests (``LocalShardClient``) and real
+    deployments (``HttpShardClient`` + the replica's ``POST /promote``
+    endpoint — ``repro failover``).
+
+    Detection: with a ``lease_store``, the leader is dead when its
+    lease is missing or expired (missed renewals); without one, when
+    its ``healthz()`` probe fails.  Either way a single observation is
+    never enough — ``miss_threshold`` consecutive dead ticks must
+    accumulate, so a flaky probe (or an injected ``lease.read`` fault)
+    cannot depose a live leader.
+
+    Promotion: replicas are ranked by their health record's
+    ``(epoch, applied)`` — most-caught-up wins; unreachable replicas
+    are skipped.  ``promote()`` on the winner drains the shared
+    journal, bumps the epoch (fsynced marker), and takes the lease at
+    the new epoch.  If a ``router`` is attached, its failover list for
+    ``shard_index`` is rotated so the promoted endpoint serves first.
+    """
+
+    def __init__(
+        self,
+        leader,
+        replicas: Sequence,
+        leader_journal: Union[str, Path],
+        lease_store: Optional[LeaseStore] = None,
+        router=None,
+        shard_index: int = 0,
+        miss_threshold: int = 3,
+        clock: Optional[Callable[[], float]] = None,
+        lease_ttl: float = DEFAULT_LEASE_TTL,
+        name: str = "failover",
+    ) -> None:
+        if not replicas:
+            raise ValueError("coordinator needs at least one replica")
+        if miss_threshold < 1:
+            raise ValueError("miss_threshold must be >= 1")
+        self.leader = leader
+        self.replicas = list(replicas)
+        self.leader_journal = leader_journal
+        self.lease_store = lease_store
+        self.router = router
+        self.shard_index = shard_index
+        self.miss_threshold = miss_threshold
+        self.clock = clock or (
+            lease_store.clock if lease_store is not None else time.time
+        )
+        self.lease_ttl = float(lease_ttl)
+        self.name = name
+        self.misses = 0
+        self.ticks = 0
+        self.completed = False
+        self.last_event: Optional[Dict[str, object]] = None
+        self._first_miss_at: Optional[float] = None
+        self._worker: Optional[SupervisedWorker] = None
+        self._stop = threading.Event()
+
+    # -- detection ----------------------------------------------------
+
+    def _leader_dead(self) -> bool:
+        if self.lease_store is not None:
+            try:
+                lease = self.lease_store.read()
+            except FaultError:
+                # An unreadable lease is indistinguishable from a dead
+                # leader for this tick; the miss threshold absorbs it.
+                return True
+            return lease is None or lease.expired(self.clock())
+        try:
+            self.leader.healthz()
+            return False
+        except Exception:
+            return True
+
+    # -- the loop body -------------------------------------------------
+
+    def tick(self) -> Dict[str, object]:
+        """One detection round.  Returns an event record; when the
+        round completed a failover it carries ``"action": "promoted"``
+        plus the timings the bench records (detect → promote)."""
+        self.ticks += 1
+        if self.completed:
+            return {"action": "done", "event": self.last_event}
+        if not self._leader_dead():
+            self.misses = 0
+            self._first_miss_at = None
+            return {"action": "alive", "misses": 0}
+        self.misses += 1
+        if self._first_miss_at is None:
+            self._first_miss_at = self.clock()
+        if self.misses < self.miss_threshold:
+            return {"action": "suspect", "misses": self.misses}
+        return self._fail_over()
+
+    def _rank(self) -> List:
+        """Replicas by ``(epoch, applied)`` descending, unreachable
+        ones dropped."""
+        ranked = []
+        for replica in self.replicas:
+            try:
+                record = replica.healthz()
+            except Exception:
+                continue
+            ranked.append(
+                (
+                    int(record.get("epoch", 0)),
+                    int(record.get("applied", 0)),
+                    replica,
+                )
+            )
+        ranked.sort(key=lambda entry: (-entry[0], -entry[1]))
+        return [entry[2] for entry in ranked]
+
+    def _fail_over(self) -> Dict[str, object]:
+        detected_at = self.clock()
+        candidates = self._rank()
+        if not candidates:
+            return {"action": "no_candidate", "misses": self.misses}
+        winner = candidates[0]
+        promote_started = self.clock()
+        promote_kwargs = {}
+        if self.lease_store is not None:
+            # The promoted node takes the lease at its bumped epoch —
+            # this is what actually fences the old leader.
+            promote_kwargs["lease_store"] = self.lease_store
+            promote_kwargs["lease_ttl"] = self.lease_ttl
+        reply = winner.promote(str(self.leader_journal), **promote_kwargs)
+        promoted_at = self.clock()
+        if self.router is not None:
+            others = [r for r in self.replicas if r is not winner]
+            self.router.set_endpoints(self.shard_index, [winner] + others)
+        self.completed = True
+        STATS.inc("failovers")
+        event: Dict[str, object] = {
+            "action": "promoted",
+            "shard": self.shard_index,
+            "winner": getattr(winner, "name", "?"),
+            "epoch": int(reply.get("epoch", 0)) if isinstance(reply, dict)
+            else 0,
+            "misses": self.misses,
+            "detect_seconds": (
+                detected_at - self._first_miss_at
+                if self._first_miss_at is not None else 0.0
+            ),
+            "promote_seconds": promoted_at - promote_started,
+        }
+        self.last_event = event
+        return event
+
+    # -- supervised operation -----------------------------------------
+
+    def run(self, interval: float = 1.0) -> None:
+        """Tick until a failover completes or :meth:`stop` is called
+        (the ``repro failover`` loop body)."""
+        while not self._stop.is_set():
+            event = self.tick()
+            if event.get("action") in ("promoted", "done"):
+                return
+            self._stop.wait(interval)
+
+    def start(self, interval: float = 1.0) -> SupervisedWorker:
+        """Run the detection loop on a supervised daemon thread."""
+        if self._worker is None:
+            self._worker = SupervisedWorker(
+                lambda: self.run(interval),
+                name=f"repro-{self.name}",
+                backoff_base=min(0.1, interval),
+            )
+            self._worker.start()
+        return self._worker
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._worker is not None:
+            self._worker.stop()
+            self._worker = None
+
+
+__all__ = [
+    "DEFAULT_LEASE_TTL",
+    "FailoverCoordinator",
+    "Lease",
+    "LeaseHeld",
+    "LeaseStore",
+    "StaleEpochError",
+]

@@ -21,6 +21,7 @@ the ``serve_*`` factories, ``--transport`` on the CLI).
   shard answers.
 """
 
+import json
 from http.server import ThreadingHTTPServer
 from typing import Callable, Dict, Optional, Tuple
 
@@ -82,6 +83,19 @@ class ShardApp(DirectoryApp):
         )
         return routes
 
+    def _get_healthz(self, query: dict) -> Response:
+        # The single-node health body, merged with the shard's identity
+        # record — which is where ``epoch`` / ``role`` /
+        # ``lease_remaining`` live, so a failover runbook (or the
+        # router's leader re-resolution) reads them straight off
+        # /healthz.
+        response = super()._get_healthz(query)
+        if response.status != 200:
+            return response
+        payload = json.loads(response.body.decode("utf-8"))
+        payload.update(self.shard.healthz())
+        return json_response(200, payload)
+
     # -- reads in global ids ------------------------------------------
 
     def _get_search(self, query: dict) -> Response:
@@ -101,6 +115,19 @@ class ShardApp(DirectoryApp):
     def _post_add(self, body: dict) -> Response:
         raw = _raw_page_from_body(body)
         return json_response(200, {"ok": True, **self.shard.add(raw)})
+
+    def _post_remove(self, body: dict) -> Response:
+        # Through the shard, not the bare directory: removes are writes
+        # and must pass the same leadership check as adds.
+        url = body.get("url")
+        if not isinstance(url, str) or not url:
+            raise ApiError(
+                400, "bad_request", "'url' must be a non-empty string"
+            )
+        removed = self.shard.remove(url)
+        return json_response(
+            200, {"ok": True, "url": url, "removed": removed}
+        )
 
     # -- replication feed ---------------------------------------------
 
@@ -160,7 +187,44 @@ class ReplicaApp(ShardApp):
             "/classify": self._post_classify,
             "/add": self._refusing(super().post_routes()["/add"]),
             "/remove": self._refusing(super().post_routes()["/remove"]),
+            "/promote": self._post_promote,
         }
+
+    def _post_promote(self, body: dict) -> Response:
+        """Take over from the dead leader (``repro failover`` and the
+        coordinator drive this).  Body: ``leader_journal`` (required),
+        optional ``lease_dir``/``lease_file`` and ``lease_ttl``.
+
+        Double promotion — concurrent or repeated — answers a clean
+        409 ``already_promoted`` instead of corrupting state.
+        """
+        leader_journal = body.get("leader_journal")
+        if not isinstance(leader_journal, str) or not leader_journal:
+            raise ApiError(
+                400, "bad_request",
+                "'leader_journal' must be a non-empty path string",
+            )
+        kwargs = {}
+        lease_file = body.get("lease_file")
+        if isinstance(lease_file, str) and lease_file:
+            kwargs["lease_store"] = lease_file
+            ttl = body.get("lease_ttl")
+            if ttl is not None:
+                kwargs["lease_ttl"] = float(ttl)
+        try:
+            node = self.replica.promote(leader_journal, **kwargs)
+        except RuntimeError as exc:
+            raise ApiError(409, "already_promoted", str(exc))
+        return json_response(
+            200,
+            {
+                "ok": True,
+                "name": self.replica.name,
+                "epoch": node.epoch,
+                "applied": self.replica.applied,
+                "drained": getattr(self.replica, "drained_on_promotion", 0),
+            },
+        )
 
     def _refusing(self, inner: Callable) -> Callable:
         def refuse_unless_promoted(body: dict) -> Response:

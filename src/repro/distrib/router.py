@@ -31,6 +31,7 @@ uses, so the sharded directory and the single-node one assign every
 page identically.
 """
 
+import threading
 import time
 from concurrent.futures import ThreadPoolExecutor, wait
 from typing import Callable, Dict, List, Optional, Sequence
@@ -40,6 +41,7 @@ from repro.distrib.client import ShardUnavailable
 from repro.distrib.placement import shard_for_url, validate_placement
 from repro.index.merge import cluster_hit_key, merge_ranked, page_hit_key
 from repro.resilience.faults import inject
+from repro.resilience.journal import StaleEpochError
 from repro.service.metrics import DEFAULT_SIZE_BUCKETS, MetricsRegistry
 
 #: Retry-After hint (seconds) when every shard is unavailable.
@@ -94,6 +96,7 @@ class DirectoryRouter:
         self.shard_timeout = shard_timeout
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.started_unix = time.time()
+        self._endpoints_lock = threading.Lock()
         self._pool = ThreadPoolExecutor(
             max_workers=max(4, 2 * len(self.shards)),
             thread_name_prefix="repro-router",
@@ -103,6 +106,16 @@ class DirectoryRouter:
     @property
     def n_shards(self) -> int:
         return len(self.shards)
+
+    def set_endpoints(self, index: int, endpoints: Sequence) -> None:
+        """Replace logical shard ``index``'s failover list (leader
+        first).  The failover coordinator calls this after promoting a
+        replica so new requests hit the new leader directly."""
+        endpoints = list(endpoints)
+        if not endpoints:
+            raise ValueError("a logical shard needs at least one endpoint")
+        with self._endpoints_lock:
+            self.shards[index] = endpoints
 
     def _instrument(self) -> None:
         m = self.metrics
@@ -122,28 +135,69 @@ class DirectoryRouter:
             "router_shard_failures_total",
             "Fan-out legs that failed (all endpoints down or timed out)",
         )
+        self._m_stale_failovers = m.counter(
+            "router_stale_epoch_failovers_total",
+            "Endpoint attempts skipped past a fenced (stale-epoch) node",
+        )
+        self._m_reresolves = m.counter(
+            "router_leader_reresolves_total",
+            "Write-path leader re-resolutions after a stale-epoch sweep",
+        )
 
     # ----------------------------------------------------------------
     # Fan-out machinery.
     # ----------------------------------------------------------------
 
-    def _call_shard(self, index: int, call: Callable) -> object:
+    def _call_shard(
+        self, index: int, call: Callable, deadline: Optional[float] = None
+    ) -> object:
         """Run ``call(client)`` against shard ``index``, failing over
         down the endpoint list.  ``"router.fanout"`` is an injection
         seam per endpoint attempt — an injected fault fails over like a
-        dead endpoint."""
+        dead endpoint.
+
+        ``deadline`` (a ``time.monotonic()`` instant) is the request's
+        overall budget: each endpoint attempt runs under the *remaining*
+        budget (``endpoint.deadline(remaining)``, duck-typed — the HTTP
+        client caps its socket timeout with it), and an exhausted budget
+        stops the failover walk instead of trying endpoint N with time
+        the request no longer has.
+
+        A fenced endpoint (:class:`StaleEpochError`) fails over like a
+        dead one, but the raised ``ShardUnavailable`` is tagged
+        ``stale_epoch=True`` when every recorded failure was a fencing
+        rejection — the write path uses the tag to re-resolve the
+        leader rather than back off.
+        """
         failures = []
+        stale = 0
         for endpoint in self.shards[index]:
+            remaining = None
+            if deadline is not None:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    failures.append("deadline budget exhausted")
+                    break
             try:
                 inject("router.fanout")
+                budget = getattr(endpoint, "deadline", None)
+                if budget is not None and remaining is not None:
+                    with budget(remaining):
+                        return call(endpoint)
                 return call(endpoint)
+            except StaleEpochError as exc:
+                stale += 1
+                self._m_stale_failovers.inc()
+                failures.append(f"stale epoch (current {exc.epoch})")
             except ShardUnavailable as exc:
                 failures.append(exc.reason)
             except Exception as exc:  # an endpoint bug must not kill fan-out
                 failures.append(f"{type(exc).__name__}: {exc}")
-        raise ShardUnavailable(
+        error = ShardUnavailable(
             f"shard-{index}", " / ".join(failures) or "no endpoints"
         )
+        error.stale_epoch = bool(failures) and stale == len(failures)
+        raise error
 
     def _fan_out(
         self, operation: str, call: Callable, indices: Optional[Sequence[int]] = None
@@ -158,8 +212,9 @@ class DirectoryRouter:
         indices = list(indices) if indices is not None else list(
             range(self.n_shards)
         )
+        deadline = time.monotonic() + self.shard_timeout
         futures = {
-            self._pool.submit(self._call_shard, index, call): index
+            self._pool.submit(self._call_shard, index, call, deadline): index
             for index in indices
         }
         done, not_done = wait(futures, timeout=self.shard_timeout)
@@ -257,6 +312,72 @@ class DirectoryRouter:
     # Writes.
     # ----------------------------------------------------------------
 
+    def _resolve_leader(self, index: int) -> bool:
+        """Probe shard ``index``'s endpoints and rotate the current
+        leader to the front of the failover list.
+
+        The leader is the endpoint whose health record says
+        ``role == "leader"`` at the **highest epoch** (a fenced zombie
+        reports ``role: "fenced"``; two nodes claiming leadership can
+        only differ by epoch, and higher fences lower).  Returns True
+        when a leader was found and fronted.
+        """
+        self._m_reresolves.inc()
+        best = None
+        best_epoch = -1
+        with self._endpoints_lock:
+            endpoints = list(self.shards[index])
+        for endpoint in endpoints:
+            try:
+                record = endpoint.healthz()
+            except Exception:
+                continue
+            if str(record.get("role", "")) != "leader":
+                continue
+            epoch = int(record.get("epoch", 0))
+            if epoch > best_epoch:
+                best, best_epoch = endpoint, epoch
+        if best is None:
+            return False
+        self.set_endpoints(
+            index, [best] + [e for e in endpoints if e is not best]
+        )
+        return True
+
+    def _call_owner(self, operation: str, owner: int, call: Callable):
+        """A write against the owning shard, with **one** stale-epoch
+        recovery: if every endpoint answered "fenced", re-resolve the
+        leader from health probes and retry once.  A second sweep of
+        fencing rejections becomes :class:`AllShardsUnavailable` (the
+        HTTP face's structured 503) — never a loop: either the probe
+        found a live leader and the retry settles it, or promotion is
+        still in flight and the client should come back after
+        ``Retry-After``.
+        """
+        deadline = time.monotonic() + self.shard_timeout
+        try:
+            return self._call_shard(owner, call, deadline)
+        except ShardUnavailable as exc:
+            if not getattr(exc, "stale_epoch", False):
+                raise
+            resolved = self._resolve_leader(owner)
+            try:
+                return self._call_shard(
+                    owner, call, time.monotonic() + self.shard_timeout
+                )
+            except ShardUnavailable as retry_exc:
+                raise AllShardsUnavailable(
+                    operation
+                    + (
+                        " (stale epoch everywhere; no promoted leader "
+                        "found yet)"
+                        if not resolved
+                        else " (stale epoch persisted after leader "
+                        "re-resolution)"
+                    ),
+                    {owner: retry_exc.reason},
+                ) from retry_exc
+
     def add(self, raw: RawFormPage) -> Dict[str, object]:
         """Route an insert to the shard that owns the page.
 
@@ -282,7 +403,7 @@ class DirectoryRouter:
                 key=lambda r: (-float(r["similarity"]), int(r["cluster"])),
             )
             owner = int(best["shard"])
-        reply = self._call_shard(owner, lambda c: c.add(raw))
+        reply = self._call_owner("add", owner, lambda c: c.add(raw))
         return dict(reply)
 
     def remove(self, url: str) -> Dict[str, object]:
@@ -295,7 +416,9 @@ class DirectoryRouter:
         """
         if self.placement == "hash":
             owner = shard_for_url(url, self.n_shards)
-            removed = bool(self._call_shard(owner, lambda c: c.remove(url)))
+            removed = bool(
+                self._call_owner("remove", owner, lambda c: c.remove(url))
+            )
             return {"url": url, "removed": removed, "partial": False,
                     "shards": {"answered": [owner], "failed": {}}}
         results, failed = self._fan_out("remove", lambda c: c.remove(url))

@@ -18,14 +18,29 @@ fsync (append-before-apply, inherited from ``FormDirectory``), and the
 promotion protocol drains the on-disk journal from the replica's
 applied position — which together are what "zero acknowledged writes
 lost" means under the chaos plans (tests/test_distrib_failover.py).
+
+Leadership contract (PR 10): when a :class:`~repro.distrib.fence.
+LeaseStore` is attached, a write is acknowledged only while the node
+holds a live lease at its current epoch.  A node that loses the lease
+(paused past the TTL, or fenced by a successor's higher-epoch
+acquire) refuses writes with :class:`~repro.resilience.journal.
+StaleEpochError` — the HTTP face answers ``409 stale_epoch`` — and
+grades itself ``degraded`` until it can re-lease.  Reads keep working
+throughout (a stale read is merely stale; a stale *ack* is a lost
+write).
 """
 
 from pathlib import Path
 from typing import Dict, List, Optional, Union
 
 from repro.core.form_page import RawFormPage
-from repro.resilience.faults import inject
-from repro.resilience.journal import DirectoryJournal, open_journal
+from repro.distrib.fence import DEFAULT_LEASE_TTL, LeaseHeld, LeaseStore
+from repro.resilience.faults import FaultError, inject
+from repro.resilience.journal import (
+    DirectoryJournal,
+    StaleEpochError,
+    open_journal,
+)
 from repro.resilience.stats import STATS
 from repro.service.directory import FormDirectory
 from repro.service.metrics import MetricsRegistry
@@ -53,6 +68,15 @@ class ShardNode:
         opened with segment rotation armed
         (``max_segment_records=segment_records``) — the leader side of
         journal shipping.  ``None`` disables journaling (parity tests).
+    lease_store:
+        Optional :class:`~repro.distrib.fence.LeaseStore` (or a path to
+        the lease file).  When set, every write first proves leadership
+        — see the module docstring.  ``None`` keeps PR 7's unfenced
+        behavior.
+    epoch:
+        Optional starting epoch floor for a path-opened journal (e.g.
+        ``repro shard --epoch``); the journal's recovered epoch wins if
+        higher.
     """
 
     def __init__(
@@ -62,6 +86,9 @@ class ShardNode:
         segment_records: int = DEFAULT_SEGMENT_RECORDS,
         metrics: Optional[MetricsRegistry] = None,
         name: Optional[str] = None,
+        lease_store: Union[LeaseStore, str, Path, None] = None,
+        lease_ttl: float = DEFAULT_LEASE_TTL,
+        epoch: Optional[int] = None,
         **directory_kwargs,
     ) -> None:
         if not isinstance(snapshot, Snapshot):
@@ -79,12 +106,27 @@ class ShardNode:
         self.name = name or f"shard-{self.shard_index}"
         if isinstance(journal, (str, Path)):
             journal = open_journal(
-                journal, max_segment_records=segment_records
+                journal,
+                max_segment_records=segment_records,
+                epoch=int(epoch or 0),
             )
         self.directory = FormDirectory.from_snapshot(
             snapshot, journal=journal, metrics=metrics, **directory_kwargs
         )
+        self._init_fencing(lease_store, lease_ttl)
         self._instrument()
+
+    def _init_fencing(
+        self,
+        lease_store: Union[LeaseStore, str, Path, None],
+        lease_ttl: float,
+    ) -> None:
+        if isinstance(lease_store, (str, Path)):
+            lease_store = LeaseStore(lease_store)
+        self.lease_store = lease_store
+        self.lease_ttl = float(lease_ttl)
+        self.fenced = False
+        self._lease = None
 
     @classmethod
     def from_directory(
@@ -92,6 +134,8 @@ class ShardNode:
         directory: FormDirectory,
         meta: Dict[str, object],
         name: Optional[str] = None,
+        lease_store: Union[LeaseStore, str, Path, None] = None,
+        lease_ttl: float = DEFAULT_LEASE_TTL,
     ) -> "ShardNode":
         """Wrap an already-running directory as a shard node — the
         promotion path: a replica's tailed directory takes over serving
@@ -109,6 +153,7 @@ class ShardNode:
         ]
         node.name = name or f"shard-{node.shard_index}"
         node.directory = directory
+        node._init_fencing(lease_store, lease_ttl)
         node._instrument()
         return node
 
@@ -128,6 +173,101 @@ class ShardNode:
             "segments_shipped_total",
             "Sealed journal segments served to replicas (process-wide)",
         ).set_function(lambda: STATS.get("segments_shipped"))
+        m.gauge(
+            "shard_epoch", "Fencing epoch this node serves at",
+            shard=self.name,
+        ).set_function(lambda: self.epoch)
+        m.gauge(
+            "shard_fenced", "1 while writes are fenced (stale epoch)",
+            shard=self.name,
+        ).set_function(lambda: int(self.fenced))
+        m.gauge(
+            "lease_remaining_seconds",
+            "Seconds left on the held leader lease (0 = none held)",
+            shard=self.name,
+        ).set_function(lambda: max(0.0, self.lease_remaining() or 0.0))
+        m.gauge(
+            "fencing_rejections_total",
+            "Writes refused for a stale epoch / lost lease (process-wide)",
+        ).set_function(lambda: STATS.get("fencing_rejections"))
+
+    # ----------------------------------------------------------------
+    # Leadership (epoch + lease fencing).
+    # ----------------------------------------------------------------
+
+    @property
+    def epoch(self) -> int:
+        """The fencing epoch this node serves at (journal-durable)."""
+        return self.directory.epoch
+
+    def lease_remaining(self) -> Optional[float]:
+        """Seconds left on the held lease; ``None`` when no store is
+        attached (unfenced deployment)."""
+        if self.lease_store is None:
+            return None
+        lease = self._lease
+        if lease is None:
+            return 0.0
+        return max(0.0, lease.remaining(self.lease_store.clock()))
+
+    def _refuse(self, current: int, offered: int, detail: str) -> None:
+        self.fenced = True
+        STATS.inc("fencing_rejections")
+        raise StaleEpochError(current, offered, detail)
+
+    def _ensure_leadership(self) -> None:
+        """Prove this node may acknowledge a write *right now*.
+
+        No-op without a lease store.  With one: a held lease past its
+        half-life is renewed (so a healthy leader touches the store at
+        most every ``ttl/2`` writes' worth of time, not per write); a
+        missing or lapsed lease is (re)acquired — a lapsed lease nobody
+        claimed is not a fencing event, just a quiet leader.  What *is*
+        fencing: the store holds a higher epoch (a successor was
+        promoted — this node is a zombie), or another live holder owns
+        the lease.  Then the write dies here, **before** the journal
+        append, with :class:`StaleEpochError`.
+        """
+        store = self.lease_store
+        if store is None:
+            return
+        epoch = self.epoch
+        lease = self._lease
+        now = store.clock()
+        if (
+            lease is not None
+            and lease.holder == self.name
+            and lease.epoch == epoch
+            and lease.remaining(now) > self.lease_ttl / 2.0
+        ):
+            return
+        try:
+            grant = store.renew if lease is not None else store.acquire
+            self._lease = grant(self.name, epoch, self.lease_ttl)
+            self.fenced = False
+            return
+        except StaleEpochError as exc:
+            self._lease = None
+            self._refuse(exc.epoch, epoch, "fenced by a higher-epoch leader")
+        except LeaseHeld as exc:
+            self._lease = None
+            self._refuse(
+                max(epoch, exc.epoch), epoch,
+                f"lease held by {exc.holder!r}",
+            )
+        except FaultError:
+            # The store round-trip failed (injected or real).  An
+            # unexpired grant still covers us — that is what the lease
+            # bought; with none, fail the write rather than risk a
+            # zombie ack.
+            if (
+                lease is not None
+                and lease.epoch == epoch
+                and not lease.expired(store.clock())
+            ):
+                return
+            self._lease = None
+            self._refuse(epoch, epoch, "lease store unreachable, lease lapsed")
 
     # ----------------------------------------------------------------
     # Global-id remapping.
@@ -178,22 +318,35 @@ class ShardNode:
         }
 
     def add(self, raw: RawFormPage) -> Dict[str, object]:
-        """Insert a page this shard owns.  Returns global assignment."""
+        """Insert a page this shard owns.  Returns global assignment.
+
+        The reply names the acknowledging node and its epoch — the
+        chaos suite's one-acker-per-epoch invariant is checked off
+        exactly these two fields.
+        """
+        self._ensure_leadership()
         local, size = self.directory.add(raw)
         return {
             "url": raw.url,
             "cluster": self.to_global(local),
             "cluster_size": size,
             "shard": self.shard_index,
+            "epoch": self.epoch,
+            "served_by": self.name,
         }
 
     def remove(self, url: str) -> bool:
+        self._ensure_leadership()
         return self.directory.remove(url)
 
     def healthz(self) -> Dict[str, object]:
-        """Shard-identified health record (the router aggregates these)."""
-        return {
-            "status": self.directory.health_state(),
+        """Shard-identified health record (the router aggregates these,
+        and leader re-resolution reads ``role`` + ``epoch``)."""
+        status = self.directory.health_state()
+        if self.fenced and status == "ok":
+            status = "degraded"
+        record: Dict[str, object] = {
+            "status": status,
             "shard": self.shard_index,
             "name": self.name,
             "n_shards": self.n_shards,
@@ -201,7 +354,13 @@ class ShardNode:
             "generation": self.directory.generation,
             "pages": len(self.directory.organizer),
             "clusters": len(self.global_ids),
+            "epoch": self.epoch,
+            "role": "fenced" if self.fenced else "leader",
         }
+        remaining = self.lease_remaining()
+        if remaining is not None:
+            record["lease_remaining"] = round(remaining, 3)
+        return record
 
     # ----------------------------------------------------------------
     # Replication feed (what replicas poll).
@@ -275,6 +434,12 @@ class ShardNode:
         )
 
     def close(self) -> None:
+        if self.lease_store is not None and self._lease is not None:
+            try:
+                self.lease_store.release(self.name)
+            except Exception:
+                pass
+            self._lease = None
         self.directory.close()
 
     def __enter__(self) -> "ShardNode":

@@ -49,9 +49,11 @@ from repro.resilience.flaky import (
 from repro.resilience.journal import (
     DirectoryJournal,
     JournalError,
+    StaleEpochError,
     decode_records,
     encode_record,
     open_journal,
+    record_epoch,
 )
 from repro.resilience.retry import (
     CIRCUIT_CLOSED,
@@ -88,6 +90,7 @@ __all__ = [
     "RetryError",
     "RetryPolicy",
     "STATS",
+    "StaleEpochError",
     "SupervisedWorker",
     "TransientFault",
     "active_plan",
@@ -97,4 +100,5 @@ __all__ = [
     "inject",
     "install_plan",
     "open_journal",
+    "record_epoch",
 ]

@@ -8,9 +8,12 @@ vectorization, the write-ahead journal.  This module lets tests (and
 the exact same failure schedule from a seed:
 
 * a **seam** is a string naming an injection point (``"search.link_query"``,
-  ``"snapshot.save"``, ``"directory.vectorize"``, ``"journal.append"``);
-  production code crosses a seam by calling :func:`inject`, which is a
-  few-nanosecond no-op unless a plan is armed;
+  ``"snapshot.save"``, ``"directory.vectorize"``, ``"journal.append"``,
+  ``"replication.ship"``, ``"router.fanout"``, and the lease-store
+  seams ``"lease.acquire"`` / ``"lease.renew"`` / ``"lease.read"`` —
+  :mod:`repro.distrib.fence`); production code crosses a seam by
+  calling :func:`inject`, which is a few-nanosecond no-op unless a
+  plan is armed;
 * a :class:`FaultSpec` describes one fault at one seam — its kind
   (transient / timeout / rate-limit / permanent), firing probability,
   and how many times it may fire;
@@ -237,6 +240,10 @@ class FaultPlan:
                 FaultSpec("directory.vectorize", "transient", probability=0.05),
                 FaultSpec("snapshot.save", "transient", probability=0.10),
                 FaultSpec("journal.append", "transient", probability=0.02),
+                # Lease-store seams only cross in fenced deployments;
+                # the specs are inert everywhere else.
+                FaultSpec("lease.renew", "transient", probability=0.05),
+                FaultSpec("lease.read", "transient", probability=0.05),
             ],
             seed=seed,
         )

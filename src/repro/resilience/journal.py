@@ -32,6 +32,20 @@ leader folding its history.
 
 Record frame: ``[length: u32 BE] [crc32(payload): u32 BE] [payload]``
 where payload is compact UTF-8 JSON with sorted keys.
+
+Epochs (the fencing substrate — docs/SHARDING.md): the journal carries
+a monotonically increasing **epoch**, bumped by :meth:`DirectoryJournal.
+bump_epoch` when a replica is promoted to leader.  While the epoch is
+non-zero every appended record is stamped with it (an ``"epoch"`` key
+in the JSON payload), the bump itself is an fsynced ``{"op": "epoch"}``
+marker record, and the manifest records the current epoch.  Readers
+treat a record *without* the key as epoch 0, so pre-epoch (v1) journals
+recover bit-identically — the frame format never changed.  Replay-side
+refusal of stale records (a deposed leader appending behind a newer
+epoch marker) lives with the appliers: :func:`record_epoch` exposes a
+record's epoch and :class:`StaleEpochError` is the shared "your epoch
+is behind" signal raised by ``FormDirectory.apply_replicated`` and the
+lease layer (:mod:`repro.distrib.fence`).
 """
 
 import binascii
@@ -59,6 +73,32 @@ _MANIFEST_KIND = "repro-journal-manifest"
 
 class JournalError(ValueError):
     """The journal file is not something this module wrote."""
+
+
+class StaleEpochError(Exception):
+    """A write (or replicated record) arrived from an epoch lower than
+    the highest durably seen — the sender is a deposed leader (a
+    "zombie") and must not be acknowledged.  ``epoch`` is the current
+    epoch the rejecting side holds; ``offered`` is the stale one."""
+
+    def __init__(self, epoch: int, offered: int, detail: str = "") -> None:
+        message = (
+            f"stale epoch {offered} rejected (current epoch {epoch})"
+        )
+        if detail:
+            message += f": {detail}"
+        super().__init__(message)
+        self.epoch = int(epoch)
+        self.offered = int(offered)
+
+
+def record_epoch(record: dict) -> int:
+    """The epoch a journal/replication record carries (0 for pre-epoch
+    records — mixed-version logs read fine)."""
+    try:
+        return int(record.get("epoch", 0))
+    except (TypeError, ValueError):
+        return 0
 
 
 def encode_record(record: dict) -> bytes:
@@ -137,6 +177,11 @@ class DirectoryJournal:
         Roll the active file into a sealed segment once it holds this
         many records / bytes (whichever trips first; ``None`` disables
         — the default, which is the pre-segmentation single-file WAL).
+    epoch:
+        Starting epoch *floor* (``repro shard --epoch``).  Recovery
+        takes the max of this, the manifest's recorded epoch, and the
+        highest epoch found in retained records — the epoch can only
+        move forward.
     """
 
     def __init__(
@@ -145,6 +190,7 @@ class DirectoryJournal:
         fsync: bool = True,
         max_segment_records: Optional[int] = None,
         max_segment_bytes: Optional[int] = None,
+        epoch: int = 0,
     ) -> None:
         self.path = Path(path)
         self.fsync = fsync
@@ -155,6 +201,9 @@ class DirectoryJournal:
         #: Global position of the first *retained* record (sealed or
         #: active) — records folded into snapshots advance it.
         self.base_record = 0
+        #: Highest epoch durably seen (marker records, stamped records,
+        #: the manifest, or the constructor floor).
+        self.epoch = max(0, int(epoch))
         self._segments: List[SegmentInfo] = []
         self.active_records = 0
         self.active_bytes = 0
@@ -211,6 +260,10 @@ class DirectoryJournal:
         self.path.parent.mkdir(parents=True, exist_ok=True)
         manifest = self._read_manifest()
         self.base_record = int(manifest.get("base_record", 0))
+        try:
+            self.epoch = max(self.epoch, int(manifest.get("epoch", 0)))
+        except (TypeError, ValueError):
+            pass  # advisory; the records speak for themselves
 
         base = self.base_record
         self._segments = []
@@ -222,6 +275,8 @@ class DirectoryJournal:
                     f"sealed segment {seg_path} is torn at byte {valid} "
                     f"of {len(data)} — sealed segments are immutable"
                 )
+            for record in records:
+                self.epoch = max(self.epoch, record_epoch(record))
             self._segments.append(
                 SegmentInfo(seq, base, len(records), len(data), seg_path)
             )
@@ -231,6 +286,8 @@ class DirectoryJournal:
             return
         data = self.path.read_bytes()
         records, valid = decode_records(data)
+        for record in records:
+            self.epoch = max(self.epoch, record_epoch(record))
         self.active_records = len(records)
         self.active_bytes = valid
         if valid < len(data):
@@ -268,6 +325,7 @@ class DirectoryJournal:
         payload = {
             "kind": _MANIFEST_KIND,
             "base_record": self.base_record,
+            "epoch": self.epoch,
             "sealed": [
                 {
                     "seq": s.seq,
@@ -338,29 +396,65 @@ class DirectoryJournal:
     def append(self, record: dict) -> None:
         """Frame, append, flush, fsync — returns only once durable.
         Rolls the active file into a sealed segment when a rotation
-        threshold trips."""
-        frame = encode_record(record)
+        threshold trips.
+
+        Once the epoch is non-zero every record is stamped with it
+        (``"epoch"`` key), so a reader can tell which leadership term
+        produced it.  Epoch-0 journals stay byte-identical to the
+        pre-epoch format.
+        """
+        if self.epoch and "epoch" not in record:
+            record = dict(record)
+            record["epoch"] = self.epoch
         with self._lock:
             inject("journal.append")
-            handle = self._open()
+            self._append_locked(encode_record(record))
+
+    def _append_locked(self, frame: bytes) -> None:
+        handle = self._open()
+        try:
+            handle.write(frame)
+            handle.flush()
+            if self.fsync:
+                os.fsync(handle.fileno())
+        except OSError:
+            # A partial frame would tear the log here instead of at
+            # the tail; roll back to the last known-good boundary
+            # (best effort — replay truncates torn bytes anyway).
             try:
-                handle.write(frame)
-                handle.flush()
-                if self.fsync:
-                    os.fsync(handle.fileno())
+                handle.truncate(self.active_bytes)
             except OSError:
-                # A partial frame would tear the log here instead of at
-                # the tail; roll back to the last known-good boundary
-                # (best effort — replay truncates torn bytes anyway).
-                try:
-                    handle.truncate(self.active_bytes)
-                except OSError:
-                    pass
-                raise
-            self.active_records += 1
-            self.active_bytes += len(frame)
-            if self._should_roll():
-                self._roll_locked()
+                pass
+            raise
+        self.active_records += 1
+        self.active_bytes += len(frame)
+        if self._should_roll():
+            self._roll_locked()
+
+    def bump_epoch(self, epoch: Optional[int] = None) -> int:
+        """Advance the epoch durably — the promotion fence.
+
+        Appends an fsynced ``{"op": "epoch"}`` marker record and
+        rewrites the manifest *before* returning, so by the time a
+        promoted node acknowledges its first write the new epoch is on
+        disk: recovery (and every replica applying the shipped marker)
+        knows records stamped below it came from a deposed leader.
+        Defaults to ``current + 1``; an explicit ``epoch`` must be
+        higher than the current one.
+        """
+        with self._lock:
+            new = self.epoch + 1 if epoch is None else int(epoch)
+            if new <= self.epoch:
+                raise JournalError(
+                    f"epoch must increase (current {self.epoch}, "
+                    f"requested {new})"
+                )
+            self._append_locked(
+                encode_record({"op": "epoch", "epoch": new})
+            )
+            self.epoch = new
+            self._write_manifest()
+            return new
 
     def _should_roll(self) -> bool:
         if (
@@ -469,6 +563,7 @@ class DirectoryJournal:
                 "base_record": self.base_record,
                 "next_record": self.next_record,
                 "active_records": self.active_records,
+                "epoch": self.epoch,
                 "sealed": [
                     {
                         "seq": s.seq,
@@ -504,3 +599,16 @@ def open_journal(
     if isinstance(path, DirectoryJournal):
         return path
     return DirectoryJournal(path, fsync=fsync, **kwargs)
+
+
+__all__ = [
+    "DirectoryJournal",
+    "JournalError",
+    "MAX_RECORD_BYTES",
+    "SegmentInfo",
+    "StaleEpochError",
+    "decode_records",
+    "encode_record",
+    "open_journal",
+    "record_epoch",
+]

@@ -28,6 +28,9 @@ class ResilienceStats:
         "journal_replays",      # directory recoveries that replayed a WAL
         "segments_shipped",     # sealed journal segments served to replicas
         "promotions",           # replica -> leader promotions
+        "fencing_rejections",   # writes refused for a stale epoch / lost lease
+        "stale_records_dropped", # zombie-epoch records skipped on replay/apply
+        "failovers",            # automatic leader failovers completed
     )
 
     def __init__(self) -> None:

@@ -33,6 +33,7 @@ from urllib.parse import parse_qs, urlsplit
 
 from repro.core.form_page import RawFormPage
 from repro.resilience.faults import FaultError
+from repro.resilience.journal import StaleEpochError
 from repro.resilience.retry import RetryError
 
 #: Default cap on request bodies (form pages are HTML documents; 2 MiB
@@ -61,7 +62,9 @@ class ClientDisconnected(Exception):
 class ApiError(Exception):
     """An error with a wire representation.  ``retry_after`` (seconds)
     adds a ``Retry-After`` header — back-pressure errors (429/503) use
-    it."""
+    it.  ``extra`` merges additional machine-readable keys into the
+    wire ``error`` object (e.g. the fencing 409 carries the rejecting
+    node's current ``epoch`` so clients can re-resolve the leader)."""
 
     def __init__(
         self,
@@ -69,12 +72,14 @@ class ApiError(Exception):
         code: str,
         message: str,
         retry_after: Optional[int] = None,
+        extra: Optional[Dict[str, object]] = None,
     ) -> None:
         super().__init__(message)
         self.status = status
         self.code = code
         self.message = message
         self.retry_after = retry_after
+        self.extra = dict(extra) if extra else {}
 
 
 class Response:
@@ -113,10 +118,11 @@ def error_response(error: ApiError) -> Response:
     headers: Tuple[Tuple[str, str], ...] = ()
     if error.retry_after is not None:
         headers = (("Retry-After", str(error.retry_after)),)
+    payload = {"code": error.code, "message": error.message}
+    payload.update(error.extra)
     return json_response(
         error.status,
-        {"ok": False,
-         "error": {"code": error.code, "message": error.message}},
+        {"ok": False, "error": payload},
         extra_headers=headers,
     )
 
@@ -285,6 +291,18 @@ class BaseApp:
             raise
         except ApiError as error:
             response = error_response(error)
+        except StaleEpochError as exc:
+            # The fencing rejection: this node's epoch is stale (it was
+            # deposed, or a write raced a promotion).  409 rather than
+            # 5xx — the node is healthy, the *request* went to the wrong
+            # leader; the structured body carries the current epoch so
+            # clients re-resolve instead of blind-retrying.
+            response = error_response(
+                ApiError(
+                    409, "stale_epoch", str(exc),
+                    extra={"epoch": exc.epoch, "offered": exc.offered},
+                )
+            )
         except TimeoutError as exc:
             response = error_response(ApiError(504, "timeout", str(exc)))
         except (RetryError, FaultError) as exc:

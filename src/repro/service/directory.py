@@ -56,7 +56,13 @@ from repro.core.pipeline import _label_terms
 from repro.core.similarity import BackendSpec
 from repro.index.directory_index import DirectoryIndex
 from repro.resilience.faults import inject
-from repro.resilience.journal import DirectoryJournal, JournalError, open_journal
+from repro.resilience.journal import (
+    DirectoryJournal,
+    JournalError,
+    StaleEpochError,
+    open_journal,
+    record_epoch,
+)
 from repro.resilience.retry import CIRCUIT_OPEN
 from repro.resilience.stats import STATS
 from repro.resilience.supervisor import SupervisedWorker
@@ -258,6 +264,13 @@ class FormDirectory:
         )
         self._cache_lock = threading.Lock()
 
+        # Fencing epoch for unjournaled directories (tailing replicas):
+        # tracks the highest epoch seen in replicated records.  With a
+        # journal attached the journal's own epoch is authoritative —
+        # see the ``epoch`` property.
+        self._epoch = 0
+        self.n_stale_dropped = 0
+
         self._journal = open_journal(journal)
         if self._journal is not None:
             self._replay_journal()
@@ -340,17 +353,38 @@ class FormDirectory:
                 self._generation += 1
                 self._index.sync_clusters(self.organizer, self._generation)
             self.n_reclusters += 1
+        elif op == "epoch":
+            # A fencing marker (journal.bump_epoch): no directory state
+            # changes, but the epoch floor rises — every later record
+            # must carry at least this epoch.
+            self._epoch = max(self._epoch, record_epoch(record))
         else:
             raise JournalError(f"unknown journal op {op!r}")
 
     def _replay_journal(self) -> None:
-        """Roll the organizer forward through every intact record."""
+        """Roll the organizer forward through every intact record.
+
+        Epoch fencing at replay: a running epoch floor rises with each
+        ``epoch`` marker, and any record stamped *below* the floor is a
+        zombie write — bytes a deposed leader appended after the
+        promoted successor's marker — and is dropped, not applied.
+        (``journal.replay()`` still returns those records so global
+        positions stay stable; the filter lives here, at apply time.)
+        """
         records = self._journal.replay()
         if not records:
             return
         self._replaying = True
+        floor = 0
         try:
             for record in records:
+                epoch = record_epoch(record)
+                if record.get("op") == "epoch":
+                    floor = max(floor, epoch)
+                elif epoch < floor:
+                    self.n_stale_dropped += 1
+                    STATS.inc("stale_records_dropped")
+                    continue
                 self._apply_journal_record(record)
             self.n_replayed = len(records)
             STATS.inc("journal_replays")
@@ -366,9 +400,21 @@ class FormDirectory:
         journal of its own; it adopts the leader's via
         :meth:`attach_journal` only at promotion, *after* draining).
         Raises :class:`~repro.resilience.journal.JournalError` on an
-        unknown op.
+        unknown op and :class:`~repro.resilience.journal.
+        StaleEpochError` when the record's epoch is below this
+        directory's — a replica that has seen epoch *N* refuses every
+        record a deposed epoch-``<N`` leader ships.
         """
+        epoch = record_epoch(record)
+        current = self.epoch
+        if record.get("op") != "epoch" and epoch < current:
+            STATS.inc("stale_records_dropped")
+            raise StaleEpochError(
+                current, epoch, f"replicated {record.get('op')!r} refused"
+            )
         self._apply_journal_record(record)
+        if epoch > self._epoch:
+            self._epoch = epoch
 
     def attach_journal(
         self, journal: Union[str, DirectoryJournal]
@@ -386,6 +432,12 @@ class FormDirectory:
                     "directory already has a write-ahead journal"
                 )
             self._journal = open_journal(journal)
+            # Reconcile the fencing epoch: neither side may regress.
+            # (Promotion bumps the journal first, so normally the
+            # journal's epoch is the higher one.)
+            if self._journal.epoch < self._epoch:
+                self._journal.epoch = self._epoch
+            self._epoch = self._journal.epoch
         return self._journal
 
     @property
@@ -393,6 +445,16 @@ class FormDirectory:
         """The attached write-ahead journal (``None`` when unjournaled
         — e.g. a tailing replica)."""
         return self._journal
+
+    @property
+    def epoch(self) -> int:
+        """The fencing epoch this directory serves at.  Journaled
+        directories read the journal's durable epoch; unjournaled ones
+        (tailing replicas) track the highest epoch applied from the
+        replication stream."""
+        if self._journal is not None:
+            return max(self._journal.epoch, self._epoch)
+        return self._epoch
 
     def snapshot(
         self,
@@ -413,6 +475,7 @@ class FormDirectory:
                 snapshot_meta.setdefault(
                     "journal_position", self._journal.next_record
                 )
+            snapshot_meta.setdefault("epoch", self.epoch)
             return Snapshot.from_organizer(
                 self.organizer, algorithm=algorithm, meta=snapshot_meta
             )
@@ -460,6 +523,7 @@ class FormDirectory:
                 snapshot_meta.setdefault(
                     "journal_position", self._journal.next_record
                 )
+            snapshot_meta.setdefault("epoch", self.epoch)
             snapshot = Snapshot.from_organizer(
                 self.organizer, algorithm=algorithm, meta=snapshot_meta
             )
@@ -1110,6 +1174,8 @@ class FormDirectory:
                 },
                 "resilience": {
                     "circuit": self._breaker.state,
+                    "epoch": self.epoch,
+                    "stale_dropped": self.n_stale_dropped,
                     "journaled": self._journal is not None,
                     "journal_records": (
                         self._journal.n_records if self._journal else 0

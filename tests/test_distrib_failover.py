@@ -119,9 +119,12 @@ class TestKillTheLeaderSoak:
             assert replica.promoted
             assert STATS.get("promotions") == promotions_before + 1
             assert replica.applied == promoted.journal.next_record
+            # applied includes the epoch marker promotion fsyncs after
+            # the drain, which drained_on_promotion does not count.
             assert replica.drained_on_promotion == (
-                replica.applied - applied_at_death
+                replica.applied - applied_at_death - 1
             )
+            assert promoted.epoch == 1  # promotion bumped the fence
 
             # --- zero acknowledged writes lost -------------------------
             shard0_urls = set(promoted.directory.organizer._by_url)

@@ -153,6 +153,8 @@ class TestFaultPlan:
             "directory.vectorize",
             "snapshot.save",
             "journal.append",
+            "lease.read",
+            "lease.renew",
         }
 
 
